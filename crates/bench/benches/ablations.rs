@@ -1,0 +1,65 @@
+#![allow(missing_docs)]
+//! Ablation timing benches for the design choices DESIGN.md calls out.
+//! (The *metric* ablations — what changes in the measured numbers — live in
+//! the `ablation_study` binary; these measure simulation cost.)
+
+use bdb_sim::cache::{Cache, CacheConfig, Replacement};
+use bdb_sim::{Machine, MachineConfig};
+use bdb_workloads::{catalog, Scale};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+fn replacement_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("replacement");
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(400));
+    for (name, policy) in [("lru", Replacement::Lru), ("random", Replacement::Random)] {
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                || {
+                    Cache::new(CacheConfig {
+                        replacement: policy,
+                        ..CacheConfig::lru(256 * 1024, 8, 64)
+                    })
+                },
+                |mut cache| {
+                    for i in 0..20_000u64 {
+                        cache.access((i * 4096) % (1 << 22), i % 4 == 0);
+                    }
+                    cache
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn predictor_platforms(c: &mut Criterion) {
+    let defs = catalog::representatives();
+    let wc = defs
+        .iter()
+        .find(|w| w.spec.id == "H-WordCount")
+        .expect("H-WordCount")
+        .clone();
+    let mut group = c.benchmark_group("platform_sim_cost");
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(400));
+    group.sample_size(10);
+    for (name, config) in [
+        ("xeon_e5645", MachineConfig::xeon_e5645()),
+        ("atom_d510", MachineConfig::atom_d510()),
+        ("atom_sweep_64k", MachineConfig::atom_sweep(64)),
+    ] {
+        let config = config.clone();
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut machine = Machine::new(config.clone());
+                wc.run(&mut machine, Scale::tiny())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, replacement_policies, predictor_platforms);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+#![allow(missing_docs)]
+//! End-to-end engine benchmarks: one representative workload per stack,
+//! traced into a null sink (engine cost) and into the full machine
+//! (measurement cost).
+
+use bdb_sim::{Machine, MachineConfig};
+use bdb_trace::NullSink;
+use bdb_workloads::{catalog, Scale, WorkloadDef};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn defs() -> Vec<WorkloadDef> {
+    let mut defs = catalog::full_catalog();
+    defs.extend(catalog::mpi_workloads());
+    defs
+}
+
+fn engine_only(c: &mut Criterion) {
+    let defs = defs();
+    let mut group = c.benchmark_group("engine_null_sink");
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(400));
+    group.sample_size(10);
+    for id in [
+        "H-WordCount",
+        "S-WordCount",
+        "M-WordCount",
+        "I-SelectQuery",
+        "H-Read",
+    ] {
+        let def = defs
+            .iter()
+            .find(|w| w.spec.id == id)
+            .expect("workload")
+            .clone();
+        group.bench_function(id, |b| {
+            b.iter(|| {
+                let mut sink = NullSink;
+                def.run(&mut sink, Scale::tiny())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn full_measurement(c: &mut Criterion) {
+    let defs = defs();
+    let mut group = c.benchmark_group("engine_full_machine");
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(400));
+    group.sample_size(10);
+    for id in ["H-WordCount", "S-WordCount", "M-WordCount"] {
+        let def = defs
+            .iter()
+            .find(|w| w.spec.id == id)
+            .expect("workload")
+            .clone();
+        group.bench_function(id, |b| {
+            b.iter(|| {
+                let mut machine = Machine::new(MachineConfig::xeon_e5645());
+                let stats = def.run(&mut machine, Scale::tiny());
+                (machine.report().instructions, stats.input_bytes)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, engine_only, full_measurement);
+criterion_main!(benches);

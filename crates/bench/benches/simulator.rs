@@ -1,0 +1,129 @@
+#![allow(missing_docs)]
+//! Micro-benchmarks of the simulator hot paths: these bound how fast the
+//! figure regenerators can run.
+
+use bdb_sim::branch::BranchUnit;
+use bdb_sim::cache::{Cache, CacheConfig};
+use bdb_sim::tlb::{Tlb, TlbConfig};
+use bdb_sim::{Machine, MachineConfig};
+use bdb_trace::{BranchKind, CodeLayout, ExecCtx};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+
+fn cache_access(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache");
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(400));
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("l1_hit_stream", |b| {
+        b.iter_batched(
+            || Cache::new(CacheConfig::lru(32 * 1024, 8, 64)),
+            |mut cache| {
+                for i in 0..10_000u64 {
+                    cache.access((i * 8) % 16_384, false);
+                }
+                cache
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("l1_miss_stream", |b| {
+        b.iter_batched(
+            || Cache::new(CacheConfig::lru(32 * 1024, 8, 64)),
+            |mut cache| {
+                for i in 0..10_000u64 {
+                    cache.access(i * 4096, false);
+                }
+                cache
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn branch_prediction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("branch");
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(400));
+    group.throughput(Throughput::Elements(10_000));
+    for (name, make) in [
+        ("e5645", BranchUnit::e5645 as fn() -> BranchUnit),
+        ("d510", BranchUnit::d510 as fn() -> BranchUnit),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter_batched(
+                make,
+                |mut unit| {
+                    for i in 0..10_000u64 {
+                        unit.observe(
+                            0x400_000 + (i % 64) * 4,
+                            i % 7 != 0,
+                            0x400_100,
+                            BranchKind::Conditional,
+                        );
+                    }
+                    unit
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn tlb_access(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tlb");
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(400));
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("dtlb_64", |b| {
+        b.iter_batched(
+            || Tlb::new(TlbConfig::small_pages(64)),
+            |mut tlb| {
+                for i in 0..10_000u64 {
+                    tlb.access((i % 128) << 12);
+                }
+                tlb
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn machine_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("machine");
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(400));
+    group.throughput(Throughput::Elements(50_000));
+    group.bench_function("xeon_50k_ops", |b| {
+        let mut layout = CodeLayout::new();
+        let main = layout.region("main", 32 * 1024);
+        b.iter(|| {
+            let mut machine = Machine::new(MachineConfig::xeon_e5645());
+            let mut ctx = ExecCtx::new(&layout, &mut machine);
+            let data = ctx.heap_alloc(1 << 20, 64);
+            ctx.frame(main, |ctx| {
+                let top = ctx.loop_start();
+                for i in 0..12_500u64 {
+                    ctx.read(data.addr((i * 64) % data.len()), 8);
+                    ctx.int_other(1);
+                    ctx.cond_branch(i % 5 != 0);
+                    ctx.loop_back(top, i + 1 < 12_500);
+                }
+            });
+            drop(ctx);
+            machine.report().instructions
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    cache_access,
+    branch_prediction,
+    tlb_access,
+    machine_end_to_end
+);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+#![allow(missing_docs)]
+//! Benchmarks of the WCRT analysis pipeline: z-score normalization, PCA
+//! (Jacobi eigensolver over 45x45), and K-means — the paper-scale shapes
+//! (77 rows x 45 metrics).
+
+use bdb_wcrt::{kmeans, pca, stats};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+/// Deterministic synthetic 77x45 metric matrix with clustered structure.
+fn synthetic_matrix() -> Vec<Vec<f64>> {
+    let mut x = 0x5EED_1234u64;
+    let mut next = move || {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        (x % 10_000) as f64 / 1_000.0
+    };
+    (0..77)
+        .map(|row| {
+            let family = row % 5;
+            (0..45)
+                .map(|col| {
+                    let base = if col % 5 == family { 20.0 } else { 0.0 };
+                    base + next()
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn zscore_bench(c: &mut Criterion) {
+    c.bench_function("zscore_77x45", |b| {
+        b.iter_batched(
+            synthetic_matrix,
+            |mut m| {
+                stats::zscore(&mut m);
+                m
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn pca_bench(c: &mut Criterion) {
+    let mut m = synthetic_matrix();
+    stats::zscore(&mut m);
+    c.bench_function("pca_fit_77x45", |b| b.iter(|| pca::Pca::fit(&m, 0.9)));
+    let model = pca::Pca::fit(&m, 0.9);
+    c.bench_function("pca_transform_77", |b| b.iter(|| model.transform(&m)));
+}
+
+fn kmeans_bench(c: &mut Criterion) {
+    let mut m = synthetic_matrix();
+    stats::zscore(&mut m);
+    let model = pca::Pca::fit(&m, 0.9);
+    let projected = model.transform(&m);
+    c.bench_function("kmeans_k17", |b| {
+        b.iter(|| kmeans::kmeans(&projected, 17, 2015, 300))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(400));
+    targets = zscore_bench, pca_bench, kmeans_bench
+}
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Extension experiment (the paper's §6 future work): architecture-
+//! independent characterization of the representative workloads, and a
+//! check that the clustering the reduction produces is not an artifact of
+//! the Xeon E5645 — the machine-dependent and machine-independent
+//! partitions should largely agree (Rand index).
+
+use bdb_bench::scale_from_args;
+use bdb_wcrt::archindep::{characterize, compare_partitions, rand_index, ARCHINDEP_NAMES};
+use bdb_wcrt::report::{f2, TextTable};
+use bdb_workloads::catalog;
+
+fn main() {
+    let scale = scale_from_args();
+    let reps = catalog::representatives();
+
+    let mut table = TextTable::new([
+        "workload",
+        "branch taken",
+        "instr fp (lines)",
+        "data fp (lines)",
+        "instr p90 (log2)",
+        "data p90 (log2)",
+    ]);
+    for def in &reps {
+        let v = characterize(def, scale);
+        table.row([
+            def.spec.id.clone(),
+            f2(v.get("branch_taken_rate").expect("metric")),
+            format!(
+                "{:.0}",
+                v.get("instr_footprint_lines").expect("metric").exp2()
+            ),
+            format!(
+                "{:.0}",
+                v.get("data_footprint_lines").expect("metric").exp2()
+            ),
+            f2(v.get("instr_reuse_p90_log2").expect("metric")),
+            f2(v.get("data_reuse_p90_log2").expect("metric")),
+        ]);
+    }
+    println!(
+        "Architecture-independent characterization ({} metrics)",
+        ARCHINDEP_NAMES.len()
+    );
+    println!("{}", table.render());
+
+    println!("cross-checking the subsetting against machine-independent metrics...");
+    let (dep, indep) = compare_partitions(&reps, scale, 6, 2015);
+    let agreement = rand_index(&dep, &indep);
+    println!("machine-dependent vs machine-independent partitions (k=6):");
+    println!("  dependent:   {dep:?}");
+    println!("  independent: {indep:?}");
+    println!("  Rand index:  {agreement:.3} (1.0 = identical groupings)");
+}

@@ -1,0 +1,66 @@
+//! Calibration dump: every representative, MPI workload, and suite kernel
+//! with its headline counters side by side. Not a paper artifact — this is
+//! the tool used to verify that the reproduction's *shape* matches the
+//! paper before reading any figure binary's output.
+
+use bdb_bench::{profile_on_xeon, scale_from_args, suite_profiles};
+use bdb_wcrt::report::{f2, TextTable};
+use bdb_workloads::catalog;
+
+fn main() {
+    let scale = scale_from_args();
+    let mut table = TextTable::new([
+        "workload", "instrs", "ipc", "l1i", "l2", "l3", "itlb", "dtlb", "br%", "mis%", "int%",
+        "fp%", "ld%", "st%", "cpu%", "iow%", "wio", "class",
+    ]);
+    let mut rows = Vec::new();
+    rows.extend(profile_on_xeon(&catalog::representatives(), scale));
+    rows.extend(profile_on_xeon(&catalog::mpi_workloads(), scale));
+    for p in &rows {
+        table.row([
+            p.spec.id.clone(),
+            format!("{:.2}M", p.report.instructions as f64 / 1e6),
+            f2(p.report.ipc()),
+            f2(p.report.l1i_mpki()),
+            f2(p.report.l2_mpki()),
+            f2(p.report.l3_mpki()),
+            format!("{:.3}", p.report.itlb_mpki()),
+            f2(p.report.dtlb_mpki()),
+            f2(p.report.mix.branch_ratio() * 100.0),
+            f2(p.report.branch.mispredict_ratio() * 100.0),
+            f2(p.report.mix.integer_ratio() * 100.0),
+            f2(p.report.mix.fp_ratio() * 100.0),
+            f2(p.report.mix.load_ratio() * 100.0),
+            f2(p.report.mix.store_ratio() * 100.0),
+            f2(p.system.cpu_utilization),
+            f2(p.system.io_wait_ratio),
+            f2(p.system.weighted_io_ratio),
+            p.system_class.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+
+    let mut suite_table = TextTable::new([
+        "suite", "kernels", "ipc", "l1i", "l2", "l3", "itlb", "dtlb", "br%", "mis%", "int%", "fp%",
+    ]);
+    for (name, profiles) in suite_profiles(scale) {
+        let n = profiles.len() as f64;
+        let avg =
+            |f: &dyn Fn(&bdb_wcrt::WorkloadProfile) -> f64| profiles.iter().map(f).sum::<f64>() / n;
+        suite_table.row([
+            name,
+            format!("{}", profiles.len()),
+            f2(avg(&|p| p.report.ipc())),
+            f2(avg(&|p| p.report.l1i_mpki())),
+            f2(avg(&|p| p.report.l2_mpki())),
+            f2(avg(&|p| p.report.l3_mpki())),
+            format!("{:.3}", avg(&|p| p.report.itlb_mpki())),
+            f2(avg(&|p| p.report.dtlb_mpki())),
+            f2(avg(&|p| p.report.mix.branch_ratio() * 100.0)),
+            f2(avg(&|p| p.report.branch.mispredict_ratio() * 100.0)),
+            f2(avg(&|p| p.report.mix.integer_ratio() * 100.0)),
+            f2(avg(&|p| p.report.mix.fp_ratio() * 100.0)),
+        ]);
+    }
+    println!("{}", suite_table.render());
+}

@@ -1,0 +1,78 @@
+//! Figure 1: the retired-instruction breakdown (load / store / branch /
+//! integer / FP) of the 17 representative big data workloads, the 6 MPI
+//! implementations, and the comparison suites — plus the paper's headline
+//! aggregates (observation O1): branch ratio ≈ 18.7 %, integer ≈ 38 %, and
+//! data-movement share ≈ 92 %.
+
+use bdb_bench::{mean_of, profile_on_xeon, scale_from_args, suite_profiles};
+use bdb_wcrt::report::{pct, TextTable};
+use bdb_wcrt::WorkloadProfile;
+use bdb_workloads::catalog;
+
+fn mix_row(table: &mut TextTable, label: &str, p: &WorkloadProfile) {
+    let m = &p.report.mix;
+    table.row([
+        label.to_owned(),
+        pct(m.load_ratio()),
+        pct(m.store_ratio()),
+        pct(m.branch_ratio()),
+        pct(m.integer_ratio()),
+        pct(m.fp_ratio()),
+        pct(m.data_movement_ratio()),
+    ]);
+}
+
+fn main() {
+    let scale = scale_from_args();
+    let mut table = TextTable::new([
+        "workload",
+        "load",
+        "store",
+        "branch",
+        "integer",
+        "fp",
+        "data-move",
+    ]);
+
+    let reps = profile_on_xeon(&catalog::representatives(), scale);
+    for p in &reps {
+        mix_row(&mut table, &p.spec.id, p);
+    }
+    let mpi = profile_on_xeon(&catalog::mpi_workloads(), scale);
+    for p in &mpi {
+        mix_row(&mut table, &p.spec.id, p);
+    }
+    for (name, profiles) in suite_profiles(scale) {
+        let refs: Vec<&WorkloadProfile> = profiles.iter().collect();
+        let avg = |f: fn(&WorkloadProfile) -> f64| mean_of(&refs, f);
+        table.row([
+            format!("[{name}]"),
+            pct(avg(|p| p.report.mix.load_ratio())),
+            pct(avg(|p| p.report.mix.store_ratio())),
+            pct(avg(|p| p.report.mix.branch_ratio())),
+            pct(avg(|p| p.report.mix.integer_ratio())),
+            pct(avg(|p| p.report.mix.fp_ratio())),
+            pct(avg(|p| p.report.mix.data_movement_ratio())),
+        ]);
+    }
+    println!("Figure 1: Instruction breakdown");
+    println!("{}", table.render());
+
+    let refs: Vec<&WorkloadProfile> = reps.iter().collect();
+    let branch = mean_of(&refs, |p| p.report.mix.branch_ratio());
+    let integer = mean_of(&refs, |p| p.report.mix.integer_ratio());
+    let movement = mean_of(&refs, |p| p.report.mix.data_movement_ratio());
+    println!(
+        "big data averages: branch {} (paper 18.7%), integer {} (paper 38%),",
+        pct(branch),
+        pct(integer)
+    );
+    println!("data-movement share {} (paper ~92%)", pct(movement));
+
+    // Subclass averages the paper quotes in §5.1.
+    for (label, group) in bdb_bench::by_category(&reps) {
+        let b = mean_of(&group, |p| p.report.mix.branch_ratio());
+        let i = mean_of(&group, |p| p.report.mix.integer_ratio());
+        println!("  {label}: branch {} integer {}", pct(b), pct(i));
+    }
+}

@@ -1,0 +1,31 @@
+//! Figure 2: the integer-instruction breakdown of the big data workloads —
+//! integer address calculation vs floating-point address calculation vs
+//! other computation. The paper reports 64 % / 18 % / 18 %.
+
+use bdb_bench::{mean_of, profile_on_xeon, scale_from_args};
+use bdb_wcrt::report::{pct, TextTable};
+use bdb_wcrt::WorkloadProfile;
+use bdb_workloads::catalog;
+
+fn main() {
+    let scale = scale_from_args();
+    let reps = profile_on_xeon(&catalog::representatives(), scale);
+    let mut table = TextTable::new(["workload", "int addr", "fp addr", "other"]);
+    for p in &reps {
+        let (a, f, o) = p.report.mix.integer_breakdown();
+        table.row([p.spec.id.clone(), pct(a), pct(f), pct(o)]);
+    }
+    println!("Figure 2: Integer instruction breakdown");
+    println!("{}", table.render());
+    let refs: Vec<&WorkloadProfile> = reps.iter().collect();
+    let a = mean_of(&refs, |p| p.report.mix.integer_breakdown().0);
+    let f = mean_of(&refs, |p| p.report.mix.integer_breakdown().1);
+    let o = mean_of(&refs, |p| p.report.mix.integer_breakdown().2);
+    println!(
+        "averages: int-addr {} fp-addr {} other {}",
+        pct(a),
+        pct(f),
+        pct(o)
+    );
+    println!("paper:    int-addr 64.0% fp-addr 18.0% other 18.0%");
+}

@@ -1,0 +1,44 @@
+//! Figure 3: IPC of every workload on the simulated Xeon E5645.
+//!
+//! Paper observations: big data average ≈ 1.28 with significant
+//! disparities across subclasses (service lowest — H-Read 0.8 — and some
+//! interactive queries highest, up to 1.7); MPI implementations average
+//! ≈ 1.4 vs ≈ 1.16 for the managed stacks (§5.5).
+
+use bdb_bench::{
+    by_category, by_system_class, mean_of, profile_on_xeon, scale_from_args, suite_profiles,
+};
+use bdb_wcrt::report::{f2, TextTable};
+use bdb_wcrt::WorkloadProfile;
+use bdb_workloads::catalog;
+
+fn main() {
+    let scale = scale_from_args();
+    let reps = profile_on_xeon(&catalog::representatives(), scale);
+    let mpi = profile_on_xeon(&catalog::mpi_workloads(), scale);
+
+    let mut table = TextTable::new(["workload", "IPC"]);
+    for p in reps.iter().chain(&mpi) {
+        table.row([p.spec.id.clone(), f2(p.report.ipc())]);
+    }
+    for (name, profiles) in suite_profiles(scale) {
+        let refs: Vec<&WorkloadProfile> = profiles.iter().collect();
+        table.row([format!("[{name}]"), f2(mean_of(&refs, |p| p.report.ipc()))]);
+    }
+    println!("Figure 3: IPC on the simulated Xeon E5645");
+    println!("{}", table.render());
+
+    let rep_refs: Vec<&WorkloadProfile> = reps.iter().collect();
+    let mpi_refs: Vec<&WorkloadProfile> = mpi.iter().collect();
+    println!(
+        "big data average IPC {} (paper 1.28); MPI average {} (paper 1.4)",
+        f2(mean_of(&rep_refs, |p| p.report.ipc())),
+        f2(mean_of(&mpi_refs, |p| p.report.ipc())),
+    );
+    for (label, group) in by_category(&reps) {
+        println!("  {label}: {}", f2(mean_of(&group, |p| p.report.ipc())));
+    }
+    for (label, group) in by_system_class(&reps) {
+        println!("  {label}: {}", f2(mean_of(&group, |p| p.report.ipc())));
+    }
+}

@@ -1,0 +1,63 @@
+//! Figure 4: L1I / L2 / L3 misses per kilo-instruction for every workload.
+//!
+//! Paper observations: big data averages L1I 15, L2 11, L3 1.2; service
+//! workloads worst on the front end (H-Read 51); MPI implementations an
+//! order of magnitude lower L1I than their Hadoop/Spark twins (O4).
+
+use bdb_bench::{
+    by_category, by_system_class, mean_of, profile_on_xeon, scale_from_args, suite_profiles,
+};
+use bdb_wcrt::report::{f2, TextTable};
+use bdb_wcrt::WorkloadProfile;
+use bdb_workloads::catalog;
+
+fn main() {
+    let scale = scale_from_args();
+    let reps = profile_on_xeon(&catalog::representatives(), scale);
+    let mpi = profile_on_xeon(&catalog::mpi_workloads(), scale);
+
+    let mut table = TextTable::new(["workload", "L1I MPKI", "L2 MPKI", "L3 MPKI"]);
+    for p in reps.iter().chain(&mpi) {
+        table.row([
+            p.spec.id.clone(),
+            f2(p.report.l1i_mpki()),
+            f2(p.report.l2_mpki()),
+            f2(p.report.l3_mpki()),
+        ]);
+    }
+    for (name, profiles) in suite_profiles(scale) {
+        let refs: Vec<&WorkloadProfile> = profiles.iter().collect();
+        table.row([
+            format!("[{name}]"),
+            f2(mean_of(&refs, |p| p.report.l1i_mpki())),
+            f2(mean_of(&refs, |p| p.report.l2_mpki())),
+            f2(mean_of(&refs, |p| p.report.l3_mpki())),
+        ]);
+    }
+    println!("Figure 4: Cache behaviour (misses per kilo-instruction)");
+    println!("{}", table.render());
+
+    let refs: Vec<&WorkloadProfile> = reps.iter().collect();
+    println!(
+        "big data averages: L1I {} (paper 15), L2 {} (paper 11), L3 {} (paper 1.2)",
+        f2(mean_of(&refs, |p| p.report.l1i_mpki())),
+        f2(mean_of(&refs, |p| p.report.l2_mpki())),
+        f2(mean_of(&refs, |p| p.report.l3_mpki())),
+    );
+    for (label, group) in by_category(&reps) {
+        println!(
+            "  {label}: L1I {} L2 {} L3 {}",
+            f2(mean_of(&group, |p| p.report.l1i_mpki())),
+            f2(mean_of(&group, |p| p.report.l2_mpki())),
+            f2(mean_of(&group, |p| p.report.l3_mpki())),
+        );
+    }
+    for (label, group) in by_system_class(&reps) {
+        println!(
+            "  {label}: L1I {} L2 {} L3 {}",
+            f2(mean_of(&group, |p| p.report.l1i_mpki())),
+            f2(mean_of(&group, |p| p.report.l2_mpki())),
+            f2(mean_of(&group, |p| p.report.l3_mpki())),
+        );
+    }
+}

@@ -1,0 +1,23 @@
+//! Figure 6: instruction-cache miss ratio versus L1 capacity for the
+//! Hadoop workloads and PARSEC (paper §5.4).
+//!
+//! The paper reads the instruction footprint off this curve: PARSEC
+//! flattens around 128 KiB, the Hadoop workloads only around 1024 KiB.
+
+use bdb_bench::{
+    group_sweep, hadoop_sweep_defs, parsec_sweep_defs, render_sweep_table, scale_from_args,
+};
+
+fn main() {
+    let scale = scale_from_args();
+    let hadoop = group_sweep("Hadoop", &hadoop_sweep_defs(), scale, |r| &r.instruction);
+    let parsec = group_sweep("PARSEC", &parsec_sweep_defs(), scale, |r| &r.instruction);
+    println!("Figure 6: Instruction cache miss ratio versus cache size");
+    println!("{}", render_sweep_table(&[&hadoop, &parsec]));
+    println!(
+        "estimated instruction footprint: Hadoop ~{} KiB, PARSEC ~{} KiB",
+        hadoop.footprint_kib(0.0008).unwrap_or(0),
+        parsec.footprint_kib(0.0008).unwrap_or(0),
+    );
+    println!("paper: Hadoop ~1024 KiB, PARSEC ~128 KiB");
+}

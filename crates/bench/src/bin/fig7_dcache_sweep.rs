@@ -1,0 +1,30 @@
+//! Figure 7: data-cache miss ratio versus L1 capacity for the Hadoop
+//! workloads and PARSEC.
+//!
+//! The paper's observation: unlike instructions, the *data* curves of
+//! Hadoop and PARSEC are close once the cache exceeds 64 KiB — big data
+//! workloads do not have a larger data working set per core.
+
+use bdb_bench::{
+    group_sweep, hadoop_sweep_defs, parsec_sweep_defs, render_sweep_table, scale_from_args,
+};
+
+fn main() {
+    let scale = scale_from_args();
+    let hadoop = group_sweep("Hadoop", &hadoop_sweep_defs(), scale, |r| &r.data);
+    let parsec = group_sweep("PARSEC", &parsec_sweep_defs(), scale, |r| &r.data);
+    println!("Figure 7: Data cache miss ratio versus cache size");
+    println!("{}", render_sweep_table(&[&hadoop, &parsec]));
+    let diverged = hadoop
+        .points
+        .iter()
+        .zip(&parsec.points)
+        .filter(|((kib, _), _)| *kib >= 64)
+        .map(|((_, h), (_, p))| (h - p).abs())
+        .fold(0.0f64, f64::max);
+    println!(
+        "max |Hadoop - PARSEC| at >= 64 KiB: {:.4}%",
+        diverged * 100.0
+    );
+    println!("paper: the two data curves are close after 64 KB");
+}

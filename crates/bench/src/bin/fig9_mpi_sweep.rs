@@ -1,0 +1,26 @@
+//! Figure 9: instruction-cache miss ratio versus capacity with the MPI
+//! implementations added (paper §5.5).
+//!
+//! The paper's observation: the MPI curve tracks PARSEC, far below Hadoop —
+//! thin stacks have traditional-benchmark instruction footprints.
+
+use bdb_bench::{
+    group_sweep, hadoop_sweep_defs, mpi_sweep_defs, parsec_sweep_defs, render_sweep_table,
+    scale_from_args,
+};
+
+fn main() {
+    let scale = scale_from_args();
+    let hadoop = group_sweep("Hadoop", &hadoop_sweep_defs(), scale, |r| &r.instruction);
+    let parsec = group_sweep("PARSEC", &parsec_sweep_defs(), scale, |r| &r.instruction);
+    let mpi = group_sweep("MPI", &mpi_sweep_defs(), scale, |r| &r.instruction);
+    println!("Figure 9: Instruction cache miss ratio versus cache size (with MPI)");
+    println!("{}", render_sweep_table(&[&hadoop, &parsec, &mpi]));
+    println!(
+        "footprints: Hadoop ~{} KiB, PARSEC ~{} KiB, MPI ~{} KiB",
+        hadoop.footprint_kib(0.0008).unwrap_or(0),
+        parsec.footprint_kib(0.0008).unwrap_or(0),
+        mpi.footprint_kib(0.0008).unwrap_or(0),
+    );
+    println!("paper: MPI tracks PARSEC; both far below Hadoop");
+}

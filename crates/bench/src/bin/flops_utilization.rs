@@ -1,0 +1,50 @@
+//! The paper's §5.1 implication, quantified: "the E5645 processors can
+//! achieve 57.6 GFLOPS in theory, but the average floating point
+//! performance of big data workloads is about 0.1 GFLOPS … incurring a
+//! serious waste of floating point capacity and hence die size."
+//!
+//! Achieved GFLOPS = fp-ops / cycles x clock (per core, single-threaded).
+
+use bdb_bench::{profile_on_xeon, scale_from_args, suite_profiles};
+use bdb_wcrt::report::TextTable;
+use bdb_workloads::catalog;
+
+const CLOCK_GHZ: f64 = 2.4;
+/// Theoretical per-socket peak the paper quotes for the E5645.
+const PEAK_GFLOPS: f64 = 57.6;
+
+fn main() {
+    let scale = scale_from_args();
+    let mut table = TextTable::new(["workload", "achieved GFLOPS", "% of 57.6 peak"]);
+    let mut bigdata_sum = 0.0;
+    let reps = profile_on_xeon(&catalog::representatives(), scale);
+    for p in &reps {
+        let flops = p.report.mix.fp as f64 / p.report.cycles * CLOCK_GHZ;
+        bigdata_sum += flops;
+        table.row([
+            p.spec.id.clone(),
+            format!("{flops:.3}"),
+            format!("{:.2}%", flops / PEAK_GFLOPS * 100.0),
+        ]);
+    }
+    for (name, profiles) in suite_profiles(scale) {
+        let flops: f64 = profiles
+            .iter()
+            .map(|p| p.report.mix.fp as f64 / p.report.cycles * CLOCK_GHZ)
+            .sum::<f64>()
+            / profiles.len() as f64;
+        table.row([
+            format!("[{name}]"),
+            format!("{flops:.3}"),
+            format!("{:.2}%", flops / PEAK_GFLOPS * 100.0),
+        ]);
+    }
+    println!("Floating-point capacity utilization (single core at {CLOCK_GHZ} GHz)");
+    println!("{}", table.render());
+    let avg = bigdata_sum / reps.len() as f64;
+    println!(
+        "big data average: {avg:.3} GFLOPS = {:.2}% of the paper's 57.6 GFLOPS peak",
+        avg / PEAK_GFLOPS * 100.0
+    );
+    println!("paper: ~0.1 GFLOPS achieved — floating-point units are essentially idle");
+}

@@ -1,0 +1,49 @@
+//! Extension experiment: where does the paper's k = 17 come from? Sweep K
+//! over the full 77-workload catalog's PCA space and report the inertia
+//! elbow and BIC minimum.
+
+use bdb_bench::{profile_on_xeon, scale_from_args};
+use bdb_wcrt::kselect::{bic, elbow, inertia_sweep};
+use bdb_wcrt::pca::Pca;
+use bdb_wcrt::report::TextTable;
+use bdb_wcrt::stats::zscore;
+use bdb_workloads::catalog;
+
+fn main() {
+    let scale = scale_from_args();
+    eprintln!("profiling the full catalog...");
+    let profiles = profile_on_xeon(&catalog::full_catalog(), scale);
+    let mut matrix: Vec<Vec<f64>> = profiles
+        .iter()
+        .map(|p| p.metrics.values().to_vec())
+        .collect();
+    zscore(&mut matrix);
+    let pca = Pca::fit(&matrix, 0.9);
+    let projected = pca.transform(&matrix);
+
+    let k_max = 30;
+    let inertias = inertia_sweep(&projected, k_max, 2015);
+    let mut table = TextTable::new(["k", "inertia", "BIC"]);
+    for (i, inertia) in inertias.iter().enumerate() {
+        let k = i + 1;
+        table.row([
+            k.to_string(),
+            format!("{inertia:.1}"),
+            format!("{:.0}", bic(&projected, k, 2015)),
+        ]);
+    }
+    println!(
+        "K selection over the 77-workload catalog (PCA dims = {})",
+        pca.dims()
+    );
+    println!("{}", table.render());
+    let knee = elbow(&inertias);
+    let best_bic = (1..=k_max)
+        .min_by(|&a, &b| {
+            bic(&projected, a, 2015)
+                .partial_cmp(&bic(&projected, b, 2015))
+                .expect("finite")
+        })
+        .expect("k_max >= 1");
+    println!("inertia elbow at k = {knee}; BIC minimum at k = {best_bic}; paper uses k = 17");
+}

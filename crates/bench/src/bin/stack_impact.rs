@@ -1,0 +1,70 @@
+//! §5.5 — the software-stack study: the same six algorithms implemented on
+//! MPI, Hadoop, and Spark, side by side.
+//!
+//! Paper headline (observation O4): the L1I MPKI of WordCount is 2 on MPI,
+//! 7 on Hadoop, and 17 on Spark — an order of magnitude between thin and
+//! deep stacks — with matching IPC (1.8 / 1.1 / 0.9) and L2/L3 gaps.
+
+use bdb_bench::{profile_on_xeon, scale_from_args};
+use bdb_wcrt::report::{f2, TextTable};
+use bdb_workloads::catalog;
+
+fn main() {
+    let scale = scale_from_args();
+    let ids = [
+        ("WordCount", ["M-WordCount", "H-WordCount", "S-WordCount"]),
+        ("Sort", ["M-Sort", "H-Sort", "S-Sort"]),
+        ("Grep", ["M-Grep", "H-Grep", "S-Grep"]),
+        ("Kmeans", ["M-Kmeans", "H-Kmeans", "S-Kmeans"]),
+        ("PageRank", ["M-PageRank", "H-PageRank", "S-PageRank"]),
+        (
+            "NaiveBayes",
+            ["M-NaiveBayes", "H-NaiveBayes", "S-NaiveBayes"],
+        ),
+    ];
+    let mut defs = catalog::full_catalog();
+    defs.extend(catalog::mpi_workloads());
+
+    let mut table = TextTable::new([
+        "algorithm",
+        "stack",
+        "IPC",
+        "L1I MPKI",
+        "L2 MPKI",
+        "L3 MPKI",
+    ]);
+    let mut sums = [(0.0f64, 0.0f64); 3]; // (ipc, l1i) per stack column
+    for (alg, variants) in ids {
+        for (col, id) in variants.iter().enumerate() {
+            let def = defs
+                .iter()
+                .find(|w| w.spec.id == *id)
+                .unwrap_or_else(|| panic!("{id}"));
+            let p = profile_on_xeon(std::slice::from_ref(def), scale).remove(0);
+            sums[col].0 += p.report.ipc();
+            sums[col].1 += p.report.l1i_mpki();
+            table.row([
+                alg.to_owned(),
+                def.spec.stack.to_string(),
+                f2(p.report.ipc()),
+                f2(p.report.l1i_mpki()),
+                f2(p.report.l2_mpki()),
+                f2(p.report.l3_mpki()),
+            ]);
+        }
+    }
+    println!("Software-stack impact (paper section 5.5)");
+    println!("{}", table.render());
+    println!(
+        "average IPC: MPI {} Hadoop {} Spark {} (paper: MPI 1.4 vs others 1.16)",
+        f2(sums[0].0 / 6.0),
+        f2(sums[1].0 / 6.0),
+        f2(sums[2].0 / 6.0)
+    );
+    println!(
+        "average L1I MPKI: MPI {} Hadoop {} Spark {} (paper: MPI 3.4 vs Hadoop/Spark 12.6)",
+        f2(sums[0].1 / 6.0),
+        f2(sums[1].1 / 6.0),
+        f2(sums[2].1 / 6.0)
+    );
+}

@@ -1,0 +1,25 @@
+//! Table 1: the seven source data sets and their generators.
+
+use bdb_datagen::DataSetCatalog;
+use bdb_wcrt::report::TextTable;
+
+fn main() {
+    let mut table = TextTable::new([
+        "no.",
+        "data set",
+        "original description",
+        "generator",
+        "default records",
+    ]);
+    for (i, d) in DataSetCatalog::new().iter().enumerate() {
+        table.row([
+            (i + 1).to_string(),
+            d.id.to_string(),
+            d.original.to_owned(),
+            d.generator.to_owned(),
+            d.default_records.to_string(),
+        ]);
+    }
+    println!("Table 1: Data sets and generation tools");
+    println!("{}", table.render());
+}

@@ -1,0 +1,70 @@
+//! Table 2: the 17 representative workloads with their measured data
+//! behaviours (paper §3.2.2 rules) and system behaviours (§3.2.1 rules).
+//!
+//! Unlike the paper's hand-assembled table, every cell here is *measured*
+//! from the run: byte volumes from the stacks, CPU/I-O classes from the
+//! node model.
+
+use bdb_bench::{profile_on_xeon, scale_from_args};
+use bdb_wcrt::report::TextTable;
+use bdb_workloads::catalog;
+
+/// The paper's Table 2 system-behaviour column, for comparison.
+fn paper_class(id: &str) -> &'static str {
+    match id {
+        "H-Read" | "H-Difference" | "I-SelectQuery" | "S-WordCount" | "S-Project" | "S-OrderBy"
+        | "S-Grep" => "IO-Intensive",
+        "H-Grep" | "S-Kmeans" | "S-PageRank" | "H-WordCount" | "H-NaiveBayes" => "CPU-Intensive",
+        _ => "Hybrid",
+    }
+}
+
+fn main() {
+    let scale = scale_from_args();
+    let reps = profile_on_xeon(&catalog::representatives(), scale);
+    let weights: std::collections::HashMap<&str, usize> =
+        catalog::representative_weights().into_iter().collect();
+    let mut table = TextTable::new([
+        "id",
+        "workload",
+        "represents",
+        "category",
+        "data behaviour",
+        "system behaviour",
+        "paper says",
+    ]);
+    let mut described = Vec::new();
+    let mut matches = 0;
+    for (i, p) in reps.iter().enumerate() {
+        let measured = p.system_class.to_string();
+        let expected = paper_class(&p.spec.id);
+        if measured == expected {
+            matches += 1;
+        }
+        table.row([
+            (i + 1).to_string(),
+            p.spec.id.clone(),
+            format!(
+                "({})",
+                weights.get(p.spec.id.as_str()).copied().unwrap_or(1)
+            ),
+            p.spec.category.to_string(),
+            p.data_behavior.to_string(),
+            measured,
+            expected.to_owned(),
+        ]);
+        described.push(format!(
+            "{:2}. {:18} {}",
+            i + 1,
+            p.spec.id,
+            p.spec.kernel.description()
+        ));
+    }
+    println!("Table 2: The representative big data workloads");
+    println!("{}", table.render());
+    println!("system-behaviour agreement with the paper: {matches}/17");
+    println!("\nworkload descriptions:");
+    for line in described {
+        println!("  {line}");
+    }
+}

@@ -1,0 +1,45 @@
+//! Table 3: node configuration of the simulated measurement platform.
+
+use bdb_sim::MachineConfig;
+use bdb_wcrt::report::TextTable;
+
+fn main() {
+    let m = MachineConfig::xeon_e5645();
+    let mut table = TextTable::new(["component", "configuration"]);
+    let kib = |b: u64| format!("{} KB", b / 1024);
+    table.row(["CPU type".into(), m.name.clone()]);
+    table.row([
+        "Cores".to_owned(),
+        "6 cores @ 2.40 GHz (node model)".to_owned(),
+    ]);
+    table.row([
+        "L1 DCache".into(),
+        format!("{} {}-way", kib(m.l1d.size_bytes), m.l1d.assoc),
+    ]);
+    table.row([
+        "L1 ICache".into(),
+        format!("{} {}-way", kib(m.l1i.size_bytes), m.l1i.assoc),
+    ]);
+    table.row([
+        "L2 Cache".into(),
+        format!("{} {}-way", kib(m.l2.size_bytes), m.l2.assoc),
+    ]);
+    let l3 = m.l3.expect("Xeon has an L3");
+    table.row([
+        "L3 Cache".into(),
+        format!("{} MB {}-way", l3.size_bytes >> 20, l3.assoc),
+    ]);
+    table.row([
+        "ITLB/DTLB/STLB".into(),
+        format!(
+            "{}/{}/{} entries",
+            m.itlb.entries, m.dtlb.entries, m.stlb.entries
+        ),
+    ]);
+    table.row([
+        "Branch unit".into(),
+        format!("{:?} (8192-entry BTB, loop counter)", m.predictor),
+    ]);
+    println!("Table 3: Node configuration details of Xeon E5645");
+    println!("{}", table.render());
+}

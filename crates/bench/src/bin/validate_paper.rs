@@ -1,0 +1,172 @@
+//! One-shot validation harness: checks every headline *shape claim* of the
+//! paper against a fresh measurement run and prints PASS/FAIL per claim.
+//! This is the user-facing version of `tests/paper_claims.rs`, runnable at
+//! any scale.
+
+use bdb_bench::{mean_of, profile_on_xeon, scale_from_args};
+use bdb_node::NodeConfig;
+use bdb_sim::MachineConfig;
+use bdb_wcrt::profile::profile_all;
+use bdb_wcrt::WorkloadProfile;
+use bdb_workloads::{catalog, suites::Suite};
+
+struct Check {
+    name: &'static str,
+    paper: String,
+    measured: String,
+    pass: bool,
+}
+
+fn main() {
+    let scale = scale_from_args();
+    let mut checks: Vec<Check> = Vec::new();
+
+    let reps = profile_on_xeon(&catalog::representatives(), scale);
+    let mpi = profile_on_xeon(&catalog::mpi_workloads(), scale);
+    let rep_refs: Vec<&WorkloadProfile> = reps.iter().collect();
+    let mpi_refs: Vec<&WorkloadProfile> = mpi.iter().collect();
+    let by_id = |id: &str| {
+        reps.iter()
+            .find(|p| p.spec.id == id)
+            .expect("representative")
+    };
+    let mpi_by_id = |id: &str| mpi.iter().find(|p| p.spec.id == id).expect("MPI workload");
+
+    // O1: data movement dominated, branch-heavy.
+    let movement = mean_of(&rep_refs, |p| p.report.mix.data_movement_ratio());
+    checks.push(Check {
+        name: "O1: data-movement share",
+        paper: "~92%".into(),
+        measured: format!("{:.1}%", movement * 100.0),
+        pass: movement > 0.75,
+    });
+    let branch = mean_of(&rep_refs, |p| p.report.mix.branch_ratio());
+    let hpcc = profile_on_xeon(&catalog::suite_workloads(Suite::Hpcc), scale);
+    let hpcc_branch = mean_of(&hpcc.iter().collect::<Vec<_>>(), |p| {
+        p.report.mix.branch_ratio()
+    });
+    checks.push(Check {
+        name: "O1: big data branchier than HPCC",
+        paper: "18.7% vs ~10%".into(),
+        measured: format!("{:.1}% vs {:.1}%", branch * 100.0, hpcc_branch * 100.0),
+        pass: branch > hpcc_branch,
+    });
+
+    // O2: ILP disparities; service lowest.
+    let service_ipc = by_id("H-Read").report.ipc();
+    let min_other = reps
+        .iter()
+        .filter(|p| p.spec.id != "H-Read")
+        .map(|p| p.report.ipc())
+        .fold(f64::INFINITY, f64::min);
+    let max_ipc = reps.iter().map(|p| p.report.ipc()).fold(0.0f64, f64::max);
+    checks.push(Check {
+        name: "O2: service IPC lowest, wide disparities",
+        paper: "0.8 lowest .. 1.7 highest".into(),
+        measured: format!("{service_ipc:.2} lowest? (others >= {min_other:.2}), max {max_ipc:.2}"),
+        pass: service_ipc <= min_other && max_ipc / service_ipc.max(1e-9) > 2.0,
+    });
+
+    // O3: front-end stalls; service worst L1I; Hadoop footprint >> PARSEC.
+    let service_l1i = by_id("H-Read").report.l1i_mpki();
+    let others_max = reps
+        .iter()
+        .filter(|p| p.spec.id != "H-Read")
+        .map(|p| p.report.l1i_mpki())
+        .fold(0.0f64, f64::max);
+    checks.push(Check {
+        name: "O3: service worst L1I MPKI",
+        paper: "51 (next ~17)".into(),
+        measured: format!("{service_l1i:.1} vs next {others_max:.1}"),
+        pass: service_l1i > others_max,
+    });
+
+    // O4: stack ladder.
+    let (m, h, s) = (
+        mpi_by_id("M-WordCount").report.l1i_mpki(),
+        by_id("H-WordCount").report.l1i_mpki(),
+        by_id("S-WordCount").report.l1i_mpki(),
+    );
+    checks.push(Check {
+        name: "O4: WordCount L1I ladder MPI<Hadoop<Spark",
+        paper: "2 / 7 / 17".into(),
+        measured: format!("{m:.1} / {h:.1} / {s:.1}"),
+        pass: m < h && h < s && s / m.max(1e-9) > 8.0,
+    });
+    let mpi_ipc = mean_of(&mpi_refs, |p| p.report.ipc());
+    let managed_ipc = mean_of(&rep_refs, |p| p.report.ipc());
+    checks.push(Check {
+        name: "O4: MPI IPC above managed stacks",
+        paper: "1.4 vs 1.16".into(),
+        measured: format!("{mpi_ipc:.2} vs {managed_ipc:.2}"),
+        pass: mpi_ipc > managed_ipc,
+    });
+
+    // Table 4: predictor gap.
+    let sample: Vec<_> = catalog::representatives().into_iter().take(6).collect();
+    let e = profile_all(
+        &sample,
+        scale,
+        &MachineConfig::xeon_e5645(),
+        &NodeConfig::default(),
+    );
+    let d = profile_all(
+        &sample,
+        scale,
+        &MachineConfig::atom_d510(),
+        &NodeConfig::default(),
+    );
+    let e_avg = mean_of(&e.iter().collect::<Vec<_>>(), |p| {
+        p.report.branch.mispredict_ratio()
+    });
+    let d_avg = mean_of(&d.iter().collect::<Vec<_>>(), |p| {
+        p.report.branch.mispredict_ratio()
+    });
+    checks.push(Check {
+        name: "Table 4: D510 mispredicts >> E5645",
+        paper: "7.8% vs 2.8% (2.8x)".into(),
+        measured: format!(
+            "{:.1}% vs {:.1}% ({:.1}x)",
+            d_avg * 100.0,
+            e_avg * 100.0,
+            d_avg / e_avg.max(1e-9)
+        ),
+        pass: d_avg > 1.5 * e_avg,
+    });
+
+    // FP waste implication.
+    let gflops = mean_of(&rep_refs, |p| {
+        p.report.mix.fp as f64 / p.report.cycles * 2.4
+    });
+    checks.push(Check {
+        name: "5.1 implication: FP units idle",
+        paper: "~0.1 of 57.6 GFLOPS".into(),
+        measured: format!("{gflops:.3} GFLOPS"),
+        pass: gflops < 2.0,
+    });
+
+    // Report.
+    let mut failed = 0;
+    println!(
+        "paper-claim validation at scale factor {}\n",
+        scale.factor()
+    );
+    for c in &checks {
+        let status = if c.pass { "PASS" } else { "FAIL" };
+        if !c.pass {
+            failed += 1;
+        }
+        println!(
+            "[{status}] {:44} paper: {:24} measured: {}",
+            c.name, c.paper, c.measured
+        );
+    }
+    println!(
+        "\n{} of {} claims hold",
+        checks.len() - failed,
+        checks.len()
+    );
+    if failed > 0 {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,188 @@
+//! Shared harness for the table/figure regeneration binaries.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the
+//! paper; this library holds the common plumbing: scale parsing, profile
+//! collection on the reference machine, and grouping/averaging helpers.
+
+use bdb_node::NodeConfig;
+use bdb_sim::MachineConfig;
+use bdb_wcrt::profile::{profile_all, WorkloadProfile};
+use bdb_wcrt::SystemClass;
+use bdb_workloads::{Category, Scale, WorkloadDef};
+
+/// Parses `--scale tiny|small|paper|<factor>` from argv (default: small).
+///
+/// The figure binaries accept this so CI can smoke-test them quickly while
+/// `--scale paper` regenerates the reported numbers.
+pub fn scale_from_args() -> Scale {
+    let args: Vec<String> = std::env::args().collect();
+    let mut scale = Scale::small();
+    for pair in args.windows(2) {
+        if pair[0] == "--scale" {
+            scale = match pair[1].as_str() {
+                "tiny" => Scale::tiny(),
+                "small" => Scale::small(),
+                "paper" => Scale::paper(),
+                other => Scale::custom(
+                    other
+                        .parse()
+                        .unwrap_or_else(|_| panic!("bad scale: {other}")),
+                ),
+            };
+        }
+    }
+    scale
+}
+
+/// Profiles workloads on the reference platform (Xeon E5645 + default node).
+pub fn profile_on_xeon(defs: &[WorkloadDef], scale: Scale) -> Vec<WorkloadProfile> {
+    profile_all(
+        defs,
+        scale,
+        &MachineConfig::xeon_e5645(),
+        &NodeConfig::default(),
+    )
+}
+
+/// Mean of `f` over the profiles (0 for an empty slice).
+pub fn mean_of(profiles: &[&WorkloadProfile], f: impl Fn(&WorkloadProfile) -> f64) -> f64 {
+    if profiles.is_empty() {
+        return 0.0;
+    }
+    profiles.iter().map(|p| f(p)).sum::<f64>() / profiles.len() as f64
+}
+
+/// Splits profiles by application category (paper's three subclasses).
+pub fn by_category(profiles: &[WorkloadProfile]) -> Vec<(Category, Vec<&WorkloadProfile>)> {
+    [
+        Category::Service,
+        Category::DataAnalysis,
+        Category::InteractiveAnalysis,
+    ]
+    .into_iter()
+    .map(|c| {
+        (
+            c,
+            profiles.iter().filter(|p| p.spec.category == c).collect(),
+        )
+    })
+    .collect()
+}
+
+/// Splits profiles by system-behaviour class (paper's other subclassing).
+pub fn by_system_class(profiles: &[WorkloadProfile]) -> Vec<(SystemClass, Vec<&WorkloadProfile>)> {
+    [
+        SystemClass::CpuIntensive,
+        SystemClass::IoIntensive,
+        SystemClass::Hybrid,
+    ]
+    .into_iter()
+    .map(|c| (c, profiles.iter().filter(|p| p.system_class == c).collect()))
+    .collect()
+}
+
+/// Profiles every kernel of a comparison suite and returns
+/// `(suite label, per-kernel profiles)`.
+pub fn suite_profiles(scale: Scale) -> Vec<(String, Vec<WorkloadProfile>)> {
+    bdb_workloads::catalog::ALL_SUITES
+        .iter()
+        .map(|&suite| {
+            let defs = bdb_workloads::catalog::suite_workloads(suite);
+            (suite.to_string(), profile_on_xeon(&defs, scale))
+        })
+        .collect()
+}
+
+/// Averages per-workload capacity-sweep curves point-wise over a workload
+/// group (how Figures 6–9 aggregate "Hadoop-workloads" etc.).
+pub fn group_sweep(
+    label: &str,
+    defs: &[WorkloadDef],
+    scale: Scale,
+    pick: fn(&bdb_sim::SweepResult) -> &bdb_sim::MissRatioCurve,
+) -> bdb_sim::MissRatioCurve {
+    use bdb_sim::PAPER_SWEEP_KIB;
+    let mut acc = vec![0.0f64; PAPER_SWEEP_KIB.len()];
+    for def in defs {
+        let result = bdb_sim::sweep(&def.spec.id, &PAPER_SWEEP_KIB, |machine| {
+            let _ = def.run(machine, scale);
+        });
+        let curve = pick(&result);
+        for (a, (_, r)) in acc.iter_mut().zip(&curve.points) {
+            *a += r / defs.len() as f64;
+        }
+    }
+    bdb_sim::MissRatioCurve {
+        label: label.to_owned(),
+        metric: bdb_sim::SweepMetric::Instruction,
+        points: PAPER_SWEEP_KIB.iter().copied().zip(acc).collect(),
+    }
+}
+
+/// The Hadoop workloads used in the paper's §5.4 locality case study.
+pub fn hadoop_sweep_defs() -> Vec<WorkloadDef> {
+    bdb_workloads::catalog::full_catalog()
+        .into_iter()
+        .filter(|w| {
+            matches!(w.spec.stack, bdb_stacks::StackKind::Hadoop)
+                && ["H-WordCount", "H-Grep", "H-Sort", "H-NaiveBayes"].contains(&w.spec.id.as_str())
+        })
+        .collect()
+}
+
+/// The PARSEC comparison kernels used by the sweep figures: the paper's
+/// MARSS runs use `simsmall` inputs, whose working sets are modest, so the
+/// sweep uses the kernels with simsmall-like footprints (blackscholes,
+/// bodytrack, streamcluster, swaptions) rather than canneal's deliberately
+/// huge random set.
+pub fn parsec_sweep_defs() -> Vec<WorkloadDef> {
+    let all = bdb_workloads::catalog::suite_workloads(bdb_workloads::suites::Suite::Parsec);
+    [0usize, 1, 5, 6].iter().map(|&i| all[i].clone()).collect()
+}
+
+/// The six MPI control workloads (Figure 9's third curve).
+pub fn mpi_sweep_defs() -> Vec<WorkloadDef> {
+    bdb_workloads::catalog::mpi_workloads()
+        .into_iter()
+        .filter(|w| {
+            ["M-WordCount", "M-Grep", "M-Sort", "M-NaiveBayes"].contains(&w.spec.id.as_str())
+        })
+        .collect()
+}
+
+/// Renders a sweep-figure table with one column per curve.
+pub fn render_sweep_table(curves: &[&bdb_sim::MissRatioCurve]) -> String {
+    let mut headers = vec!["cache KiB".to_owned()];
+    headers.extend(curves.iter().map(|c| format!("{} miss%", c.label)));
+    let mut table = bdb_wcrt::report::TextTable::new(headers);
+    for (i, &kib) in bdb_sim::PAPER_SWEEP_KIB.iter().enumerate() {
+        let mut row = vec![kib.to_string()];
+        row.extend(
+            curves
+                .iter()
+                .map(|c| format!("{:.4}", c.points[i].1 * 100.0)),
+        );
+        table.row(row);
+    }
+    table.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bdb_workloads::catalog;
+
+    #[test]
+    fn category_split_covers_all_profiles() {
+        let reps: Vec<WorkloadDef> = catalog::representatives().into_iter().take(3).collect();
+        let profiles = profile_on_xeon(&reps, Scale::tiny());
+        let split = by_category(&profiles);
+        let total: usize = split.iter().map(|(_, v)| v.len()).sum();
+        assert_eq!(total, profiles.len());
+    }
+
+    #[test]
+    fn mean_of_empty_is_zero() {
+        assert_eq!(mean_of(&[], |_| 1.0), 0.0);
+    }
+}

@@ -1,0 +1,40 @@
+//! Seeded synthetic data generators — the reproduction's analog of BDGS
+//! (Big Data Generator Suite) shipped with BigDataBench.
+//!
+//! The paper's seven source data sets (Table 1) are replaced by scalable
+//! synthetic equivalents that preserve the distributional properties that
+//! matter micro-architecturally:
+//!
+//! * [`text`] — Zipf-distributed word streams standing in for the Wikipedia
+//!   entries and Amazon movie reviews corpora,
+//! * [`graph`] — power-law directed graphs standing in for the Google web
+//!   graph and the Facebook social network,
+//! * [`table`] — relational rows standing in for the e-commerce transaction
+//!   tables and the ProfSearch résumé set,
+//! * [`tpcds`] — a miniature star schema standing in for the TPC-DS web
+//!   tables used by the three TPC-DS queries.
+//!
+//! Every generator is driven by an explicit `u64` seed and is fully
+//! deterministic: the same seed always produces byte-identical data, so every
+//! table in the reproduction is replayable.
+//!
+//! # Examples
+//!
+//! ```
+//! use bdb_datagen::text::{TextGen, TextGenConfig};
+//!
+//! let corpus = TextGen::new(TextGenConfig::default(), 42).generate(100);
+//! assert_eq!(corpus.docs.len(), 100);
+//! assert!(corpus.total_words() > 0);
+//! ```
+
+pub mod dataset;
+pub mod graph;
+pub mod relational;
+pub mod table;
+pub mod text;
+pub mod tpcds;
+pub mod zipf;
+
+pub use dataset::{DataSetCatalog, DataSetDescriptor, DataSetId};
+pub use relational::{Field, FieldKind, Row, Schema, Table};

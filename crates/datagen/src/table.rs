@@ -1,0 +1,260 @@
+//! Relational table generators — the stand-ins for the e-commerce
+//! transaction tables (Table 1 rows 5) and the ProfSearch résumé set
+//! (Table 1 row 6).
+
+use crate::relational::{Field, FieldKind, Row, Schema, Table};
+use crate::zipf::Zipf;
+use rand::{Rng, SeedableRng};
+
+/// Generates the e-commerce `orders` table.
+///
+/// Mirrors the paper's "Table 1: 4 columns" order table: order id, buyer id,
+/// date, and total amount. Buyer popularity is Zipf-skewed.
+///
+/// # Examples
+///
+/// ```
+/// let t = bdb_datagen::table::ecommerce_orders(100, 42);
+/// assert_eq!(t.len(), 100);
+/// assert_eq!(t.schema().arity(), 4);
+/// ```
+pub fn ecommerce_orders(n_rows: usize, seed: u64) -> Table {
+    let schema = Schema::new([
+        ("order_id", FieldKind::I64),
+        ("buyer_id", FieldKind::I64),
+        ("date", FieldKind::I64),
+        ("amount", FieldKind::F64),
+    ]);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let buyers = Zipf::new(4_096.max(n_rows / 8).max(1), 0.9);
+    let rows = (0..n_rows)
+        .map(|i| {
+            vec![
+                Field::I64(i as i64),
+                Field::I64(buyers.sample(&mut rng) as i64),
+                Field::I64(20_130_101 + rng.gen_range(0..365)),
+                Field::F64((rng.gen_range(100..1_000_000) as f64) / 100.0),
+            ]
+        })
+        .collect();
+    Table::from_rows(schema, rows)
+}
+
+/// Generates the e-commerce `order_items` table.
+///
+/// Mirrors the paper's "Table 2: 6 columns" item table: item id, order id,
+/// goods id, quantity, price, and category. Roughly `items_per_order` items
+/// reference each order in `orders`.
+///
+/// # Panics
+///
+/// Panics if `orders` is empty or `items_per_order == 0`.
+pub fn ecommerce_items(orders: &Table, items_per_order: usize, seed: u64) -> Table {
+    assert!(!orders.is_empty(), "orders table must be non-empty");
+    assert!(items_per_order > 0, "need at least one item per order");
+    let schema = Schema::new([
+        ("item_id", FieldKind::I64),
+        ("order_id", FieldKind::I64),
+        ("goods_id", FieldKind::I64),
+        ("quantity", FieldKind::I64),
+        ("price", FieldKind::F64),
+        ("category", FieldKind::Str),
+    ]);
+    const CATEGORIES: [&str; 8] = [
+        "books", "media", "apparel", "garden", "toys", "sports", "office", "grocery",
+    ];
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let goods = Zipf::new(2_048, 1.0);
+    let mut rows = Vec::new();
+    let mut item_id = 0i64;
+    for order in orders.rows() {
+        let order_id = order[0].as_i64().expect("order_id is i64");
+        let n = 1 + rng.gen_range(0..2 * items_per_order);
+        for _ in 0..n {
+            rows.push(vec![
+                Field::I64(item_id),
+                Field::I64(order_id),
+                Field::I64(goods.sample(&mut rng) as i64),
+                Field::I64(rng.gen_range(1..6)),
+                Field::F64((rng.gen_range(99..50_000) as f64) / 100.0),
+                Field::Str(CATEGORIES[rng.gen_range(0..CATEGORIES.len())].to_owned()),
+            ]);
+            item_id += 1;
+        }
+    }
+    Table::from_rows(schema, rows)
+}
+
+/// Generates the ProfSearch-like résumé table.
+///
+/// Each record is a fixed-layout person résumé (the paper uses 1128-byte
+/// key-value records); we keep id, name, institution, field, and seniority.
+pub fn profsearch_resumes(n_rows: usize, seed: u64) -> Table {
+    let schema = Schema::new([
+        ("person_id", FieldKind::I64),
+        ("name", FieldKind::Str),
+        ("institution", FieldKind::Str),
+        ("field", FieldKind::Str),
+        ("years", FieldKind::I64),
+    ]);
+    const FIELDS: [&str; 10] = [
+        "architecture",
+        "systems",
+        "databases",
+        "networking",
+        "theory",
+        "ml",
+        "security",
+        "hci",
+        "graphics",
+        "bioinformatics",
+    ];
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let inst = Zipf::new(512, 1.1);
+    let rows = (0..n_rows)
+        .map(|i| {
+            vec![
+                Field::I64(i as i64),
+                Field::Str(format!("person-{i:08}")),
+                Field::Str(format!("institute-{:04}", inst.sample(&mut rng))),
+                Field::Str(FIELDS[rng.gen_range(0..FIELDS.len())].to_owned()),
+                Field::I64(rng.gen_range(0..40)),
+            ]
+        })
+        .collect();
+    Table::from_rows(schema, rows)
+}
+
+/// Generates a numeric sample matrix for the clustering/classification
+/// kernels (K-means, Naive Bayes): `n` points of `dim` features drawn from
+/// `k` Gaussian-ish blobs, plus the blob label of each point.
+///
+/// The Box–Muller transform is implemented inline to avoid a `rand_distr`
+/// dependency.
+///
+/// # Panics
+///
+/// Panics if `dim == 0` or `k == 0`.
+pub fn sample_points(n: usize, dim: usize, k: usize, seed: u64) -> (Vec<Vec<f64>>, Vec<usize>) {
+    assert!(
+        dim > 0 && k > 0,
+        "dimension and cluster count must be positive"
+    );
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let centers: Vec<Vec<f64>> = (0..k)
+        .map(|_| (0..dim).map(|_| rng.gen_range(-10.0..10.0)).collect())
+        .collect();
+    let gaussian = |rng: &mut rand::rngs::StdRng| -> f64 {
+        let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        let u2: f64 = rng.gen();
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    };
+    let mut points = Vec::with_capacity(n);
+    let mut labels = Vec::with_capacity(n);
+    for i in 0..n {
+        let c = i % k;
+        points.push(centers[c].iter().map(|&m| m + gaussian(&mut rng)).collect());
+        labels.push(c);
+    }
+    (points, labels)
+}
+
+/// Generates Amazon-review-like labelled documents for Naive Bayes:
+/// each document is a bag of word ids plus a class label (e.g. star rating
+/// bucket), with class-conditional word distributions.
+pub fn labelled_documents(
+    n_docs: usize,
+    vocab: usize,
+    n_classes: usize,
+    seed: u64,
+) -> (Vec<Vec<u32>>, Vec<usize>) {
+    assert!(
+        vocab > 0 && n_classes > 0,
+        "vocab and classes must be positive"
+    );
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    // Each class gets its own Zipf over a rotated vocabulary so classes are
+    // separable but overlapping.
+    let zipf = Zipf::new(vocab, 1.0);
+    let mut docs = Vec::with_capacity(n_docs);
+    let mut labels = Vec::with_capacity(n_docs);
+    for i in 0..n_docs {
+        let class = i % n_classes;
+        let rotation = (class * vocab) / n_classes;
+        let len = 30 + rng.gen_range(0..70);
+        let doc = (0..len)
+            .map(|_| ((zipf.sample(&mut rng) + rotation) % vocab) as u32)
+            .collect();
+        docs.push(doc);
+        labels.push(class);
+    }
+    (docs, labels)
+}
+
+/// Row helper: extracts column `idx` as `i64`.
+///
+/// # Panics
+///
+/// Panics if the column is missing or not an integer.
+pub fn col_i64(row: &Row, idx: usize) -> i64 {
+    row[idx].as_i64().expect("column is i64")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_deterministic_and_valid() {
+        let a = ecommerce_orders(200, 5);
+        let b = ecommerce_orders(200, 5);
+        assert_eq!(a, b);
+        assert!(a.rows().iter().all(|r| a.schema().validates(r)));
+    }
+
+    #[test]
+    fn items_reference_existing_orders() {
+        let orders = ecommerce_orders(50, 1);
+        let items = ecommerce_items(&orders, 3, 2);
+        let max_order = orders.len() as i64;
+        assert!(items.rows().iter().all(|r| col_i64(r, 1) < max_order));
+        assert!(items.len() >= 50);
+    }
+
+    #[test]
+    fn resumes_have_fixed_arity() {
+        let t = profsearch_resumes(64, 9);
+        assert_eq!(t.schema().arity(), 5);
+        assert_eq!(t.len(), 64);
+    }
+
+    #[test]
+    fn sample_points_shape() {
+        let (pts, labels) = sample_points(90, 4, 3, 11);
+        assert_eq!(pts.len(), 90);
+        assert_eq!(labels.len(), 90);
+        assert!(pts.iter().all(|p| p.len() == 4));
+        assert!(labels.iter().all(|&l| l < 3));
+    }
+
+    #[test]
+    fn labelled_documents_classes_cycle() {
+        let (docs, labels) = labelled_documents(10, 100, 4, 3);
+        assert_eq!(docs.len(), 10);
+        assert_eq!(labels[0], 0);
+        assert_eq!(labels[5], 1);
+        assert!(docs.iter().all(|d| d.iter().all(|&w| (w as usize) < 100)));
+    }
+
+    #[test]
+    fn buyer_popularity_is_skewed() {
+        let t = ecommerce_orders(5_000, 13);
+        let mut counts = std::collections::HashMap::new();
+        for r in t.rows() {
+            *counts.entry(col_i64(r, 1)).or_insert(0usize) += 1;
+        }
+        let max = counts.values().max().copied().unwrap_or(0);
+        let mean = t.len() / counts.len().max(1);
+        assert!(max > 4 * mean, "max {max} mean {mean}");
+    }
+}

@@ -1,0 +1,221 @@
+//! Zipfian text corpora — the stand-in for the Wikipedia entries and the
+//! Amazon movie reviews data sets.
+//!
+//! A [`Corpus`] stores documents as sequences of interned word identifiers
+//! plus the vocabulary that maps them back to strings. Word frequencies are
+//! Zipf-distributed, which is what drives the hash-table skew in WordCount
+//! and the match-rate behaviour of Grep in the workloads crate.
+
+use crate::zipf::Zipf;
+use rand::{Rng, SeedableRng};
+
+/// Interned word identifier. Index into [`Corpus::vocab`].
+pub type WordId = u32;
+
+/// Configuration for [`TextGen`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TextGenConfig {
+    /// Vocabulary size (distinct words).
+    pub vocab_size: usize,
+    /// Zipf exponent of the word-frequency distribution.
+    pub zipf_exponent: f64,
+    /// Mean words per document.
+    pub mean_doc_len: usize,
+    /// Minimum words per document.
+    pub min_doc_len: usize,
+}
+
+impl Default for TextGenConfig {
+    fn default() -> Self {
+        Self {
+            vocab_size: 8_192,
+            zipf_exponent: 1.0,
+            mean_doc_len: 128,
+            min_doc_len: 8,
+        }
+    }
+}
+
+/// A generated corpus: documents of interned words plus the vocabulary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Corpus {
+    /// Vocabulary; `vocab[w as usize]` is the surface form of word `w`.
+    pub vocab: Vec<String>,
+    /// Documents as sequences of word ids.
+    pub docs: Vec<Vec<WordId>>,
+}
+
+impl Corpus {
+    /// Total number of word occurrences across all documents.
+    pub fn total_words(&self) -> usize {
+        self.docs.iter().map(Vec::len).sum()
+    }
+
+    /// Total size of the corpus in bytes if laid out as space-separated text.
+    pub fn byte_size(&self) -> usize {
+        self.docs
+            .iter()
+            .map(|d| {
+                d.iter()
+                    .map(|&w| self.vocab[w as usize].len() + 1)
+                    .sum::<usize>()
+            })
+            .sum()
+    }
+
+    /// Surface form of `word`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `word` is not in the vocabulary.
+    pub fn word(&self, word: WordId) -> &str {
+        &self.vocab[word as usize]
+    }
+}
+
+/// Seeded generator of Zipfian text corpora.
+///
+/// # Examples
+///
+/// ```
+/// use bdb_datagen::text::{TextGen, TextGenConfig};
+///
+/// let gen = TextGen::new(TextGenConfig::default(), 1);
+/// let corpus = gen.generate(10);
+/// assert_eq!(corpus.docs.len(), 10);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TextGen {
+    config: TextGenConfig,
+    seed: u64,
+}
+
+impl TextGen {
+    /// Creates a generator with the given configuration and seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vocab_size == 0` or `min_doc_len == 0`.
+    pub fn new(config: TextGenConfig, seed: u64) -> Self {
+        assert!(config.vocab_size > 0, "vocabulary must be non-empty");
+        assert!(config.min_doc_len > 0, "documents must be non-empty");
+        Self { config, seed }
+    }
+
+    /// The configuration this generator was built with.
+    pub fn config(&self) -> &TextGenConfig {
+        &self.config
+    }
+
+    /// Generates `n_docs` documents.
+    pub fn generate(&self, n_docs: usize) -> Corpus {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(self.seed);
+        let zipf = Zipf::new(self.config.vocab_size, self.config.zipf_exponent);
+        let vocab = synth_vocab(self.config.vocab_size);
+        let spread = self
+            .config
+            .mean_doc_len
+            .saturating_sub(self.config.min_doc_len);
+        let docs = (0..n_docs)
+            .map(|_| {
+                let len = self.config.min_doc_len + rng.gen_range(0..=2 * spread.max(1));
+                (0..len).map(|_| zipf.sample(&mut rng) as WordId).collect()
+            })
+            .collect();
+        Corpus { vocab, docs }
+    }
+}
+
+/// Builds a deterministic vocabulary of `n` pronounceable pseudo-words.
+///
+/// Words are unique: the syllable sequence encodes the word index in a
+/// mixed-radix system, with a numeric suffix to break residual collisions.
+fn synth_vocab(n: usize) -> Vec<String> {
+    const SYLLABLES: [&str; 16] = [
+        "da", "ta", "ben", "ch", "ma", "re", "du", "ce", "spa", "rk", "ha", "do", "op", "key",
+        "val", "zip",
+    ];
+    (0..n)
+        .map(|i| {
+            let mut word = String::new();
+            let mut x = i;
+            loop {
+                word.push_str(SYLLABLES[x % SYLLABLES.len()]);
+                x /= SYLLABLES.len();
+                if x == 0 {
+                    break;
+                }
+            }
+            // Two- and three-syllable words can collide with one-syllable
+            // words of other indices; the index suffix guarantees uniqueness.
+            word.push_str(&i.to_string());
+            word
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn vocab_is_unique() {
+        let v = synth_vocab(5000);
+        let set: HashSet<_> = v.iter().collect();
+        assert_eq!(set.len(), v.len());
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let g = TextGen::new(TextGenConfig::default(), 99);
+        assert_eq!(g.generate(20), g.generate(20));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let c1 = TextGen::new(TextGenConfig::default(), 1).generate(5);
+        let c2 = TextGen::new(TextGenConfig::default(), 2).generate(5);
+        assert_ne!(c1, c2);
+    }
+
+    #[test]
+    fn doc_lengths_respect_minimum() {
+        let cfg = TextGenConfig {
+            min_doc_len: 5,
+            mean_doc_len: 9,
+            ..Default::default()
+        };
+        let c = TextGen::new(cfg, 3).generate(200);
+        assert!(c.docs.iter().all(|d| d.len() >= 5));
+    }
+
+    #[test]
+    fn word_frequencies_are_skewed() {
+        let cfg = TextGenConfig {
+            vocab_size: 1000,
+            ..Default::default()
+        };
+        let c = TextGen::new(cfg, 11).generate(500);
+        let mut counts = vec![0usize; 1000];
+        for d in &c.docs {
+            for &w in d {
+                counts[w as usize] += 1;
+            }
+        }
+        let head: usize = counts[..10].iter().sum();
+        let total: usize = counts.iter().sum();
+        assert!(head as f64 / total as f64 > 0.25);
+    }
+
+    #[test]
+    fn byte_size_counts_separators() {
+        let c = Corpus {
+            vocab: vec!["ab".into(), "c".into()],
+            docs: vec![vec![0, 1, 0]],
+        };
+        assert_eq!(c.byte_size(), 3 + 2 + 3);
+        assert_eq!(c.total_words(), 3);
+        assert_eq!(c.word(1), "c");
+    }
+}

@@ -1,0 +1,157 @@
+//! Zipfian sampling over a finite rank space.
+//!
+//! Word frequencies in natural-language corpora and key popularity in
+//! key-value services both follow Zipf-like laws; this module provides the
+//! shared sampler. Implemented in-crate (rather than pulling `rand_distr`)
+//! so the whole workspace stays within the small allowed dependency set.
+
+use rand::Rng;
+
+/// A Zipf distribution over ranks `0..n` with exponent `s`.
+///
+/// Sampling uses inverse-CDF lookup over precomputed cumulative weights,
+/// which is exact and `O(log n)` per sample.
+///
+/// # Examples
+///
+/// ```
+/// use bdb_datagen::zipf::Zipf;
+/// use rand::SeedableRng;
+///
+/// let zipf = Zipf::new(1000, 1.0);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let rank = zipf.sample(&mut rng);
+/// assert!(rank < 1000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Creates a Zipf distribution over `n` ranks with exponent `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `s` is not finite and non-negative.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "zipf rank space must be non-empty");
+        assert!(
+            s.is_finite() && s >= 0.0,
+            "zipf exponent must be finite and >= 0"
+        );
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        // Guard against floating point drift on the final bucket.
+        if let Some(last) = cdf.last_mut() {
+            *last = 1.0;
+        }
+        Self { cdf }
+    }
+
+    /// Number of ranks in the distribution.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Returns `true` if the rank space is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Draws one rank in `0..self.len()`; rank 0 is the most popular.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen::<f64>();
+        match self
+            .cdf
+            .binary_search_by(|p| p.partial_cmp(&u).expect("cdf is finite"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+
+    /// Probability mass of `rank`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank >= self.len()`.
+    pub fn pmf(&self, rank: usize) -> f64 {
+        let hi = self.cdf[rank];
+        let lo = if rank == 0 { 0.0 } else { self.cdf[rank - 1] };
+        hi - lo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn cdf_is_monotone_and_normalized() {
+        let z = Zipf::new(100, 1.2);
+        for w in z.cdf.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+        assert!((z.cdf.last().unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rank_zero_is_most_popular() {
+        let z = Zipf::new(50, 1.0);
+        assert!(z.pmf(0) > z.pmf(1));
+        assert!(z.pmf(1) > z.pmf(10));
+    }
+
+    #[test]
+    fn samples_are_in_range_and_skewed() {
+        let z = Zipf::new(1000, 1.0);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut head = 0usize;
+        const N: usize = 20_000;
+        for _ in 0..N {
+            let r = z.sample(&mut rng);
+            assert!(r < 1000);
+            if r < 10 {
+                head += 1;
+            }
+        }
+        // With s=1 over 1000 ranks, the top-10 ranks carry ~39% of the mass.
+        let frac = head as f64 / N as f64;
+        assert!(frac > 0.30 && frac < 0.50, "head fraction {frac}");
+    }
+
+    #[test]
+    fn uniform_exponent_zero() {
+        let z = Zipf::new(4, 0.0);
+        for r in 0..4 {
+            assert!((z.pmf(r) - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let z = Zipf::new(100, 0.9);
+        let draw = |seed| {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            (0..32).map(|_| z.sample(&mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(9), draw(9));
+        assert_ne!(draw(9), draw(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn zero_ranks_panics() {
+        let _ = Zipf::new(0, 1.0);
+    }
+}

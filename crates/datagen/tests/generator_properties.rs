@@ -1,0 +1,72 @@
+//! Cross-generator property tests: determinism, scaling monotonicity, and
+//! structural invariants that every seeded generator must uphold.
+
+use bdb_datagen::graph::{GraphGen, GraphGenConfig};
+use bdb_datagen::text::{TextGen, TextGenConfig};
+use bdb_datagen::{table, tpcds};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn text_deterministic_and_prefix_stable(seed in 0u64..5000, n in 1usize..100) {
+        let gen = TextGen::new(TextGenConfig::default(), seed);
+        let a = gen.generate(n);
+        let b = gen.generate(n);
+        prop_assert_eq!(&a, &b);
+        // Word ids always index into the vocabulary.
+        for doc in &a.docs {
+            for &w in doc {
+                prop_assert!((w as usize) < a.vocab.len());
+            }
+        }
+    }
+
+    #[test]
+    fn graph_edges_scale_with_vertices(seed in 0u64..2000, n in 8usize..400) {
+        let g = GraphGen::new(GraphGenConfig::default(), seed).generate(n);
+        prop_assert_eq!(g.vertex_count(), n);
+        // Preferential attachment adds ~mean_degree edges per vertex.
+        prop_assert!(g.edge_count() >= n / 2);
+        prop_assert!(g.edge_count() <= n * 8);
+        // CSR is internally consistent.
+        let total: usize = (0..n as u32).map(|v| g.out_degree(v)).sum();
+        prop_assert_eq!(total, g.edge_count());
+    }
+
+    #[test]
+    fn ecommerce_rows_validate_against_schema(seed in 0u64..2000, n in 1usize..200) {
+        let orders = table::ecommerce_orders(n, seed);
+        prop_assert_eq!(orders.len(), n);
+        for row in orders.rows() {
+            prop_assert!(orders.schema().validates(row));
+        }
+        let items = table::ecommerce_items(&orders, 2, seed ^ 1);
+        for row in items.rows() {
+            prop_assert!(items.schema().validates(row));
+            let order_id = row[1].as_i64().expect("order id");
+            prop_assert!((order_id as usize) < n);
+        }
+    }
+
+    #[test]
+    fn tpcds_keys_always_resolve(seed in 0u64..1000) {
+        let cfg = tpcds::TpcdsConfig { sales_rows: 200, items: 20, customers: 30, days: 50 };
+        let d = tpcds::generate(cfg, seed);
+        for row in d.store_sales.rows() {
+            prop_assert!(row[0].as_i64().expect("date") < 50);
+            prop_assert!(row[1].as_i64().expect("item") < 20);
+            prop_assert!(row[2].as_i64().expect("customer") < 30);
+        }
+    }
+
+    #[test]
+    fn sample_points_respect_dimensions(n in 1usize..200, dim in 1usize..12, k in 1usize..8, seed in 0u64..1000) {
+        let (pts, labels) = table::sample_points(n, dim, k, seed);
+        prop_assert_eq!(pts.len(), n);
+        prop_assert!(pts.iter().all(|p| p.len() == dim));
+        prop_assert!(labels.iter().all(|&l| l < k));
+        prop_assert!(pts.iter().flatten().all(|x| x.is_finite()));
+    }
+}

@@ -1,0 +1,31 @@
+//! System-level node model — the reproduction's analog of the paper's
+//! proc-fs measurements (§3.2.1).
+//!
+//! The paper classifies each representative workload as CPU-intensive,
+//! I/O-intensive, or hybrid from four OS-level signals: CPU utilization,
+//! I/O-wait ratio, *average weighted disk I/O time ratio*, and I/O
+//! bandwidth. We reproduce those signals by replaying each workload's
+//! resource phases (instructions executed, bytes read/written/shuffled)
+//! through a simple device model of one cluster node.
+//!
+//! # Examples
+//!
+//! ```
+//! use bdb_node::{Node, NodeConfig, Phase};
+//!
+//! let mut node = Node::new(NodeConfig::default());
+//! node.run_phase(Phase {
+//!     name: "map".into(),
+//!     instructions: 500_000_000,
+//!     disk_read_bytes: 64 << 20,
+//!     disk_write_bytes: 16 << 20,
+//!     net_bytes: 8 << 20,
+//!     io_parallelism: 4.0,
+//! });
+//! let m = node.metrics();
+//! assert!(m.cpu_utilization > 0.0 && m.cpu_utilization <= 100.0);
+//! ```
+
+pub mod metrics;
+
+pub use metrics::{Node, NodeConfig, Phase, SystemMetrics};

@@ -1,0 +1,338 @@
+//! Set-associative cache model.
+//!
+//! A [`Cache`] is a tag array with per-set replacement state; it models
+//! hits/misses (and dirty-line writebacks) but not contents — the trace
+//! carries real data in the workload layer, the simulator only needs
+//! addresses. All the paper's cache numbers (Figure 4's MPKI, Figures 6–9's
+//! miss-ratio-versus-capacity curves) come from this model.
+
+use serde::{Deserialize, Serialize};
+
+/// Replacement policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Replacement {
+    /// Least-recently-used (default; what the paper's platforms approximate).
+    Lru,
+    /// Pseudo-random (ablation target).
+    Random,
+}
+
+/// Geometry and policy of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Associativity (ways per set).
+    pub assoc: usize,
+    /// Line size in bytes (power of two).
+    pub line_bytes: u64,
+    /// Replacement policy.
+    pub replacement: Replacement,
+}
+
+impl CacheConfig {
+    /// Convenience constructor with LRU replacement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is invalid (see [`Cache::new`]).
+    pub fn lru(size_bytes: u64, assoc: usize, line_bytes: u64) -> Self {
+        Self {
+            size_bytes,
+            assoc,
+            line_bytes,
+            replacement: Replacement::Lru,
+        }
+    }
+
+    /// Number of sets implied by the geometry.
+    pub fn sets(&self) -> usize {
+        (self.size_bytes / (self.line_bytes * self.assoc as u64)) as usize
+    }
+}
+
+/// Hit/miss/writeback counters of one cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Total accesses.
+    pub accesses: u64,
+    /// Misses (line not present).
+    pub misses: u64,
+    /// Dirty lines evicted.
+    pub writebacks: u64,
+}
+
+impl CacheStats {
+    /// Miss ratio in `[0, 1]`; zero when no accesses were made.
+    pub fn miss_ratio(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+}
+
+/// One level of set-associative cache.
+///
+/// # Examples
+///
+/// ```
+/// use bdb_sim::cache::{Cache, CacheConfig};
+///
+/// let mut c = Cache::new(CacheConfig::lru(32 * 1024, 8, 64));
+/// assert!(!c.access(0x1000, false)); // cold miss
+/// assert!(c.access(0x1000, false));  // now hits
+/// assert_eq!(c.stats().misses, 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cache {
+    config: CacheConfig,
+    sets: usize,
+    line_shift: u32,
+    /// `tags[set * assoc + way]`; `u64::MAX` marks an invalid way.
+    tags: Vec<u64>,
+    /// LRU timestamp per way.
+    stamp: Vec<u64>,
+    dirty: Vec<bool>,
+    tick: u64,
+    rng: u64,
+    stats: CacheStats,
+}
+
+const INVALID: u64 = u64::MAX;
+
+impl Cache {
+    /// Builds a cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line_bytes` is not a power of two, `assoc == 0`, or the
+    /// capacity is not an exact multiple of `line_bytes * assoc`.
+    pub fn new(config: CacheConfig) -> Self {
+        assert!(
+            config.line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
+        assert!(config.assoc > 0, "associativity must be positive");
+        assert!(
+            config
+                .size_bytes
+                .is_multiple_of(config.line_bytes * config.assoc as u64)
+                && config.size_bytes > 0,
+            "capacity must be a positive multiple of line_bytes * assoc"
+        );
+        let sets = config.sets();
+        assert!(sets > 0, "cache must have at least one set");
+        let ways = sets * config.assoc;
+        Self {
+            config,
+            sets,
+            line_shift: config.line_bytes.trailing_zeros(),
+            tags: vec![INVALID; ways],
+            stamp: vec![0; ways],
+            dirty: vec![false; ways],
+            tick: 0,
+            rng: 0xA076_1D64_78BD_642F,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The configuration this cache was built with.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Accesses `addr`; returns `true` on hit. `is_store` marks the line
+    /// dirty so its eventual eviction counts as a writeback.
+    pub fn access(&mut self, addr: u64, is_store: bool) -> bool {
+        self.tick += 1;
+        self.stats.accesses += 1;
+        let line = addr >> self.line_shift;
+        // Modulo indexing supports non-power-of-two set counts (the Xeon's
+        // 12 MiB L3 has 12288 sets); the full line number serves as the tag.
+        let set = (line % self.sets as u64) as usize;
+        let tag = line;
+        let base = set * self.config.assoc;
+        let ways = &mut self.tags[base..base + self.config.assoc];
+        if let Some(w) = ways.iter().position(|&t| t == tag) {
+            self.stamp[base + w] = self.tick;
+            if is_store {
+                self.dirty[base + w] = true;
+            }
+            return true;
+        }
+        self.stats.misses += 1;
+        let victim = match self.config.replacement {
+            Replacement::Lru => {
+                let mut best = 0;
+                let mut best_stamp = u64::MAX;
+                for w in 0..self.config.assoc {
+                    if self.tags[base + w] == INVALID {
+                        best = w;
+                        break;
+                    }
+                    if self.stamp[base + w] < best_stamp {
+                        best_stamp = self.stamp[base + w];
+                        best = w;
+                    }
+                }
+                best
+            }
+            Replacement::Random => {
+                let mut x = self.rng;
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                self.rng = x;
+                (x as usize) % self.config.assoc
+            }
+        };
+        let slot = base + victim;
+        if self.tags[slot] != INVALID && self.dirty[slot] {
+            self.stats.writebacks += 1;
+        }
+        self.tags[slot] = tag;
+        self.stamp[slot] = self.tick;
+        self.dirty[slot] = is_store;
+        false
+    }
+
+    /// Installs the line containing `addr` without touching the demand
+    /// counters — the prefetcher's fill path. Dirty victims still count as
+    /// writebacks.
+    pub fn install(&mut self, addr: u64) {
+        let before = self.stats;
+        self.access(addr, false);
+        let wb = self.stats.writebacks;
+        self.stats = before;
+        self.stats.writebacks = wb;
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Clears counters (contents are kept — useful after warmup).
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Cache {
+        // 4 sets x 2 ways x 64B lines = 512B.
+        Cache::new(CacheConfig::lru(512, 2, 64))
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = small();
+        assert!(!c.access(0, false));
+        assert!(c.access(0, false));
+        assert!(c.access(63, false)); // same line
+        assert!(!c.access(64, false)); // next line
+        assert_eq!(c.stats().accesses, 4);
+        assert_eq!(c.stats().misses, 2);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = small();
+        // Three lines mapping to set 0: line numbers 0, 4, 8 (4 sets).
+        let a = 0u64;
+        let b = 4 * 64;
+        let d = 8 * 64;
+        c.access(a, false);
+        c.access(b, false);
+        c.access(a, false); // a more recent than b
+        c.access(d, false); // evicts b
+        assert!(c.access(a, false), "a must survive");
+        assert!(!c.access(b, false), "b must have been evicted");
+    }
+
+    #[test]
+    fn writeback_counted_on_dirty_eviction() {
+        let mut c = small();
+        let a = 0u64;
+        let b = 4 * 64;
+        let d = 8 * 64;
+        c.access(a, true); // dirty
+        c.access(b, false);
+        c.access(d, false); // evicts a (LRU), dirty -> writeback
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn working_set_within_capacity_stops_missing() {
+        let mut c = Cache::new(CacheConfig::lru(8 * 1024, 8, 64));
+        // 4KB working set walked repeatedly fits in 8KB.
+        for _round in 0..10 {
+            for addr in (0..4096u64).step_by(64) {
+                c.access(addr, false);
+            }
+        }
+        let s = c.stats();
+        assert_eq!(s.misses, 64, "only cold misses expected, got {}", s.misses);
+    }
+
+    #[test]
+    fn working_set_beyond_capacity_thrashes_with_lru() {
+        let mut c = Cache::new(CacheConfig::lru(4 * 1024, 8, 64));
+        // 8KB working set cyclically walked through a 4KB LRU cache misses every time.
+        let mut misses_after_warmup = 0;
+        for round in 0..10 {
+            for addr in (0..8192u64).step_by(64) {
+                let hit = c.access(addr, false);
+                if round > 0 && !hit {
+                    misses_after_warmup += 1;
+                }
+            }
+        }
+        assert_eq!(misses_after_warmup, 9 * 128);
+    }
+
+    #[test]
+    fn random_replacement_differs_from_lru_under_thrash() {
+        let mut lru = Cache::new(CacheConfig::lru(4 * 1024, 8, 64));
+        let mut rnd = Cache::new(CacheConfig {
+            replacement: Replacement::Random,
+            ..CacheConfig::lru(4 * 1024, 8, 64)
+        });
+        for _ in 0..20 {
+            for addr in (0..8192u64).step_by(64) {
+                lru.access(addr, false);
+                rnd.access(addr, false);
+            }
+        }
+        // Random keeps some lines across the cyclic sweep; LRU keeps none.
+        assert!(rnd.stats().misses < lru.stats().misses);
+    }
+
+    #[test]
+    fn reset_stats_keeps_contents() {
+        let mut c = small();
+        c.access(0, false);
+        c.reset_stats();
+        assert_eq!(c.stats().accesses, 0);
+        assert!(c.access(0, false), "contents survive reset");
+    }
+
+    #[test]
+    fn miss_ratio_bounds() {
+        let mut c = small();
+        assert_eq!(c.stats().miss_ratio(), 0.0);
+        c.access(0, false);
+        assert_eq!(c.stats().miss_ratio(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_line_size_panics() {
+        let _ = Cache::new(CacheConfig::lru(512, 2, 48));
+    }
+}

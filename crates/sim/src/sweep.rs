@@ -1,0 +1,201 @@
+//! Cache-capacity sweep harness — the paper's §5.4 locality methodology.
+//!
+//! The paper estimates instruction/data footprints by sweeping the L1 size
+//! of a MARSSx86 Atom-like core from 16 KiB to 8192 KiB and plotting the
+//! miss ratio at each point (Figures 6–9); the capacity where the curve
+//! flattens is the footprint. [`sweep`] re-runs a workload closure once per
+//! capacity on [`MachineConfig::atom_sweep`] machines and collects the
+//! resulting [`MissRatioCurve`]s.
+
+use crate::machine::{Machine, MachineConfig};
+use serde::{Deserialize, Serialize};
+
+/// The paper's sweep points, in KiB (Figures 6–9 x-axis).
+pub const PAPER_SWEEP_KIB: [u64; 10] = [16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192];
+
+/// Which miss ratio a curve tracks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SweepMetric {
+    /// L1 instruction-cache miss ratio (Figures 6 and 9).
+    Instruction,
+    /// L1 data-cache miss ratio (Figure 7).
+    Data,
+    /// Combined L1 miss ratio over all accesses (Figure 8).
+    Unified,
+}
+
+/// One miss-ratio-versus-capacity curve.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MissRatioCurve {
+    /// Label (workload or workload-group name).
+    pub label: String,
+    /// Metric tracked.
+    pub metric: SweepMetric,
+    /// `(capacity_kib, miss_ratio)` points in ascending capacity order.
+    pub points: Vec<(u64, f64)>,
+}
+
+impl MissRatioCurve {
+    /// Miss ratio at `capacity_kib`, if that point was swept.
+    pub fn at(&self, capacity_kib: u64) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|(c, _)| *c == capacity_kib)
+            .map(|(_, r)| *r)
+    }
+
+    /// Estimated footprint: the smallest swept capacity at which the miss
+    /// ratio has dropped within `epsilon` of its final (largest-capacity)
+    /// value. This is how the paper reads "the footprint of PARSEC is about
+    /// 128 KB" off Figure 6.
+    ///
+    /// Returns `None` for an empty curve.
+    pub fn footprint_kib(&self, epsilon: f64) -> Option<u64> {
+        let (_, floor) = *self.points.last()?;
+        self.points
+            .iter()
+            .find(|(_, r)| r - floor <= epsilon)
+            .map(|(c, _)| *c)
+    }
+}
+
+/// Runs `workload` once per capacity in `capacities_kib` on an Atom-like
+/// in-order machine and returns the three curves (instruction, data,
+/// unified).
+///
+/// The workload closure must regenerate identical work on every call (all
+/// generators in this workspace are seeded, so this holds by construction).
+///
+/// # Panics
+///
+/// Panics if `capacities_kib` is empty.
+pub fn sweep(
+    label: &str,
+    capacities_kib: &[u64],
+    mut workload: impl FnMut(&mut Machine),
+) -> SweepResult {
+    assert!(
+        !capacities_kib.is_empty(),
+        "sweep needs at least one capacity"
+    );
+    let mut icurve = Vec::with_capacity(capacities_kib.len());
+    let mut dcurve = Vec::with_capacity(capacities_kib.len());
+    let mut ucurve = Vec::with_capacity(capacities_kib.len());
+    for &kib in capacities_kib {
+        let mut machine = Machine::new(MachineConfig::atom_sweep(kib));
+        workload(&mut machine);
+        let report = machine.report();
+        icurve.push((kib, report.l1i.miss_ratio()));
+        dcurve.push((kib, report.l1d.miss_ratio()));
+        let total_acc = report.l1i.accesses + report.l1d.accesses;
+        let total_miss = report.l1i.misses + report.l1d.misses;
+        let unified = if total_acc == 0 {
+            0.0
+        } else {
+            total_miss as f64 / total_acc as f64
+        };
+        ucurve.push((kib, unified));
+    }
+    SweepResult {
+        instruction: MissRatioCurve {
+            label: label.to_owned(),
+            metric: SweepMetric::Instruction,
+            points: icurve,
+        },
+        data: MissRatioCurve {
+            label: label.to_owned(),
+            metric: SweepMetric::Data,
+            points: dcurve,
+        },
+        unified: MissRatioCurve {
+            label: label.to_owned(),
+            metric: SweepMetric::Unified,
+            points: ucurve,
+        },
+    }
+}
+
+/// The three curves produced by one [`sweep`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepResult {
+    /// L1I miss ratio curve.
+    pub instruction: MissRatioCurve,
+    /// L1D miss ratio curve.
+    pub data: MissRatioCurve,
+    /// Combined curve.
+    pub unified: MissRatioCurve,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bdb_trace::{CodeLayout, ExecCtx};
+
+    /// Synthetic workload with ~256 KiB instruction footprint and ~32 KiB
+    /// data footprint.
+    fn synthetic(machine: &mut Machine) {
+        let mut layout = CodeLayout::new();
+        let regions: Vec<_> = (0..64)
+            .map(|i| layout.region(format!("r{i}"), 4096))
+            .collect();
+        let mut ctx = ExecCtx::new(&layout, machine);
+        let data = ctx.heap_alloc(32 * 1024, 64);
+        ctx.frame(regions[0], |ctx| {
+            for round in 0..40u64 {
+                for &r in &regions {
+                    ctx.frame(r, |ctx| {
+                        for j in 0..256u64 {
+                            if j % 4 == 0 {
+                                let off = (round * 64 + j) * 64 % data.len();
+                                ctx.read(data.addr(off & !7), 8);
+                            } else {
+                                ctx.int_other(1);
+                            }
+                        }
+                    });
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn curve_is_monotone_nonincreasing() {
+        let result = sweep("synthetic", &[16, 64, 256, 1024], synthetic);
+        for curve in [&result.instruction, &result.data, &result.unified] {
+            for w in curve.points.windows(2) {
+                assert!(
+                    w[1].1 <= w[0].1 + 1e-9,
+                    "{:?} not monotone: {:?}",
+                    curve.metric,
+                    curve.points
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn footprint_estimate_matches_construction() {
+        let result = sweep("synthetic", &PAPER_SWEEP_KIB, synthetic);
+        let ifoot = result.instruction.footprint_kib(0.002).unwrap();
+        assert!(
+            (256..=512).contains(&ifoot),
+            "expected ~256 KiB instruction footprint, got {ifoot} ({:?})",
+            result.instruction.points
+        );
+        let dfoot = result.data.footprint_kib(0.002).unwrap();
+        assert!(dfoot <= 64, "expected small data footprint, got {dfoot}");
+    }
+
+    #[test]
+    fn at_returns_swept_points_only() {
+        let result = sweep("synthetic", &[16, 32], synthetic);
+        assert!(result.instruction.at(16).is_some());
+        assert!(result.instruction.at(999).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one capacity")]
+    fn empty_sweep_panics() {
+        let _ = sweep("x", &[], |_| {});
+    }
+}

@@ -1,0 +1,92 @@
+//! Model-checks the set-associative cache against a naive reference
+//! implementation: for arbitrary access sequences, hit/miss decisions and
+//! writeback counts must match an obviously-correct LRU model.
+
+use bdb_sim::cache::{Cache, CacheConfig};
+use proptest::prelude::*;
+
+/// Obviously-correct set-associative LRU cache: each set is a Vec kept in
+/// MRU-first order.
+struct NaiveLru {
+    sets: Vec<Vec<(u64, bool)>>, // (line, dirty), MRU first
+    assoc: usize,
+    line_bytes: u64,
+    writebacks: u64,
+}
+
+impl NaiveLru {
+    fn new(size: u64, assoc: usize, line_bytes: u64) -> Self {
+        let sets = (size / (line_bytes * assoc as u64)) as usize;
+        Self {
+            sets: vec![Vec::new(); sets],
+            assoc,
+            line_bytes,
+            writebacks: 0,
+        }
+    }
+
+    fn access(&mut self, addr: u64, is_store: bool) -> bool {
+        let line = addr / self.line_bytes;
+        let set = (line % self.sets.len() as u64) as usize;
+        let ways = &mut self.sets[set];
+        if let Some(pos) = ways.iter().position(|&(l, _)| l == line) {
+            let (l, dirty) = ways.remove(pos);
+            ways.insert(0, (l, dirty || is_store));
+            return true;
+        }
+        if ways.len() == self.assoc {
+            let (_, dirty) = ways.pop().expect("full set");
+            if dirty {
+                self.writebacks += 1;
+            }
+        }
+        ways.insert(0, (line, is_store));
+        false
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn cache_matches_reference_lru(
+        accesses in proptest::collection::vec((0u64..1u64 << 16, any::<bool>()), 1..2000),
+        assoc in prop_oneof![Just(1usize), Just(2), Just(4), Just(8)],
+    ) {
+        let size = 4096u64;
+        let mut real = Cache::new(CacheConfig::lru(size, assoc, 64));
+        let mut reference = NaiveLru::new(size, assoc, 64);
+        for &(addr, is_store) in &accesses {
+            let a = real.access(addr, is_store);
+            let b = reference.access(addr, is_store);
+            prop_assert_eq!(a, b, "divergence at addr {:#x}", addr);
+        }
+        prop_assert_eq!(real.stats().writebacks, reference.writebacks);
+        prop_assert_eq!(real.stats().accesses, accesses.len() as u64);
+    }
+
+    #[test]
+    fn install_never_changes_demand_counters(
+        accesses in proptest::collection::vec(0u64..1u64 << 14, 1..500),
+        installs in proptest::collection::vec(0u64..1u64 << 14, 1..500),
+    ) {
+        let mut cache = Cache::new(CacheConfig::lru(4096, 4, 64));
+        for &a in &accesses {
+            cache.access(a, false);
+        }
+        let before = cache.stats();
+        for &i in &installs {
+            cache.install(i);
+        }
+        let after = cache.stats();
+        prop_assert_eq!(before.accesses, after.accesses);
+        prop_assert_eq!(before.misses, after.misses);
+    }
+
+    #[test]
+    fn installed_lines_hit(addr in 0u64..1u64 << 20) {
+        let mut cache = Cache::new(CacheConfig::lru(32 * 1024, 8, 64));
+        cache.install(addr);
+        prop_assert!(cache.access(addr, false), "installed line must hit");
+    }
+}

@@ -1,0 +1,851 @@
+//! The Spark-like dataflow engine.
+//!
+//! Models the RDD execution style: datasets are partitioned collections of
+//! byte records; *narrow* transformations (map/filter/flatMap) run as
+//! pipelined iterator chains — each record passes through a chain of
+//! virtually-dispatched iterator frames, the signature front-end behaviour
+//! of Spark — while *wide* transformations (reduceByKey, sortByKey, join)
+//! cut stage boundaries with real hash or range shuffles. Datasets can be
+//! cached, which is what makes the iterative workloads (K-means, PageRank)
+//! CPU-bound after their first pass, exactly as the paper's Table 2
+//! classifies them.
+
+use crate::mapreduce::Emitter;
+use crate::record::{trace_copy, trace_scan, Record, RecordBuffer};
+use crate::runtime::{Routine, RunStats};
+use crate::sort::traced_sort_by_key;
+use bdb_node::Phase;
+use bdb_trace::{CodeLayout, ExecCtx, MemRegion, OpMix};
+use std::collections::HashMap;
+
+/// One partition of a [`Dataset`]: records plus their simulated addresses.
+#[derive(Debug, Clone, Default)]
+pub struct Part {
+    /// Records in this partition.
+    pub records: Vec<Record>,
+    /// Simulated address of each record's bytes.
+    pub addrs: Vec<u64>,
+}
+
+impl Part {
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Returns `true` when the partition is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+/// A partitioned dataset (the RDD analog).
+#[derive(Debug, Clone, Default)]
+pub struct Dataset {
+    /// Partitions.
+    pub parts: Vec<Part>,
+    /// Whether the dataset is pinned in the block manager (cached).
+    pub cached: bool,
+}
+
+impl Dataset {
+    /// Total records across partitions.
+    pub fn len(&self) -> usize {
+        self.parts.iter().map(Part::len).sum()
+    }
+
+    /// Returns `true` when no partition holds records.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total record bytes.
+    pub fn byte_size(&self) -> u64 {
+        self.parts
+            .iter()
+            .map(|p| crate::record::total_bytes(&p.records))
+            .sum()
+    }
+
+    /// Iterator over all records (partition order).
+    pub fn iter(&self) -> impl Iterator<Item = &Record> {
+        self.parts.iter().flat_map(|p| p.records.iter())
+    }
+}
+
+/// The registered routine set of the Spark-like stack (~1 MiB of framework
+/// text, dominated by iterator glue, serialization, and shuffle machinery).
+#[derive(Debug, Clone)]
+pub struct SparkStack {
+    mix: OpMix,
+    dag_scheduler: Routine,
+    task_runner: Routine,
+    iter_next: Routine,
+    closure_glue: Routine,
+    kryo: Routine,
+    block_manager: Routine,
+    memory_manager: Routine,
+    shuffle_writer: Routine,
+    shuffle_reader: Routine,
+    ext_sorter: Routine,
+    hash_agg: Routine,
+    cache_manager: Routine,
+    gc: Routine,
+    netty: Routine,
+    metrics: Routine,
+    logging: Routine,
+}
+
+impl SparkStack {
+    /// Registers all framework routines in `layout`.
+    pub fn register(layout: &mut CodeLayout) -> Self {
+        let r = |layout: &mut CodeLayout, name: &str, kib: u64, units: u32, spread: u64| {
+            Routine::register(layout, format!("spark::{name}"), kib * 1024, units, spread)
+        };
+        Self {
+            mix: OpMix::framework(),
+            dag_scheduler: r(layout, "dag_scheduler", 96, 1600, 90),
+            task_runner: r(layout, "task_runner", 48, 350, 80),
+            iter_next: r(layout, "iterator_next", 24, 5, 95),
+            closure_glue: r(layout, "closure_glue", 28, 6, 95),
+            kryo: r(layout, "kryo_serializer", 48, 8, 80),
+            block_manager: r(layout, "block_manager", 64, 10, 80),
+            memory_manager: r(layout, "memory_manager", 40, 6, 60),
+            shuffle_writer: r(layout, "shuffle_writer", 56, 14, 55),
+            shuffle_reader: r(layout, "shuffle_reader", 56, 16, 55),
+            ext_sorter: r(layout, "external_sorter", 48, 22, 45),
+            hash_agg: r(layout, "hash_aggregator", 40, 9, 45),
+            cache_manager: r(layout, "cache_manager", 32, 7, 55),
+            gc: r(layout, "gc_young", 96, 160, 90),
+            netty: r(layout, "netty_rpc", 64, 70, 80),
+            metrics: r(layout, "metrics_system", 32, 40, 75),
+            logging: r(layout, "logging", 40, 30, 75),
+        }
+    }
+
+    /// Region used as the executor's root frame (exposed for drivers).
+    pub fn root_region(&self) -> bdb_trace::RegionId {
+        self.task_runner.region
+    }
+}
+
+/// Engine tuning knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DataflowConfig {
+    /// Partition count for every dataset.
+    pub partitions: usize,
+    /// Records between framework service ticks.
+    pub service_interval: usize,
+    /// Virtual-dispatch hops per record per narrow stage (iterator chain
+    /// depth) — Spark's signature front-end load.
+    pub iterator_chain: usize,
+}
+
+impl Default for DataflowConfig {
+    fn default() -> Self {
+        Self {
+            partitions: 4,
+            service_interval: 64,
+            iterator_chain: 3,
+        }
+    }
+}
+
+/// The dataflow engine: holds the block-manager memory and the run's
+/// resource accounting.
+#[derive(Debug)]
+pub struct Dataflow<'s> {
+    stack: &'s SparkStack,
+    config: DataflowConfig,
+    scratch: MemRegion,
+    blocks: RecordBuffer,
+    stats: RunStats,
+    records_since_service: usize,
+}
+
+impl<'s> Dataflow<'s> {
+    /// Creates an engine, allocating block-manager memory from `ctx` and
+    /// narrating the driver's DAG-scheduler startup.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `partitions == 0`.
+    pub fn new(stack: &'s SparkStack, config: DataflowConfig, ctx: &mut ExecCtx<'_>) -> Self {
+        assert!(config.partitions > 0, "need at least one partition");
+        let scratch = ctx.scratch_alloc(64 * 1024, 64);
+        let blocks = RecordBuffer::new(ctx.heap_alloc(8 << 20, 64));
+        ctx.frame(stack.dag_scheduler.region, |ctx| {
+            ctx.boilerplate(&stack.mix, u64::from(stack.dag_scheduler.units), &scratch);
+        });
+        Self {
+            stack,
+            config,
+            scratch,
+            blocks,
+            stats: RunStats::default(),
+            records_since_service: 0,
+        }
+    }
+
+    /// Finishes the run, returning the accumulated accounting.
+    pub fn finish(self) -> RunStats {
+        self.stats
+    }
+
+    /// Accumulated accounting so far.
+    pub fn stats(&self) -> &RunStats {
+        &self.stats
+    }
+
+    fn service_tick(&mut self, ctx: &mut ExecCtx<'_>) {
+        self.records_since_service += 1;
+        if self
+            .records_since_service
+            .is_multiple_of(self.config.service_interval)
+        {
+            self.stack.metrics.run(ctx, &self.stack.mix, &self.scratch);
+            if self
+                .records_since_service
+                .is_multiple_of(self.config.service_interval * 4)
+            {
+                self.stack
+                    .gc
+                    .enter(ctx, &self.stack.mix, &self.scratch, |ctx| {
+                        trace_scan(ctx, self.blocks.region().base(), 2048);
+                    });
+                self.stack.logging.run(ctx, &self.stack.mix, &self.scratch);
+            }
+        }
+    }
+
+    /// Loads input records as a dataset, charging a disk-read phase (the
+    /// `textFile`/HDFS-read analog).
+    pub fn read_input(&mut self, ctx: &mut ExecCtx<'_>, records: &[Record]) -> Dataset {
+        let bytes = crate::record::total_bytes(records);
+        let ops0 = ctx.ops_retired();
+        let ds = self.materialize(ctx, records.iter().cloned());
+        self.stats.input_bytes += bytes;
+        self.stats.phases.push(Phase {
+            name: "input".into(),
+            instructions: ctx.ops_retired() - ops0,
+            disk_read_bytes: bytes,
+            disk_write_bytes: 0,
+            net_bytes: 0,
+            io_parallelism: 6.0,
+        });
+        ds
+    }
+
+    /// Distributes records into partitions through the block manager
+    /// without I/O accounting (for driver-local data).
+    pub fn parallelize(&mut self, ctx: &mut ExecCtx<'_>, records: &[Record]) -> Dataset {
+        self.materialize(ctx, records.iter().cloned())
+    }
+
+    fn materialize(
+        &mut self,
+        ctx: &mut ExecCtx<'_>,
+        records: impl Iterator<Item = Record>,
+    ) -> Dataset {
+        let mut parts: Vec<Part> = (0..self.config.partitions)
+            .map(|_| Part::default())
+            .collect();
+        for (i, rec) in records.enumerate() {
+            let p = i % self.config.partitions;
+            let addr = self.put_block(ctx, &rec);
+            parts[p].records.push(rec);
+            parts[p].addrs.push(addr);
+        }
+        Dataset {
+            parts,
+            cached: false,
+        }
+    }
+
+    /// Writes a record into block-manager memory, narrating the copy.
+    fn put_block(&mut self, ctx: &mut ExecCtx<'_>, rec: &Record) -> u64 {
+        let len = rec.byte_size().max(1);
+        let addr = self.blocks.push(len);
+        self.stack
+            .block_manager
+            .enter(ctx, &self.stack.mix, &self.scratch, |ctx| {
+                trace_copy(ctx, self.scratch.base(), addr, len);
+            });
+        addr
+    }
+
+    /// Marks a dataset cached: downstream passes re-read it from memory
+    /// with no disk phase, the RDD `cache()` analog.
+    pub fn cache(&mut self, ctx: &mut ExecCtx<'_>, ds: &mut Dataset) {
+        self.stack
+            .cache_manager
+            .run(ctx, &self.stack.mix, &self.scratch);
+        ds.cached = true;
+    }
+
+    /// A narrow, pipelined transformation: `f` is invoked once per record
+    /// (with the record's simulated address) and may emit any number of
+    /// output records. Covers map, filter, and flatMap.
+    pub fn narrow(
+        &mut self,
+        ctx: &mut ExecCtx<'_>,
+        name: &str,
+        ds: &Dataset,
+        f: &mut dyn FnMut(&mut ExecCtx<'_>, &Record, u64, &mut Emitter),
+    ) -> Dataset {
+        let _ = name;
+        let mut out_parts = Vec::with_capacity(ds.parts.len());
+        let mut emitter = Emitter::new();
+        for part in &ds.parts {
+            self.stack
+                .task_runner
+                .run(ctx, &self.stack.mix, &self.scratch);
+            let mut out = Part::default();
+            let record_loop = ctx.loop_start();
+            let mut remaining = part.records.len();
+            for (rec, &addr) in part.records.iter().zip(&part.addrs) {
+                // The iterator chain: each hop is an indirect call into a
+                // distinct framework frame.
+                for hop in 0..self.config.iterator_chain {
+                    let routine = match hop % 3 {
+                        0 => self.stack.iter_next,
+                        1 => self.stack.closure_glue,
+                        _ => self.stack.memory_manager,
+                    };
+                    ctx.dispatch(routine.region, |ctx| {
+                        ctx.boilerplate(&self.stack.mix, u64::from(routine.units), &self.scratch);
+                    });
+                }
+                ctx.dispatch(self.stack.closure_glue.region, |ctx| {
+                    f(ctx, rec, addr, &mut emitter);
+                });
+                for new_rec in emitter.take() {
+                    let new_addr = self.put_block(ctx, &new_rec);
+                    out.records.push(new_rec);
+                    out.addrs.push(new_addr);
+                }
+                self.service_tick(ctx);
+                remaining -= 1;
+                ctx.loop_back(record_loop, remaining > 0);
+            }
+            out_parts.push(out);
+        }
+        Dataset {
+            parts: out_parts,
+            cached: false,
+        }
+    }
+
+    /// Wide transformation: groups records by key hash across partitions,
+    /// merging values with `merge` on both the map side (combining) and the
+    /// reduce side — the `reduceByKey` analog. Charges a shuffle phase.
+    pub fn reduce_by_key(
+        &mut self,
+        ctx: &mut ExecCtx<'_>,
+        ds: &Dataset,
+        merge: &mut dyn FnMut(&mut ExecCtx<'_>, &Record, &Record) -> Record,
+    ) -> Dataset {
+        let ops0 = ctx.ops_retired();
+        // Map-side combine per partition.
+        let mut combined: Vec<Vec<Record>> = Vec::with_capacity(ds.parts.len());
+        for part in &ds.parts {
+            let mut table: HashMap<Vec<u8>, Record> = HashMap::new();
+            for (rec, &addr) in part.records.iter().zip(&part.addrs) {
+                self.stack
+                    .hash_agg
+                    .enter(ctx, &self.stack.mix, &self.scratch, |ctx| {
+                        trace_scan(ctx, addr, rec.key.len() as u64);
+                        ctx.int_other(4);
+                    });
+                match table.remove(&rec.key) {
+                    Some(prev) => {
+                        let merged = merge(ctx, &prev, rec);
+                        table.insert(rec.key.clone(), merged);
+                    }
+                    None => {
+                        table.insert(rec.key.clone(), rec.clone());
+                    }
+                }
+                self.service_tick(ctx);
+            }
+            let mut v: Vec<Record> = table.into_values().collect();
+            v.sort_by(|a, b| a.key.cmp(&b.key)); // deterministic order
+            combined.push(v);
+        }
+        let shuffled = self.shuffle(ctx, combined, ops0, "reduce_by_key");
+        // Reduce-side final merge.
+        let mut parts = Vec::with_capacity(shuffled.len());
+        for bucket in shuffled {
+            let mut table: HashMap<Vec<u8>, Record> = HashMap::new();
+            for rec in bucket {
+                self.stack.hash_agg.run(ctx, &self.stack.mix, &self.scratch);
+                match table.remove(&rec.key) {
+                    Some(prev) => {
+                        let merged = merge(ctx, &prev, &rec);
+                        table.insert(rec.key.clone(), merged);
+                    }
+                    None => {
+                        table.insert(rec.key.clone(), rec);
+                    }
+                }
+            }
+            let mut recs: Vec<Record> = table.into_values().collect();
+            recs.sort_by(|a, b| a.key.cmp(&b.key));
+            let mut part = Part::default();
+            for rec in recs {
+                let addr = self.put_block(ctx, &rec);
+                part.records.push(rec);
+                part.addrs.push(addr);
+            }
+            parts.push(part);
+        }
+        Dataset {
+            parts,
+            cached: false,
+        }
+    }
+
+    /// Wide transformation: brings records with equal keys together and
+    /// key-sorts each partition (the `groupByKey` analog; groups are the
+    /// equal-key runs of the sorted partitions).
+    pub fn group_by_key(&mut self, ctx: &mut ExecCtx<'_>, ds: &Dataset) -> Dataset {
+        let ops0 = ctx.ops_retired();
+        let per_part: Vec<Vec<Record>> = ds.parts.iter().map(|p| p.records.clone()).collect();
+        let shuffled = self.shuffle(ctx, per_part, ops0, "group_by_key");
+        let parts = shuffled
+            .into_iter()
+            .map(|b| self.sorted_part(ctx, b))
+            .collect();
+        Dataset {
+            parts,
+            cached: false,
+        }
+    }
+
+    /// Wide transformation: global sort by key via range partitioning and
+    /// per-partition traced sort (the `sortByKey` analog).
+    pub fn sort_by_key(&mut self, ctx: &mut ExecCtx<'_>, ds: &Dataset) -> Dataset {
+        let ops0 = ctx.ops_retired();
+        // Range partition on the first two key bytes.
+        let n = self.config.partitions;
+        let mut buckets: Vec<Vec<Record>> = vec![Vec::new(); n];
+        for part in &ds.parts {
+            for rec in &part.records {
+                let rank = u64::from(rec.key.first().copied().unwrap_or(0)) * 256
+                    + u64::from(rec.key.get(1).copied().unwrap_or(0));
+                let b = (rank as usize * n) / 65536;
+                buckets[b.min(n - 1)].push(rec.clone());
+            }
+        }
+        let shuffled = self.shuffle_ranged(ctx, buckets, ops0, "sort_by_key");
+        let parts = shuffled
+            .into_iter()
+            .map(|b| self.sorted_part(ctx, b))
+            .collect();
+        Dataset {
+            parts,
+            cached: false,
+        }
+    }
+
+    fn sorted_part(&mut self, ctx: &mut ExecCtx<'_>, bucket: Vec<Record>) -> Part {
+        let mut records = bucket;
+        let mut addrs: Vec<u64> = records
+            .iter()
+            .map(|r| self.blocks.push(r.byte_size().max(1)))
+            .collect();
+        ctx.frame(self.stack.ext_sorter.region, |ctx| {
+            ctx.boilerplate(
+                &self.stack.mix,
+                u64::from(self.stack.ext_sorter.units),
+                &self.scratch,
+            );
+            traced_sort_by_key(ctx, &mut records, &mut addrs);
+        });
+        Part { records, addrs }
+    }
+
+    /// Hash-join two datasets on exact key (inner join). Joined values are
+    /// concatenated `left ++ right`.
+    pub fn join(&mut self, ctx: &mut ExecCtx<'_>, left: &Dataset, right: &Dataset) -> Dataset {
+        let ops0 = ctx.ops_retired();
+        let l = self.shuffle(
+            ctx,
+            left.parts.iter().map(|p| p.records.clone()).collect(),
+            ops0,
+            "join_left",
+        );
+        let ops1 = ctx.ops_retired();
+        let r = self.shuffle(
+            ctx,
+            right.parts.iter().map(|p| p.records.clone()).collect(),
+            ops1,
+            "join_right",
+        );
+        let mut parts = Vec::with_capacity(l.len());
+        for (lb, rb) in l.into_iter().zip(r) {
+            let mut table: HashMap<Vec<u8>, Vec<Record>> = HashMap::new();
+            for rec in lb {
+                self.stack.hash_agg.run(ctx, &self.stack.mix, &self.scratch);
+                table.entry(rec.key.clone()).or_default().push(rec);
+            }
+            let mut part = Part::default();
+            for rec in rb {
+                self.stack.hash_agg.run(ctx, &self.stack.mix, &self.scratch);
+                if let Some(matches) = table.get(&rec.key) {
+                    for m in matches {
+                        let mut value = m.value.clone();
+                        value.extend_from_slice(&rec.value);
+                        let joined = Record::new(rec.key.clone(), value);
+                        let addr = self.put_block(ctx, &joined);
+                        part.records.push(joined);
+                        part.addrs.push(addr);
+                    }
+                }
+            }
+            parts.push(part);
+        }
+        Dataset {
+            parts,
+            cached: false,
+        }
+    }
+
+    /// Hash-partitioned shuffle (wide dependency).
+    fn shuffle(
+        &mut self,
+        ctx: &mut ExecCtx<'_>,
+        inputs: Vec<Vec<Record>>,
+        ops0: u64,
+        name: &str,
+    ) -> Vec<Vec<Record>> {
+        let n = self.config.partitions;
+        let mut buckets: Vec<Vec<Record>> = vec![Vec::new(); n];
+        for records in inputs {
+            for rec in records {
+                let p = crate::mapreduce::partition_of(&rec.key, n);
+                self.shuffle_write_one(ctx, &rec);
+                buckets[p].push(rec);
+            }
+        }
+        self.shuffle_read_side(ctx, &buckets, ops0, name);
+        buckets
+    }
+
+    /// Pre-bucketed shuffle (range partitioning).
+    fn shuffle_ranged(
+        &mut self,
+        ctx: &mut ExecCtx<'_>,
+        buckets: Vec<Vec<Record>>,
+        ops0: u64,
+        name: &str,
+    ) -> Vec<Vec<Record>> {
+        for bucket in &buckets {
+            for rec in bucket {
+                self.shuffle_write_one(ctx, rec);
+            }
+        }
+        self.shuffle_read_side(ctx, &buckets, ops0, name);
+        buckets
+    }
+
+    fn shuffle_write_one(&mut self, ctx: &mut ExecCtx<'_>, rec: &Record) {
+        let len = rec.byte_size();
+        let src = self.blocks.push(len.max(1));
+        self.stack
+            .shuffle_writer
+            .enter(ctx, &self.stack.mix, &self.scratch, |ctx| {
+                trace_copy(ctx, src, self.scratch.base(), len.min(self.scratch.len()));
+            });
+        self.stack.kryo.run(ctx, &self.stack.mix, &self.scratch);
+    }
+
+    fn shuffle_read_side(
+        &mut self,
+        ctx: &mut ExecCtx<'_>,
+        buckets: &[Vec<Record>],
+        ops0: u64,
+        name: &str,
+    ) {
+        let n = self.config.partitions;
+        let bytes: u64 = buckets.iter().map(|b| crate::record::total_bytes(b)).sum();
+        self.stack.netty.run(ctx, &self.stack.mix, &self.scratch);
+        for bucket in buckets {
+            self.stack
+                .shuffle_reader
+                .enter(ctx, &self.stack.mix, &self.scratch, |ctx| {
+                    for rec in bucket.iter().take(64) {
+                        trace_scan(ctx, self.scratch.base(), rec.byte_size().clamp(1, 512));
+                    }
+                });
+        }
+        let remote = (n.saturating_sub(1)) as f64 / n as f64;
+        self.stats.intermediate_bytes += bytes;
+        self.stats.phases.push(Phase {
+            name: format!("shuffle:{name}"),
+            instructions: ctx.ops_retired() - ops0,
+            disk_read_bytes: 0,
+            // Shuffle files are written through the page cache; roughly
+            // half is flushed to disk within the job's lifetime.
+            disk_write_bytes: bytes / 2,
+            net_bytes: (bytes as f64 * remote) as u64,
+            io_parallelism: 8.0,
+        });
+    }
+
+    /// Writes a dataset out, charging the output phase, and returns the
+    /// records (partition order).
+    pub fn save(&mut self, ctx: &mut ExecCtx<'_>, ds: &Dataset) -> Vec<Record> {
+        let ops0 = ctx.ops_retired();
+        let mut out = Vec::with_capacity(ds.len());
+        let mut bytes = 0u64;
+        for part in &ds.parts {
+            for (rec, &addr) in part.records.iter().zip(&part.addrs) {
+                let len = rec.byte_size();
+                bytes += len;
+                self.stack
+                    .block_manager
+                    .enter(ctx, &self.stack.mix, &self.scratch, |ctx| {
+                        trace_copy(ctx, addr, self.scratch.base(), len.min(self.scratch.len()));
+                    });
+                out.push(rec.clone());
+            }
+        }
+        self.stats.output_bytes += bytes;
+        self.stats.phases.push(Phase {
+            name: "save".into(),
+            instructions: ctx.ops_retired() - ops0,
+            disk_read_bytes: 0,
+            disk_write_bytes: bytes,
+            net_bytes: 0,
+            io_parallelism: 4.0,
+        });
+        out
+    }
+
+    /// Adds a compute-only phase covering ops retired since `ops0` (used by
+    /// iterative drivers between materialization points).
+    pub fn note_compute_phase(&mut self, ctx: &ExecCtx<'_>, name: &str, ops0: u64) {
+        self.stats
+            .phases
+            .push(Phase::compute(name, ctx.ops_retired() - ops0));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sort::group_runs;
+    use bdb_trace::MixSink;
+
+    fn with_engine<R>(
+        f: impl FnOnce(&mut Dataflow<'_>, &mut ExecCtx<'_>) -> R,
+    ) -> (R, bdb_trace::InstructionMix) {
+        let mut layout = CodeLayout::new();
+        let stack = SparkStack::register(&mut layout);
+        let mut sink = MixSink::new();
+        let mut ctx = ExecCtx::new(&layout, &mut sink);
+        let root = stack.root_region();
+        let out = ctx.frame(root, |ctx| {
+            let mut df = Dataflow::new(&stack, DataflowConfig::default(), ctx);
+            f(&mut df, ctx)
+        });
+        (out, sink.mix())
+    }
+
+    fn words(s: &str) -> Vec<Record> {
+        s.split_whitespace()
+            .map(|w| Record::new(w.as_bytes().to_vec(), vec![1]))
+            .collect()
+    }
+
+    #[test]
+    fn narrow_maps_records() {
+        let (out, mix) = with_engine(|df, ctx| {
+            let ds = df.parallelize(ctx, &words("a b c d e f"));
+            let upper = df.narrow(ctx, "upper", &ds, &mut |ctx, rec, addr, out| {
+                trace_scan(ctx, addr, rec.byte_size());
+                out.emit(Record::new(rec.key.to_ascii_uppercase(), rec.value.clone()));
+            });
+            df.save(ctx, &upper)
+        });
+        let keys: Vec<Vec<u8>> = out.into_iter().map(|r| r.key).collect();
+        assert!(keys.contains(&b"A".to_vec()));
+        assert_eq!(keys.len(), 6);
+        assert!(mix.branches > 0);
+    }
+
+    #[test]
+    fn narrow_filter_drops_records() {
+        let (out, _) = with_engine(|df, ctx| {
+            let ds = df.parallelize(ctx, &words("keep drop keep drop drop"));
+            let kept = df.narrow(ctx, "filter", &ds, &mut |ctx, rec, _, out| {
+                let keep = rec.key == b"keep";
+                ctx.cond_branch(keep);
+                if keep {
+                    out.emit(rec.clone());
+                }
+            });
+            kept.len()
+        });
+        assert_eq!(out, 2);
+    }
+
+    #[test]
+    fn reduce_by_key_counts_words() {
+        let (out, _) = with_engine(|df, ctx| {
+            let ds = df.parallelize(ctx, &words("x y x z x y"));
+            let counted = df.reduce_by_key(ctx, &ds, &mut |ctx, a, b| {
+                ctx.int_other(1);
+                Record::new(a.key.clone(), vec![a.value[0] + b.value[0]])
+            });
+            df.save(ctx, &counted)
+        });
+        let mut m = std::collections::HashMap::new();
+        for r in out {
+            m.insert(r.key, r.value[0]);
+        }
+        assert_eq!(m[&b"x".to_vec()], 3);
+        assert_eq!(m[&b"y".to_vec()], 2);
+        assert_eq!(m[&b"z".to_vec()], 1);
+    }
+
+    #[test]
+    fn sort_by_key_orders_globally() {
+        let (got, _) = with_engine(|df, ctx| {
+            let recs: Vec<Record> = [9u8, 3, 200, 7, 120, 45, 1]
+                .iter()
+                .map(|&k| Record::new(vec![k], vec![]))
+                .collect();
+            let ds = df.parallelize(ctx, &recs);
+            let sorted = df.sort_by_key(ctx, &ds);
+            sorted
+                .parts
+                .iter()
+                .flat_map(|p| p.records.iter().map(|r| r.key[0]))
+                .collect::<Vec<u8>>()
+        });
+        let mut expected = got.clone();
+        expected.sort_unstable();
+        assert_eq!(
+            got, expected,
+            "range partition + local sort must globally sort"
+        );
+    }
+
+    #[test]
+    fn join_matches_keys() {
+        let (out, _) = with_engine(|df, ctx| {
+            let left = df.parallelize(
+                ctx,
+                &[
+                    Record::new(b"k1".to_vec(), b"L1".to_vec()),
+                    Record::new(b"k2".to_vec(), b"L2".to_vec()),
+                ],
+            );
+            let right = df.parallelize(
+                ctx,
+                &[
+                    Record::new(b"k2".to_vec(), b"R2".to_vec()),
+                    Record::new(b"k3".to_vec(), b"R3".to_vec()),
+                ],
+            );
+            let joined = df.join(ctx, &left, &right);
+            df.save(ctx, &joined)
+        });
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].key, b"k2".to_vec());
+        assert_eq!(out[0].value, b"L2R2".to_vec());
+    }
+
+    #[test]
+    fn group_by_key_collects_equal_keys() {
+        let (groups, _) = with_engine(|df, ctx| {
+            let ds = df.parallelize(ctx, &words("m n m o m n"));
+            let grouped = df.group_by_key(ctx, &ds);
+            grouped
+                .parts
+                .iter()
+                .flat_map(|p| {
+                    group_runs(&p.records)
+                        .into_iter()
+                        .map(|(lo, hi)| (p.records[lo].key.clone(), hi - lo))
+                        .collect::<Vec<_>>()
+                })
+                .collect::<Vec<_>>()
+        });
+        let mut flat = groups;
+        flat.sort();
+        assert_eq!(
+            flat,
+            vec![(b"m".to_vec(), 3), (b"n".to_vec(), 2), (b"o".to_vec(), 1)]
+        );
+    }
+
+    #[test]
+    fn stats_track_shuffle_and_output() {
+        let (stats, _) = with_engine(|df, ctx| {
+            let ds = df.read_input(ctx, &words("p q p"));
+            let counted = df.reduce_by_key(ctx, &ds, &mut |_, a, b| {
+                Record::new(a.key.clone(), vec![a.value[0] + b.value[0]])
+            });
+            df.save(ctx, &counted);
+            df.stats().clone()
+        });
+        assert!(stats.input_bytes > 0);
+        assert!(stats.intermediate_bytes > 0);
+        assert!(stats.output_bytes > 0);
+        assert!(stats.phases.iter().any(|p| p.name.starts_with("shuffle")));
+        assert!(stats.phases.iter().any(|p| p.net_bytes > 0));
+    }
+
+    #[test]
+    fn cache_marks_dataset() {
+        let ((), _) = with_engine(|df, ctx| {
+            let mut ds = df.parallelize(ctx, &words("a b"));
+            assert!(!ds.cached);
+            df.cache(ctx, &mut ds);
+            assert!(ds.cached);
+        });
+    }
+
+    #[test]
+    fn iterator_chain_emits_indirect_branches() {
+        use bdb_trace::{BranchKind, MicroOp, TraceSink};
+        #[derive(Default)]
+        struct IndirectCount(u64);
+        impl TraceSink for IndirectCount {
+            fn exec(&mut self, _pc: u64, op: MicroOp) {
+                if let MicroOp::Branch {
+                    kind: BranchKind::Indirect,
+                    ..
+                } = op
+                {
+                    self.0 += 1;
+                }
+            }
+        }
+        let mut layout = CodeLayout::new();
+        let stack = SparkStack::register(&mut layout);
+        let mut sink = IndirectCount::default();
+        let mut ctx = ExecCtx::new(&layout, &mut sink);
+        let root = stack.root_region();
+        ctx.frame(root, |ctx| {
+            let mut df = Dataflow::new(&stack, DataflowConfig::default(), ctx);
+            let ds = df.parallelize(ctx, &words("a b c d"));
+            let _ = df.narrow(ctx, "id", &ds, &mut |_, rec, _, out| out.emit(rec.clone()));
+        });
+        drop(ctx);
+        // 4 records x (3 chain hops + 1 closure dispatch) minimum.
+        assert!(sink.0 >= 16, "indirect branches {}", sink.0);
+    }
+
+    #[test]
+    fn dataset_helpers() {
+        let (ds, _) = with_engine(|df, ctx| df.parallelize(ctx, &words("one two three")));
+        assert_eq!(ds.len(), 3);
+        assert!(!ds.is_empty());
+        assert!(ds.byte_size() > 0);
+        assert_eq!(ds.iter().count(), 3);
+    }
+}

@@ -1,0 +1,41 @@
+//! Miniature big-data software stacks — the heart of the reproduction's
+//! substitution for real Hadoop/Spark/MPI/Hive/Shark/Impala/HBase
+//! deployments.
+//!
+//! The paper's central finding (observation O4) is that *the software stack
+//! dominates micro-architectural behaviour*: the same WordCount shows L1I
+//! MPKI of 2 on MPI, 7 on Hadoop, and 17 on Spark, because deep managed
+//! stacks execute orders of magnitude more framework code per record. To
+//! reproduce that honestly, this crate implements working miniatures of
+//! each stack — engines that really split inputs, really serialize records,
+//! really sort spills, really shuffle partitions — all narrated through
+//! [`bdb_trace::ExecCtx`] so that every framework code path occupies its own
+//! [code region](bdb_trace::CodeRegion) and contributes its real dynamic
+//! instruction footprint.
+//!
+//! * [`mapreduce`] — Hadoop-like engine: splits, record readers,
+//!   map/combine/spill-sort/shuffle/merge/reduce, plus managed-runtime
+//!   services (GC scans, progress reports) — a *deep, wide* code base.
+//! * [`dataflow`] — Spark-like engine: typed-as-bytes datasets, pipelined
+//!   narrow stages with virtual-dispatch iterator chains, wide shuffles and
+//!   in-memory caching — *deep and dispatch-heavy*.
+//! * [`mpi`] — thin message-passing runtime with supersteps and collectives
+//!   — *shallow*, the control in the paper's stack study.
+//! * [`sql`] — relational plans (scan/filter/project/sort/aggregate/join/
+//!   difference) executed in Hive mode (compiled to MapReduce jobs), Shark
+//!   mode (compiled to dataflow stages), or Impala mode (native operators).
+//! * [`kvstore`] — HBase-like LSM key-value service with stochastic request
+//!   routing across many handler paths (the service-class workloads).
+//! * [`record`], [`runtime`] — shared record model and resource accounting.
+
+pub mod dataflow;
+pub mod kvstore;
+pub mod mapreduce;
+pub mod mpi;
+pub mod record;
+pub mod runtime;
+pub mod sort;
+pub mod sql;
+
+pub use record::Record;
+pub use runtime::{DataBehavior, Relation, RunStats, StackKind};

@@ -1,0 +1,354 @@
+//! The thin MPI-like message-passing runtime.
+//!
+//! The control arm of the paper's software-stack study (§5.5): the same
+//! algorithms that run on the deep Hadoop/Spark stacks also run SPMD-style
+//! on this runtime, whose entire framework text is ~100 KiB with narrow,
+//! hot code paths. That is what produces the paper's order-of-magnitude
+//! L1I MPKI gap (M-WordCount 2 vs H-WordCount 7 vs S-WordCount 17) and the
+//! higher MPI IPC.
+//!
+//! Execution is bulk-synchronous: ranks run supersteps locally and
+//! exchange messages at barriers, which keeps the simulation single-
+//! threaded and deterministic while exercising real communication volume.
+
+use crate::record::{trace_copy, Record};
+use crate::runtime::{Routine, RunStats};
+use bdb_node::Phase;
+use bdb_trace::{CodeLayout, ExecCtx, MemRegion, OpMix};
+
+/// The registered routine set of the MPI-like runtime (~100 KiB total; zero
+/// spread — the hot paths are the whole story).
+#[derive(Debug, Clone)]
+pub struct MpiStack {
+    mix: OpMix,
+    init: Routine,
+    send: Routine,
+    recv: Routine,
+    collective: Routine,
+    barrier: Routine,
+    /// Region for user rank code that has no kernel-specific region.
+    user: Routine,
+}
+
+impl MpiStack {
+    /// Registers all runtime routines in `layout`.
+    pub fn register(layout: &mut CodeLayout) -> Self {
+        let r = |layout: &mut CodeLayout, name: &str, kib: u64, units: u32| {
+            Routine::register(layout, format!("mpi::{name}"), kib * 1024, units, 45)
+        };
+        Self {
+            mix: OpMix::integer_compute(),
+            init: r(layout, "init", 24, 300),
+            send: r(layout, "isend", 16, 14),
+            recv: r(layout, "irecv", 16, 14),
+            collective: r(layout, "collective", 20, 20),
+            barrier: r(layout, "barrier", 8, 10),
+            user: r(layout, "rank_main", 24, 10),
+        }
+    }
+
+    /// Region for rank-local driver code.
+    pub fn root_region(&self) -> bdb_trace::RegionId {
+        self.user.region
+    }
+}
+
+/// A message in flight between ranks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Message {
+    /// Sending rank.
+    pub from: usize,
+    /// Destination rank.
+    pub to: usize,
+    /// Payload record.
+    pub payload: Record,
+}
+
+/// Outbox handed to each rank during a superstep.
+#[derive(Debug, Default)]
+pub struct Outbox {
+    messages: Vec<Message>,
+}
+
+impl Outbox {
+    /// Sends `payload` to `to`.
+    pub fn send(&mut self, from: usize, to: usize, payload: Record) {
+        self.messages.push(Message { from, to, payload });
+    }
+
+    /// Number of queued messages.
+    pub fn len(&self) -> usize {
+        self.messages.len()
+    }
+
+    /// Returns `true` when no messages are queued.
+    pub fn is_empty(&self) -> bool {
+        self.messages.is_empty()
+    }
+}
+
+/// The bulk-synchronous world: per-rank state of type `S`.
+#[derive(Debug)]
+pub struct MpiWorld<'s, S> {
+    stack: &'s MpiStack,
+    scratch: MemRegion,
+    msg_region: MemRegion,
+    /// Per-rank state.
+    pub states: Vec<S>,
+    inboxes: Vec<Vec<Record>>,
+    stats: RunStats,
+}
+
+impl<'s, S> MpiWorld<'s, S> {
+    /// Creates a world with one state per rank, narrating `MPI_Init`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `states` is empty.
+    pub fn new(stack: &'s MpiStack, ctx: &mut ExecCtx<'_>, states: Vec<S>) -> Self {
+        assert!(!states.is_empty(), "world needs at least one rank");
+        let scratch = ctx.scratch_alloc(16 * 1024, 64);
+        let msg_region = ctx.heap_alloc(4 << 20, 64);
+        stack.init.run(ctx, &stack.mix, &scratch);
+        let ranks = states.len();
+        Self {
+            stack,
+            scratch,
+            msg_region,
+            states,
+            inboxes: (0..ranks).map(|_| Vec::new()).collect(),
+            stats: RunStats::default(),
+        }
+    }
+
+    /// Number of ranks.
+    pub fn ranks(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Records an input volume (ranks read their partitions from disk).
+    pub fn charge_input(&mut self, ctx: &ExecCtx<'_>, bytes: u64, ops0: u64) {
+        self.stats.input_bytes += bytes;
+        self.stats.phases.push(Phase {
+            name: "read".into(),
+            instructions: ctx.ops_retired() - ops0,
+            disk_read_bytes: bytes,
+            disk_write_bytes: 0,
+            net_bytes: 0,
+            io_parallelism: 4.0,
+        });
+    }
+
+    /// Records an output volume.
+    pub fn charge_output(&mut self, ctx: &ExecCtx<'_>, bytes: u64, ops0: u64) {
+        self.stats.output_bytes += bytes;
+        self.stats.phases.push(Phase {
+            name: "write".into(),
+            instructions: ctx.ops_retired() - ops0,
+            disk_read_bytes: 0,
+            disk_write_bytes: bytes,
+            net_bytes: 0,
+            io_parallelism: 2.0,
+        });
+    }
+
+    /// Runs one superstep: `step` executes for every rank (receiving the
+    /// rank's inbox from the previous step), then queued messages are
+    /// delivered with traced copies and network accounting.
+    pub fn superstep(
+        &mut self,
+        ctx: &mut ExecCtx<'_>,
+        name: &str,
+        mut step: impl FnMut(&mut ExecCtx<'_>, usize, &mut S, &[Record], &mut Outbox),
+    ) {
+        let ops0 = ctx.ops_retired();
+        let mut outbox = Outbox::default();
+        let ranks = self.states.len();
+        let stack = self.stack;
+        let scratch = self.scratch;
+        for rank in 0..ranks {
+            let inbox = std::mem::take(&mut self.inboxes[rank]);
+            let state = &mut self.states[rank];
+            stack.user.enter(ctx, &stack.mix, &scratch, |ctx| {
+                step(ctx, rank, state, &inbox, &mut outbox);
+            });
+        }
+        self.stack.barrier.run(ctx, &self.stack.mix, &self.scratch);
+        // Deliver.
+        let mut net_bytes = 0u64;
+        let mut cursor = 0u64;
+        for msg in outbox.messages {
+            let len = msg.payload.byte_size().max(1);
+            if msg.from != msg.to {
+                net_bytes += len;
+            }
+            let dst = self.msg_region.base() + (cursor % self.msg_region.len().max(1));
+            cursor += len;
+            self.stack.send.run(ctx, &self.stack.mix, &self.scratch);
+            self.stack
+                .recv
+                .enter(ctx, &self.stack.mix, &self.scratch, |ctx| {
+                    trace_copy(ctx, self.scratch.base(), dst, len.min(self.scratch.len()));
+                });
+            self.inboxes[msg.to].push(msg.payload);
+        }
+        self.stats.intermediate_bytes += net_bytes;
+        self.stats.phases.push(Phase {
+            name: format!("superstep:{name}"),
+            instructions: ctx.ops_retired() - ops0,
+            disk_read_bytes: 0,
+            disk_write_bytes: 0,
+            net_bytes,
+            io_parallelism: 2.0,
+        });
+    }
+
+    /// All-reduce of per-rank f64 vectors with `op`, narrated through the
+    /// collective routine. Every rank ends with the combined vector.
+    pub fn allreduce_f64(
+        &mut self,
+        ctx: &mut ExecCtx<'_>,
+        vectors: Vec<Vec<f64>>,
+        op: impl Fn(f64, f64) -> f64,
+    ) -> Vec<f64> {
+        assert_eq!(vectors.len(), self.ranks(), "one vector per rank");
+        let width = vectors.first().map(Vec::len).unwrap_or(0);
+        let mut acc = vec![0.0f64; width];
+        self.stack
+            .collective
+            .enter(ctx, &self.stack.mix, &self.scratch, |ctx| {
+                let mut first = true;
+                for v in &vectors {
+                    assert_eq!(v.len(), width, "ragged allreduce");
+                    let top = ctx.loop_start();
+                    for (i, &x) in v.iter().enumerate() {
+                        ctx.read_fp(
+                            self.msg_region.base() + (i as u64 * 8) % self.msg_region.len(),
+                            8,
+                        );
+                        ctx.fp_ops(1);
+                        acc[i] = if first { x } else { op(acc[i], x) };
+                        ctx.loop_back(top, i + 1 < width);
+                    }
+                    first = false;
+                }
+            });
+        let bytes = (width * 8 * self.ranks()) as u64;
+        self.stats.phases.push(Phase {
+            name: "allreduce".into(),
+            instructions: 0,
+            disk_read_bytes: 0,
+            disk_write_bytes: 0,
+            net_bytes: bytes,
+            io_parallelism: 1.0,
+        });
+        acc
+    }
+
+    /// Accumulated accounting so far.
+    pub fn stats(&self) -> &RunStats {
+        &self.stats
+    }
+
+    /// Finishes the run.
+    pub fn finish(self) -> RunStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bdb_trace::MixSink;
+
+    fn with_world<R>(
+        ranks: usize,
+        f: impl FnOnce(&mut MpiWorld<'_, Vec<u64>>, &mut ExecCtx<'_>) -> R,
+    ) -> (R, bdb_trace::InstructionMix) {
+        let mut layout = CodeLayout::new();
+        let stack = MpiStack::register(&mut layout);
+        let mut sink = MixSink::new();
+        let mut ctx = ExecCtx::new(&layout, &mut sink);
+        let root = stack.root_region();
+        let out = ctx.frame(root, |ctx| {
+            let mut world = MpiWorld::new(&stack, ctx, vec![Vec::new(); ranks]);
+            f(&mut world, ctx)
+        });
+        (out, sink.mix())
+    }
+
+    #[test]
+    fn messages_are_delivered_next_superstep() {
+        let (received, _) = with_world(3, |world, ctx| {
+            world.superstep(ctx, "send", |_, rank, _, inbox, out| {
+                assert!(inbox.is_empty(), "first superstep has empty inboxes");
+                out.send(rank, (rank + 1) % 3, Record::new(vec![rank as u8], vec![]));
+            });
+            let mut got = vec![None; 3];
+            world.superstep(ctx, "recv", |_, rank, _, inbox, _| {
+                got[rank] = inbox.first().map(|r| r.key[0]);
+            });
+            got
+        });
+        assert_eq!(received, vec![Some(2), Some(0), Some(1)]);
+    }
+
+    #[test]
+    fn allreduce_sums_across_ranks() {
+        let (sum, mix) = with_world(4, |world, ctx| {
+            let vectors = vec![vec![1.0, 2.0]; 4];
+            world.allreduce_f64(ctx, vectors, |a, b| a + b)
+        });
+        assert_eq!(sum, vec![4.0, 8.0]);
+        assert!(mix.fp >= 8, "collective must do FP work: {}", mix.fp);
+    }
+
+    #[test]
+    fn network_bytes_counted_for_remote_messages_only() {
+        let (stats, _) = with_world(2, |world, ctx| {
+            world.superstep(ctx, "mixed", |_, rank, _, _, out| {
+                out.send(rank, rank, Record::new(vec![0; 10], vec![])); // local
+                out.send(rank, 1 - rank, Record::new(vec![0; 10], vec![])); // remote
+            });
+            world.stats().clone()
+        });
+        let step = stats
+            .phases
+            .iter()
+            .find(|p| p.name.starts_with("superstep"))
+            .unwrap();
+        assert_eq!(step.net_bytes, 20);
+    }
+
+    #[test]
+    fn thin_stack_emits_far_fewer_ops_than_deep_stacks() {
+        // Rough depth check: one superstep over 3 ranks with no work should
+        // cost well under the MapReduce job_setup alone.
+        let ((), mix) = with_world(3, |world, ctx| {
+            world.superstep(ctx, "noop", |_, _, _, _, _| {});
+        });
+        assert!(mix.total() < 1500, "thin stack too chatty: {}", mix.total());
+    }
+
+    #[test]
+    fn input_output_accounting() {
+        let (stats, _) = with_world(2, |world, ctx| {
+            let ops = ctx.ops_retired();
+            world.charge_input(ctx, 1000, ops);
+            world.charge_output(ctx, 300, ops);
+            world.stats().clone()
+        });
+        assert_eq!(stats.input_bytes, 1000);
+        assert_eq!(stats.output_bytes, 300);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn empty_world_panics() {
+        let mut layout = CodeLayout::new();
+        let stack = MpiStack::register(&mut layout);
+        let mut sink = MixSink::new();
+        let mut ctx = ExecCtx::new(&layout, &mut sink);
+        let _world: MpiWorld<'_, ()> = MpiWorld::new(&stack, &mut ctx, Vec::new());
+    }
+}

@@ -1,0 +1,761 @@
+//! The instrumented execution context.
+//!
+//! [`ExecCtx`] is what every workload and software stack runs on: it owns
+//! the current program counter (a cursor inside the current
+//! [`CodeRegion`](crate::CodeRegion) frame), the simulated heap, and the
+//! connection to the [`TraceSink`]. Kernels perform their real computation
+//! in Rust and narrate it through the emit methods; the resulting `(pc, op)`
+//! stream is what the micro-architecture simulator measures.
+
+use crate::mem::{MemRegion, SimAlloc};
+use crate::op::{BranchKind, IntPurpose, MicroOp};
+use crate::region::{CodeLayout, RegionId};
+use crate::sink::TraceSink;
+
+/// Bytes of code one emitted micro-op represents.
+const INSTR_BYTES: u64 = 4;
+
+/// A saved loop-start position inside the current frame, created by
+/// [`ExecCtx::loop_start`] and consumed by [`ExecCtx::loop_back`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoopLabel {
+    cursor: u64,
+    depth: usize,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Frame {
+    base: u64,
+    size: u64,
+    cursor: u64,
+}
+
+impl Frame {
+    fn pc(&self) -> u64 {
+        self.base + self.cursor
+    }
+
+    fn advance(&mut self) {
+        self.cursor += INSTR_BYTES;
+        if self.cursor >= self.size {
+            // Fell off the end of the routine: model it as an internal loop
+            // back to the routine entry. Footprint stays capped at `size`.
+            self.cursor = 0;
+        }
+    }
+}
+
+/// One class slot in a precomputed [`OpMix`] pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PatKind {
+    Load,
+    Store,
+    IntAddr,
+    FpAddr,
+    IntOther,
+    Fp,
+    Branch,
+}
+
+/// A precomputed instruction-class pattern for framework boilerplate.
+///
+/// Software stacks register their routines once and describe the flavour of
+/// each routine's code with an `OpMix` — e.g. a record reader is load- and
+/// branch-heavy while a checksum routine is integer-heavy. Patterns are
+/// interleaved (Bresenham-style) so emission round-robins realistically
+/// rather than emitting class blocks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpMix {
+    pattern: Vec<PatKind>,
+}
+
+impl OpMix {
+    /// Builds a mix from per-class weights (relative, any scale).
+    ///
+    /// # Panics
+    ///
+    /// Panics if all weights are zero.
+    pub fn new(
+        loads: u32,
+        stores: u32,
+        int_addr: u32,
+        int_other: u32,
+        fp: u32,
+        branches: u32,
+    ) -> Self {
+        Self::with_fp_addr(loads, stores, int_addr, 0, int_other, fp, branches)
+    }
+
+    /// Builds a mix with an explicit floating-point-address-calculation
+    /// weight (the Figure 2 category).
+    ///
+    /// # Panics
+    ///
+    /// Panics if all weights are zero.
+    pub fn with_fp_addr(
+        loads: u32,
+        stores: u32,
+        int_addr: u32,
+        fp_addr: u32,
+        int_other: u32,
+        fp: u32,
+        branches: u32,
+    ) -> Self {
+        let weights = [
+            (PatKind::Load, loads),
+            (PatKind::Store, stores),
+            (PatKind::IntAddr, int_addr),
+            (PatKind::FpAddr, fp_addr),
+            (PatKind::IntOther, int_other),
+            (PatKind::Fp, fp),
+            (PatKind::Branch, branches),
+        ];
+        let total: u32 = weights.iter().map(|&(_, w)| w).sum();
+        assert!(total > 0, "op mix must have at least one non-zero weight");
+        let mut acc = [0i64; 7];
+        let mut pattern = Vec::with_capacity(total as usize);
+        for _ in 0..total {
+            let mut best = 0;
+            for (i, &(_, w)) in weights.iter().enumerate() {
+                acc[i] += i64::from(w);
+                if acc[i] > acc[best] {
+                    best = i;
+                }
+            }
+            acc[best] -= i64::from(total);
+            pattern.push(weights[best].0);
+        }
+        Self { pattern }
+    }
+
+    /// Typical managed-runtime bookkeeping code: pointer-chasing loads,
+    /// heavy address arithmetic, conditional checks, little FP.
+    pub fn framework() -> Self {
+        OpMix::with_fp_addr(26, 9, 28, 7, 11, 1, 18)
+    }
+
+    /// Numeric inner-loop code: FP-heavy, few branches.
+    pub fn numeric() -> Self {
+        OpMix::new(24, 10, 6, 12, 40, 8)
+    }
+
+    /// Integer compute code (compression, hashing, state machines).
+    pub fn integer_compute() -> Self {
+        OpMix::new(22, 8, 16, 34, 0, 20)
+    }
+
+    /// Length of the interleaved pattern.
+    pub fn len(&self) -> usize {
+        self.pattern.len()
+    }
+
+    /// Returns `true` if the pattern is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.pattern.is_empty()
+    }
+}
+
+/// The instrumented execution context.
+///
+/// See the [crate documentation](crate) for the overall picture.
+///
+/// # Examples
+///
+/// ```
+/// use bdb_trace::{CodeLayout, CountingSink, ExecCtx};
+///
+/// let mut layout = CodeLayout::new();
+/// let main = layout.region("main", 1024);
+/// let mut sink = CountingSink::new();
+/// let mut ctx = ExecCtx::new(&layout, &mut sink);
+/// ctx.frame(main, |ctx| ctx.int_other(10));
+/// drop(ctx);
+/// assert!(sink.ops() >= 10);
+/// ```
+pub struct ExecCtx<'a> {
+    layout: &'a CodeLayout,
+    sink: &'a mut dyn TraceSink,
+    frames: Vec<Frame>,
+    heap: SimAlloc,
+    scratch: SimAlloc,
+    ops: u64,
+    boiler_idx: usize,
+    boiler_off: u64,
+    boiler_branch: u64,
+    spread_cursors: Vec<u32>,
+}
+
+impl std::fmt::Debug for ExecCtx<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExecCtx")
+            .field("frames", &self.frames.len())
+            .field("ops", &self.ops)
+            .finish()
+    }
+}
+
+impl<'a> ExecCtx<'a> {
+    /// Creates a context over a code layout and a sink.
+    pub fn new(layout: &'a CodeLayout, sink: &'a mut dyn TraceSink) -> Self {
+        Self {
+            layout,
+            sink,
+            frames: Vec::with_capacity(16),
+            heap: SimAlloc::heap(),
+            scratch: SimAlloc::scratch(),
+            ops: 0,
+            boiler_idx: 0,
+            boiler_off: 0,
+            boiler_branch: 0,
+            spread_cursors: Vec::new(),
+        }
+    }
+
+    /// Total micro-ops retired so far.
+    pub fn ops_retired(&self) -> u64 {
+        self.ops
+    }
+
+    /// Allocates long-lived workload data in the simulated heap.
+    pub fn heap_alloc(&mut self, len: u64, align: u64) -> MemRegion {
+        self.heap.alloc(len, align)
+    }
+
+    /// Allocates short-lived scratch (per-record framework buffers).
+    pub fn scratch_alloc(&mut self, len: u64, align: u64) -> MemRegion {
+        self.scratch.alloc(len, align)
+    }
+
+    /// Runs `f` inside a direct call to `region`.
+    ///
+    /// Emits the call branch, executes `f` with the program counter inside
+    /// `region`, then emits the return branch.
+    pub fn frame<R>(&mut self, region: RegionId, f: impl FnOnce(&mut Self) -> R) -> R {
+        self.enter(region, BranchKind::Call);
+        let out = f(self);
+        self.leave();
+        out
+    }
+
+    /// Like [`frame`](Self::frame), but execution enters the routine at a
+    /// deterministic pseudo-random instruction offset in `[0, spread_bytes)`
+    /// instead of at the entry point.
+    ///
+    /// Real framework routines are large and branchy: different invocations
+    /// exercise different basic blocks. Starting each invocation at a varied
+    /// offset makes the *union* of touched instruction bytes grow toward the
+    /// region size over many invocations — which is how the deep software
+    /// stacks accumulate their megabyte-scale instruction footprints (paper
+    /// Figures 6 and 9) — while each single invocation stays short.
+    ///
+    /// `spread_bytes` is clamped to the region size; `0` behaves exactly
+    /// like [`frame`](Self::frame).
+    pub fn frame_spread<R>(
+        &mut self,
+        region: RegionId,
+        spread_bytes: u64,
+        f: impl FnOnce(&mut Self) -> R,
+    ) -> R {
+        let size = self.layout.get(region).size;
+        let spread = spread_bytes.min(size);
+        let offset = if spread < 128 {
+            0
+        } else {
+            // Low-discrepancy rotation (golden-ratio stride, 64-byte
+            // quantized): successive invocations walk distinct paths that
+            // together cover the whole spread, after which the region is
+            // warm. This is what gives routines a *finite* footprint with
+            // a clean knee in the capacity-sweep curves.
+            let idx = region.index();
+            if self.spread_cursors.len() <= idx {
+                self.spread_cursors.resize(idx + 1, 0);
+            }
+            let k = self.spread_cursors[idx];
+            self.spread_cursors[idx] = k.wrapping_add(1);
+            let lines = spread / 64;
+            // 0x9E37_79B1 is prime, so k -> (k * P) % lines permutes the
+            // line indices: coverage completes in exactly `lines` calls.
+            ((u64::from(k).wrapping_mul(0x9E37_79B1)) % lines) * 64
+        };
+        self.enter_at(region, offset, BranchKind::Call);
+        let out = f(self);
+        self.leave();
+        out
+    }
+
+    /// Runs `f` inside an *indirect* call to `region` (virtual dispatch,
+    /// function pointers, switch tables). Indirect transfers are what stress
+    /// the BTB and the indirect predictor, so service request routing and
+    /// the dataflow engine's operator dispatch use this.
+    pub fn dispatch<R>(&mut self, region: RegionId, f: impl FnOnce(&mut Self) -> R) -> R {
+        self.enter(region, BranchKind::Indirect);
+        let out = f(self);
+        self.leave();
+        out
+    }
+
+    fn enter(&mut self, region: RegionId, kind: BranchKind) {
+        self.enter_at(region, 0, kind);
+    }
+
+    fn enter_at(&mut self, region: RegionId, offset: u64, kind: BranchKind) {
+        let r = self.layout.get(region);
+        let (base, size) = (r.base, r.size);
+        let cursor = offset.min(size.saturating_sub(4));
+        if let Some(top) = self.frames.last_mut() {
+            let pc = top.pc();
+            top.advance();
+            self.ops += 1;
+            self.sink.exec(
+                pc,
+                MicroOp::Branch {
+                    taken: true,
+                    target: base + cursor,
+                    kind,
+                },
+            );
+        }
+        self.frames.push(Frame { base, size, cursor });
+    }
+
+    fn leave(&mut self) {
+        let top = self.frames.pop().expect("leave without matching enter");
+        if let Some(caller) = self.frames.last() {
+            let pc = top.pc();
+            let target = caller.pc();
+            self.ops += 1;
+            self.sink.exec(
+                pc,
+                MicroOp::Branch {
+                    taken: true,
+                    target,
+                    kind: BranchKind::Return,
+                },
+            );
+        }
+    }
+
+    #[inline]
+    fn emit(&mut self, op: MicroOp) {
+        let top = self
+            .frames
+            .last_mut()
+            .expect("micro-ops require an active frame");
+        let pc = top.pc();
+        top.advance();
+        self.ops += 1;
+        self.sink.exec(pc, op);
+    }
+
+    /// Emits a bare load (no implicit address arithmetic).
+    pub fn load(&mut self, addr: u64, size: u8) {
+        self.emit(MicroOp::Load { addr, size });
+    }
+
+    /// Emits a bare store.
+    pub fn store(&mut self, addr: u64, size: u8) {
+        self.emit(MicroOp::Store { addr, size });
+    }
+
+    /// Integer-data read: one integer address calculation plus the load.
+    pub fn read(&mut self, addr: u64, size: u8) {
+        self.emit(MicroOp::Int {
+            purpose: IntPurpose::IntAddr,
+        });
+        self.emit(MicroOp::Load { addr, size });
+    }
+
+    /// Integer-data write: one integer address calculation plus the store.
+    pub fn write(&mut self, addr: u64, size: u8) {
+        self.emit(MicroOp::Int {
+            purpose: IntPurpose::IntAddr,
+        });
+        self.emit(MicroOp::Store { addr, size });
+    }
+
+    /// Floating-point-data read: one FP address calculation plus the load.
+    pub fn read_fp(&mut self, addr: u64, size: u8) {
+        self.emit(MicroOp::Int {
+            purpose: IntPurpose::FpAddr,
+        });
+        self.emit(MicroOp::Load { addr, size });
+    }
+
+    /// Floating-point-data write: one FP address calculation plus the store.
+    pub fn write_fp(&mut self, addr: u64, size: u8) {
+        self.emit(MicroOp::Int {
+            purpose: IntPurpose::FpAddr,
+        });
+        self.emit(MicroOp::Store { addr, size });
+    }
+
+    /// Emits `n` integer address-calculation ops.
+    pub fn int_addr(&mut self, n: u32) {
+        for _ in 0..n {
+            self.emit(MicroOp::Int {
+                purpose: IntPurpose::IntAddr,
+            });
+        }
+    }
+
+    /// Emits `n` FP address-calculation ops.
+    pub fn fp_addr(&mut self, n: u32) {
+        for _ in 0..n {
+            self.emit(MicroOp::Int {
+                purpose: IntPurpose::FpAddr,
+            });
+        }
+    }
+
+    /// Emits `n` general integer compute ops.
+    pub fn int_other(&mut self, n: u32) {
+        for _ in 0..n {
+            self.emit(MicroOp::Int {
+                purpose: IntPurpose::Other,
+            });
+        }
+    }
+
+    /// Emits `n` floating-point ops.
+    pub fn fp_ops(&mut self, n: u32) {
+        for _ in 0..n {
+            self.emit(MicroOp::Fp);
+        }
+    }
+
+    /// Emits a conditional branch with the given real outcome.
+    ///
+    /// The taken target is a short forward skip; use
+    /// [`loop_start`](Self::loop_start)/[`loop_back`](Self::loop_back) for
+    /// backward loop branches.
+    pub fn cond_branch(&mut self, taken: bool) {
+        let pc = self
+            .frames
+            .last()
+            .expect("branch requires an active frame")
+            .pc();
+        self.emit(MicroOp::Branch {
+            taken,
+            target: pc + 4 * INSTR_BYTES,
+            kind: BranchKind::Conditional,
+        });
+    }
+
+    /// Marks the top of a loop in the current frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no frame is active.
+    pub fn loop_start(&mut self) -> LoopLabel {
+        let top = self.frames.last().expect("loop requires an active frame");
+        LoopLabel {
+            cursor: top.cursor,
+            depth: self.frames.len(),
+        }
+    }
+
+    /// Emits the loop's backward conditional branch. When `taken`, the
+    /// program counter returns to the matching [`loop_start`](Self::loop_start),
+    /// so the loop body's instruction addresses are re-executed — exactly
+    /// how loops keep the L1I footprint small and train loop predictors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label was created in a different frame depth.
+    pub fn loop_back(&mut self, label: LoopLabel, taken: bool) {
+        assert_eq!(
+            label.depth,
+            self.frames.len(),
+            "loop_back must be called in the frame that created the label"
+        );
+        let top = self.frames.last().expect("loop requires an active frame");
+        let target = top.base + label.cursor;
+        self.emit(MicroOp::Branch {
+            taken,
+            target,
+            kind: BranchKind::Conditional,
+        });
+        if taken {
+            let top = self.frames.last_mut().expect("frame vanished");
+            top.cursor = label.cursor;
+        }
+    }
+
+    /// Emits `units` micro-ops of framework boilerplate in the current
+    /// frame: instruction classes follow `mix`, memory ops walk `scratch`
+    /// sequentially, and branch outcomes are mostly-taken with a
+    /// deterministic 1-in-8 twist (well-predicted, like real bookkeeping
+    /// code).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scratch` is empty.
+    pub fn boilerplate(&mut self, mix: &OpMix, units: u64, scratch: &MemRegion) {
+        assert!(!scratch.is_empty(), "boilerplate needs a scratch region");
+        let n = mix.pattern.len();
+        for _ in 0..units {
+            let kind = mix.pattern[self.boiler_idx % n];
+            self.boiler_idx = self.boiler_idx.wrapping_add(1);
+            match kind {
+                PatKind::Load => {
+                    let off = self.boiler_off % scratch.len();
+                    self.boiler_off = self.boiler_off.wrapping_add(8);
+                    let addr = scratch.base() + (off & !7);
+                    self.emit(MicroOp::Load { addr, size: 8 });
+                }
+                PatKind::Store => {
+                    let off = self.boiler_off % scratch.len();
+                    self.boiler_off = self.boiler_off.wrapping_add(8);
+                    let addr = scratch.base() + (off & !7);
+                    self.emit(MicroOp::Store { addr, size: 8 });
+                }
+                PatKind::IntAddr => self.emit(MicroOp::Int {
+                    purpose: IntPurpose::IntAddr,
+                }),
+                PatKind::FpAddr => self.emit(MicroOp::Int {
+                    purpose: IntPurpose::FpAddr,
+                }),
+                PatKind::IntOther => self.emit(MicroOp::Int {
+                    purpose: IntPurpose::Other,
+                }),
+                PatKind::Fp => self.emit(MicroOp::Fp),
+                PatKind::Branch => {
+                    // Framework bookkeeping branches are overwhelmingly
+                    // biased: most sites always go the same way (error
+                    // checks, type guards), a small minority flips
+                    // periodically (batch boundaries). Predictors learn the
+                    // constant sites after one visit; what separates
+                    // platforms is predictor *capacity* across megabytes of
+                    // code plus the loop/periodic sites.
+                    let pc = self.frames.last().expect("boilerplate needs a frame").pc();
+                    let site = (pc >> 2).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 56;
+                    let taken = if site < 52 {
+                        // ~20% of sites: periodic batch-boundary branches.
+                        // Long-history/loop-counter predictors learn these;
+                        // short-history ones only the shortest periods.
+                        self.boiler_branch += 1;
+                        let period = 4 + (site % 13);
+                        !self.boiler_branch.is_multiple_of(period)
+                    } else {
+                        // Constant-outcome sites, 7/8 biased taken.
+                        !site.is_multiple_of(8)
+                    };
+                    self.cond_branch(taken);
+                }
+            }
+        }
+    }
+
+    /// Signals end-of-workload to the sink.
+    pub fn finish(&mut self) {
+        self.sink.finish();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::MixSink;
+
+    fn layout() -> (CodeLayout, RegionId, RegionId) {
+        let mut l = CodeLayout::new();
+        let a = l.region("a", 4096);
+        let b = l.region("b", 4096);
+        (l, a, b)
+    }
+
+    #[test]
+    fn frame_emits_call_and_return() {
+        let (l, a, b) = layout();
+        let mut sink = MixSink::new();
+        let mut ctx = ExecCtx::new(&l, &mut sink);
+        ctx.frame(a, |ctx| {
+            ctx.int_other(1);
+            ctx.frame(b, |ctx| ctx.int_other(1));
+        });
+        // Outer frame has no caller => no call/ret branch; inner has both.
+        let m = sink.mix();
+        assert_eq!(m.branches, 2);
+        assert_eq!(m.int_other, 2);
+    }
+
+    #[test]
+    fn pcs_stay_inside_region() {
+        let mut l = CodeLayout::new();
+        let small = l.region("small", 64);
+        struct RangeCheck {
+            base: u64,
+            end: u64,
+        }
+        impl TraceSink for RangeCheck {
+            fn exec(&mut self, pc: u64, _op: MicroOp) {
+                assert!(
+                    pc >= self.base && pc < self.end,
+                    "pc {pc:#x} escaped region"
+                );
+            }
+        }
+        let region = l.get(small).clone();
+        let mut sink = RangeCheck {
+            base: region.base,
+            end: region.end(),
+        };
+        let mut ctx = ExecCtx::new(&l, &mut sink);
+        ctx.frame(small, |ctx| ctx.int_other(100));
+    }
+
+    #[test]
+    fn loop_back_reexecutes_same_pcs() {
+        let (l, a, _) = layout();
+        #[derive(Default)]
+        struct PcSet(std::collections::HashSet<u64>, u64);
+        impl TraceSink for PcSet {
+            fn exec(&mut self, pc: u64, _op: MicroOp) {
+                self.0.insert(pc);
+                self.1 += 1;
+            }
+        }
+        let mut sink = PcSet::default();
+        let mut ctx = ExecCtx::new(&l, &mut sink);
+        ctx.frame(a, |ctx| {
+            let top = ctx.loop_start();
+            for i in 0..10 {
+                ctx.int_other(4);
+                ctx.loop_back(top, i < 9);
+            }
+        });
+        // 10 iterations x 5 ops but distinct pcs only ~5.
+        assert_eq!(sink.1, 50);
+        assert!(sink.0.len() <= 6, "distinct pcs {}", sink.0.len());
+    }
+
+    #[test]
+    fn read_write_emit_addr_calc() {
+        let (l, a, _) = layout();
+        let mut sink = MixSink::new();
+        let mut ctx = ExecCtx::new(&l, &mut sink);
+        let buf = ctx.heap_alloc(64, 8);
+        ctx.frame(a, |ctx| {
+            ctx.read(buf.addr(0), 8);
+            ctx.write(buf.addr(8), 8);
+            ctx.read_fp(buf.addr(16), 8);
+            ctx.write_fp(buf.addr(24), 8);
+        });
+        let m = sink.mix();
+        assert_eq!(m.loads, 2);
+        assert_eq!(m.stores, 2);
+        assert_eq!(m.int_addr, 2);
+        assert_eq!(m.fp_addr, 2);
+    }
+
+    #[test]
+    fn boilerplate_matches_mix_proportions() {
+        let (l, a, _) = layout();
+        let mut sink = MixSink::new();
+        let mut ctx = ExecCtx::new(&l, &mut sink);
+        let scratch = ctx.scratch_alloc(4096, 8);
+        let mix = OpMix::new(30, 10, 20, 20, 0, 20);
+        ctx.frame(a, |ctx| ctx.boilerplate(&mix, 10_000, &scratch));
+        let m = sink.mix();
+        let total = m.total() as f64;
+        assert!((m.loads as f64 / total - 0.30).abs() < 0.02);
+        assert!((m.branches as f64 / total - 0.20).abs() < 0.02);
+        assert_eq!(m.fp, 0);
+    }
+
+    #[test]
+    fn op_mix_pattern_interleaves() {
+        let mix = OpMix::new(1, 0, 0, 1, 0, 0);
+        assert_eq!(mix.len(), 2);
+        assert_ne!(mix.pattern[0], mix.pattern[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero weight")]
+    fn empty_mix_panics() {
+        let _ = OpMix::new(0, 0, 0, 0, 0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "active frame")]
+    fn op_without_frame_panics() {
+        let (l, _, _) = layout();
+        let mut sink = MixSink::new();
+        let mut ctx = ExecCtx::new(&l, &mut sink);
+        ctx.int_other(1);
+    }
+
+    #[test]
+    fn frame_spread_widens_touched_pcs() {
+        let mut l = CodeLayout::new();
+        let big = l.region("big", 64 * 1024);
+        #[derive(Default)]
+        struct PcSet(std::collections::HashSet<u64>);
+        impl TraceSink for PcSet {
+            fn exec(&mut self, pc: u64, _op: MicroOp) {
+                self.0.insert(pc >> 6);
+            }
+        }
+        let run = |spread: u64| {
+            let mut sink = PcSet::default();
+            let mut ctx = ExecCtx::new(&l, &mut sink);
+            ctx.frame(big, |ctx| {
+                for _ in 0..200 {
+                    ctx.frame_spread(big, spread, |ctx| ctx.int_other(8));
+                }
+            });
+            sink.0.len()
+        };
+        let narrow = run(0);
+        let wide = run(64 * 1024);
+        assert!(wide > 10 * narrow, "narrow {narrow} wide {wide}");
+    }
+
+    #[test]
+    fn frame_spread_is_deterministic() {
+        let mut l = CodeLayout::new();
+        let big = l.region("big", 16 * 1024);
+        #[derive(Default)]
+        struct Pcs(Vec<u64>);
+        impl TraceSink for Pcs {
+            fn exec(&mut self, pc: u64, _op: MicroOp) {
+                self.0.push(pc);
+            }
+        }
+        let run = || {
+            let mut sink = Pcs::default();
+            let mut ctx = ExecCtx::new(&l, &mut sink);
+            ctx.frame(big, |ctx| {
+                for _ in 0..20 {
+                    ctx.frame_spread(big, 16 * 1024, |ctx| ctx.int_other(4));
+                }
+            });
+            sink.0
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn dispatch_emits_indirect_branch() {
+        let (l, a, b) = layout();
+        #[derive(Default)]
+        struct KindCount(u64);
+        impl TraceSink for KindCount {
+            fn exec(&mut self, _pc: u64, op: MicroOp) {
+                if let MicroOp::Branch {
+                    kind: BranchKind::Indirect,
+                    ..
+                } = op
+                {
+                    self.0 += 1;
+                }
+            }
+        }
+        let mut sink = KindCount::default();
+        let mut ctx = ExecCtx::new(&l, &mut sink);
+        ctx.frame(a, |ctx| {
+            ctx.dispatch(b, |ctx| ctx.int_other(1));
+        });
+        assert_eq!(sink.0, 1);
+    }
+}

@@ -1,0 +1,219 @@
+//! Seeded K-means clustering (K-means++ initialization, Lloyd iterations).
+//!
+//! The final stage of the WCRT pipeline: "we use K-Means to cluster the 77
+//! workloads, and there are 17 clusters in the final results" (paper §3).
+
+use crate::stats::dist_sq;
+use rand::{Rng, SeedableRng};
+
+/// Clustering outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KMeansResult {
+    /// Cluster index per input row.
+    pub assignments: Vec<usize>,
+    /// Cluster centroids.
+    pub centroids: Vec<Vec<f64>>,
+    /// Sum of squared distances to assigned centroids.
+    pub inertia: f64,
+}
+
+impl KMeansResult {
+    /// Number of clusters.
+    pub fn k(&self) -> usize {
+        self.centroids.len()
+    }
+
+    /// Sizes of each cluster.
+    pub fn cluster_sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.centroids.len()];
+        for &a in &self.assignments {
+            sizes[a] += 1;
+        }
+        sizes
+    }
+}
+
+/// Runs K-means++ then Lloyd iterations.
+///
+/// Deterministic for a given `(data, k, seed)`; `max_iters` bounds the
+/// Lloyd loop (it usually converges much earlier).
+///
+/// # Panics
+///
+/// Panics if `k == 0` or `k > data.len()`, or the matrix is ragged.
+pub fn kmeans(data: &[Vec<f64>], k: usize, seed: u64, max_iters: usize) -> KMeansResult {
+    assert!(k > 0, "k must be positive");
+    assert!(k <= data.len(), "k = {k} exceeds {} points", data.len());
+    let dims = data[0].len();
+    assert!(data.iter().all(|r| r.len() == dims), "ragged matrix");
+
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    // K-means++ seeding.
+    let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
+    centroids.push(data[rng.gen_range(0..data.len())].clone());
+    while centroids.len() < k {
+        let d2: Vec<f64> = data
+            .iter()
+            .map(|p| {
+                centroids
+                    .iter()
+                    .map(|c| dist_sq(p, c))
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .collect();
+        let total: f64 = d2.iter().sum();
+        if total <= 1e-18 {
+            // All remaining points coincide with centroids; pick arbitrary.
+            centroids.push(data[rng.gen_range(0..data.len())].clone());
+            continue;
+        }
+        let mut target = rng.gen::<f64>() * total;
+        let mut chosen = data.len() - 1;
+        for (i, &w) in d2.iter().enumerate() {
+            if target <= w {
+                chosen = i;
+                break;
+            }
+            target -= w;
+        }
+        centroids.push(data[chosen].clone());
+    }
+
+    let mut assignments = vec![0usize; data.len()];
+    for _ in 0..max_iters {
+        // Assign.
+        let mut changed = false;
+        for (i, p) in data.iter().enumerate() {
+            let best = centroids
+                .iter()
+                .enumerate()
+                .min_by(|(_, a), (_, b)| {
+                    dist_sq(p, a)
+                        .partial_cmp(&dist_sq(p, b))
+                        .expect("finite distances")
+                })
+                .map(|(j, _)| j)
+                .expect("k >= 1");
+            if assignments[i] != best {
+                assignments[i] = best;
+                changed = true;
+            }
+        }
+        // Update.
+        let mut sums = vec![vec![0.0f64; dims]; k];
+        let mut counts = vec![0usize; k];
+        for (p, &a) in data.iter().zip(&assignments) {
+            counts[a] += 1;
+            for (s, x) in sums[a].iter_mut().zip(p) {
+                *s += x;
+            }
+        }
+        for (c, (sum, count)) in centroids.iter_mut().zip(sums.iter().zip(&counts)) {
+            if *count > 0 {
+                *c = sum.iter().map(|s| s / *count as f64).collect();
+            }
+            // Empty clusters keep their centroid (will usually recapture).
+        }
+        if !changed {
+            break;
+        }
+    }
+    let inertia = data
+        .iter()
+        .zip(&assignments)
+        .map(|(p, &a)| dist_sq(p, &centroids[a]))
+        .sum();
+    KMeansResult {
+        assignments,
+        centroids,
+        inertia,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs() -> Vec<Vec<f64>> {
+        let mut pts = Vec::new();
+        for c in 0..3 {
+            let base = c as f64 * 10.0;
+            for i in 0..10 {
+                pts.push(vec![
+                    base + (i % 3) as f64 * 0.1,
+                    base - (i % 2) as f64 * 0.1,
+                ]);
+            }
+        }
+        pts
+    }
+
+    #[test]
+    fn recovers_well_separated_blobs() {
+        let data = blobs();
+        let r = kmeans(&data, 3, 7, 100);
+        // Each block of 10 points lands in one cluster.
+        for block in 0..3 {
+            let first = r.assignments[block * 10];
+            assert!(
+                r.assignments[block * 10..(block + 1) * 10]
+                    .iter()
+                    .all(|&a| a == first),
+                "block {block} split: {:?}",
+                r.assignments
+            );
+        }
+        let mut sizes = r.cluster_sizes();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![10, 10, 10]);
+        assert!(r.inertia < 1.0, "inertia {}", r.inertia);
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let data = blobs();
+        assert_eq!(kmeans(&data, 3, 5, 50), kmeans(&data, 3, 5, 50));
+    }
+
+    #[test]
+    fn k_equals_n_gives_zero_inertia() {
+        let data = vec![vec![0.0], vec![1.0], vec![2.0], vec![5.0]];
+        let r = kmeans(&data, 4, 1, 50);
+        assert!(r.inertia < 1e-18);
+        let mut sizes = r.cluster_sizes();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn more_clusters_never_increase_inertia() {
+        let data = blobs();
+        let i2 = kmeans(&data, 2, 3, 100).inertia;
+        let i3 = kmeans(&data, 3, 3, 100).inertia;
+        let i5 = kmeans(&data, 5, 3, 100).inertia;
+        assert!(i3 <= i2 + 1e-9);
+        assert!(i5 <= i3 + 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn k_larger_than_n_panics() {
+        let _ = kmeans(&[vec![0.0]], 2, 0, 10);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn assignments_in_range(seed in 0u64..200, k in 1usize..5) {
+            let mut x = seed | 1;
+            let mut next = move || {
+                x ^= x << 13; x ^= x >> 7; x ^= x << 17;
+                (x % 100) as f64 / 10.0
+            };
+            let data: Vec<Vec<f64>> = (0..12).map(|_| vec![next(), next()]).collect();
+            let r = kmeans(&data, k, seed, 50);
+            proptest::prop_assert!(r.assignments.iter().all(|&a| a < k));
+            proptest::prop_assert_eq!(r.assignments.len(), 12);
+            proptest::prop_assert!(r.inertia.is_finite());
+        }
+    }
+}

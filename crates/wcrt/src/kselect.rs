@@ -1,0 +1,98 @@
+//! Choosing K: the paper states "there are 17 clusters in the final
+//! results" without showing the selection; this module provides the
+//! standard instruments — an inertia sweep with elbow detection and the
+//! Bayesian information criterion — so the reproduction can *derive* a K
+//! rather than assert one.
+
+use crate::kmeans::kmeans;
+
+/// Inertia for each `k` in `1..=k_max` (index 0 holds k = 1).
+pub fn inertia_sweep(data: &[Vec<f64>], k_max: usize, seed: u64) -> Vec<f64> {
+    (1..=k_max.min(data.len()))
+        .map(|k| kmeans(data, k, seed, 200).inertia)
+        .collect()
+}
+
+/// Elbow of an inertia curve: the k (1-based) maximizing the distance to
+/// the chord between the first and last points — the usual "knee" rule.
+///
+/// Returns 1 for degenerate curves.
+pub fn elbow(inertias: &[f64]) -> usize {
+    if inertias.len() < 3 {
+        return inertias.len().max(1);
+    }
+    let n = inertias.len() as f64;
+    let (y0, y1) = (inertias[0], inertias[inertias.len() - 1]);
+    let mut best = (1usize, f64::MIN);
+    for (i, &y) in inertias.iter().enumerate() {
+        let x = i as f64;
+        // Distance from (x, y) to the line through (0, y0) and (n-1, y1).
+        let num = ((y1 - y0) * x - (n - 1.0) * (y - y0)).abs();
+        let den = ((y1 - y0).powi(2) + (n - 1.0).powi(2)).sqrt();
+        let d = num / den.max(1e-12);
+        if d > best.1 {
+            best = (i + 1, d);
+        }
+    }
+    best.0
+}
+
+/// BIC of a K-means solution under a spherical-Gaussian model
+/// (Pelleg & Moore's X-means formulation). Lower is better.
+pub fn bic(data: &[Vec<f64>], k: usize, seed: u64) -> f64 {
+    let n = data.len() as f64;
+    let d = data.first().map(Vec::len).unwrap_or(0) as f64;
+    let result = kmeans(data, k, seed, 200);
+    let variance = (result.inertia / (n - k as f64).max(1.0)).max(1e-12);
+    let log_likelihood = -0.5 * n * (variance.ln() + d * (2.0 * std::f64::consts::PI).ln() + 1.0);
+    let params = k as f64 * (d + 1.0);
+    -2.0 * log_likelihood + params * n.ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn three_blobs() -> Vec<Vec<f64>> {
+        let mut pts = Vec::new();
+        for c in 0..3 {
+            for i in 0..12 {
+                pts.push(vec![
+                    c as f64 * 20.0 + (i % 3) as f64 * 0.2,
+                    (i % 4) as f64 * 0.2,
+                ]);
+            }
+        }
+        pts
+    }
+
+    #[test]
+    fn inertia_decreases_with_k() {
+        let data = three_blobs();
+        let sweep = inertia_sweep(&data, 6, 7);
+        for w in sweep.windows(2) {
+            assert!(w[1] <= w[0] + 1e-9, "{sweep:?}");
+        }
+    }
+
+    #[test]
+    fn elbow_finds_true_cluster_count() {
+        let data = three_blobs();
+        let sweep = inertia_sweep(&data, 8, 7);
+        let k = elbow(&sweep);
+        assert!((2..=4).contains(&k), "elbow {k} from {sweep:?}");
+    }
+
+    #[test]
+    fn elbow_degenerate_inputs() {
+        assert_eq!(elbow(&[]), 1);
+        assert_eq!(elbow(&[5.0]), 1);
+        assert_eq!(elbow(&[5.0, 1.0]), 2);
+    }
+
+    #[test]
+    fn bic_prefers_true_k_over_underfit() {
+        let data = three_blobs();
+        assert!(bic(&data, 3, 7) < bic(&data, 1, 7));
+    }
+}

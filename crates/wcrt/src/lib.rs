@@ -1,0 +1,62 @@
+//! WCRT — the Workload Characterization and Reduction Tool.
+//!
+//! This crate is the reproduction of the paper's released artifact: the
+//! pipeline that turns raw per-workload measurements into the paper's
+//! headline reduction of **77 workloads → 17 representatives**.
+//!
+//! The pipeline (paper §3):
+//!
+//! 1. [`profile`](profile::profile_workload) — run a workload on the
+//!    simulated Xeon E5645 and the node model, collecting the
+//!    [`MetricVector`] of **45 micro-architectural metrics** (instruction
+//!    mix, cache, TLB, branch, pipeline, off-core, operation intensity,
+//!    and system behaviour),
+//! 2. [`stats::zscore`] — normalize each metric to a standard Gaussian,
+//! 3. [`pca::Pca`] — principal component analysis via a from-scratch
+//!    Jacobi eigensolver, keeping the components that explain a target
+//!    variance fraction,
+//! 4. [`kmeans`] — seeded K-means++ clustering in PCA space,
+//! 5. [`subset`] — pick the workload nearest each centroid as that
+//!    cluster's representative.
+//!
+//! [`reduction::reduce`] chains steps 2–5; [`classify`] implements the
+//! paper's §3.2.1 CPU-/I/O-intensive/hybrid rules; [`report`] renders the
+//! aligned text tables the benchmark binaries print.
+//!
+//! # Examples
+//!
+//! ```
+//! use bdb_wcrt::{kmeans, pca, stats};
+//!
+//! // Three obvious clusters in 2-D.
+//! let data = vec![
+//!     vec![0.0, 0.1], vec![0.1, 0.0],
+//!     vec![5.0, 5.1], vec![5.1, 4.9],
+//!     vec![9.0, 0.1], vec![9.2, 0.0],
+//! ];
+//! let mut normalized = data.clone();
+//! stats::zscore(&mut normalized);
+//! let pca = pca::Pca::fit(&normalized, 0.99);
+//! let projected = pca.transform(&normalized);
+//! let result = kmeans::kmeans(&projected, 3, 42, 100);
+//! assert_eq!(result.assignments[0], result.assignments[1]);
+//! assert_ne!(result.assignments[0], result.assignments[2]);
+//! ```
+
+pub mod archindep;
+pub mod classify;
+pub mod kmeans;
+pub mod kselect;
+pub mod metrics;
+pub mod pca;
+pub mod profile;
+pub mod reduction;
+pub mod report;
+pub mod stats;
+pub mod subset;
+
+pub use archindep::{characterize, ArchIndepVector, ARCHINDEP_COUNT, ARCHINDEP_NAMES};
+pub use classify::SystemClass;
+pub use metrics::{MetricVector, METRIC_COUNT, METRIC_NAMES};
+pub use profile::{profile_workload, WorkloadProfile};
+pub use reduction::{reduce, ReductionResult};

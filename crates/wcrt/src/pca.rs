@@ -1,0 +1,284 @@
+//! Principal component analysis with a from-scratch Jacobi eigensolver.
+#![allow(clippy::needless_range_loop)] // matrix math reads clearest indexed
+//!
+//! WCRT uses PCA "to reduce the dimensions" of the 45-metric space before
+//! clustering (paper §3). We compute the covariance matrix of the
+//! (normalized) data and diagonalize it with cyclic Jacobi rotations —
+//! exact, dependency-free, and plenty fast for 45×45.
+
+/// A fitted PCA model.
+#[derive(Debug, Clone)]
+pub struct Pca {
+    /// Principal axes, strongest first; each is a unit vector in input space.
+    components: Vec<Vec<f64>>,
+    /// Eigenvalue (variance) per retained component.
+    eigenvalues: Vec<f64>,
+    /// Total variance across *all* dimensions (for explained-variance math).
+    total_variance: f64,
+    /// Column means subtracted before projection.
+    means: Vec<f64>,
+}
+
+impl Pca {
+    /// Fits a PCA keeping the smallest set of leading components whose
+    /// eigenvalues explain at least `variance_keep` of the total variance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is empty, rows are ragged, or
+    /// `variance_keep` is outside `(0, 1]`.
+    pub fn fit(data: &[Vec<f64>], variance_keep: f64) -> Self {
+        assert!(!data.is_empty(), "PCA needs data");
+        assert!(
+            variance_keep > 0.0 && variance_keep <= 1.0,
+            "variance fraction must be in (0, 1]"
+        );
+        let dims = data[0].len();
+        assert!(data.iter().all(|r| r.len() == dims), "ragged matrix");
+        let n = data.len() as f64;
+        let means: Vec<f64> = (0..dims)
+            .map(|d| data.iter().map(|r| r[d]).sum::<f64>() / n)
+            .collect();
+        // Covariance matrix.
+        let mut cov = vec![vec![0.0f64; dims]; dims];
+        for row in data {
+            for i in 0..dims {
+                let di = row[i] - means[i];
+                for j in i..dims {
+                    cov[i][j] += di * (row[j] - means[j]);
+                }
+            }
+        }
+        for i in 0..dims {
+            for j in i..dims {
+                cov[i][j] /= n;
+                cov[j][i] = cov[i][j];
+            }
+        }
+        let total_variance: f64 = (0..dims).map(|i| cov[i][i]).sum();
+        let (eigenvalues, eigenvectors) = jacobi_eigen(cov);
+        // Sort descending by eigenvalue.
+        let mut order: Vec<usize> = (0..dims).collect();
+        order.sort_by(|&a, &b| {
+            eigenvalues[b]
+                .partial_cmp(&eigenvalues[a])
+                .expect("finite eigenvalues")
+        });
+        let mut kept_values = Vec::new();
+        let mut kept_vectors = Vec::new();
+        let mut acc = 0.0;
+        for &i in &order {
+            kept_values.push(eigenvalues[i].max(0.0));
+            kept_vectors.push(eigenvectors[i].clone());
+            acc += eigenvalues[i].max(0.0);
+            if total_variance > 0.0 && acc / total_variance >= variance_keep {
+                break;
+            }
+        }
+        Self {
+            components: kept_vectors,
+            eigenvalues: kept_values,
+            total_variance,
+            means,
+        }
+    }
+
+    /// Number of retained components.
+    pub fn dims(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Eigenvalues of the retained components (descending).
+    pub fn eigenvalues(&self) -> &[f64] {
+        &self.eigenvalues
+    }
+
+    /// Fraction of total variance the retained components explain.
+    pub fn explained_variance(&self) -> f64 {
+        if self.total_variance <= 0.0 {
+            return 1.0;
+        }
+        self.eigenvalues.iter().sum::<f64>() / self.total_variance
+    }
+
+    /// Projects rows into the retained-component space.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a row's dimensionality differs from the fitted data.
+    pub fn transform(&self, data: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        data.iter()
+            .map(|row| {
+                assert_eq!(row.len(), self.means.len(), "dimension mismatch");
+                self.components
+                    .iter()
+                    .map(|axis| {
+                        axis.iter()
+                            .zip(row.iter().zip(&self.means))
+                            .map(|(a, (x, m))| a * (x - m))
+                            .sum()
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+/// Cyclic Jacobi diagonalization of a symmetric matrix.
+/// Returns `(eigenvalues, eigenvectors)` where `eigenvectors[i]` is the
+/// unit eigenvector for `eigenvalues[i]`.
+fn jacobi_eigen(mut a: Vec<Vec<f64>>) -> (Vec<f64>, Vec<Vec<f64>>) {
+    let n = a.len();
+    // v starts as identity; columns become eigenvectors.
+    let mut v = vec![vec![0.0f64; n]; n];
+    for (i, row) in v.iter_mut().enumerate() {
+        row[i] = 1.0;
+    }
+    for _sweep in 0..100 {
+        let mut off = 0.0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                off += a[i][j] * a[i][j];
+            }
+        }
+        if off < 1e-20 {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                if a[p][q].abs() < 1e-15 {
+                    continue;
+                }
+                let theta = (a[q][q] - a[p][p]) / (2.0 * a[p][q]);
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+                for k in 0..n {
+                    let akp = a[k][p];
+                    let akq = a[k][q];
+                    a[k][p] = c * akp - s * akq;
+                    a[k][q] = s * akp + c * akq;
+                }
+                for k in 0..n {
+                    let apk = a[p][k];
+                    let aqk = a[q][k];
+                    a[p][k] = c * apk - s * aqk;
+                    a[q][k] = s * apk + c * aqk;
+                }
+                for row in v.iter_mut() {
+                    let vp = row[p];
+                    let vq = row[q];
+                    row[p] = c * vp - s * vq;
+                    row[q] = s * vp + c * vq;
+                }
+            }
+        }
+    }
+    let eigenvalues: Vec<f64> = (0..n).map(|i| a[i][i]).collect();
+    let eigenvectors: Vec<Vec<f64>> = (0..n)
+        .map(|col| (0..n).map(|row| v[row][col]).collect())
+        .collect();
+    (eigenvalues, eigenvectors)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jacobi_diagonalizes_known_matrix() {
+        // Eigenvalues of [[2,1],[1,2]] are 3 and 1.
+        let (mut vals, vecs) = jacobi_eigen(vec![vec![2.0, 1.0], vec![1.0, 2.0]]);
+        vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!((vals[0] - 1.0).abs() < 1e-10);
+        assert!((vals[1] - 3.0).abs() < 1e-10);
+        // Eigenvectors are unit length.
+        for v in vecs {
+            let norm: f64 = v.iter().map(|x| x * x).sum();
+            assert!((norm - 1.0).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn pca_finds_dominant_direction() {
+        // Points along the y = x line with small noise: one strong component.
+        let data: Vec<Vec<f64>> = (0..50)
+            .map(|i| {
+                let t = i as f64 / 10.0;
+                vec![t, t + if i % 2 == 0 { 0.01 } else { -0.01 }]
+            })
+            .collect();
+        let pca = Pca::fit(&data, 0.95);
+        assert_eq!(pca.dims(), 1, "one component should suffice");
+        assert!(pca.explained_variance() > 0.99);
+        // The axis should be ~ (1/sqrt2, 1/sqrt2).
+        let axis = &pca.components[0];
+        assert!((axis[0].abs() - std::f64::consts::FRAC_1_SQRT_2).abs() < 0.01);
+    }
+
+    #[test]
+    fn transform_projects_to_component_count() {
+        let data = vec![
+            vec![1.0, 2.0, 3.0],
+            vec![4.0, 5.0, 6.0],
+            vec![1.0, 5.0, 3.0],
+        ];
+        let pca = Pca::fit(&data, 1.0);
+        let t = pca.transform(&data);
+        assert_eq!(t.len(), 3);
+        assert!(t.iter().all(|r| r.len() == pca.dims()));
+    }
+
+    #[test]
+    fn pca_preserves_pairwise_distances_at_full_variance() {
+        let data = vec![
+            vec![1.0, 0.0, 2.0],
+            vec![0.0, 1.0, 1.0],
+            vec![3.0, 2.0, 0.0],
+            vec![1.5, 1.5, 1.5],
+        ];
+        let pca = Pca::fit(&data, 1.0);
+        let t = pca.transform(&data);
+        for i in 0..data.len() {
+            for j in (i + 1)..data.len() {
+                let d_in = crate::stats::dist_sq(&data[i], &data[j]);
+                let d_out = crate::stats::dist_sq(&t[i], &t[j]);
+                assert!(
+                    (d_in - d_out).abs() < 1e-8,
+                    "distance changed: {d_in} vs {d_out}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "needs data")]
+    fn empty_data_panics() {
+        let _ = Pca::fit(&[], 0.9);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn eigenvalues_sum_to_trace(seed in 0u64..500) {
+            let mut x = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+            let mut next = move || {
+                x ^= x << 13; x ^= x >> 7; x ^= x << 17;
+                ((x % 2000) as f64 - 1000.0) / 250.0
+            };
+            // Random symmetric 5x5 matrix.
+            let n = 5;
+            let mut m = vec![vec![0.0; n]; n];
+            for i in 0..n {
+                for j in i..n {
+                    let val = next();
+                    m[i][j] = val;
+                    m[j][i] = val;
+                }
+            }
+            let trace: f64 = (0..n).map(|i| m[i][i]).sum();
+            let (vals, _) = jacobi_eigen(m);
+            let sum: f64 = vals.iter().sum();
+            proptest::prop_assert!((sum - trace).abs() < 1e-6, "sum {} trace {}", sum, trace);
+        }
+    }
+}

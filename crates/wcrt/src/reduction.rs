@@ -1,0 +1,174 @@
+//! The headline WCRT pipeline: 45-metric vectors → z-score → PCA →
+//! K-means → representative subset (paper §3: 77 workloads → 17).
+
+use crate::kmeans::{kmeans, KMeansResult};
+use crate::pca::Pca;
+use crate::profile::WorkloadProfile;
+use crate::stats::zscore;
+use crate::subset::select_representatives;
+
+/// Configuration of one reduction run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReductionConfig {
+    /// Number of clusters (the paper lands on 17).
+    pub k: usize,
+    /// PCA variance fraction to retain.
+    pub variance_keep: f64,
+    /// Clustering seed.
+    pub seed: u64,
+    /// Lloyd iteration cap.
+    pub max_iters: usize,
+}
+
+impl Default for ReductionConfig {
+    fn default() -> Self {
+        Self {
+            k: 17,
+            variance_keep: 0.9,
+            seed: 2015,
+            max_iters: 300,
+        }
+    }
+}
+
+/// Output of a reduction run.
+#[derive(Debug, Clone)]
+pub struct ReductionResult {
+    /// Workload ids in input order.
+    pub ids: Vec<String>,
+    /// PCA dimensionality that survived.
+    pub pca_dims: usize,
+    /// Variance explained by the retained components.
+    pub explained_variance: f64,
+    /// Raw clustering result.
+    pub clustering: KMeansResult,
+    /// Indices (into `ids`) of the chosen representatives, one per
+    /// non-empty cluster.
+    pub representative_indices: Vec<usize>,
+}
+
+impl ReductionResult {
+    /// Ids of the representatives.
+    pub fn representative_ids(&self) -> Vec<&str> {
+        self.representative_indices
+            .iter()
+            .map(|&i| self.ids[i].as_str())
+            .collect()
+    }
+
+    /// `(representative id, cluster size)` pairs sorted by descending size —
+    /// the parenthesized counts of the paper's Table 2.
+    pub fn weighted_representatives(&self) -> Vec<(&str, usize)> {
+        let sizes = self.clustering.cluster_sizes();
+        let mut out: Vec<(&str, usize)> = self
+            .representative_indices
+            .iter()
+            .map(|&i| {
+                let cluster = self.clustering.assignments[i];
+                (self.ids[i].as_str(), sizes[cluster])
+            })
+            .collect();
+        out.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+        out
+    }
+}
+
+/// Runs the reduction over profiled workloads.
+///
+/// # Panics
+///
+/// Panics if `profiles` is empty or `config.k` exceeds the profile count.
+pub fn reduce(profiles: &[WorkloadProfile], config: ReductionConfig) -> ReductionResult {
+    assert!(!profiles.is_empty(), "nothing to reduce");
+    let ids: Vec<String> = profiles.iter().map(|p| p.spec.id.clone()).collect();
+    let mut matrix: Vec<Vec<f64>> = profiles
+        .iter()
+        .map(|p| p.metrics.values().to_vec())
+        .collect();
+    zscore(&mut matrix);
+    let pca = Pca::fit(&matrix, config.variance_keep);
+    let projected = pca.transform(&matrix);
+    let clustering = kmeans(&projected, config.k, config.seed, config.max_iters);
+    let representative_indices = select_representatives(&projected, &clustering);
+    ReductionResult {
+        ids,
+        pca_dims: pca.dims(),
+        explained_variance: pca.explained_variance(),
+        clustering,
+        representative_indices,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{MetricVector, METRIC_COUNT};
+    use crate::profile::WorkloadProfile;
+    use bdb_node::SystemMetrics;
+    use bdb_sim::{Machine, MachineConfig};
+    use bdb_stacks::{RunStats, StackKind};
+    use bdb_trace::TraceSink;
+    use bdb_workloads::{Category, KernelKind, WorkloadSpec};
+
+    /// Builds a synthetic profile whose metric vector is `values`.
+    fn synthetic_profile(id: &str, values: [f64; METRIC_COUNT]) -> WorkloadProfile {
+        let mut machine = Machine::new(MachineConfig::xeon_e5645());
+        machine.exec(0x400_000, bdb_trace::MicroOp::Fp);
+        let report = machine.report();
+        let system = SystemMetrics {
+            wall_seconds: 1.0,
+            cpu_utilization: 50.0,
+            io_wait_ratio: 0.0,
+            weighted_io_ratio: 0.0,
+            disk_bandwidth_mbps: 0.0,
+            net_bandwidth_mbps: 0.0,
+        };
+        WorkloadProfile {
+            spec: WorkloadSpec {
+                id: id.into(),
+                stack: StackKind::Native,
+                category: Category::DataAnalysis,
+                dataset: bdb_datagen::DataSetId::Wikipedia,
+                kernel: KernelKind::SuiteKernel,
+            },
+            system_class: crate::classify::classify_system(&system),
+            data_behavior: RunStats::default().data_behavior(),
+            input_bytes: 1,
+            intermediate_bytes: 0,
+            output_bytes: 1,
+            report,
+            system,
+            metrics: MetricVector::from_values(values),
+        }
+    }
+
+    #[test]
+    fn reduce_groups_similar_profiles() {
+        let mut profiles = Vec::new();
+        for i in 0..6 {
+            let mut v = [0.0; METRIC_COUNT];
+            // Two families: metrics dominated by index 0 or index 1.
+            if i < 3 {
+                v[0] = 10.0 + i as f64 * 0.01;
+                v[5] = 1.0;
+            } else {
+                v[1] = 10.0 + i as f64 * 0.01;
+                v[7] = 1.0;
+            }
+            profiles.push(synthetic_profile(&format!("w{i}"), v));
+        }
+        let result = reduce(
+            &profiles,
+            ReductionConfig {
+                k: 2,
+                ..Default::default()
+            },
+        );
+        assert_eq!(result.representative_indices.len(), 2);
+        let a = result.clustering.assignments[0];
+        assert!(result.clustering.assignments[..3].iter().all(|&x| x == a));
+        assert!(result.clustering.assignments[3..].iter().all(|&x| x != a));
+        let weights = result.weighted_representatives();
+        assert_eq!(weights.iter().map(|(_, n)| n).sum::<usize>(), 6);
+    }
+}

@@ -1,0 +1,111 @@
+//! Column statistics: the Gaussian normalization step of the WCRT
+//! pipeline (paper §3: "we normalize these metric values to a Gaussian
+//! distribution").
+
+/// Mean of a slice (0 for empty input).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation (0 for empty input).
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64).sqrt()
+}
+
+/// Z-score normalizes each column of a row-major matrix in place.
+///
+/// Constant columns (zero variance) are set to zero rather than NaN, so
+/// degenerate metrics simply stop contributing to distances.
+///
+/// # Panics
+///
+/// Panics if rows have inconsistent lengths.
+pub fn zscore(data: &mut [Vec<f64>]) {
+    let Some(first) = data.first() else { return };
+    let dims = first.len();
+    assert!(data.iter().all(|r| r.len() == dims), "ragged matrix");
+    for d in 0..dims {
+        let col: Vec<f64> = data.iter().map(|r| r[d]).collect();
+        let m = mean(&col);
+        let s = std_dev(&col);
+        for row in data.iter_mut() {
+            row[d] = if s > 1e-12 { (row[d] - m) / s } else { 0.0 };
+        }
+    }
+}
+
+/// Squared Euclidean distance.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn dist_sq(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dimension mismatch");
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert!((std_dev(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(std_dev(&[]), 0.0);
+    }
+
+    #[test]
+    fn zscore_centers_and_scales() {
+        let mut m = vec![vec![1.0, 10.0], vec![2.0, 20.0], vec![3.0, 30.0]];
+        zscore(&mut m);
+        for d in 0..2 {
+            let col: Vec<f64> = m.iter().map(|r| r[d]).collect();
+            assert!(mean(&col).abs() < 1e-12);
+            assert!((std_dev(&col) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn zscore_zeroes_constant_columns() {
+        let mut m = vec![vec![5.0, 1.0], vec![5.0, 2.0]];
+        zscore(&mut m);
+        assert_eq!(m[0][0], 0.0);
+        assert_eq!(m[1][0], 0.0);
+        assert!(m[0][1] < m[1][1]);
+    }
+
+    #[test]
+    fn dist_sq_is_squared_euclidean() {
+        assert_eq!(dist_sq(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+        assert_eq!(dist_sq(&[], &[]), 0.0);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn zscore_is_idempotent_in_shape(rows in 2usize..12, cols in 1usize..6, seed in 0u64..1000) {
+            let mut x = seed;
+            let mut next = move || {
+                x ^= x << 13; x ^= x >> 7; x ^= x << 17;
+                (x % 1000) as f64 / 37.0
+            };
+            let mut m: Vec<Vec<f64>> = (0..rows).map(|_| (0..cols).map(|_| next()).collect()).collect();
+            zscore(&mut m);
+            proptest::prop_assert_eq!(m.len(), rows);
+            for row in &m {
+                proptest::prop_assert_eq!(row.len(), cols);
+                for v in row {
+                    proptest::prop_assert!(v.is_finite());
+                }
+            }
+        }
+    }
+}

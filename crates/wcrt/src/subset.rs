@@ -1,0 +1,67 @@
+//! Representative selection: after clustering, WCRT keeps one workload per
+//! cluster — the member nearest the centroid.
+
+use crate::kmeans::KMeansResult;
+use crate::stats::dist_sq;
+
+/// For each non-empty cluster, returns the index of the member nearest the
+/// centroid, in cluster order.
+pub fn select_representatives(data: &[Vec<f64>], clustering: &KMeansResult) -> Vec<usize> {
+    let mut reps = Vec::new();
+    for (c, centroid) in clustering.centroids.iter().enumerate() {
+        let best = clustering
+            .assignments
+            .iter()
+            .enumerate()
+            .filter(|&(_, &a)| a == c)
+            .min_by(|&(i, _), &(j, _)| {
+                dist_sq(&data[i], centroid)
+                    .partial_cmp(&dist_sq(&data[j], centroid))
+                    .expect("finite distances")
+            })
+            .map(|(i, _)| i);
+        if let Some(i) = best {
+            reps.push(i);
+        }
+    }
+    reps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kmeans::kmeans;
+
+    #[test]
+    fn picks_one_member_per_cluster() {
+        let data = vec![vec![0.0], vec![0.2], vec![0.1], vec![10.0], vec![10.1]];
+        let clustering = kmeans(&data, 2, 9, 50);
+        let reps = select_representatives(&data, &clustering);
+        assert_eq!(reps.len(), 2);
+        // One rep from each blob.
+        let blob_of = |i: usize| usize::from(data[i][0] > 5.0);
+        assert_ne!(blob_of(reps[0]), blob_of(reps[1]));
+    }
+
+    #[test]
+    fn representative_is_nearest_to_centroid() {
+        let data = vec![vec![0.0], vec![1.0], vec![0.4]];
+        let clustering = kmeans(&data, 1, 3, 50);
+        let reps = select_representatives(&data, &clustering);
+        // Centroid ~0.4667; nearest point is 0.4 (index 2).
+        assert_eq!(reps, vec![2]);
+    }
+
+    #[test]
+    fn empty_clusters_are_skipped() {
+        // Construct a degenerate clustering manually.
+        let data = vec![vec![0.0], vec![0.1]];
+        let clustering = KMeansResult {
+            assignments: vec![0, 0],
+            centroids: vec![vec![0.05], vec![99.0]],
+            inertia: 0.0,
+        };
+        let reps = select_representatives(&data, &clustering);
+        assert_eq!(reps.len(), 1);
+    }
+}

@@ -1,0 +1,199 @@
+//! Dataset materialization: turns the `bdb-datagen` generators into the
+//! byte records / tables / graphs each workload consumes, at a given
+//! [`Scale`].
+//!
+//! Seeds are fixed per data set so every workload run over the same scale
+//! sees byte-identical input.
+
+use crate::spec::Scale;
+use bdb_datagen::graph::{Graph, GraphGen, GraphGenConfig};
+use bdb_datagen::table;
+use bdb_datagen::text::{TextGen, TextGenConfig};
+use bdb_datagen::tpcds::{self, TpcdsConfig, TpcdsData};
+use bdb_datagen::{DataSetId, Table};
+use bdb_stacks::Record;
+
+const SEED_TEXT: u64 = 0xB16_DA7A;
+const SEED_GRAPH: u64 = 0x6EAF_0001;
+const SEED_TABLE: u64 = 0x7AB1_E000;
+const SEED_TPCDS: u64 = 0x7BCD_5EED;
+
+/// Text documents as `(doc-id, space-joined words)` byte records — the
+/// Wikipedia / Amazon input of WordCount, Sort, Grep, and Index.
+pub fn text_records(dataset: DataSetId, scale: Scale) -> Vec<Record> {
+    let (docs, vocab, seed) = match dataset {
+        DataSetId::AmazonReviews => (900, 6_000, SEED_TEXT ^ 1),
+        _ => (1_000, 8_192, SEED_TEXT),
+    };
+    let config = TextGenConfig {
+        vocab_size: vocab,
+        ..Default::default()
+    };
+    let corpus = TextGen::new(config, seed).generate(scale.n(docs));
+    corpus
+        .docs
+        .iter()
+        .enumerate()
+        .map(|(i, doc)| {
+            let mut text = String::new();
+            for (j, &w) in doc.iter().enumerate() {
+                if j > 0 {
+                    text.push(' ');
+                }
+                text.push_str(corpus.word(w));
+            }
+            Record::new(format!("doc{i:08}").into_bytes(), text.into_bytes())
+        })
+        .collect()
+}
+
+/// The search pattern Grep workloads look for: a rare vocabulary word
+/// (Zipf rank ~2500), so only a small fraction of documents match and the
+/// paper's `Output<<Input` behaviour holds.
+pub fn grep_pattern(dataset: DataSetId) -> Vec<u8> {
+    let (vocab, seed) = match dataset {
+        DataSetId::AmazonReviews => (6_000, SEED_TEXT ^ 1),
+        _ => (8_192, SEED_TEXT),
+    };
+    let config = TextGenConfig {
+        vocab_size: vocab,
+        ..Default::default()
+    };
+    let corpus = TextGen::new(config, seed).generate(1);
+    corpus.word(2_500.min(vocab as u32 - 1)).as_bytes().to_vec()
+}
+
+/// Fixed-size key-value records with pseudo-random keys — the Sort input.
+pub fn kv_records(dataset: DataSetId, scale: Scale) -> Vec<Record> {
+    let n = scale.n(6_000);
+    let salt = match dataset {
+        DataSetId::AmazonReviews => 7u64,
+        _ => 3u64,
+    };
+    (0..n as u64)
+        .map(|i| {
+            // splitmix-style key scramble for a uniform sort key space.
+            let mut x = i.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ salt;
+            x ^= x >> 30;
+            x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            x ^= x >> 27;
+            Record::new(x.to_be_bytes().to_vec(), vec![0xAB; 56])
+        })
+        .collect()
+}
+
+/// The web/social graph for PageRank and Connected Components.
+pub fn graph(dataset: DataSetId, scale: Scale) -> Graph {
+    let (n, seed) = match dataset {
+        DataSetId::FacebookSocial => (scale.n(4_039), SEED_GRAPH ^ 2),
+        _ => (scale.n(8_000), SEED_GRAPH),
+    };
+    GraphGen::new(GraphGenConfig::default(), seed).generate(n.max(8))
+}
+
+/// Numeric feature vectors for K-means (Facebook-profile-like points).
+pub fn points(scale: Scale) -> (Vec<Vec<f64>>, usize) {
+    let (pts, _) = table::sample_points(scale.n(4_000), 8, 8, SEED_TABLE ^ 5);
+    (pts, 8)
+}
+
+/// Labelled documents for Naive Bayes (Amazon-review classification).
+pub fn labelled_docs(scale: Scale) -> (Vec<Vec<u32>>, Vec<usize>, usize) {
+    let vocab = 4_096;
+    let (docs, labels) = table::labelled_documents(scale.n(2_500), vocab, 5, SEED_TABLE ^ 9);
+    (docs, labels, vocab)
+}
+
+/// The e-commerce order and item tables.
+pub fn ecommerce(scale: Scale) -> (Table, Table) {
+    let orders = table::ecommerce_orders(scale.n(4_000), SEED_TABLE);
+    let items = table::ecommerce_items(&orders, 2, SEED_TABLE ^ 1);
+    (orders, items)
+}
+
+/// The ProfSearch résumé table (the KV service's backing rows).
+pub fn resumes(scale: Scale) -> Table {
+    table::profsearch_resumes(scale.n(5_000), SEED_TABLE ^ 2)
+}
+
+/// The TPC-DS-like star schema.
+pub fn tpcds(scale: Scale) -> TpcdsData {
+    tpcds::generate(
+        TpcdsConfig {
+            sales_rows: scale.n(16_000),
+            items: scale.n(800).max(32),
+            customers: scale.n(1_500).max(32),
+            days: 365,
+        },
+        SEED_TPCDS,
+    )
+}
+
+/// Résumé rows as KV records keyed by person id (HBase table rows). Values
+/// are padded toward the paper's 1128-byte ProfSearch records at full
+/// scale.
+pub fn resume_records(scale: Scale) -> Vec<Record> {
+    resumes(scale)
+        .rows()
+        .iter()
+        .map(|row| {
+            let id = row[0].as_i64().expect("person_id");
+            let mut value = Vec::with_capacity(256);
+            for f in &row[1..] {
+                value.extend_from_slice(format!("{f}|").as_bytes());
+            }
+            value.resize(value.len().max(224), b'.');
+            Record::new(format!("person{id:010}").into_bytes(), value)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_records_are_deterministic() {
+        let a = text_records(DataSetId::Wikipedia, Scale::tiny());
+        let b = text_records(DataSetId::Wikipedia, Scale::tiny());
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+        assert!(a[0].value.len() > 10);
+    }
+
+    #[test]
+    fn datasets_differ_by_id() {
+        let wiki = text_records(DataSetId::Wikipedia, Scale::tiny());
+        let amazon = text_records(DataSetId::AmazonReviews, Scale::tiny());
+        assert_ne!(wiki, amazon);
+    }
+
+    #[test]
+    fn kv_records_have_uniform_shape() {
+        let recs = kv_records(DataSetId::Wikipedia, Scale::tiny());
+        assert!(recs.iter().all(|r| r.key.len() == 8 && r.value.len() == 56));
+        // Keys should be roughly unique.
+        let distinct: std::collections::HashSet<_> = recs.iter().map(|r| &r.key).collect();
+        assert_eq!(distinct.len(), recs.len());
+    }
+
+    #[test]
+    fn scale_changes_volume() {
+        let small = text_records(DataSetId::Wikipedia, Scale::tiny());
+        let big = text_records(DataSetId::Wikipedia, Scale::small());
+        assert!(big.len() > small.len());
+    }
+
+    #[test]
+    fn graph_scales() {
+        let g = graph(DataSetId::GoogleWebGraph, Scale::tiny());
+        assert!(g.vertex_count() >= 8);
+        assert!(g.edge_count() > 0);
+    }
+
+    #[test]
+    fn resume_records_are_padded() {
+        let recs = resume_records(Scale::tiny());
+        assert!(recs.iter().all(|r| r.value.len() >= 224));
+    }
+}

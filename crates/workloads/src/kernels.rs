@@ -1,0 +1,216 @@
+//! Traced kernel primitives shared by the workload implementations.
+//!
+//! These are the *user-code* halves of the workloads — the actual word
+//! splitting, hashing, pattern matching, and distance arithmetic — narrated
+//! at micro-op granularity. Each workload registers a small, hot code
+//! region for its kernel (user functions are tiny compared to framework
+//! code, which is the paper's point).
+
+use bdb_trace::{CodeLayout, ExecCtx, RegionId};
+
+/// A registered user-kernel code region (small and hot: 8 KiB).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Kernel {
+    /// The kernel's code region.
+    pub region: RegionId,
+}
+
+impl Kernel {
+    /// Registers a kernel region.
+    pub fn register(layout: &mut CodeLayout, name: &str) -> Self {
+        Self {
+            region: layout.region(format!("kernel::{name}"), 8 * 1024),
+        }
+    }
+}
+
+/// Walks the words of `text` (space-separated), narrating the byte scan,
+/// and invokes `f` with each word and its simulated address.
+pub fn for_each_word(
+    ctx: &mut ExecCtx<'_>,
+    text: &[u8],
+    addr: u64,
+    mut f: impl FnMut(&mut ExecCtx<'_>, &[u8], u64),
+) {
+    // Word-at-a-time scan, like a real SWAR/SSE tokenizer: one load and
+    // one separator test per 8-byte chunk, then per-token boundary work.
+    let mut start = 0usize;
+    let chunks = text.len().div_ceil(8).max(1);
+    let top = ctx.loop_start();
+    for chunk in 0..chunks {
+        let lo = chunk * 8;
+        let hi = (lo + 8).min(text.len());
+        ctx.read(addr + lo as u64, 8);
+        ctx.int_addr(1);
+        ctx.int_other(1);
+        let has_sep = text[lo..hi].contains(&b' ') || hi == text.len();
+        ctx.cond_branch(has_sep);
+        if has_sep {
+            for i in lo..hi {
+                let boundary = text[i] == b' ';
+                if boundary || (i + 1 == text.len()) {
+                    let end = if boundary { i } else { i + 1 };
+                    if end > start {
+                        ctx.int_other(1);
+                        f(ctx, &text[start..end], addr + start as u64);
+                    }
+                    start = i + 1;
+                }
+            }
+        }
+        ctx.loop_back(top, chunk + 1 < chunks);
+    }
+}
+
+/// FNV-1a over `bytes`, narrating the loads and arithmetic. Returns the
+/// real hash.
+pub fn hash_bytes(ctx: &mut ExecCtx<'_>, bytes: &[u8], addr: u64) -> u64 {
+    let words = (bytes.len() as u64).div_ceil(8).max(1);
+    let top = ctx.loop_start();
+    for w in 0..words {
+        ctx.read(addr + w * 8, 8);
+        ctx.int_addr(1);
+        ctx.int_other(1);
+        ctx.loop_back(top, w + 1 < words);
+    }
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Squared Euclidean distance with traced FP loads and arithmetic.
+pub fn distance_sq(ctx: &mut ExecCtx<'_>, a: &[f64], a_addr: u64, b: &[f64], b_addr: u64) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = 0.0;
+    let top = ctx.loop_start();
+    for i in 0..a.len() {
+        ctx.read_fp(a_addr + i as u64 * 8, 8);
+        ctx.read_fp(b_addr + i as u64 * 8, 8);
+        ctx.fp_ops(3); // sub, mul, add
+        let d = a[i] - b[i];
+        acc += d * d;
+        ctx.loop_back(top, i + 1 < a.len());
+    }
+    acc
+}
+
+/// Counts occurrences of `pattern` in `text` (naive search with first-byte
+/// filter), narrating the scan. Returns the real count.
+pub fn search_pattern(ctx: &mut ExecCtx<'_>, text: &[u8], addr: u64, pattern: &[u8]) -> usize {
+    if pattern.is_empty() || text.len() < pattern.len() {
+        return 0;
+    }
+    // A real regex engine runs a DFA over every character: load the input
+    // (amortized one load per 8 bytes), look up the transition table, and
+    // advance the state. This per-character cost is why grep is
+    // CPU-intensive in the paper's Table 2.
+    let mut count = 0usize;
+    let mut state = 0usize; // chars of the pattern matched so far
+    let top = ctx.loop_start();
+    for (i, &b) in text.iter().enumerate() {
+        if i % 8 == 0 {
+            ctx.read(addr + i as u64, 8); // input chunk
+        }
+        ctx.read(
+            addr + 0x8000 + (state as u64 * 256 + u64::from(b)) % 0x4000,
+            4,
+        ); // DFA row
+        ctx.int_addr(1); // transition-table indexing
+        ctx.int_other(1); // state advance
+                          // Real DFA transition on the literal pattern.
+        state = if b == pattern[state] {
+            state + 1
+        } else if b == pattern[0] {
+            1
+        } else {
+            0
+        };
+        let matched = state == pattern.len();
+        if i % 8 == 7 || matched {
+            ctx.cond_branch(matched);
+        }
+        if matched {
+            count += 1;
+            state = 0;
+        }
+        ctx.loop_back(top, i + 1 < text.len());
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bdb_trace::{CodeLayout, InstructionMix, MixSink};
+
+    fn with_kernel<R>(f: impl FnOnce(&mut ExecCtx<'_>, u64) -> R) -> (R, InstructionMix) {
+        let mut layout = CodeLayout::new();
+        let k = Kernel::register(&mut layout, "test");
+        let mut sink = MixSink::new();
+        let mut ctx = ExecCtx::new(&layout, &mut sink);
+        let buf = ctx.heap_alloc(1 << 16, 8);
+        let base = buf.base();
+        let out = ctx.frame(k.region, |ctx| f(ctx, base));
+        (out, sink.mix())
+    }
+
+    #[test]
+    fn for_each_word_splits_correctly() {
+        let (words, mix) = with_kernel(|ctx, addr| {
+            let mut out = Vec::new();
+            for_each_word(ctx, b"the quick  brown fox", addr, |_, w, _| {
+                out.push(String::from_utf8_lossy(w).into_owned());
+            });
+            out
+        });
+        assert_eq!(words, vec!["the", "quick", "brown", "fox"]);
+        assert!(mix.loads > 0 && mix.branches > 0);
+    }
+
+    #[test]
+    fn for_each_word_handles_edges() {
+        let (words, _) = with_kernel(|ctx, addr| {
+            let mut out = Vec::new();
+            for_each_word(ctx, b"", addr, |_, w, _| out.push(w.to_vec()));
+            for_each_word(ctx, b"  ", addr, |_, w, _| out.push(w.to_vec()));
+            for_each_word(ctx, b"one", addr, |_, w, _| out.push(w.to_vec()));
+            out
+        });
+        assert_eq!(words, vec![b"one".to_vec()]);
+    }
+
+    #[test]
+    fn hash_is_fnv1a() {
+        let ((h1, h2), _) = with_kernel(|ctx, addr| {
+            (
+                hash_bytes(ctx, b"hello", addr),
+                hash_bytes(ctx, b"hello", addr),
+            )
+        });
+        assert_eq!(h1, h2);
+        let ((h3,), _) = with_kernel(|ctx, addr| (hash_bytes(ctx, b"world", addr),));
+        assert_ne!(h1, h3);
+    }
+
+    #[test]
+    fn distance_is_correct_and_traced() {
+        let (d, mix) =
+            with_kernel(|ctx, addr| distance_sq(ctx, &[0.0, 3.0], addr, &[4.0, 0.0], addr + 64));
+        assert_eq!(d, 25.0);
+        assert_eq!(mix.fp, 6);
+        assert_eq!(mix.fp_addr, 4);
+    }
+
+    #[test]
+    fn search_counts_matches() {
+        let (n, _) = with_kernel(|ctx, addr| search_pattern(ctx, b"abcabcababc", addr, b"abc"));
+        assert_eq!(n, 3);
+        let (zero, _) = with_kernel(|ctx, addr| search_pattern(ctx, b"xyz", addr, b"abc"));
+        assert_eq!(zero, 0);
+        let (empty, _) = with_kernel(|ctx, addr| search_pattern(ctx, b"ab", addr, b"abc"));
+        assert_eq!(empty, 0);
+    }
+}

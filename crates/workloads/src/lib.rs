@@ -1,0 +1,44 @@
+//! The workload catalog — this reproduction's BigDataBench.
+//!
+//! Everything the paper runs is here:
+//!
+//! * [`offline`] — the offline-analytics kernels (WordCount, Sort, Grep,
+//!   K-means, PageRank, Naive Bayes, Inverted Index, Connected Components)
+//!   implemented on the Hadoop-like, Spark-like, and MPI stacks,
+//! * [`queries`] — the interactive-analytics workloads: relational
+//!   operators and TPC-DS-like queries on the Hive/Shark/Impala backends,
+//! * [`service`] — the cloud-OLTP workloads on the HBase-like service,
+//! * [`suites`] — the comparison points: SPECINT-, SPECFP-, PARSEC-,
+//!   HPCC-, CloudSuite-, and TPC-C-class kernels,
+//! * [`catalog`] — the assembled 77-workload catalog, the paper's 17
+//!   representatives (Table 2), and the 6 MPI control workloads.
+//!
+//! Every workload is a [`WorkloadDef`]: a described, deterministic runner
+//! that executes the real algorithm through its software stack onto any
+//! [`bdb_trace::TraceSink`] and returns the run's [`RunStats`].
+//!
+//! # Examples
+//!
+//! ```
+//! use bdb_workloads::{catalog, Scale};
+//! use bdb_trace::MixSink;
+//!
+//! let reps = catalog::representatives();
+//! assert_eq!(reps.len(), 17);
+//! let h_wordcount = reps.iter().find(|w| w.spec.id == "H-WordCount").unwrap();
+//! let mut sink = MixSink::new();
+//! let stats = h_wordcount.run(&mut sink, Scale::tiny());
+//! assert!(stats.input_bytes > 0);
+//! ```
+
+pub mod catalog;
+pub mod data;
+pub mod kernels;
+pub mod offline;
+pub mod queries;
+pub mod service;
+pub mod spec;
+pub mod suites;
+
+pub use bdb_stacks::RunStats;
+pub use spec::{Category, KernelKind, Scale, WorkloadDef, WorkloadSpec};

@@ -1,0 +1,1415 @@
+//! Offline-analytics workloads: WordCount, Sort, Grep, K-means, PageRank,
+//! Naive Bayes, Inverted Index, and Connected Components on the
+//! Hadoop-like, Spark-like, and MPI stacks.
+//!
+//! Each function executes the *real* algorithm (counts are correct, sorts
+//! are ordered, PageRank converges) through the corresponding stack onto
+//! the given sink and returns the run's resource accounting.
+
+use crate::data;
+use crate::kernels::{distance_sq, for_each_word, hash_bytes, search_pattern, Kernel};
+use crate::spec::Scale;
+use bdb_datagen::DataSetId;
+use bdb_stacks::dataflow::{Dataflow, DataflowConfig, SparkStack};
+use bdb_stacks::mapreduce::{Emitter, HadoopStack, MapReduce, MapReduceConfig, Mapper, Reducer};
+use bdb_stacks::mpi::{MpiStack, MpiWorld};
+use bdb_stacks::record::Record;
+use bdb_stacks::sort::traced_sort_by_key;
+use bdb_stacks::RunStats;
+use bdb_trace::{CodeLayout, ExecCtx, TraceSink};
+
+const MPI_RANKS: usize = 4;
+
+fn mr_config(use_combiner: bool) -> MapReduceConfig {
+    MapReduceConfig {
+        reduces: 4,
+        use_combiner,
+        ..Default::default()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shared mapper/reducer building blocks
+// ---------------------------------------------------------------------------
+
+/// Sums big-endian u64 counts per key.
+struct SumReducer {
+    kernel: Kernel,
+}
+
+impl Reducer for SumReducer {
+    fn reduce(
+        &mut self,
+        ctx: &mut ExecCtx<'_>,
+        key: &[u8],
+        values: &[Record],
+        addr: u64,
+        out: &mut Emitter,
+    ) {
+        let sum = ctx.frame(self.kernel.region, |ctx| {
+            let mut sum = 0u64;
+            let top = ctx.loop_start();
+            for (i, v) in values.iter().enumerate() {
+                ctx.read(addr + i as u64 * 8, 8);
+                ctx.int_other(1);
+                sum += u64::from_be_bytes(v.value[..8].try_into().unwrap_or([0; 8]));
+                ctx.loop_back(top, i + 1 < values.len());
+            }
+            sum
+        });
+        out.emit(Record::new(key.to_vec(), sum.to_be_bytes().to_vec()));
+    }
+}
+
+/// Emits every grouped value unchanged (identity reduce).
+struct IdentityReducer;
+
+impl Reducer for IdentityReducer {
+    fn reduce(
+        &mut self,
+        ctx: &mut ExecCtx<'_>,
+        key: &[u8],
+        values: &[Record],
+        addr: u64,
+        out: &mut Emitter,
+    ) {
+        ctx.read(addr, 8);
+        for v in values {
+            out.emit(Record::new(key.to_vec(), v.value.clone()));
+        }
+    }
+}
+
+fn f64s_to_bytes(v: &[f64]) -> Vec<u8> {
+    v.iter().flat_map(|x| x.to_le_bytes()).collect()
+}
+
+fn bytes_to_f64s(b: &[u8]) -> Vec<f64> {
+    b.chunks_exact(8)
+        .map(|c| f64::from_le_bytes(c.try_into().expect("8 bytes")))
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Hadoop (MapReduce) workloads
+// ---------------------------------------------------------------------------
+
+/// Hadoop WordCount over a text data set.
+pub fn hadoop_wordcount(sink: &mut dyn TraceSink, scale: Scale, dataset: DataSetId) -> RunStats {
+    let input = data::text_records(dataset, scale);
+    let mut layout = CodeLayout::new();
+    let stack = HadoopStack::register(&mut layout);
+    let map_k = Kernel::register(&mut layout, "wc_map");
+    let red_k = Kernel::register(&mut layout, "wc_reduce");
+    let mut ctx = ExecCtx::new(&layout, sink);
+    let engine = MapReduce::new(&stack, mr_config(true));
+
+    struct WcMapper {
+        kernel: Kernel,
+    }
+    impl Mapper for WcMapper {
+        fn map(&mut self, ctx: &mut ExecCtx<'_>, record: &Record, addr: u64, out: &mut Emitter) {
+            ctx.frame(self.kernel.region, |ctx| {
+                for_each_word(ctx, &record.value, addr, |ctx, word, waddr| {
+                    let _ = hash_bytes(ctx, word, waddr);
+                    out.emit(Record::new(word.to_vec(), 1u64.to_be_bytes().to_vec()));
+                });
+            });
+        }
+    }
+    let mut mapper = WcMapper { kernel: map_k };
+    let mut combiner = SumReducer { kernel: red_k };
+    let mut reducer = SumReducer { kernel: red_k };
+    let out = engine.run(
+        &mut ctx,
+        &input,
+        &mut mapper,
+        Some(&mut combiner),
+        &mut reducer,
+    );
+    ctx.finish();
+    out.stats
+}
+
+/// Hadoop Sort of fixed-size key-value records.
+pub fn hadoop_sort(sink: &mut dyn TraceSink, scale: Scale, dataset: DataSetId) -> RunStats {
+    let input = data::kv_records(dataset, scale);
+    let mut layout = CodeLayout::new();
+    let stack = HadoopStack::register(&mut layout);
+    let map_k = Kernel::register(&mut layout, "sort_map");
+    let mut ctx = ExecCtx::new(&layout, sink);
+    let engine = MapReduce::new(&stack, mr_config(false));
+
+    struct IdMapper {
+        kernel: Kernel,
+    }
+    impl Mapper for IdMapper {
+        fn map(&mut self, ctx: &mut ExecCtx<'_>, record: &Record, addr: u64, out: &mut Emitter) {
+            ctx.frame(self.kernel.region, |ctx| {
+                ctx.read(addr, 8);
+                ctx.int_other(1);
+                out.emit(record.clone());
+            });
+        }
+    }
+    let mut mapper = IdMapper { kernel: map_k };
+    let mut reducer = IdentityReducer;
+    let out = engine.run(&mut ctx, &input, &mut mapper, None, &mut reducer);
+    ctx.finish();
+    out.stats
+}
+
+/// Hadoop Grep: emit documents containing a rare pattern.
+pub fn hadoop_grep(sink: &mut dyn TraceSink, scale: Scale, dataset: DataSetId) -> RunStats {
+    let input = data::text_records(dataset, scale);
+    let pattern = data::grep_pattern(dataset);
+    let mut layout = CodeLayout::new();
+    let stack = HadoopStack::register(&mut layout);
+    let map_k = Kernel::register(&mut layout, "grep_map");
+    let mut ctx = ExecCtx::new(&layout, sink);
+    let engine = MapReduce::new(&stack, mr_config(false));
+
+    struct GrepMapper {
+        kernel: Kernel,
+        pattern: Vec<u8>,
+    }
+    impl Mapper for GrepMapper {
+        fn map(&mut self, ctx: &mut ExecCtx<'_>, record: &Record, addr: u64, out: &mut Emitter) {
+            let hits = ctx.frame(self.kernel.region, |ctx| {
+                search_pattern(ctx, &record.value, addr, &self.pattern)
+            });
+            if hits > 0 {
+                out.emit(Record::new(
+                    record.key.clone(),
+                    (hits as u64).to_be_bytes().to_vec(),
+                ));
+            }
+        }
+    }
+    let mut mapper = GrepMapper {
+        kernel: map_k,
+        pattern,
+    };
+    let mut reducer = IdentityReducer;
+    let out = engine.run(&mut ctx, &input, &mut mapper, None, &mut reducer);
+    ctx.finish();
+    out.stats
+}
+
+/// Hadoop Naive Bayes training: class-conditional word counts.
+pub fn hadoop_bayes(sink: &mut dyn TraceSink, scale: Scale) -> RunStats {
+    let (docs, labels, _) = data::labelled_docs(scale);
+    let input: Vec<Record> = docs
+        .iter()
+        .zip(&labels)
+        .map(|(doc, &label)| {
+            let bytes: Vec<u8> = doc.iter().flat_map(|w| w.to_le_bytes()).collect();
+            Record::new(vec![label as u8], bytes)
+        })
+        .collect();
+    let mut layout = CodeLayout::new();
+    let stack = HadoopStack::register(&mut layout);
+    let map_k = Kernel::register(&mut layout, "bayes_map");
+    let red_k = Kernel::register(&mut layout, "bayes_reduce");
+    let mut ctx = ExecCtx::new(&layout, sink);
+    let engine = MapReduce::new(&stack, mr_config(true));
+
+    struct BayesMapper {
+        kernel: Kernel,
+    }
+    impl Mapper for BayesMapper {
+        fn map(&mut self, ctx: &mut ExecCtx<'_>, record: &Record, addr: u64, out: &mut Emitter) {
+            let class = record.key[0];
+            ctx.frame(self.kernel.region, |ctx| {
+                let top = ctx.loop_start();
+                let n = record.value.len() / 4;
+                for (i, chunk) in record.value.chunks_exact(4).enumerate() {
+                    ctx.read(addr + i as u64 * 4, 4);
+                    ctx.int_other(2);
+                    let word = u32::from_le_bytes(chunk.try_into().expect("4 bytes"));
+                    let mut key = vec![class];
+                    key.extend_from_slice(&word.to_be_bytes());
+                    out.emit(Record::new(key, 1u64.to_be_bytes().to_vec()));
+                    ctx.loop_back(top, i + 1 < n);
+                }
+            });
+        }
+    }
+    let mut mapper = BayesMapper { kernel: map_k };
+    let mut combiner = SumReducer { kernel: red_k };
+    let mut reducer = SumReducer { kernel: red_k };
+    let out = engine.run(
+        &mut ctx,
+        &input,
+        &mut mapper,
+        Some(&mut combiner),
+        &mut reducer,
+    );
+    ctx.finish();
+    out.stats
+}
+
+/// Hadoop Inverted Index: word → posting list of document ids.
+pub fn hadoop_index(sink: &mut dyn TraceSink, scale: Scale, dataset: DataSetId) -> RunStats {
+    let input = data::text_records(dataset, scale);
+    let mut layout = CodeLayout::new();
+    let stack = HadoopStack::register(&mut layout);
+    let map_k = Kernel::register(&mut layout, "index_map");
+    let red_k = Kernel::register(&mut layout, "index_reduce");
+    let mut ctx = ExecCtx::new(&layout, sink);
+    let engine = MapReduce::new(&stack, mr_config(false));
+
+    struct IndexMapper {
+        kernel: Kernel,
+    }
+    impl Mapper for IndexMapper {
+        fn map(&mut self, ctx: &mut ExecCtx<'_>, record: &Record, addr: u64, out: &mut Emitter) {
+            ctx.frame(self.kernel.region, |ctx| {
+                for_each_word(ctx, &record.value, addr, |ctx, word, waddr| {
+                    let _ = hash_bytes(ctx, word, waddr);
+                    out.emit(Record::new(word.to_vec(), record.key.clone()));
+                });
+            });
+        }
+    }
+    struct ConcatReducer {
+        kernel: Kernel,
+    }
+    impl Reducer for ConcatReducer {
+        fn reduce(
+            &mut self,
+            ctx: &mut ExecCtx<'_>,
+            key: &[u8],
+            values: &[Record],
+            addr: u64,
+            out: &mut Emitter,
+        ) {
+            let posting = ctx.frame(self.kernel.region, |ctx| {
+                let mut posting = Vec::new();
+                let top = ctx.loop_start();
+                for (i, v) in values.iter().enumerate() {
+                    ctx.read(addr + i as u64 * 8, 8);
+                    ctx.store(addr + i as u64 * 8 + 8, 8);
+                    posting.extend_from_slice(&v.value);
+                    posting.push(b';');
+                    ctx.loop_back(top, i + 1 < values.len());
+                }
+                posting
+            });
+            out.emit(Record::new(key.to_vec(), posting));
+        }
+    }
+    let mut mapper = IndexMapper { kernel: map_k };
+    let mut reducer = ConcatReducer { kernel: red_k };
+    let out = engine.run(&mut ctx, &input, &mut mapper, None, &mut reducer);
+    ctx.finish();
+    out.stats
+}
+
+/// Hadoop K-means: `iterations` Lloyd steps, one MapReduce job each.
+pub fn hadoop_kmeans(sink: &mut dyn TraceSink, scale: Scale, iterations: usize) -> RunStats {
+    let (points, dim) = data::points(scale);
+    let k = 8usize;
+    let input: Vec<Record> = points
+        .iter()
+        .enumerate()
+        .map(|(i, p)| Record::new((i as u32).to_be_bytes().to_vec(), f64s_to_bytes(p)))
+        .collect();
+    let mut layout = CodeLayout::new();
+    let stack = HadoopStack::register(&mut layout);
+    let map_k = Kernel::register(&mut layout, "kmeans_assign");
+    let red_k = Kernel::register(&mut layout, "kmeans_update");
+    let mut ctx = ExecCtx::new(&layout, sink);
+    let engine = MapReduce::new(&stack, mr_config(false));
+
+    struct AssignMapper {
+        kernel: Kernel,
+        centers: Vec<Vec<f64>>,
+    }
+    impl Mapper for AssignMapper {
+        fn map(&mut self, ctx: &mut ExecCtx<'_>, record: &Record, addr: u64, out: &mut Emitter) {
+            let point = bytes_to_f64s(&record.value);
+            let best = ctx.frame(self.kernel.region, |ctx| {
+                let mut best = (0usize, f64::MAX);
+                let top = ctx.loop_start();
+                for (c, center) in self.centers.iter().enumerate() {
+                    let d = distance_sq(ctx, &point, addr, center, addr + 4096);
+                    let better = d < best.1;
+                    ctx.cond_branch(better);
+                    if better {
+                        best = (c, d);
+                    }
+                    ctx.loop_back(top, c + 1 < self.centers.len());
+                }
+                best.0
+            });
+            out.emit(Record::new(vec![best as u8], record.value.clone()));
+        }
+    }
+    struct MeanReducer {
+        kernel: Kernel,
+        dim: usize,
+    }
+    impl Reducer for MeanReducer {
+        fn reduce(
+            &mut self,
+            ctx: &mut ExecCtx<'_>,
+            key: &[u8],
+            values: &[Record],
+            addr: u64,
+            out: &mut Emitter,
+        ) {
+            let mean = ctx.frame(self.kernel.region, |ctx| {
+                let mut acc = vec![0.0f64; self.dim];
+                let top = ctx.loop_start();
+                for (i, v) in values.iter().enumerate() {
+                    let p = bytes_to_f64s(&v.value);
+                    for (d, x) in p.iter().enumerate().take(self.dim) {
+                        ctx.read_fp(addr + (i * self.dim + d) as u64 * 8, 8);
+                        ctx.fp_ops(1);
+                        acc[d] += x;
+                    }
+                    ctx.loop_back(top, i + 1 < values.len());
+                }
+                let n = values.len().max(1) as f64;
+                ctx.fp_ops(self.dim as u32);
+                acc.iter_mut().for_each(|x| *x /= n);
+                acc
+            });
+            out.emit(Record::new(key.to_vec(), f64s_to_bytes(&mean)));
+        }
+    }
+
+    let mut centers: Vec<Vec<f64>> = points.iter().take(k).cloned().collect();
+    let mut stats = RunStats::default();
+    for _ in 0..iterations.max(1) {
+        let mut mapper = AssignMapper {
+            kernel: map_k,
+            centers: centers.clone(),
+        };
+        let mut reducer = MeanReducer { kernel: red_k, dim };
+        let out = engine.run(&mut ctx, &input, &mut mapper, None, &mut reducer);
+        for rec in &out.records {
+            let c = rec.key[0] as usize;
+            if c < centers.len() {
+                centers[c] = bytes_to_f64s(&rec.value);
+            }
+        }
+        stats.merge(out.stats);
+    }
+    ctx.finish();
+    stats
+}
+
+/// Hadoop PageRank: `iterations` power-method steps, one job each.
+pub fn hadoop_pagerank(
+    sink: &mut dyn TraceSink,
+    scale: Scale,
+    dataset: DataSetId,
+    iterations: usize,
+) -> RunStats {
+    let graph = data::graph(dataset, scale);
+    let n = graph.vertex_count();
+    let input: Vec<Record> = (0..n as u32)
+        .map(|v| {
+            let dsts: Vec<u8> = graph
+                .neighbors(v)
+                .iter()
+                .flat_map(|d| d.to_be_bytes())
+                .collect();
+            Record::new(v.to_be_bytes().to_vec(), dsts)
+        })
+        .collect();
+    let mut layout = CodeLayout::new();
+    let stack = HadoopStack::register(&mut layout);
+    let map_k = Kernel::register(&mut layout, "pr_contrib");
+    let red_k = Kernel::register(&mut layout, "pr_apply");
+    let mut ctx = ExecCtx::new(&layout, sink);
+    let engine = MapReduce::new(&stack, mr_config(false));
+
+    struct ContribMapper {
+        kernel: Kernel,
+        ranks: Vec<f64>,
+    }
+    impl Mapper for ContribMapper {
+        fn map(&mut self, ctx: &mut ExecCtx<'_>, record: &Record, addr: u64, out: &mut Emitter) {
+            let src = u32::from_be_bytes(record.key[..4].try_into().expect("4-byte key")) as usize;
+            let degree = record.value.len() / 4;
+            if degree == 0 {
+                return;
+            }
+            let contrib = self.ranks[src] / degree as f64;
+            ctx.frame(self.kernel.region, |ctx| {
+                ctx.fp_ops(1);
+                let top = ctx.loop_start();
+                for (i, chunk) in record.value.chunks_exact(4).enumerate() {
+                    ctx.read(addr + i as u64 * 4, 4);
+                    ctx.fp_ops(1);
+                    out.emit(Record::new(chunk.to_vec(), contrib.to_le_bytes().to_vec()));
+                    ctx.loop_back(top, i + 1 < degree);
+                }
+            });
+        }
+    }
+    struct RankReducer {
+        kernel: Kernel,
+    }
+    impl Reducer for RankReducer {
+        fn reduce(
+            &mut self,
+            ctx: &mut ExecCtx<'_>,
+            key: &[u8],
+            values: &[Record],
+            addr: u64,
+            out: &mut Emitter,
+        ) {
+            let rank = ctx.frame(self.kernel.region, |ctx| {
+                let mut acc = 0.0f64;
+                let top = ctx.loop_start();
+                for (i, v) in values.iter().enumerate() {
+                    ctx.read_fp(addr + i as u64 * 8, 8);
+                    ctx.fp_ops(1);
+                    acc += f64::from_le_bytes(v.value[..8].try_into().expect("8 bytes"));
+                    ctx.loop_back(top, i + 1 < values.len());
+                }
+                ctx.fp_ops(2);
+                0.15 + 0.85 * acc
+            });
+            out.emit(Record::new(key.to_vec(), rank.to_le_bytes().to_vec()));
+        }
+    }
+
+    let mut ranks = vec![1.0f64; n];
+    let mut stats = RunStats::default();
+    for _ in 0..iterations.max(1) {
+        let mut mapper = ContribMapper {
+            kernel: map_k,
+            ranks: ranks.clone(),
+        };
+        let mut reducer = RankReducer { kernel: red_k };
+        let out = engine.run(&mut ctx, &input, &mut mapper, None, &mut reducer);
+        for rec in &out.records {
+            let v = u32::from_be_bytes(rec.key[..4].try_into().expect("4 bytes")) as usize;
+            ranks[v] = f64::from_le_bytes(rec.value[..8].try_into().expect("8 bytes"));
+        }
+        stats.merge(out.stats);
+    }
+    ctx.finish();
+    stats
+}
+
+/// Hadoop Connected Components via iterative label propagation.
+pub fn hadoop_cc(sink: &mut dyn TraceSink, scale: Scale, iterations: usize) -> RunStats {
+    let graph = data::graph(DataSetId::FacebookSocial, scale);
+    let n = graph.vertex_count();
+    let input: Vec<Record> = (0..n as u32)
+        .map(|v| {
+            let dsts: Vec<u8> = graph
+                .neighbors(v)
+                .iter()
+                .flat_map(|d| d.to_be_bytes())
+                .collect();
+            Record::new(v.to_be_bytes().to_vec(), dsts)
+        })
+        .collect();
+    let mut layout = CodeLayout::new();
+    let stack = HadoopStack::register(&mut layout);
+    let map_k = Kernel::register(&mut layout, "cc_propagate");
+    let red_k = Kernel::register(&mut layout, "cc_min");
+    let mut ctx = ExecCtx::new(&layout, sink);
+    let engine = MapReduce::new(&stack, mr_config(false));
+
+    struct PropagateMapper {
+        kernel: Kernel,
+        labels: Vec<u32>,
+    }
+    impl Mapper for PropagateMapper {
+        fn map(&mut self, ctx: &mut ExecCtx<'_>, record: &Record, addr: u64, out: &mut Emitter) {
+            let src = u32::from_be_bytes(record.key[..4].try_into().expect("4 bytes")) as usize;
+            let label = self.labels[src];
+            ctx.frame(self.kernel.region, |ctx| {
+                // Keep own label in play, and push it to every neighbour.
+                out.emit(Record::new(
+                    record.key.clone(),
+                    label.to_be_bytes().to_vec(),
+                ));
+                let top = ctx.loop_start();
+                let degree = (record.value.len() / 4).max(1);
+                for (i, chunk) in record.value.chunks_exact(4).enumerate() {
+                    ctx.read(addr + i as u64 * 4, 4);
+                    ctx.int_other(1);
+                    out.emit(Record::new(chunk.to_vec(), label.to_be_bytes().to_vec()));
+                    ctx.loop_back(top, i + 1 < degree);
+                }
+            });
+        }
+    }
+    struct MinReducer {
+        kernel: Kernel,
+    }
+    impl Reducer for MinReducer {
+        fn reduce(
+            &mut self,
+            ctx: &mut ExecCtx<'_>,
+            key: &[u8],
+            values: &[Record],
+            addr: u64,
+            out: &mut Emitter,
+        ) {
+            let min = ctx.frame(self.kernel.region, |ctx| {
+                let mut min = u32::MAX;
+                let top = ctx.loop_start();
+                for (i, v) in values.iter().enumerate() {
+                    ctx.read(addr + i as u64 * 4, 4);
+                    let x = u32::from_be_bytes(v.value[..4].try_into().expect("4 bytes"));
+                    let smaller = x < min;
+                    ctx.cond_branch(smaller);
+                    if smaller {
+                        min = x;
+                    }
+                    ctx.loop_back(top, i + 1 < values.len());
+                }
+                min
+            });
+            out.emit(Record::new(key.to_vec(), min.to_be_bytes().to_vec()));
+        }
+    }
+
+    let mut labels: Vec<u32> = (0..n as u32).collect();
+    let mut stats = RunStats::default();
+    for _ in 0..iterations.max(1) {
+        let mut mapper = PropagateMapper {
+            kernel: map_k,
+            labels: labels.clone(),
+        };
+        let mut reducer = MinReducer { kernel: red_k };
+        let out = engine.run(&mut ctx, &input, &mut mapper, None, &mut reducer);
+        for rec in &out.records {
+            let v = u32::from_be_bytes(rec.key[..4].try_into().expect("4 bytes")) as usize;
+            labels[v] = u32::from_be_bytes(rec.value[..4].try_into().expect("4 bytes"));
+        }
+        stats.merge(out.stats);
+    }
+    ctx.finish();
+    stats
+}
+
+// ---------------------------------------------------------------------------
+// Spark (dataflow) workloads
+// ---------------------------------------------------------------------------
+
+fn spark_env<R>(
+    sink: &mut dyn TraceSink,
+    kernel_names: &[&str],
+    f: impl FnOnce(&mut Dataflow<'_>, &mut ExecCtx<'_>, &[Kernel]) -> R,
+) -> R {
+    let mut layout = CodeLayout::new();
+    let stack = SparkStack::register(&mut layout);
+    let kernels: Vec<Kernel> = kernel_names
+        .iter()
+        .map(|n| Kernel::register(&mut layout, n))
+        .collect();
+    let mut ctx = ExecCtx::new(&layout, sink);
+    let root = stack.root_region();
+    let out = ctx.frame(root, |ctx| {
+        let mut df = Dataflow::new(&stack, DataflowConfig::default(), ctx);
+        f(&mut df, ctx, &kernels)
+    });
+    ctx.finish();
+    out
+}
+
+fn sum_merge(ctx: &mut ExecCtx<'_>, a: &Record, b: &Record) -> Record {
+    ctx.int_other(2);
+    let x = u64::from_be_bytes(a.value[..8].try_into().unwrap_or([0; 8]));
+    let y = u64::from_be_bytes(b.value[..8].try_into().unwrap_or([0; 8]));
+    Record::new(a.key.clone(), (x + y).to_be_bytes().to_vec())
+}
+
+/// Spark WordCount.
+pub fn spark_wordcount(sink: &mut dyn TraceSink, scale: Scale, dataset: DataSetId) -> RunStats {
+    let input = data::text_records(dataset, scale);
+    spark_env(sink, &["wc_split"], |df, ctx, kernels| {
+        let split = kernels[0];
+        let ds = df.read_input(ctx, &input);
+        let pairs = df.narrow(ctx, "split", &ds, &mut |ctx, rec, addr, out| {
+            ctx.frame(split.region, |ctx| {
+                for_each_word(ctx, &rec.value, addr, |ctx, word, waddr| {
+                    let _ = hash_bytes(ctx, word, waddr);
+                    out.emit(Record::new(word.to_vec(), 1u64.to_be_bytes().to_vec()));
+                });
+            });
+        });
+        let counts = df.reduce_by_key(ctx, &pairs, &mut sum_merge);
+        df.save(ctx, &counts);
+        df.stats().clone()
+    })
+}
+
+/// Spark Sort.
+pub fn spark_sort(sink: &mut dyn TraceSink, scale: Scale, dataset: DataSetId) -> RunStats {
+    let input = data::kv_records(dataset, scale);
+    spark_env(sink, &[], |df, ctx, _| {
+        let ds = df.read_input(ctx, &input);
+        let sorted = df.sort_by_key(ctx, &ds);
+        df.save(ctx, &sorted);
+        df.stats().clone()
+    })
+}
+
+/// Spark Grep.
+pub fn spark_grep(sink: &mut dyn TraceSink, scale: Scale, dataset: DataSetId) -> RunStats {
+    let input = data::text_records(dataset, scale);
+    let pattern = data::grep_pattern(dataset);
+    spark_env(sink, &["grep_match"], |df, ctx, kernels| {
+        let k = kernels[0];
+        let ds = df.read_input(ctx, &input);
+        let matched = df.narrow(ctx, "grep", &ds, &mut |ctx, rec, addr, out| {
+            let hits = ctx.frame(k.region, |ctx| {
+                search_pattern(ctx, &rec.value, addr, &pattern)
+            });
+            if hits > 0 {
+                out.emit(rec.clone());
+            }
+        });
+        df.save(ctx, &matched);
+        df.stats().clone()
+    })
+}
+
+/// Spark Naive Bayes training.
+pub fn spark_bayes(sink: &mut dyn TraceSink, scale: Scale) -> RunStats {
+    let (docs, labels, _) = data::labelled_docs(scale);
+    let input: Vec<Record> = docs
+        .iter()
+        .zip(&labels)
+        .map(|(doc, &label)| {
+            let bytes: Vec<u8> = doc.iter().flat_map(|w| w.to_le_bytes()).collect();
+            Record::new(vec![label as u8], bytes)
+        })
+        .collect();
+    spark_env(sink, &["bayes_emit"], |df, ctx, kernels| {
+        let k = kernels[0];
+        let ds = df.read_input(ctx, &input);
+        let pairs = df.narrow(ctx, "emit", &ds, &mut |ctx, rec, addr, out| {
+            let class = rec.key[0];
+            ctx.frame(k.region, |ctx| {
+                let top = ctx.loop_start();
+                let n = (rec.value.len() / 4).max(1);
+                for (i, chunk) in rec.value.chunks_exact(4).enumerate() {
+                    ctx.read(addr + i as u64 * 4, 4);
+                    ctx.int_other(2);
+                    let mut key = vec![class];
+                    key.extend_from_slice(chunk);
+                    out.emit(Record::new(key, 1u64.to_be_bytes().to_vec()));
+                    ctx.loop_back(top, i + 1 < n);
+                }
+            });
+        });
+        let counts = df.reduce_by_key(ctx, &pairs, &mut sum_merge);
+        df.save(ctx, &counts);
+        df.stats().clone()
+    })
+}
+
+/// Spark Inverted Index.
+pub fn spark_index(sink: &mut dyn TraceSink, scale: Scale, dataset: DataSetId) -> RunStats {
+    let input = data::text_records(dataset, scale);
+    spark_env(sink, &["index_split"], |df, ctx, kernels| {
+        let k = kernels[0];
+        let ds = df.read_input(ctx, &input);
+        let pairs = df.narrow(ctx, "split", &ds, &mut |ctx, rec, addr, out| {
+            ctx.frame(k.region, |ctx| {
+                for_each_word(ctx, &rec.value, addr, |ctx, word, waddr| {
+                    let _ = hash_bytes(ctx, word, waddr);
+                    out.emit(Record::new(word.to_vec(), rec.key.clone()));
+                });
+            });
+        });
+        let grouped = df.group_by_key(ctx, &pairs);
+        df.save(ctx, &grouped);
+        df.stats().clone()
+    })
+}
+
+/// Spark K-means over a cached point dataset.
+pub fn spark_kmeans(sink: &mut dyn TraceSink, scale: Scale, iterations: usize) -> RunStats {
+    let (points, dim) = data::points(scale);
+    let k = 8usize;
+    let input: Vec<Record> = points
+        .iter()
+        .enumerate()
+        .map(|(i, p)| Record::new((i as u32).to_be_bytes().to_vec(), f64s_to_bytes(p)))
+        .collect();
+    spark_env(sink, &["kmeans_assign"], |df, ctx, kernels| {
+        let assign_k = kernels[0];
+        let mut ds = df.read_input(ctx, &input);
+        df.cache(ctx, &mut ds);
+        let mut centers: Vec<Vec<f64>> = points.iter().take(k).cloned().collect();
+        for iter in 0..iterations.max(1) {
+            let ops0 = ctx.ops_retired();
+            let centers_snapshot = centers.clone();
+            let assigned = df.narrow(ctx, "assign", &ds, &mut |ctx, rec, addr, out| {
+                let point = bytes_to_f64s(&rec.value);
+                let best = ctx.frame(assign_k.region, |ctx| {
+                    let mut best = (0usize, f64::MAX);
+                    let top = ctx.loop_start();
+                    for (c, center) in centers_snapshot.iter().enumerate() {
+                        let d = distance_sq(ctx, &point, addr, center, addr + 4096);
+                        let better = d < best.1;
+                        ctx.cond_branch(better);
+                        if better {
+                            best = (c, d);
+                        }
+                        ctx.loop_back(top, c + 1 < centers_snapshot.len());
+                    }
+                    best.0
+                });
+                // value = point ++ count(1.0) so sums fold in one pass.
+                let mut v = rec.value.clone();
+                v.extend_from_slice(&1.0f64.to_le_bytes());
+                out.emit(Record::new(vec![best as u8], v));
+            });
+            let sums = df.reduce_by_key(ctx, &assigned, &mut |ctx, a, b| {
+                ctx.fp_ops(dim as u32 + 1);
+                let xa = bytes_to_f64s(&a.value);
+                let xb = bytes_to_f64s(&b.value);
+                let sum: Vec<f64> = xa.iter().zip(&xb).map(|(p, q)| p + q).collect();
+                Record::new(a.key.clone(), f64s_to_bytes(&sum))
+            });
+            for part in &sums.parts {
+                for rec in &part.records {
+                    let c = rec.key[0] as usize;
+                    let v = bytes_to_f64s(&rec.value);
+                    let count = v[dim].max(1.0);
+                    if c < centers.len() {
+                        centers[c] = v[..dim].iter().map(|x| x / count).collect();
+                    }
+                }
+            }
+            df.note_compute_phase(ctx, &format!("kmeans_iter{iter}"), ops0);
+        }
+        // Final model is tiny.
+        let model: Vec<Record> = centers
+            .iter()
+            .enumerate()
+            .map(|(c, v)| Record::new(vec![c as u8], f64s_to_bytes(v)))
+            .collect();
+        let out_ds = df.parallelize(ctx, &model);
+        df.save(ctx, &out_ds);
+        df.stats().clone()
+    })
+}
+
+/// Spark PageRank over a cached adjacency dataset.
+pub fn spark_pagerank(
+    sink: &mut dyn TraceSink,
+    scale: Scale,
+    dataset: DataSetId,
+    iterations: usize,
+) -> RunStats {
+    let graph = data::graph(dataset, scale);
+    let n = graph.vertex_count();
+    let input: Vec<Record> = (0..n as u32)
+        .map(|v| {
+            let dsts: Vec<u8> = graph
+                .neighbors(v)
+                .iter()
+                .flat_map(|d| d.to_be_bytes())
+                .collect();
+            Record::new(v.to_be_bytes().to_vec(), dsts)
+        })
+        .collect();
+    spark_env(sink, &["pr_contrib"], |df, ctx, kernels| {
+        let k = kernels[0];
+        let mut links = df.read_input(ctx, &input);
+        df.cache(ctx, &mut links);
+        let mut ranks = vec![1.0f64; n];
+        for iter in 0..iterations.max(1) {
+            let ops0 = ctx.ops_retired();
+            let ranks_snapshot = ranks.clone();
+            let contribs = df.narrow(ctx, "contrib", &links, &mut |ctx, rec, addr, out| {
+                let src = u32::from_be_bytes(rec.key[..4].try_into().expect("4 bytes")) as usize;
+                let degree = rec.value.len() / 4;
+                if degree == 0 {
+                    return;
+                }
+                let contrib = ranks_snapshot[src] / degree as f64;
+                ctx.frame(k.region, |ctx| {
+                    ctx.fp_ops(1);
+                    let top = ctx.loop_start();
+                    for (i, chunk) in rec.value.chunks_exact(4).enumerate() {
+                        ctx.read(addr + i as u64 * 4, 4);
+                        ctx.fp_ops(1);
+                        out.emit(Record::new(chunk.to_vec(), contrib.to_le_bytes().to_vec()));
+                        ctx.loop_back(top, i + 1 < degree);
+                    }
+                });
+            });
+            let sums = df.reduce_by_key(ctx, &contribs, &mut |ctx, a, b| {
+                ctx.fp_ops(1);
+                let x = f64::from_le_bytes(a.value[..8].try_into().expect("8 bytes"));
+                let y = f64::from_le_bytes(b.value[..8].try_into().expect("8 bytes"));
+                Record::new(a.key.clone(), (x + y).to_le_bytes().to_vec())
+            });
+            for part in &sums.parts {
+                for rec in &part.records {
+                    let v = u32::from_be_bytes(rec.key[..4].try_into().expect("4 bytes")) as usize;
+                    let sum = f64::from_le_bytes(rec.value[..8].try_into().expect("8 bytes"));
+                    ranks[v] = 0.15 + 0.85 * sum;
+                }
+            }
+            df.note_compute_phase(ctx, &format!("pr_iter{iter}"), ops0);
+        }
+        let out: Vec<Record> = ranks
+            .iter()
+            .enumerate()
+            .map(|(v, r)| Record::new((v as u32).to_be_bytes().to_vec(), r.to_le_bytes().to_vec()))
+            .collect();
+        let out_ds = df.parallelize(ctx, &out);
+        df.save(ctx, &out_ds);
+        df.stats().clone()
+    })
+}
+
+/// Spark Connected Components via label propagation.
+pub fn spark_cc(sink: &mut dyn TraceSink, scale: Scale, iterations: usize) -> RunStats {
+    let graph = data::graph(DataSetId::FacebookSocial, scale);
+    let n = graph.vertex_count();
+    let input: Vec<Record> = (0..n as u32)
+        .map(|v| {
+            let dsts: Vec<u8> = graph
+                .neighbors(v)
+                .iter()
+                .flat_map(|d| d.to_be_bytes())
+                .collect();
+            Record::new(v.to_be_bytes().to_vec(), dsts)
+        })
+        .collect();
+    spark_env(sink, &["cc_propagate"], |df, ctx, kernels| {
+        let k = kernels[0];
+        let mut links = df.read_input(ctx, &input);
+        df.cache(ctx, &mut links);
+        let mut labels: Vec<u32> = (0..n as u32).collect();
+        for iter in 0..iterations.max(1) {
+            let ops0 = ctx.ops_retired();
+            let snapshot = labels.clone();
+            let msgs = df.narrow(ctx, "propagate", &links, &mut |ctx, rec, addr, out| {
+                let src = u32::from_be_bytes(rec.key[..4].try_into().expect("4 bytes")) as usize;
+                let label = snapshot[src];
+                ctx.frame(k.region, |ctx| {
+                    out.emit(Record::new(rec.key.clone(), label.to_be_bytes().to_vec()));
+                    let top = ctx.loop_start();
+                    let degree = (rec.value.len() / 4).max(1);
+                    for (i, chunk) in rec.value.chunks_exact(4).enumerate() {
+                        ctx.read(addr + i as u64 * 4, 4);
+                        out.emit(Record::new(chunk.to_vec(), label.to_be_bytes().to_vec()));
+                        ctx.loop_back(top, i + 1 < degree);
+                    }
+                });
+            });
+            let mins = df.reduce_by_key(ctx, &msgs, &mut |ctx, a, b| {
+                ctx.int_other(1);
+                let x = u32::from_be_bytes(a.value[..4].try_into().expect("4 bytes"));
+                let y = u32::from_be_bytes(b.value[..4].try_into().expect("4 bytes"));
+                Record::new(a.key.clone(), x.min(y).to_be_bytes().to_vec())
+            });
+            for part in &mins.parts {
+                for rec in &part.records {
+                    let v = u32::from_be_bytes(rec.key[..4].try_into().expect("4 bytes")) as usize;
+                    labels[v] = u32::from_be_bytes(rec.value[..4].try_into().expect("4 bytes"));
+                }
+            }
+            df.note_compute_phase(ctx, &format!("cc_iter{iter}"), ops0);
+        }
+        let out: Vec<Record> = labels
+            .iter()
+            .enumerate()
+            .map(|(v, l)| Record::new((v as u32).to_be_bytes().to_vec(), l.to_be_bytes().to_vec()))
+            .collect();
+        let out_ds = df.parallelize(ctx, &out);
+        df.save(ctx, &out_ds);
+        df.stats().clone()
+    })
+}
+
+// ---------------------------------------------------------------------------
+// MPI workloads (the paper's six control implementations)
+// ---------------------------------------------------------------------------
+
+fn mpi_env<R>(
+    sink: &mut dyn TraceSink,
+    kernel_names: &[&str],
+    f: impl FnOnce(&MpiStack, &mut ExecCtx<'_>, &[Kernel]) -> R,
+) -> R {
+    let mut layout = CodeLayout::new();
+    let stack = MpiStack::register(&mut layout);
+    let kernels: Vec<Kernel> = kernel_names
+        .iter()
+        .map(|n| Kernel::register(&mut layout, n))
+        .collect();
+    let mut ctx = ExecCtx::new(&layout, sink);
+    let root = stack.root_region();
+    let out = ctx.frame(root, |ctx| f(&stack, ctx, &kernels));
+    ctx.finish();
+    out
+}
+
+fn chunk_for_rank<T: Clone>(items: &[T], rank: usize, ranks: usize) -> Vec<T> {
+    items.iter().skip(rank).step_by(ranks).cloned().collect()
+}
+
+/// MPI WordCount.
+pub fn mpi_wordcount(sink: &mut dyn TraceSink, scale: Scale, dataset: DataSetId) -> RunStats {
+    let input = data::text_records(dataset, scale);
+    let input_bytes = bdb_stacks::record::total_bytes(&input);
+    mpi_env(sink, &["wc_count"], |stack, ctx, kernels| {
+        let k = kernels[0];
+        let docs: Vec<Vec<Record>> = (0..MPI_RANKS)
+            .map(|r| chunk_for_rank(&input, r, MPI_RANKS))
+            .collect();
+        let mut world = MpiWorld::new(stack, ctx, docs);
+        let ops0 = ctx.ops_retired();
+        let region = ctx.heap_alloc(1 << 20, 64);
+        world.charge_input(ctx, input_bytes, ops0);
+        // Superstep 1: count locally, route (word,count) to the owner rank.
+        world.superstep(ctx, "local_count", |ctx, rank, docs, _inbox, out| {
+            let mut counts: std::collections::HashMap<Vec<u8>, u64> = Default::default();
+            ctx.frame(k.region, |ctx| {
+                for (d, doc) in docs.iter().enumerate() {
+                    let addr = region.base() + (d as u64 * 1024) % region.len();
+                    for_each_word(ctx, &doc.value, addr, |ctx, word, waddr| {
+                        let _ = hash_bytes(ctx, word, waddr);
+                        *counts.entry(word.to_vec()).or_insert(0) += 1;
+                    });
+                }
+            });
+            for (word, count) in counts {
+                let owner = (hash_bytes_untraced(&word) % MPI_RANKS as u64) as usize;
+                out.send(rank, owner, Record::new(word, count.to_be_bytes().to_vec()));
+            }
+        });
+        // Superstep 2: owners merge.
+        let mut output_bytes = 0u64;
+        world.superstep(ctx, "merge", |ctx, _rank, _docs, inbox, _out| {
+            let mut merged: std::collections::HashMap<Vec<u8>, u64> = Default::default();
+            ctx.frame(k.region, |ctx| {
+                let top = ctx.loop_start();
+                for (i, rec) in inbox.iter().enumerate() {
+                    ctx.read(region.base() + (i as u64 * 16) % region.len(), 8);
+                    ctx.int_other(1);
+                    *merged.entry(rec.key.clone()).or_insert(0) +=
+                        u64::from_be_bytes(rec.value[..8].try_into().unwrap_or([0; 8]));
+                    ctx.loop_back(top, i + 1 < inbox.len().max(1));
+                }
+            });
+            output_bytes += merged.keys().map(|k| k.len() as u64 + 8).sum::<u64>();
+        });
+        let ops1 = ctx.ops_retired();
+        world.charge_output(ctx, output_bytes, ops1);
+        world.finish()
+    })
+}
+
+fn hash_bytes_untraced(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// MPI Sort (range-partitioned sample sort).
+pub fn mpi_sort(sink: &mut dyn TraceSink, scale: Scale, dataset: DataSetId) -> RunStats {
+    let input = data::kv_records(dataset, scale);
+    let input_bytes = bdb_stacks::record::total_bytes(&input);
+    mpi_env(sink, &["sort_local"], |stack, ctx, kernels| {
+        let k = kernels[0];
+        let slices: Vec<Vec<Record>> = (0..MPI_RANKS)
+            .map(|r| chunk_for_rank(&input, r, MPI_RANKS))
+            .collect();
+        let mut world = MpiWorld::new(stack, ctx, slices);
+        let ops0 = ctx.ops_retired();
+        world.charge_input(ctx, input_bytes, ops0);
+        let region = ctx.heap_alloc(1 << 20, 64);
+        // Superstep 1: range partition by the key's first byte.
+        world.superstep(ctx, "partition", |ctx, rank, recs, _inbox, out| {
+            ctx.frame(k.region, |ctx| {
+                let top = ctx.loop_start();
+                let n = recs.len().max(1);
+                for (i, rec) in recs.drain(..).enumerate() {
+                    ctx.read(region.base() + (i as u64 * 64) % region.len(), 8);
+                    ctx.int_other(2);
+                    let owner = (rec.key[0] as usize * MPI_RANKS) / 256;
+                    out.send(rank, owner.min(MPI_RANKS - 1), rec);
+                    ctx.loop_back(top, i + 1 < n);
+                }
+            });
+        });
+        // Superstep 2: sort locally (a real traced sort).
+        let mut output_bytes = 0u64;
+        world.superstep(ctx, "local_sort", |ctx, _rank, _state, inbox, _out| {
+            let mut records: Vec<Record> = inbox.to_vec();
+            let mut addrs: Vec<u64> = (0..records.len())
+                .map(|i| region.base() + (i as u64 * 64) % region.len())
+                .collect();
+            ctx.frame(k.region, |ctx| {
+                traced_sort_by_key(ctx, &mut records, &mut addrs)
+            });
+            output_bytes += bdb_stacks::record::total_bytes(&records);
+        });
+        let ops1 = ctx.ops_retired();
+        world.charge_output(ctx, output_bytes, ops1);
+        world.finish()
+    })
+}
+
+/// MPI Grep.
+pub fn mpi_grep(sink: &mut dyn TraceSink, scale: Scale, dataset: DataSetId) -> RunStats {
+    let input = data::text_records(dataset, scale);
+    let pattern = data::grep_pattern(dataset);
+    let input_bytes = bdb_stacks::record::total_bytes(&input);
+    mpi_env(sink, &["grep_scan"], |stack, ctx, kernels| {
+        let k = kernels[0];
+        let slices: Vec<Vec<Record>> = (0..MPI_RANKS)
+            .map(|r| chunk_for_rank(&input, r, MPI_RANKS))
+            .collect();
+        let mut world = MpiWorld::new(stack, ctx, slices);
+        let ops0 = ctx.ops_retired();
+        world.charge_input(ctx, input_bytes, ops0);
+        let region = ctx.heap_alloc(1 << 20, 64);
+        let mut matches = 0u64;
+        let mut matched_bytes = 0u64;
+        world.superstep(ctx, "scan", |ctx, rank, docs, _inbox, out| {
+            ctx.frame(k.region, |ctx| {
+                for (d, doc) in docs.iter().enumerate() {
+                    let addr = region.base() + (d as u64 * 1024) % region.len();
+                    let hits = search_pattern(ctx, &doc.value, addr, &pattern);
+                    if hits > 0 {
+                        out.send(rank, 0, Record::new(doc.key.clone(), Vec::new()));
+                    }
+                }
+            });
+        });
+        world.superstep(ctx, "gather", |ctx, rank, _docs, inbox, _out| {
+            if rank == 0 {
+                ctx.int_other(inbox.len().max(1) as u32);
+                matches += inbox.len() as u64;
+                matched_bytes += inbox.iter().map(|r| r.key.len() as u64).sum::<u64>();
+            }
+        });
+        let ops1 = ctx.ops_retired();
+        world.charge_output(ctx, matched_bytes.max(matches * 8), ops1);
+        world.finish()
+    })
+}
+
+/// MPI K-means.
+pub fn mpi_kmeans(sink: &mut dyn TraceSink, scale: Scale, iterations: usize) -> RunStats {
+    let (points, dim) = data::points(scale);
+    let k = 8usize;
+    let input_bytes = (points.len() * dim * 8) as u64;
+    mpi_env(sink, &["kmeans_local"], |stack, ctx, kernels| {
+        let kern = kernels[0];
+        let slices: Vec<Vec<Vec<f64>>> = (0..MPI_RANKS)
+            .map(|r| chunk_for_rank(&points, r, MPI_RANKS))
+            .collect();
+        let mut centers: Vec<Vec<f64>> = points.iter().take(k).cloned().collect();
+        let mut world = MpiWorld::new(stack, ctx, slices);
+        let ops0 = ctx.ops_retired();
+        world.charge_input(ctx, input_bytes, ops0);
+        let region = ctx.heap_alloc(1 << 20, 64);
+        for _ in 0..iterations.max(1) {
+            // Local accumulation of per-cluster sums and counts.
+            let width = k * (dim + 1);
+            let mut local_sums: Vec<Vec<f64>> = Vec::with_capacity(MPI_RANKS);
+            let centers_snapshot = centers.clone();
+            world.superstep(ctx, "assign", |ctx, _rank, pts, _inbox, _out| {
+                let mut acc = vec![0.0f64; width];
+                ctx.frame(kern.region, |ctx| {
+                    for (i, p) in pts.iter().enumerate() {
+                        let addr = region.base() + (i as u64 * 64) % region.len();
+                        let mut best = (0usize, f64::MAX);
+                        for (c, center) in centers_snapshot.iter().enumerate() {
+                            let d = distance_sq(ctx, p, addr, center, addr + 2048);
+                            if d < best.1 {
+                                best = (c, d);
+                            }
+                            ctx.cond_branch(d < best.1);
+                        }
+                        for (j, x) in p.iter().enumerate() {
+                            ctx.fp_ops(1);
+                            acc[best.0 * (dim + 1) + j] += x;
+                        }
+                        acc[best.0 * (dim + 1) + dim] += 1.0;
+                    }
+                });
+                local_sums.push(acc);
+            });
+            while local_sums.len() < MPI_RANKS {
+                local_sums.push(vec![0.0; width]);
+            }
+            let global = world.allreduce_f64(ctx, local_sums, |a, b| a + b);
+            for c in 0..k {
+                let count = global[c * (dim + 1) + dim].max(1.0);
+                centers[c] = (0..dim)
+                    .map(|j| global[c * (dim + 1) + j] / count)
+                    .collect();
+            }
+        }
+        let ops1 = ctx.ops_retired();
+        world.charge_output(ctx, (k * dim * 8) as u64, ops1);
+        world.finish()
+    })
+}
+
+/// MPI PageRank.
+pub fn mpi_pagerank(
+    sink: &mut dyn TraceSink,
+    scale: Scale,
+    dataset: DataSetId,
+    iterations: usize,
+) -> RunStats {
+    let graph = data::graph(dataset, scale);
+    let n = graph.vertex_count();
+    let input_bytes = (graph.edge_count() * 8) as u64;
+    mpi_env(sink, &["pr_spmv"], |stack, ctx, kernels| {
+        let kern = kernels[0];
+        // Each rank owns vertices v where v % ranks == rank.
+        let mut world = MpiWorld::new(stack, ctx, vec![(); MPI_RANKS]);
+        let ops0 = ctx.ops_retired();
+        world.charge_input(ctx, input_bytes, ops0);
+        let region = ctx.heap_alloc(1 << 20, 64);
+        let mut ranks_vec = vec![1.0f64; n];
+        for _ in 0..iterations.max(1) {
+            // Contributions routed to owner ranks as batched messages.
+            let snapshot = ranks_vec.clone();
+            let mut incoming: Vec<f64> = vec![0.0; n];
+            world.superstep(ctx, "contrib", |ctx, rank, _state, _inbox, out| {
+                let mut batches: Vec<Vec<u8>> = vec![Vec::new(); MPI_RANKS];
+                ctx.frame(kern.region, |ctx| {
+                    for v in (rank..n).step_by(MPI_RANKS) {
+                        let neighbors = graph.neighbors(v as u32);
+                        if neighbors.is_empty() {
+                            continue;
+                        }
+                        ctx.read_fp(region.base() + (v as u64 * 8) % region.len(), 8);
+                        ctx.fp_ops(1);
+                        let contrib = snapshot[v] / neighbors.len() as f64;
+                        let top = ctx.loop_start();
+                        for (i, &dst) in neighbors.iter().enumerate() {
+                            ctx.read(region.base() + (i as u64 * 4) % region.len(), 4);
+                            ctx.fp_ops(1);
+                            let owner = dst as usize % MPI_RANKS;
+                            batches[owner].extend_from_slice(&dst.to_be_bytes());
+                            batches[owner].extend_from_slice(&contrib.to_le_bytes());
+                            ctx.loop_back(top, i + 1 < neighbors.len());
+                        }
+                    }
+                });
+                for (owner, batch) in batches.into_iter().enumerate() {
+                    if !batch.is_empty() {
+                        out.send(rank, owner, Record::new(Vec::new(), batch));
+                    }
+                }
+            });
+            world.superstep(ctx, "apply", |ctx, _rank, _state, inbox, _out| {
+                ctx.frame(kern.region, |ctx| {
+                    for msg in inbox {
+                        let entries = msg.value.len() / 12;
+                        let top = ctx.loop_start();
+                        for (i, entry) in msg.value.chunks_exact(12).enumerate() {
+                            ctx.read_fp(region.base() + (i as u64 * 12) % region.len(), 8);
+                            ctx.fp_ops(1);
+                            let dst = u32::from_be_bytes(entry[..4].try_into().expect("4 bytes"))
+                                as usize;
+                            let c = f64::from_le_bytes(entry[4..12].try_into().expect("8 bytes"));
+                            incoming[dst] += c;
+                            ctx.loop_back(top, i + 1 < entries.max(1));
+                        }
+                    }
+                });
+            });
+            for v in 0..n {
+                ranks_vec[v] = 0.15 + 0.85 * incoming[v];
+            }
+        }
+        let ops1 = ctx.ops_retired();
+        world.charge_output(ctx, (n * 8) as u64, ops1);
+        world.finish()
+    })
+}
+
+/// MPI Naive Bayes training.
+pub fn mpi_bayes(sink: &mut dyn TraceSink, scale: Scale) -> RunStats {
+    let (docs, labels, vocab) = data::labelled_docs(scale);
+    let classes = 5usize;
+    let input_bytes: u64 = docs.iter().map(|d| d.len() as u64 * 4).sum();
+    mpi_env(sink, &["bayes_count"], |stack, ctx, kernels| {
+        let kern = kernels[0];
+        let pairs: Vec<(Vec<u32>, usize)> = docs.into_iter().zip(labels).collect();
+        let slices: Vec<Vec<(Vec<u32>, usize)>> = (0..MPI_RANKS)
+            .map(|r| chunk_for_rank(&pairs, r, MPI_RANKS))
+            .collect();
+        let mut world = MpiWorld::new(stack, ctx, slices);
+        let ops0 = ctx.ops_retired();
+        world.charge_input(ctx, input_bytes, ops0);
+        let region = ctx.heap_alloc(1 << 20, 64);
+        // Bucketized counts keep the allreduce width manageable.
+        const BUCKETS: usize = 512;
+        let width = classes * BUCKETS;
+        let mut local: Vec<Vec<f64>> = Vec::with_capacity(MPI_RANKS);
+        world.superstep(ctx, "count", |ctx, _rank, docs, _inbox, _out| {
+            let mut acc = vec![0.0f64; width];
+            ctx.frame(kern.region, |ctx| {
+                for (d, (doc, label)) in docs.iter().enumerate() {
+                    let addr = region.base() + (d as u64 * 512) % region.len();
+                    let top = ctx.loop_start();
+                    for (i, &w) in doc.iter().enumerate() {
+                        ctx.read(addr + i as u64 * 4, 4);
+                        ctx.int_other(2);
+                        let bucket = (w as usize * BUCKETS) / vocab;
+                        acc[label * BUCKETS + bucket.min(BUCKETS - 1)] += 1.0;
+                        ctx.loop_back(top, i + 1 < doc.len().max(1));
+                    }
+                }
+            });
+            local.push(acc);
+        });
+        while local.len() < MPI_RANKS {
+            local.push(vec![0.0; width]);
+        }
+        let _model = world.allreduce_f64(ctx, local, |a, b| a + b);
+        let ops1 = ctx.ops_retired();
+        world.charge_output(ctx, (width * 8) as u64, ops1);
+        world.finish()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bdb_trace::MixSink;
+
+    fn mix_of(
+        f: impl FnOnce(&mut dyn TraceSink) -> RunStats,
+    ) -> (RunStats, bdb_trace::InstructionMix) {
+        let mut sink = MixSink::new();
+        let stats = f(&mut sink);
+        (stats, sink.mix())
+    }
+
+    #[test]
+    fn hadoop_wordcount_runs_and_accounts() {
+        let (stats, mix) = mix_of(|s| hadoop_wordcount(s, Scale::tiny(), DataSetId::Wikipedia));
+        assert!(stats.input_bytes > 0);
+        assert!(stats.intermediate_bytes > 0);
+        assert!(stats.output_bytes > 0);
+        assert!(mix.total() > 50_000, "ops {}", mix.total());
+        // WordCount output is much smaller than input (combiner on).
+        assert!(stats.output_bytes < stats.input_bytes);
+    }
+
+    #[test]
+    fn spark_wordcount_matches_data_behavior() {
+        let (stats, _) = mix_of(|s| spark_wordcount(s, Scale::tiny(), DataSetId::Wikipedia));
+        assert!(stats.output_bytes < stats.input_bytes);
+        assert!(stats.phases.iter().any(|p| p.name.starts_with("shuffle")));
+    }
+
+    #[test]
+    fn mpi_wordcount_is_much_leaner_than_hadoop() {
+        let (_, hadoop) = mix_of(|s| hadoop_wordcount(s, Scale::tiny(), DataSetId::Wikipedia));
+        let (_, mpi) = mix_of(|s| mpi_wordcount(s, Scale::tiny(), DataSetId::Wikipedia));
+        assert!(
+            (mpi.total() as f64) < 0.6 * hadoop.total() as f64,
+            "mpi {} hadoop {}",
+            mpi.total(),
+            hadoop.total()
+        );
+    }
+
+    #[test]
+    fn sort_output_equals_input() {
+        let (stats, _) = mix_of(|s| hadoop_sort(s, Scale::tiny(), DataSetId::Wikipedia));
+        let behavior = stats.data_behavior();
+        assert_eq!(behavior.output, bdb_stacks::Relation::Equal, "{stats:?}");
+    }
+
+    #[test]
+    fn grep_output_much_less_than_input() {
+        let (stats, _) = mix_of(|s| hadoop_grep(s, Scale::small(), DataSetId::Wikipedia));
+        assert!(
+            (stats.output_bytes as f64) < 0.2 * stats.input_bytes as f64,
+            "out {} in {}",
+            stats.output_bytes,
+            stats.input_bytes
+        );
+    }
+
+    #[test]
+    fn kmeans_emits_fp_work() {
+        let (_, hadoop) = mix_of(|s| hadoop_kmeans(s, Scale::tiny(), 1));
+        assert!(hadoop.fp > 0);
+        let (_, spark) = mix_of(|s| spark_kmeans(s, Scale::tiny(), 1));
+        assert!(spark.fp > 0);
+        let (_, mpi) = mix_of(|s| mpi_kmeans(s, Scale::tiny(), 1));
+        assert!(mpi.fp > 0);
+    }
+
+    #[test]
+    fn pagerank_runs_on_all_stacks() {
+        for f in [
+            |s: &mut dyn TraceSink| hadoop_pagerank(s, Scale::tiny(), DataSetId::GoogleWebGraph, 1),
+            |s: &mut dyn TraceSink| spark_pagerank(s, Scale::tiny(), DataSetId::GoogleWebGraph, 1),
+            |s: &mut dyn TraceSink| mpi_pagerank(s, Scale::tiny(), DataSetId::GoogleWebGraph, 1),
+        ] {
+            let (stats, mix) = mix_of(f);
+            assert!(stats.input_bytes > 0);
+            assert!(mix.fp > 0, "pagerank does FP work");
+        }
+    }
+
+    #[test]
+    fn bayes_and_index_and_cc_run() {
+        let (s1, _) = mix_of(|s| hadoop_bayes(s, Scale::tiny()));
+        assert!(s1.output_bytes > 0);
+        let (s2, _) = mix_of(|s| spark_bayes(s, Scale::tiny()));
+        assert!(s2.output_bytes > 0);
+        let (s3, _) = mix_of(|s| mpi_bayes(s, Scale::tiny()));
+        assert!(s3.output_bytes > 0);
+        let (s4, _) = mix_of(|s| hadoop_index(s, Scale::tiny(), DataSetId::Wikipedia));
+        assert!(s4.output_bytes > 0);
+        let (s5, _) = mix_of(|s| spark_index(s, Scale::tiny(), DataSetId::Wikipedia));
+        assert!(s5.output_bytes > 0);
+        let (s6, _) = mix_of(|s| hadoop_cc(s, Scale::tiny(), 1));
+        assert!(s6.output_bytes > 0);
+        let (s7, _) = mix_of(|s| spark_cc(s, Scale::tiny(), 1));
+        assert!(s7.output_bytes > 0);
+    }
+
+    #[test]
+    fn sorts_run_on_all_stacks() {
+        let (h, _) = mix_of(|s| hadoop_sort(s, Scale::tiny(), DataSetId::Wikipedia));
+        let (sp, _) = mix_of(|s| spark_sort(s, Scale::tiny(), DataSetId::Wikipedia));
+        let (m, _) = mix_of(|s| mpi_sort(s, Scale::tiny(), DataSetId::Wikipedia));
+        for stats in [h, sp, m] {
+            assert!(stats.input_bytes > 0);
+            assert!(
+                stats.intermediate_bytes > 0,
+                "sort shuffles data: {stats:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn grep_runs_on_all_stacks() {
+        let (h, _) = mix_of(|s| hadoop_grep(s, Scale::tiny(), DataSetId::Wikipedia));
+        let (sp, _) = mix_of(|s| spark_grep(s, Scale::tiny(), DataSetId::Wikipedia));
+        let (m, _) = mix_of(|s| mpi_grep(s, Scale::tiny(), DataSetId::Wikipedia));
+        for stats in [h, sp, m] {
+            assert!(stats.input_bytes > 0);
+        }
+    }
+}

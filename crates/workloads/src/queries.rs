@@ -1,0 +1,246 @@
+//! Interactive-analytics workloads: relational operators and TPC-DS-like
+//! queries executed in Hive, Shark, or Impala mode.
+//!
+//! The plan for each workload is fixed; only the execution backend varies,
+//! so e.g. `H-Difference`, `S-Project`, `I-SelectQuery`, `H-TPC-DS-query3`,
+//! `S-TPC-DS-query8`, and `S-TPC-DS-query10` from the paper's Table 2 are
+//! all instances of this module with different `(op, engine)` pairs.
+
+use crate::data;
+use crate::spec::{KernelKind, Scale};
+use bdb_datagen::Table;
+use bdb_stacks::dataflow::SparkStack;
+use bdb_stacks::mapreduce::HadoopStack;
+use bdb_stacks::sql::{execute_hive, execute_impala, execute_shark, Agg, ImpalaStack, Plan, Pred};
+use bdb_stacks::{RunStats, StackKind};
+use bdb_trace::{CodeLayout, ExecCtx, TraceSink};
+
+/// Which data set a query workload runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QueryData {
+    /// E-commerce order + item tables.
+    Ecommerce,
+    /// TPC-DS-like web star schema.
+    TpcdsWeb,
+}
+
+/// Builds the fixed logical plan for `(kernel, data)`.
+///
+/// # Panics
+///
+/// Panics if `kernel` is not a query kernel, or the combination is
+/// unsupported (TPC-DS queries only run on the web schema).
+pub fn query_plan(kernel: KernelKind, data: QueryData) -> Plan {
+    use KernelKind::*;
+    match (data, kernel) {
+        // E-commerce tables: 0 = orders(order_id, buyer_id, date, amount),
+        // 1 = items(item_id, order_id, goods_id, quantity, price, category).
+        (QueryData::Ecommerce, Select) => Plan::scan(1).filter(Pred::StrEq(5, "books".into())),
+        (QueryData::Ecommerce, Project) => Plan::scan(1).project(vec![1, 2, 4]),
+        (QueryData::Ecommerce, OrderBy) => Plan::scan(0).sort(3, true),
+        (QueryData::Ecommerce, Aggregation) => Plan::scan(1).aggregate(vec![5], Agg::SumF64(4)),
+        (QueryData::Ecommerce, Join) => Plan::scan(0).join(Plan::scan(1), 0, 1),
+        (QueryData::Ecommerce, Difference) => Plan::scan(0).project(vec![1]).difference(
+            Plan::scan(0)
+                .filter(Pred::I64Between(2, 0, 20_130_180))
+                .project(vec![1]),
+        ),
+        // TPC-DS web tables: 0 = store_sales(date_sk, item_sk, cust_sk,
+        // qty, price, ext), 1 = date_dim(sk, year, moy, dom), 2 = item(sk,
+        // brand, category, manager, price), 3 = customer(sk, birth_year,
+        // county, dep).
+        (QueryData::TpcdsWeb, Select) => Plan::scan(0).filter(Pred::I64Between(0, 0, 60)),
+        (QueryData::TpcdsWeb, Project) => Plan::scan(0).project(vec![1, 2, 5]),
+        (QueryData::TpcdsWeb, OrderBy) => Plan::scan(0).sort(5, true).limit(200),
+        (QueryData::TpcdsWeb, Aggregation) => Plan::scan(0).aggregate(vec![1], Agg::SumF64(5)),
+        (QueryData::TpcdsWeb, Join) => Plan::scan(0).join(Plan::scan(2), 1, 0),
+        (QueryData::TpcdsWeb, Difference) => Plan::scan(0).project(vec![2]).difference(
+            Plan::scan(3)
+                .filter(Pred::I64Between(1, 1930, 1950))
+                .project(vec![0]),
+        ),
+        // TPC-DS queries (web schema only).
+        (QueryData::TpcdsWeb, TpcDsQ3) => Plan::scan(0)
+            .join(Plan::scan(1).filter(Pred::I64Eq(2, 11)), 0, 0)
+            .join(Plan::scan(2), 1, 0)
+            .filter(Pred::I64Between(13, 0, 30))
+            .aggregate(vec![7, 11], Agg::SumF64(5))
+            .sort(2, true)
+            .limit(10),
+        (QueryData::TpcdsWeb, TpcDsQ6) => Plan::scan(0)
+            .join(Plan::scan(3), 2, 0)
+            .aggregate(vec![8], Agg::CountStar)
+            .sort(1, true)
+            .limit(20),
+        (QueryData::TpcdsWeb, TpcDsQ8) => Plan::scan(0)
+            .join(Plan::scan(2), 1, 0)
+            .filter(Pred::StrEq(8, "Books".into()))
+            .aggregate(vec![7], Agg::SumF64(5))
+            .sort(1, true)
+            .limit(10),
+        (QueryData::TpcdsWeb, TpcDsQ10) => Plan::scan(0)
+            .join(Plan::scan(3), 2, 0)
+            .filter(Pred::I64Between(7, 1960, 1990))
+            .aggregate(vec![9], Agg::CountStar)
+            .sort(0, false),
+        (QueryData::TpcdsWeb, TpcDsQ13) => Plan::scan(0)
+            .filter(Pred::I64Between(3, 1, 5))
+            .join(Plan::scan(1), 0, 0)
+            .filter(Pred::I64Eq(7, 1998))
+            .aggregate(vec![8], Agg::SumF64(4))
+            .sort(0, false),
+        (data, kernel) => panic!("unsupported query workload: {kernel:?} on {data:?}"),
+    }
+}
+
+fn materialize(data: QueryData, scale: Scale) -> Vec<Table> {
+    match data {
+        QueryData::Ecommerce => {
+            let (orders, items) = data::ecommerce(scale);
+            vec![orders, items]
+        }
+        QueryData::TpcdsWeb => {
+            let d = data::tpcds(scale);
+            vec![d.store_sales, d.date_dim, d.item, d.customer]
+        }
+    }
+}
+
+/// Runs a query workload on the given engine.
+///
+/// # Panics
+///
+/// Panics if `engine` is not one of Hive/Shark/Impala.
+pub fn run_query(
+    sink: &mut dyn TraceSink,
+    scale: Scale,
+    engine: StackKind,
+    kernel: KernelKind,
+    dataset: QueryData,
+) -> RunStats {
+    let plan = query_plan(kernel, dataset);
+    let tables = materialize(dataset, scale);
+    let table_refs: Vec<&Table> = tables.iter().collect();
+    let mut layout = CodeLayout::new();
+    match engine {
+        StackKind::Impala => {
+            let stack = ImpalaStack::register(&mut layout);
+            let mut ctx = ExecCtx::new(&layout, sink);
+            let (_, stats) = execute_impala(&mut ctx, &stack, &table_refs, &plan);
+            ctx.finish();
+            stats
+        }
+        StackKind::Hive => {
+            let stack = HadoopStack::register(&mut layout);
+            let mut ctx = ExecCtx::new(&layout, sink);
+            let (_, stats) = execute_hive(&mut ctx, &stack, &table_refs, &plan);
+            ctx.finish();
+            stats
+        }
+        StackKind::Shark => {
+            let stack = SparkStack::register(&mut layout);
+            let mut ctx = ExecCtx::new(&layout, sink);
+            let (_, stats) = execute_shark(&mut ctx, &stack, &table_refs, &plan);
+            ctx.finish();
+            stats
+        }
+        other => panic!("{other} is not a SQL engine"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bdb_trace::MixSink;
+
+    #[test]
+    fn every_plan_builds() {
+        use KernelKind::*;
+        for k in [Select, Project, OrderBy, Aggregation, Join, Difference] {
+            let _ = query_plan(k, QueryData::Ecommerce);
+            let _ = query_plan(k, QueryData::TpcdsWeb);
+        }
+        for q in [TpcDsQ3, TpcDsQ6, TpcDsQ8, TpcDsQ10, TpcDsQ13] {
+            let _ = query_plan(q, QueryData::TpcdsWeb);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported query workload")]
+    fn tpcds_queries_need_web_schema() {
+        let _ = query_plan(KernelKind::TpcDsQ3, QueryData::Ecommerce);
+    }
+
+    #[test]
+    fn impala_select_runs() {
+        let mut sink = MixSink::new();
+        let stats = run_query(
+            &mut sink,
+            Scale::tiny(),
+            StackKind::Impala,
+            KernelKind::Select,
+            QueryData::Ecommerce,
+        );
+        assert!(stats.input_bytes > 0);
+        assert!(stats.output_bytes > 0);
+        assert!(sink.mix().total() > 1000);
+    }
+
+    #[test]
+    fn hive_difference_runs() {
+        let mut sink = MixSink::new();
+        let stats = run_query(
+            &mut sink,
+            Scale::tiny(),
+            StackKind::Hive,
+            KernelKind::Difference,
+            QueryData::Ecommerce,
+        );
+        assert!(stats.input_bytes > 0);
+        // Set difference shrinks the data drastically.
+        assert!(stats.output_bytes < stats.input_bytes);
+    }
+
+    #[test]
+    fn shark_q10_runs() {
+        let mut sink = MixSink::new();
+        let stats = run_query(
+            &mut sink,
+            Scale::tiny(),
+            StackKind::Shark,
+            KernelKind::TpcDsQ10,
+            QueryData::TpcdsWeb,
+        );
+        assert!(stats.input_bytes > 0);
+        assert!(stats.output_bytes > 0);
+        assert!(stats.output_bytes < stats.input_bytes / 10, "{stats:?}");
+    }
+
+    #[test]
+    fn q3_returns_few_rows_on_all_engines() {
+        for engine in [StackKind::Impala, StackKind::Hive, StackKind::Shark] {
+            let mut sink = MixSink::new();
+            let stats = run_query(
+                &mut sink,
+                Scale::tiny(),
+                engine,
+                KernelKind::TpcDsQ3,
+                QueryData::TpcdsWeb,
+            );
+            assert!(stats.output_bytes < 1000, "{engine}: {stats:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not a SQL engine")]
+    fn non_sql_engine_panics() {
+        let mut sink = MixSink::new();
+        let _ = run_query(
+            &mut sink,
+            Scale::tiny(),
+            StackKind::Mpi,
+            KernelKind::Select,
+            QueryData::Ecommerce,
+        );
+    }
+}

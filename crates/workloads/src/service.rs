@@ -1,0 +1,140 @@
+//! Cloud-OLTP service workloads on the HBase-like store: the paper's
+//! H-Read (the Table 2 representative with the worst L1I MPKI), plus write
+//! and scan variants.
+
+use crate::data;
+use crate::spec::Scale;
+use bdb_datagen::zipf::Zipf;
+use bdb_stacks::kvstore::{HbaseStack, KvService, Request};
+use bdb_stacks::record::Record;
+use bdb_stacks::RunStats;
+use bdb_trace::{CodeLayout, ExecCtx, TraceSink};
+use rand::{Rng, SeedableRng};
+
+/// Request mix of a service run, in percent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RequestMix {
+    /// Point reads.
+    pub reads: u8,
+    /// Writes.
+    pub writes: u8,
+    /// Range scans.
+    pub scans: u8,
+}
+
+impl RequestMix {
+    /// 100 % reads (H-Read).
+    pub fn read_only() -> Self {
+        Self {
+            reads: 100,
+            writes: 0,
+            scans: 0,
+        }
+    }
+
+    /// 100 % writes (H-Write).
+    pub fn write_only() -> Self {
+        Self {
+            reads: 0,
+            writes: 100,
+            scans: 0,
+        }
+    }
+
+    /// 100 % scans (H-Scan).
+    pub fn scan_only() -> Self {
+        Self {
+            reads: 0,
+            writes: 0,
+            scans: 100,
+        }
+    }
+}
+
+/// Runs a service workload: loads the résumé table, then serves a
+/// Zipf-keyed request stream of the given mix.
+pub fn hbase_service(sink: &mut dyn TraceSink, scale: Scale, mix: RequestMix) -> RunStats {
+    let rows = data::resume_records(scale);
+    let n_requests = scale.n(6_000);
+    let mut layout = CodeLayout::new();
+    let stack = HbaseStack::register(&mut layout);
+    let mut ctx = ExecCtx::new(&layout, sink);
+    let root = stack.root_region();
+    let stats = ctx.frame(root, |ctx| {
+        let mut svc = KvService::new(&stack, ctx);
+        svc.bulk_load(rows.clone());
+        let keyspace = rows.len().max(1);
+        let zipf = Zipf::new(keyspace, 0.9);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0x5CA1_AB1E);
+        let ops0 = ctx.ops_retired();
+        let total = u32::from(mix.reads) + u32::from(mix.writes) + u32::from(mix.scans);
+        for i in 0..n_requests {
+            let key = rows[zipf.sample(&mut rng)].key.clone();
+            let roll = (rng.gen::<f64>() * f64::from(total.max(1))) as u32;
+            let request = if roll < u32::from(mix.reads) {
+                Request::Get(key)
+            } else if roll < u32::from(mix.reads) + u32::from(mix.writes) {
+                Request::Put(Record::new(key, vec![b'u'; 224]))
+            } else {
+                Request::Scan {
+                    start: key,
+                    limit: 32,
+                }
+            };
+            let _ = svc.serve(ctx, &request);
+            let _ = i;
+        }
+        svc.close_window(ctx, ops0);
+        svc.stats().clone()
+    });
+    ctx.finish();
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bdb_trace::MixSink;
+
+    #[test]
+    fn read_service_serves_real_values() {
+        let mut sink = MixSink::new();
+        let stats = hbase_service(&mut sink, Scale::tiny(), RequestMix::read_only());
+        assert!(
+            stats.input_bytes > 0,
+            "reads should hit the store: {stats:?}"
+        );
+        assert!(stats.output_bytes > 0, "responses should carry data");
+        // Read service: output tracks what is read (paper: Output = Input).
+        let ratio = stats.output_bytes as f64 / stats.input_bytes as f64;
+        assert!((0.5..=2.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn write_service_accumulates_wal_bytes() {
+        let mut sink = MixSink::new();
+        let stats = hbase_service(&mut sink, Scale::tiny(), RequestMix::write_only());
+        assert!(
+            stats.input_bytes > 0,
+            "writes are charged as ingest: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn scan_service_reads_ranges() {
+        let mut sink = MixSink::new();
+        let stats = hbase_service(&mut sink, Scale::tiny(), RequestMix::scan_only());
+        assert!(stats.input_bytes > stats.output_bytes / 4);
+        assert!(stats.phases.len() == 1);
+    }
+
+    #[test]
+    fn service_is_deterministic() {
+        let run = || {
+            let mut sink = MixSink::new();
+            let stats = hbase_service(&mut sink, Scale::tiny(), RequestMix::read_only());
+            (stats.input_bytes, stats.output_bytes, sink.mix().total())
+        };
+        assert_eq!(run(), run());
+    }
+}

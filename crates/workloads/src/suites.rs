@@ -1,0 +1,1171 @@
+//! Comparison-suite kernels: the paper benchmarks the 17 big-data
+//! representatives against SPECINT, SPECFP, PARSEC, HPCC, CloudSuite, and
+//! TPC-C. Each suite here is a set of miniature kernels reproducing its
+//! class signature:
+//!
+//! * **SPECFP / HPCC** — floating-point-dominated numeric loops with small,
+//!   hot code (low branch ratio, low L1I MPKI, high FP share),
+//! * **SPECINT** — integer/branch-heavy kernels including a pointer-chaser
+//!   with a large data working set (low IPC, high L2/L3 MPKI),
+//! * **PARSEC** — data-parallel kernels with ~128 KiB instruction footprint
+//!   (the paper's Figure 6 comparison curve),
+//! * **CloudSuite** — service-style programs over wide handler farms (the
+//!   highest L1I MPKI in Figure 4),
+//! * **TPC-C** — branchy OLTP transactions (the paper cites a 30 % branch
+//!   ratio).
+
+use crate::spec::Scale;
+use bdb_node::Phase;
+use bdb_stacks::runtime::Routine;
+use bdb_stacks::RunStats;
+use bdb_trace::{CodeLayout, ExecCtx, OpMix, TraceSink};
+
+/// The comparison suites of the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Suite {
+    /// SPEC CPU2006 integer benchmarks.
+    SpecInt,
+    /// SPEC CPU2006 floating-point benchmarks.
+    SpecFp,
+    /// PARSEC 3.0 multithreaded benchmarks.
+    Parsec,
+    /// HPCC 1.4 HPC benchmarks.
+    Hpcc,
+    /// CloudSuite 1.0 scale-out services.
+    CloudSuite,
+    /// TPC-C OLTP.
+    TpcC,
+}
+
+impl std::fmt::Display for Suite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Suite::SpecInt => "SPECINT",
+            Suite::SpecFp => "SPECFP",
+            Suite::Parsec => "PARSEC",
+            Suite::Hpcc => "HPCC",
+            Suite::CloudSuite => "CloudSuite",
+            Suite::TpcC => "TPC-C",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Names the kernels of a suite (used by the catalog and reports).
+pub fn kernel_names(suite: Suite) -> &'static [&'static str] {
+    match suite {
+        Suite::SpecInt => &[
+            "mcf-like",
+            "bzip2-like",
+            "gcc-like",
+            "gobmk-like",
+            "hmmer-like",
+            "astar-like",
+            "perlbench-like",
+            "libquantum-like",
+            "xalancbmk-like",
+        ],
+        Suite::SpecFp => &[
+            "bwaves-like",
+            "lbm-like",
+            "namd-like",
+            "milc-like",
+            "sphinx-like",
+            "gemsfdtd-like",
+            "cactusadm-like",
+            "povray-like",
+        ],
+        Suite::Parsec => &[
+            "blackscholes-like",
+            "bodytrack-like",
+            "canneal-like",
+            "dedup-like",
+            "fluidanimate-like",
+            "streamcluster-like",
+            "swaptions-like",
+            "x264-like",
+        ],
+        Suite::Hpcc => &[
+            "hpl-like",
+            "dgemm-like",
+            "stream-like",
+            "ptrans-like",
+            "randomaccess-like",
+            "fft-like",
+            "beff-like",
+        ],
+        Suite::CloudSuite => &[
+            "data-serving",
+            "data-analytics",
+            "data-caching",
+            "graph-analytics",
+            "media-streaming",
+            "web-search",
+        ],
+        Suite::TpcC => &["tpcc"],
+    }
+}
+
+/// Runs kernel `index` of `suite`.
+///
+/// # Panics
+///
+/// Panics if `index` is out of range for the suite.
+pub fn run_suite_kernel(
+    sink: &mut dyn TraceSink,
+    scale: Scale,
+    suite: Suite,
+    index: usize,
+) -> RunStats {
+    let names = kernel_names(suite);
+    assert!(
+        index < names.len(),
+        "{suite} has only {} kernels",
+        names.len()
+    );
+    match suite {
+        Suite::SpecInt => match index {
+            0 => pointer_chase(sink, scale, 6 << 20),
+            1 => byte_compress(sink, scale),
+            2 => branchy_bigcode(sink, scale, 40, 0.15),
+            3 => board_eval(sink, scale),
+            4 => integer_dp(sink, scale),
+            5 => grid_search(sink, scale),
+            6 => bytecode_interpreter(sink, scale),
+            7 => streaming_int(sink, scale),
+            _ => tree_walk(sink, scale),
+        },
+        Suite::SpecFp => match index {
+            0 => stencil3d(sink, scale, 8 << 20),
+            1 => stencil3d(sink, scale, 16 << 20),
+            2 => nbody(sink, scale),
+            3 => lattice(sink, scale),
+            4 => spectral(sink, scale),
+            5 => fdtd(sink, scale),
+            6 => heavy_point_fp(sink, scale),
+            _ => branchy_fp(sink, scale),
+        },
+        Suite::Parsec => match index {
+            0 => parsec_fp(sink, scale, "blackscholes", 8, 64 << 10),
+            1 => parsec_fp(sink, scale, "bodytrack", 12, 256 << 10),
+            2 => parsec_int(sink, scale, "canneal", 10, 16 << 20),
+            3 => parsec_int(sink, scale, "dedup", 12, 2 << 20),
+            4 => parsec_fp(sink, scale, "fluidanimate", 10, 4 << 20),
+            5 => parsec_fp(sink, scale, "streamcluster", 8, 1 << 20),
+            6 => parsec_fp(sink, scale, "swaptions", 6, 128 << 10),
+            _ => parsec_int(sink, scale, "x264", 16, 8 << 20),
+        },
+        Suite::Hpcc => match index {
+            0 => dgemm(sink, scale, "hpl"),
+            1 => dgemm(sink, scale, "dgemm"),
+            2 => stream_triad(sink, scale),
+            3 => transpose(sink, scale),
+            4 => random_access(sink, scale),
+            5 => fft_like(sink, scale),
+            _ => message_bandwidth(sink, scale),
+        },
+        Suite::CloudSuite => cloud_service(sink, scale, names[index], 40 + index * 8),
+        Suite::TpcC => tpcc(sink, scale),
+    }
+}
+
+fn compute_stats(ctx: &ExecCtx<'_>, working_set: u64) -> RunStats {
+    RunStats {
+        input_bytes: working_set,
+        intermediate_bytes: 0,
+        output_bytes: working_set / 16,
+        phases: vec![Phase::compute("kernel", ctx.ops_retired())],
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Numeric kernels (SPECFP / HPCC)
+// ---------------------------------------------------------------------------
+
+fn stencil3d(sink: &mut dyn TraceSink, scale: Scale, bytes: u64) -> RunStats {
+    let mut layout = CodeLayout::new();
+    let main = layout.region("specfp::stencil", 48 * 1024);
+    let mut ctx = ExecCtx::new(&layout, sink);
+    let grid = ctx.heap_alloc(bytes, 64);
+    let n = (bytes / 8).min(scale.n(120_000) as u64);
+    ctx.frame(main, |ctx| {
+        for _pass in 0..2 {
+            let top = ctx.loop_start();
+            for i in 1..n.saturating_sub(1) {
+                ctx.read_fp(grid.addr((i - 1) * 8), 8);
+                ctx.read_fp(grid.addr(i * 8), 8);
+                ctx.read_fp(grid.addr((i + 1) * 8), 8);
+                ctx.fp_ops(4);
+                ctx.write_fp(grid.addr(i * 8), 8);
+                ctx.loop_back(top, i + 2 < n);
+            }
+        }
+    });
+    let stats = compute_stats(&ctx, bytes);
+    ctx.finish();
+    stats
+}
+
+fn nbody(sink: &mut dyn TraceSink, scale: Scale) -> RunStats {
+    let mut layout = CodeLayout::new();
+    let main = layout.region("specfp::nbody", 64 * 1024);
+    let mut ctx = ExecCtx::new(&layout, sink);
+    let n = scale.n(700) as u64;
+    let bodies = ctx.heap_alloc(n * 48, 64);
+    ctx.frame(main, |ctx| {
+        let outer = ctx.loop_start();
+        for i in 0..n {
+            let inner = ctx.loop_start();
+            for j in 0..n.min(64) {
+                ctx.read_fp(bodies.addr(i * 48 % bodies.len()), 8);
+                ctx.read_fp(bodies.addr(j * 48 % bodies.len()), 8);
+                ctx.fp_ops(9);
+                ctx.loop_back(inner, j + 1 < n.min(64));
+            }
+            ctx.write_fp(bodies.addr(i * 48 % bodies.len()), 8);
+            ctx.loop_back(outer, i + 1 < n);
+        }
+    });
+    let stats = compute_stats(&ctx, n * 48);
+    ctx.finish();
+    stats
+}
+
+fn lattice(sink: &mut dyn TraceSink, scale: Scale) -> RunStats {
+    // Lattice QCD style: per site, gather the 4-neighbourhood through an
+    // index table (indirect, prefetch-hostile) and do heavy SU(3)-ish math.
+    let mut layout = CodeLayout::new();
+    let main = layout.region("specfp::milc", 64 * 1024);
+    let mut ctx = ExecCtx::new(&layout, sink);
+    let field = ctx.heap_alloc(12 << 20, 64);
+    let sites = scale.n(60_000) as u64;
+    ctx.frame(main, |ctx| {
+        let mut x = 0x0005_117Eu64;
+        let top = ctx.loop_start();
+        for i in 0..sites {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            for _dir in 0..4u32 {
+                let off = ((x >> 8) % (field.len() / 64)) * 64;
+                ctx.read_fp(field.addr(off), 8);
+                ctx.fp_ops(8);
+            }
+            ctx.write_fp(field.addr((i * 64) % field.len()), 8);
+            ctx.loop_back(top, i + 1 < sites);
+        }
+    });
+    let stats = compute_stats(&ctx, field.len());
+    ctx.finish();
+    stats
+}
+
+fn spectral(sink: &mut dyn TraceSink, scale: Scale) -> RunStats {
+    fft_like(sink, scale)
+}
+
+fn dgemm(sink: &mut dyn TraceSink, scale: Scale, name: &str) -> RunStats {
+    let mut layout = CodeLayout::new();
+    let main = layout.region(format!("hpcc::{name}"), 32 * 1024);
+    let mut ctx = ExecCtx::new(&layout, sink);
+    let n = (scale.n(128) as u64).max(24); // n^3 flops
+    let a = ctx.heap_alloc(n * n * 8, 64);
+    let b = ctx.heap_alloc(n * n * 8, 64);
+    let c = ctx.heap_alloc(n * n * 8, 64);
+    ctx.frame(main, |ctx| {
+        for i in 0..n {
+            for j in 0..n {
+                let top = ctx.loop_start();
+                for k in 0..n {
+                    ctx.read_fp(a.addr((i * n + k) * 8), 8);
+                    ctx.read_fp(b.addr((k * n + j) * 8), 8);
+                    ctx.fp_ops(2); // fused multiply-add as mul+add
+                    ctx.loop_back(top, k + 1 < n);
+                }
+                ctx.write_fp(c.addr((i * n + j) * 8), 8);
+            }
+        }
+    });
+    let stats = compute_stats(&ctx, 3 * n * n * 8);
+    ctx.finish();
+    stats
+}
+
+fn stream_triad(sink: &mut dyn TraceSink, scale: Scale) -> RunStats {
+    let mut layout = CodeLayout::new();
+    let main = layout.region("hpcc::stream", 16 * 1024);
+    let mut ctx = ExecCtx::new(&layout, sink);
+    let n = scale.n(400_000) as u64;
+    let a = ctx.heap_alloc(n * 8, 64);
+    let b = ctx.heap_alloc(n * 8, 64);
+    let c = ctx.heap_alloc(n * 8, 64);
+    ctx.frame(main, |ctx| {
+        let top = ctx.loop_start();
+        for i in 0..n {
+            ctx.read_fp(b.addr(i * 8), 8);
+            ctx.read_fp(c.addr(i * 8), 8);
+            ctx.fp_ops(2);
+            ctx.write_fp(a.addr(i * 8), 8);
+            ctx.loop_back(top, i + 1 < n);
+        }
+    });
+    let stats = compute_stats(&ctx, 3 * n * 8);
+    ctx.finish();
+    stats
+}
+
+fn transpose(sink: &mut dyn TraceSink, scale: Scale) -> RunStats {
+    let mut layout = CodeLayout::new();
+    let main = layout.region("hpcc::ptrans", 16 * 1024);
+    let mut ctx = ExecCtx::new(&layout, sink);
+    let n = (scale.n(512) as u64).max(64);
+    let src = ctx.heap_alloc(n * n * 8, 64);
+    let dst = ctx.heap_alloc(n * n * 8, 64);
+    ctx.frame(main, |ctx| {
+        // Blocked 8x8 tiles: both source and destination are walked in
+        // near-sequential bursts, as tuned PTRANS implementations do.
+        let b = 8u64;
+        for ib in (0..n).step_by(8) {
+            for jb in (0..n).step_by(8) {
+                let top = ctx.loop_start();
+                for t in 0..b * b {
+                    let (i, j) = (ib + t / b, jb + t % b);
+                    ctx.read_fp(src.addr((i * n + j) * 8 % src.len()), 8);
+                    // The tile is transposed in registers and flushed as a
+                    // sequential burst (write-combining).
+                    ctx.write_fp(dst.addr(((jb * n + ib) * 8 + t * 8) % dst.len()), 8);
+                    ctx.fp_ops(1);
+                    ctx.loop_back(top, t + 1 < b * b);
+                }
+            }
+        }
+    });
+    let stats = compute_stats(&ctx, 2 * n * n * 8);
+    ctx.finish();
+    stats
+}
+
+fn random_access(sink: &mut dyn TraceSink, scale: Scale) -> RunStats {
+    let mut layout = CodeLayout::new();
+    let main = layout.region("hpcc::gups", 16 * 1024);
+    let mut ctx = ExecCtx::new(&layout, sink);
+    let table = ctx.heap_alloc(8 << 20, 64);
+    let updates = scale.n(120_000) as u64;
+    ctx.frame(main, |ctx| {
+        let mut x: u64 = 0x1234_5678_9ABC_DEF0;
+        let top = ctx.loop_start();
+        for i in 0..updates {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let off = (x % (table.len() / 8)) * 8;
+            ctx.int_other(8); // RNG chain + index arithmetic
+            ctx.read(table.addr(off), 8);
+            ctx.store(table.addr(off), 8);
+            ctx.loop_back(top, i + 1 < updates);
+        }
+    });
+    let stats = compute_stats(&ctx, table.len());
+    ctx.finish();
+    stats
+}
+
+fn fft_like(sink: &mut dyn TraceSink, scale: Scale) -> RunStats {
+    let mut layout = CodeLayout::new();
+    let main = layout.region("hpcc::fft", 48 * 1024);
+    let mut ctx = ExecCtx::new(&layout, sink);
+    let log_n = 14 + (scale.factor().log2().round() as i32).clamp(-6, 2);
+    let n = 1u64 << log_n.max(8);
+    let data = ctx.heap_alloc(n * 16, 64);
+    ctx.frame(main, |ctx| {
+        let mut stride = 1u64;
+        while stride < n {
+            let top = ctx.loop_start();
+            let pairs = n / 2;
+            for i in 0..pairs {
+                let a = (i % (n / (2 * stride))) * 2 * stride + (i % stride);
+                let b = a + stride;
+                // Cache-blocked passes: indices fold into a 64 KiB tile,
+                // as tuned FFTs arrange their butterflies.
+                let tile = 64 * 1024 / 16;
+                ctx.read_fp(data.addr(((a % tile) * 16) % data.len()), 8);
+                ctx.read_fp(data.addr(((b % tile) * 16) % data.len()), 8);
+                ctx.fp_ops(10); // complex butterfly
+                ctx.write_fp(data.addr(((a % tile) * 16) % data.len()), 8);
+                ctx.write_fp(data.addr(((b % tile) * 16) % data.len()), 8);
+                ctx.loop_back(top, i + 1 < pairs);
+            }
+            stride *= 2;
+        }
+    });
+    let stats = compute_stats(&ctx, n * 16);
+    ctx.finish();
+    stats
+}
+
+fn message_bandwidth(sink: &mut dyn TraceSink, scale: Scale) -> RunStats {
+    let mut layout = CodeLayout::new();
+    let main = layout.region("hpcc::beff", 24 * 1024);
+    let mut ctx = ExecCtx::new(&layout, sink);
+    let buf = ctx.heap_alloc(4 << 20, 64);
+    let msgs = scale.n(2_000) as u64;
+    ctx.frame(main, |ctx| {
+        let top = ctx.loop_start();
+        for m in 0..msgs {
+            let base = (m * 4096) % buf.len();
+            for w in 0..64u64 {
+                ctx.read(buf.addr((base + w * 8) % buf.len()), 8);
+                ctx.store(buf.addr((base + w * 8 + 2048) % buf.len()), 8);
+            }
+            ctx.loop_back(top, m + 1 < msgs);
+        }
+    });
+    let stats = compute_stats(&ctx, buf.len());
+    ctx.finish();
+    stats
+}
+
+// ---------------------------------------------------------------------------
+// Integer kernels (SPECINT)
+// ---------------------------------------------------------------------------
+
+fn pointer_chase(sink: &mut dyn TraceSink, scale: Scale, bytes: u64) -> RunStats {
+    let mut layout = CodeLayout::new();
+    let main = layout.region("specint::mcf", 32 * 1024);
+    let mut ctx = ExecCtx::new(&layout, sink);
+    let table = ctx.heap_alloc(bytes, 64);
+    let slots = table.len() / 8;
+    let hops = scale.n(250_000) as u64;
+    ctx.frame(main, |ctx| {
+        // Pseudo-random pointer walk with realistic locality: most hops
+        // stay in a 256 KiB neighbourhood, the tail jumps anywhere.
+        let mut pos: u64 = 1;
+        let mut x: u64 = 0xDEAD_BEEF;
+        let top = ctx.loop_start();
+        for i in 0..hops {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let window = 256 * 1024 / 8;
+            pos = if !x.is_multiple_of(5) {
+                (pos & !(window - 1)) + (x % window)
+            } else {
+                x % slots
+            };
+            ctx.int_other(4);
+            ctx.read(table.addr(pos * 8), 8);
+            ctx.cond_branch(pos.is_multiple_of(3));
+            ctx.loop_back(top, i + 1 < hops);
+        }
+    });
+    let stats = compute_stats(&ctx, bytes);
+    ctx.finish();
+    stats
+}
+
+fn byte_compress(sink: &mut dyn TraceSink, scale: Scale) -> RunStats {
+    let mut layout = CodeLayout::new();
+    let main = layout.region("specint::bzip2", 64 * 1024);
+    let mut ctx = ExecCtx::new(&layout, sink);
+    let buf = ctx.heap_alloc(4 << 20, 64);
+    let hist = ctx.heap_alloc(256 * 8, 64);
+    let n = scale.n(300_000) as u64;
+    ctx.frame(main, |ctx| {
+        let mut x = 0x9E37u64;
+        let top = ctx.loop_start();
+        for i in 0..n {
+            ctx.read(buf.addr((i * 8) % buf.len()), 8);
+            x = x.wrapping_mul(25_214_903_917).wrapping_add(11);
+            let byte = (x >> 16) & 0xFF;
+            ctx.int_other(3);
+            ctx.read(hist.addr(byte * 8), 8);
+            ctx.store(hist.addr(byte * 8), 8);
+            ctx.cond_branch(byte < 200);
+            ctx.loop_back(top, i + 1 < n);
+        }
+    });
+    let stats = compute_stats(&ctx, buf.len());
+    ctx.finish();
+    stats
+}
+
+fn branchy_bigcode(sink: &mut dyn TraceSink, scale: Scale, regions: usize, _x: f64) -> RunStats {
+    // gcc-like: a few hundred KiB of code, data-dependent routine choice.
+    let mut layout = CodeLayout::new();
+    let routines: Vec<Routine> = (0..regions)
+        .map(|i| {
+            Routine::register(
+                &mut layout,
+                format!("specint::gcc_{i:02}"),
+                8 * 1024,
+                40,
+                60,
+            )
+        })
+        .collect();
+    let mut ctx = ExecCtx::new(&layout, sink);
+    let scratch = ctx.scratch_alloc(32 * 1024, 64);
+    let mix = OpMix::integer_compute();
+    let passes = scale.n(2_000) as u64;
+    let root = routines[0].region;
+    ctx.frame(root, |ctx| {
+        let mut x = 7u64;
+        for p in 0..passes {
+            x = x
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1442695040888963407);
+            // Hot head, long tail: most calls go to a few routines.
+            let r = if !x.is_multiple_of(4) {
+                (x >> 8) as usize % 6
+            } else {
+                (x >> 8) as usize % routines.len()
+            };
+            routines[r].run(ctx, &mix, &scratch);
+            let _ = p;
+        }
+    });
+    let stats = compute_stats(&ctx, 1 << 20);
+    ctx.finish();
+    stats
+}
+
+fn board_eval(sink: &mut dyn TraceSink, scale: Scale) -> RunStats {
+    let mut layout = CodeLayout::new();
+    let main = layout.region("specint::gobmk", 96 * 1024);
+    let mut ctx = ExecCtx::new(&layout, sink);
+    let board = ctx.heap_alloc(64 * 1024, 64);
+    let n = scale.n(120_000) as u64;
+    ctx.frame(main, |ctx| {
+        let mut x = 3u64;
+        let top = ctx.loop_start();
+        for i in 0..n {
+            x ^= x << 13;
+            x ^= x >> 7;
+            ctx.read(board.addr((x % (board.len() / 8)) * 8), 8);
+            ctx.int_other(2);
+            // Data-dependent branches: one biased, one coin-flip.
+            ctx.cond_branch(x & 7 < 6);
+            ctx.cond_branch(x & 1 == 0);
+            ctx.loop_back(top, i + 1 < n);
+        }
+    });
+    let stats = compute_stats(&ctx, board.len());
+    ctx.finish();
+    stats
+}
+
+fn integer_dp(sink: &mut dyn TraceSink, scale: Scale) -> RunStats {
+    let mut layout = CodeLayout::new();
+    let main = layout.region("specint::hmmer", 48 * 1024);
+    let mut ctx = ExecCtx::new(&layout, sink);
+    let rows = scale.n(600) as u64;
+    let cols = 256u64;
+    let dp = ctx.heap_alloc(2 * cols * 8, 64);
+    ctx.frame(main, |ctx| {
+        for r in 0..rows {
+            let top = ctx.loop_start();
+            for c in 1..cols {
+                ctx.read(dp.addr(((r % 2) * cols + c - 1) * 8), 8);
+                ctx.read(dp.addr((((r + 1) % 2) * cols + c) * 8), 8);
+                ctx.int_other(4);
+                ctx.cond_branch(c % 5 != 0);
+                ctx.store(dp.addr(((r % 2) * cols + c) * 8), 8);
+                ctx.loop_back(top, c + 1 < cols);
+            }
+        }
+    });
+    let stats = compute_stats(&ctx, 2 * cols * 8);
+    ctx.finish();
+    stats
+}
+
+fn grid_search(sink: &mut dyn TraceSink, scale: Scale) -> RunStats {
+    let mut layout = CodeLayout::new();
+    let main = layout.region("specint::astar", 64 * 1024);
+    let mut ctx = ExecCtx::new(&layout, sink);
+    let grid = ctx.heap_alloc(3 << 20, 64);
+    let steps = scale.n(150_000) as u64;
+    ctx.frame(main, |ctx| {
+        let mut pos = 0u64;
+        let top = ctx.loop_start();
+        for i in 0..steps {
+            ctx.read(grid.addr((pos * 8) % grid.len()), 8);
+            ctx.int_other(3);
+            let dir = (pos ^ i) % 4;
+            ctx.cond_branch(dir < 2);
+            pos = pos.wrapping_add(
+                [1, 1024, u64::MAX, 1u64.wrapping_neg().wrapping_mul(1024)][dir as usize],
+            ) % (grid.len() / 8);
+            ctx.loop_back(top, i + 1 < steps);
+        }
+    });
+    let stats = compute_stats(&ctx, grid.len());
+    ctx.finish();
+    stats
+}
+
+/// perlbench-like: a bytecode interpreter — indirect dispatch per opcode
+/// through a handler table, the classic BTB/indirect-predictor stressor.
+fn bytecode_interpreter(sink: &mut dyn TraceSink, scale: Scale) -> RunStats {
+    let mut layout = CodeLayout::new();
+    let dispatch = layout.region("specint::perl_dispatch", 16 * 1024);
+    let handlers: Vec<Routine> = (0..24)
+        .map(|i| {
+            Routine::register(
+                &mut layout,
+                format!("specint::perl_op_{i:02}"),
+                8 * 1024,
+                10,
+                40,
+            )
+        })
+        .collect();
+    let mut ctx = ExecCtx::new(&layout, sink);
+    let bytecode = ctx.heap_alloc(256 * 1024, 64);
+    let scratch = ctx.scratch_alloc(16 * 1024, 64);
+    let mix = OpMix::integer_compute();
+    let ops = scale.n(60_000) as u64;
+    ctx.frame(dispatch, |ctx| {
+        let mut x = 0x09E1_5EEDu64;
+        let top = ctx.loop_start();
+        for i in 0..ops {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            ctx.read(bytecode.addr((i * 4) % bytecode.len()), 4); // fetch opcode
+            ctx.int_other(2);
+            let op = (x as usize) % handlers.len();
+            let routine = handlers[op];
+            ctx.dispatch(routine.region, |ctx| {
+                ctx.boilerplate(&mix, u64::from(routine.units), &scratch);
+            });
+            ctx.loop_back(top, i + 1 < ops);
+        }
+    });
+    let stats = compute_stats(&ctx, bytecode.len());
+    ctx.finish();
+    stats
+}
+
+/// libquantum-like: long sequential integer sweeps over a big state vector
+/// (prefetch-friendly, branch-light).
+fn streaming_int(sink: &mut dyn TraceSink, scale: Scale) -> RunStats {
+    let mut layout = CodeLayout::new();
+    let main = layout.region("specint::libquantum", 24 * 1024);
+    let mut ctx = ExecCtx::new(&layout, sink);
+    let state = ctx.heap_alloc(32 << 20, 64);
+    let n = scale.n(500_000) as u64;
+    ctx.frame(main, |ctx| {
+        let top = ctx.loop_start();
+        for i in 0..n {
+            let off = (i * 8) % state.len();
+            ctx.read(state.addr(off), 8);
+            ctx.int_other(3); // toggle the qubit bits
+            ctx.store(state.addr(off), 8);
+            ctx.loop_back(top, i + 1 < n);
+        }
+    });
+    let stats = compute_stats(&ctx, state.len());
+    ctx.finish();
+    stats
+}
+
+/// xalancbmk-like: pointer-heavy DOM-tree walk with virtual dispatch.
+fn tree_walk(sink: &mut dyn TraceSink, scale: Scale) -> RunStats {
+    let mut layout = CodeLayout::new();
+    let main = layout.region("specint::xalanc", 48 * 1024);
+    let visitors: Vec<Routine> = (0..6)
+        .map(|i| {
+            Routine::register(
+                &mut layout,
+                format!("specint::xalanc_visit_{i}"),
+                12 * 1024,
+                8,
+                50,
+            )
+        })
+        .collect();
+    let mut ctx = ExecCtx::new(&layout, sink);
+    let nodes = ctx.heap_alloc(8 << 20, 64);
+    let scratch = ctx.scratch_alloc(16 * 1024, 64);
+    let mix = OpMix::integer_compute();
+    let visits = scale.n(80_000) as u64;
+    ctx.frame(main, |ctx| {
+        let mut pos = 1u64;
+        let top = ctx.loop_start();
+        for i in 0..visits {
+            // Pointer-chase to the next node (parent/child/sibling links).
+            pos = pos.wrapping_mul(2_862_933_555_777_941_757).wrapping_add(3) % (nodes.len() / 64);
+            ctx.read(nodes.addr(pos * 64), 8);
+            ctx.int_other(2);
+            let kind = (pos as usize) % visitors.len();
+            let routine = visitors[kind];
+            ctx.dispatch(routine.region, |ctx| {
+                ctx.boilerplate(&mix, u64::from(routine.units), &scratch);
+            });
+            ctx.loop_back(top, i + 1 < visits);
+        }
+    });
+    let stats = compute_stats(&ctx, nodes.len());
+    ctx.finish();
+    stats
+}
+
+/// GemsFDTD-like: three coupled field arrays updated per cell (memory-bound
+/// FP streaming).
+fn fdtd(sink: &mut dyn TraceSink, scale: Scale) -> RunStats {
+    let mut layout = CodeLayout::new();
+    let main = layout.region("specfp::gemsfdtd", 40 * 1024);
+    let mut ctx = ExecCtx::new(&layout, sink);
+    let e = ctx.heap_alloc(8 << 20, 64);
+    let h = ctx.heap_alloc(8 << 20, 64);
+    let coeff = ctx.heap_alloc(8 << 20, 64);
+    let n = scale.n(250_000) as u64;
+    ctx.frame(main, |ctx| {
+        let top = ctx.loop_start();
+        for i in 0..n {
+            let off = (i * 8) % e.len();
+            ctx.read_fp(e.addr(off), 8);
+            ctx.read_fp(h.addr(off), 8);
+            ctx.read_fp(coeff.addr(off), 8);
+            ctx.fp_ops(6);
+            ctx.write_fp(e.addr(off), 8);
+            ctx.loop_back(top, i + 1 < n);
+        }
+    });
+    let stats = compute_stats(&ctx, 3 * e.len());
+    ctx.finish();
+    stats
+}
+
+/// cactusADM-like: very heavy FP work per grid point (compute-bound).
+fn heavy_point_fp(sink: &mut dyn TraceSink, scale: Scale) -> RunStats {
+    let mut layout = CodeLayout::new();
+    let main = layout.region("specfp::cactus", 64 * 1024);
+    let mut ctx = ExecCtx::new(&layout, sink);
+    let grid = ctx.heap_alloc(2 << 20, 64);
+    let n = scale.n(40_000) as u64;
+    ctx.frame(main, |ctx| {
+        let top = ctx.loop_start();
+        for i in 0..n {
+            let off = (i * 64) % grid.len();
+            ctx.read_fp(grid.addr(off), 8);
+            ctx.read_fp(grid.addr((off + 8) % grid.len()), 8);
+            ctx.fp_ops(40); // the BSSN update's long arithmetic chain
+            ctx.write_fp(grid.addr(off), 8);
+            ctx.loop_back(top, i + 1 < n);
+        }
+    });
+    let stats = compute_stats(&ctx, grid.len());
+    ctx.finish();
+    stats
+}
+
+/// povray-like: FP compute with data-dependent branching (ray hits).
+fn branchy_fp(sink: &mut dyn TraceSink, scale: Scale) -> RunStats {
+    let mut layout = CodeLayout::new();
+    let main = layout.region("specfp::povray", 96 * 1024);
+    let mut ctx = ExecCtx::new(&layout, sink);
+    let scene = ctx.heap_alloc(4 << 20, 64);
+    let rays = scale.n(120_000) as u64;
+    ctx.frame(main, |ctx| {
+        let mut x = 0x0000_0090_D1CE_u64;
+        let top = ctx.loop_start();
+        for i in 0..rays {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            ctx.read_fp(scene.addr((x % (scene.len() / 64)) * 64), 8);
+            ctx.fp_ops(8);
+            let hit = x & 3 == 0; // ~25% of rays hit, data-dependent
+            ctx.cond_branch(hit);
+            if hit {
+                ctx.fp_ops(12); // shading
+                ctx.write_fp(scene.addr((x >> 8) % (scene.len() - 8)), 8);
+            }
+            ctx.loop_back(top, i + 1 < rays);
+        }
+    });
+    let stats = compute_stats(&ctx, scene.len());
+    ctx.finish();
+    stats
+}
+
+// ---------------------------------------------------------------------------
+// PARSEC-class kernels
+// ---------------------------------------------------------------------------
+
+fn parsec_fp(
+    sink: &mut dyn TraceSink,
+    scale: Scale,
+    name: &str,
+    flops_per_elem: u32,
+    working_set: u64,
+) -> RunStats {
+    let mut layout = CodeLayout::new();
+    let main = layout.region(format!("parsec::{name}"), 16 * 1024);
+    // Phase routines: setup, physics, collision, output — together they
+    // give PARSEC its ~128 KiB instruction footprint (paper Figure 6).
+    let phases: Vec<Routine> = (0..4)
+        .map(|i| {
+            Routine::register(
+                &mut layout,
+                format!("parsec::{name}_phase{i}"),
+                24 * 1024,
+                16,
+                100,
+            )
+        })
+        .collect();
+    let mut ctx = ExecCtx::new(&layout, sink);
+    let data = ctx.heap_alloc(working_set, 64);
+    let scratch = ctx.scratch_alloc(8 * 1024, 64);
+    let mix = OpMix::numeric();
+    let elems = scale.n(120_000) as u64;
+    ctx.frame(main, |ctx| {
+        for (c, chunk) in (0..elems).step_by(64).enumerate() {
+            phases[c % phases.len()].run(ctx, &mix, &scratch);
+            let top = ctx.loop_start();
+            let n = 64.min(elems - chunk);
+            for i in 0..n {
+                let off = ((chunk + i) * 32) % data.len();
+                ctx.read_fp(data.addr(off), 8);
+                ctx.fp_ops(flops_per_elem);
+                ctx.write_fp(data.addr(off), 8);
+                ctx.loop_back(top, i + 1 < n);
+            }
+        }
+    });
+    let stats = compute_stats(&ctx, working_set);
+    ctx.finish();
+    stats
+}
+
+fn parsec_int(
+    sink: &mut dyn TraceSink,
+    scale: Scale,
+    name: &str,
+    int_per_elem: u32,
+    working_set: u64,
+) -> RunStats {
+    let mut layout = CodeLayout::new();
+    let main = layout.region(format!("parsec::{name}"), 16 * 1024);
+    let phases: Vec<Routine> = (0..4)
+        .map(|i| {
+            Routine::register(
+                &mut layout,
+                format!("parsec::{name}_phase{i}"),
+                24 * 1024,
+                16,
+                100,
+            )
+        })
+        .collect();
+    let mut ctx = ExecCtx::new(&layout, sink);
+    let data = ctx.heap_alloc(working_set, 64);
+    let scratch = ctx.scratch_alloc(8 * 1024, 64);
+    let mix = OpMix::integer_compute();
+    let elems = scale.n(120_000) as u64;
+    ctx.frame(main, |ctx| {
+        let mut x = 0xBEEFu64;
+        for (c, chunk) in (0..elems).step_by(64).enumerate() {
+            phases[c % phases.len()].run(ctx, &mix, &scratch);
+            let top = ctx.loop_start();
+            let n = 64.min(elems - chunk);
+            for i in 0..n {
+                x ^= x << 13;
+                x ^= x >> 7;
+                let off = if name == "canneal" {
+                    // canneal does random swaps over a large working set.
+                    (x % (data.len() / 8)) * 8
+                } else {
+                    ((chunk + i) * 16) % data.len()
+                };
+                ctx.read(data.addr(off), 8);
+                ctx.int_other(int_per_elem);
+                ctx.cond_branch(x & 3 != 0);
+                ctx.store(data.addr(off), 8);
+                ctx.loop_back(top, i + 1 < n);
+            }
+        }
+    });
+    let stats = compute_stats(&ctx, working_set);
+    ctx.finish();
+    stats
+}
+
+// ---------------------------------------------------------------------------
+// CloudSuite-class services and TPC-C
+// ---------------------------------------------------------------------------
+
+fn cloud_service(sink: &mut dyn TraceSink, scale: Scale, name: &str, farm: usize) -> RunStats {
+    let farm = farm.min(28);
+    let mut layout = CodeLayout::new();
+    let handlers: Vec<Routine> = (0..farm)
+        .map(|i| {
+            Routine::register(
+                &mut layout,
+                format!("cloudsuite::{name}_{i:02}"),
+                24 * 1024,
+                26,
+                80,
+            )
+        })
+        .collect();
+    let listener = Routine::register(
+        &mut layout,
+        format!("cloudsuite::{name}_listener"),
+        48 * 1024,
+        22,
+        70,
+    );
+    let parser = Routine::register(
+        &mut layout,
+        format!("cloudsuite::{name}_parser"),
+        16 * 1024,
+        0,
+        20,
+    );
+    let mut ctx = ExecCtx::new(&layout, sink);
+    let data = ctx.heap_alloc(16 << 20, 64);
+    let scratch = ctx.scratch_alloc(32 * 1024, 64);
+    let mix = OpMix::framework();
+    let requests = scale.n(8_000) as u64;
+    let mut served_bytes = 0u64;
+    ctx.frame(listener.region, |ctx| {
+        let mut x = 0xC10D_5EED_u64;
+        for r in 0..requests {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            listener.run(ctx, &mix, &scratch);
+            // Each request walks 3 stochastic handler stages...
+            for hop in 0..3 {
+                let h = ((x >> (8 * hop)) as usize) % handlers.len();
+                let routine = handlers[h];
+                ctx.dispatch(routine.region, |ctx| {
+                    ctx.frame_spread(routine.region, routine.spread, |ctx| {
+                        ctx.boilerplate(&mix, u64::from(routine.units), &scratch);
+                    });
+                });
+            }
+            // ...then parses its payload in a hot loop and touches a random
+            // object in the big heap.
+            ctx.frame(parser.region, |ctx| {
+                let off = (x % (data.len() / 64)) * 64;
+                let top = ctx.loop_start();
+                for w in 0..48u64 {
+                    ctx.read(data.addr((off + w * 8) % data.len()), 8);
+                    ctx.int_other(2);
+                    ctx.loop_back(top, w + 1 < 48);
+                }
+            });
+            served_bytes += 384;
+            let _ = r;
+        }
+    });
+    let stats = RunStats {
+        input_bytes: served_bytes,
+        intermediate_bytes: 0,
+        output_bytes: served_bytes,
+        phases: vec![Phase {
+            name: "serve".into(),
+            instructions: ctx.ops_retired(),
+            disk_read_bytes: served_bytes * 4,
+            disk_write_bytes: 0,
+            net_bytes: served_bytes,
+            io_parallelism: 16.0,
+        }],
+    };
+    ctx.finish();
+    stats
+}
+
+fn tpcc(sink: &mut dyn TraceSink, scale: Scale) -> RunStats {
+    let mut layout = CodeLayout::new();
+    let handlers: Vec<Routine> = (0..16)
+        .map(|i| Routine::register(&mut layout, format!("tpcc::txn_{i:02}"), 20 * 1024, 30, 75))
+        .collect();
+    let btree = Routine::register(&mut layout, "tpcc::btree", 32 * 1024, 0, 40);
+    let mut ctx = ExecCtx::new(&layout, sink);
+    let tables = ctx.heap_alloc(8 << 20, 64);
+    let scratch = ctx.scratch_alloc(32 * 1024, 64);
+    // TPC-C's 30% branch ratio: a branch-heavy mix.
+    let mix = OpMix::new(22, 8, 14, 18, 0, 34);
+    let txns = scale.n(10_000) as u64;
+    let mut rows_touched = 0u64;
+    ctx.frame(handlers[0].region, |ctx| {
+        let mut x = 0x7BCC_5EEDu64;
+        for t in 0..txns {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let h = (x as usize) % handlers.len();
+            let routine = handlers[h];
+            ctx.dispatch(routine.region, |ctx| {
+                ctx.frame_spread(routine.region, routine.spread, |ctx| {
+                    ctx.boilerplate(&mix, u64::from(routine.units), &scratch);
+                });
+            });
+            // B-tree descent: ~4 levels of key compares + row update.
+            // 80% of transactions hit the hot 1 MiB of the table space.
+            let space = if !x.is_multiple_of(5) {
+                1 << 20
+            } else {
+                tables.len()
+            };
+            ctx.frame(btree.region, |ctx| {
+                for level in 0..4u64 {
+                    let off = ((x >> (level * 8)) % (space / 64)) * 64;
+                    ctx.read(tables.addr(off), 8);
+                    ctx.int_other(2);
+                    ctx.cond_branch((x >> level) & 1 == 0);
+                }
+                let off = (x % (space / 64)) * 64;
+                ctx.store(tables.addr(off), 8);
+            });
+            rows_touched += 5;
+            let _ = t;
+        }
+    });
+    let stats = RunStats {
+        input_bytes: rows_touched * 128,
+        intermediate_bytes: 0,
+        output_bytes: rows_touched * 64,
+        phases: vec![Phase {
+            name: "transactions".into(),
+            instructions: ctx.ops_retired(),
+            disk_read_bytes: rows_touched * 128,
+            disk_write_bytes: rows_touched * 64,
+            net_bytes: rows_touched * 32,
+            io_parallelism: 12.0,
+        }],
+    };
+    ctx.finish();
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bdb_trace::MixSink;
+
+    fn mix_for(suite: Suite, index: usize) -> bdb_trace::InstructionMix {
+        let mut sink = MixSink::new();
+        let _ = run_suite_kernel(&mut sink, Scale::tiny(), suite, index);
+        sink.mix()
+    }
+
+    #[test]
+    fn every_kernel_runs() {
+        for suite in [
+            Suite::SpecInt,
+            Suite::SpecFp,
+            Suite::Parsec,
+            Suite::Hpcc,
+            Suite::CloudSuite,
+            Suite::TpcC,
+        ] {
+            for i in 0..kernel_names(suite).len() {
+                let mix = mix_for(suite, i);
+                assert!(
+                    mix.total() > 1_000,
+                    "{suite} kernel {i} too small: {}",
+                    mix.total()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn specfp_is_fp_dominated() {
+        let mix = mix_for(Suite::SpecFp, 0);
+        assert!(mix.fp_ratio() > 0.25, "fp ratio {}", mix.fp_ratio());
+        assert!(
+            mix.branch_ratio() < 0.12,
+            "branch ratio {}",
+            mix.branch_ratio()
+        );
+    }
+
+    #[test]
+    fn hpcc_dgemm_is_fp_dominated() {
+        let mix = mix_for(Suite::Hpcc, 1);
+        assert!(mix.fp_ratio() > 0.2, "fp ratio {}", mix.fp_ratio());
+    }
+
+    #[test]
+    fn specint_has_no_fp_and_more_branches() {
+        let mix = mix_for(Suite::SpecInt, 1);
+        assert_eq!(mix.fp, 0);
+        assert!(
+            mix.branch_ratio() > 0.10,
+            "branch ratio {}",
+            mix.branch_ratio()
+        );
+    }
+
+    #[test]
+    fn tpcc_is_branchy() {
+        let mix = mix_for(Suite::TpcC, 0);
+        assert!(
+            mix.branch_ratio() > 0.2,
+            "branch ratio {}",
+            mix.branch_ratio()
+        );
+    }
+
+    #[test]
+    fn interpreter_is_indirect_heavy() {
+        use bdb_trace::{BranchKind, MicroOp, TraceSink};
+        #[derive(Default)]
+        struct IndirectCount {
+            indirect: u64,
+            total: u64,
+        }
+        impl TraceSink for IndirectCount {
+            fn exec(&mut self, _pc: u64, op: MicroOp) {
+                self.total += 1;
+                if let MicroOp::Branch {
+                    kind: BranchKind::Indirect,
+                    ..
+                } = op
+                {
+                    self.indirect += 1;
+                }
+            }
+        }
+        let mut sink = IndirectCount::default();
+        let _ = run_suite_kernel(&mut sink, Scale::tiny(), Suite::SpecInt, 6);
+        assert!(
+            sink.indirect as f64 / sink.total as f64 > 0.02,
+            "interpreter should dispatch indirectly: {}/{}",
+            sink.indirect,
+            sink.total
+        );
+    }
+
+    #[test]
+    fn streaming_kernel_is_branch_light() {
+        let mix = mix_for(Suite::SpecInt, 7);
+        assert!(
+            mix.branch_ratio() < 0.22,
+            "branch ratio {}",
+            mix.branch_ratio()
+        );
+        assert!(mix.load_ratio() > 0.10);
+    }
+
+    #[test]
+    fn cactus_like_kernel_is_fp_bound() {
+        let mix = mix_for(Suite::SpecFp, 6);
+        assert!(mix.fp_ratio() > 0.5, "fp ratio {}", mix.fp_ratio());
+    }
+
+    #[test]
+    #[should_panic(expected = "kernels")]
+    fn out_of_range_kernel_panics() {
+        let mut sink = MixSink::new();
+        let _ = run_suite_kernel(&mut sink, Scale::tiny(), Suite::TpcC, 5);
+    }
+}

@@ -1,0 +1,72 @@
+//! Quickstart: run one big data workload through the full measurement
+//! pipeline — workload → software stack → micro-op trace → simulated Xeon
+//! E5645 → perf report → node model → classification.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use bigdatabench_repro::prelude::*;
+
+fn main() {
+    let scale = workloads::Scale::small();
+    let reps = workloads::catalog::representatives();
+
+    println!("The paper's 17 representative workloads are available:");
+    for w in &reps {
+        println!(
+            "  {:18} [{} / {}]",
+            w.spec.id, w.spec.stack, w.spec.category
+        );
+    }
+
+    let wordcount = reps
+        .iter()
+        .find(|w| w.spec.id == "H-WordCount")
+        .expect("H-WordCount is a Table 2 representative");
+
+    println!(
+        "\nprofiling {} on the simulated Xeon E5645...",
+        wordcount.spec.id
+    );
+    let profile = wcrt::profile_workload(
+        wordcount,
+        scale,
+        sim::MachineConfig::xeon_e5645(),
+        node::NodeConfig::default(),
+    );
+
+    println!("  instructions       {:>12}", profile.report.instructions);
+    println!("  IPC                {:>12.2}", profile.report.ipc());
+    println!("  L1I MPKI           {:>12.2}", profile.report.l1i_mpki());
+    println!("  L2 MPKI            {:>12.2}", profile.report.l2_mpki());
+    println!("  L3 MPKI            {:>12.2}", profile.report.l3_mpki());
+    println!(
+        "  branch mispredict  {:>11.2}%",
+        profile.report.branch.mispredict_ratio() * 100.0
+    );
+    println!(
+        "  branch ratio       {:>11.2}%",
+        profile.report.mix.branch_ratio() * 100.0
+    );
+    println!(
+        "  data movement      {:>11.2}%",
+        profile.report.mix.data_movement_ratio() * 100.0
+    );
+    println!(
+        "  CPU utilization    {:>11.2}%",
+        profile.system.cpu_utilization
+    );
+    println!(
+        "  system behaviour   {:>12}",
+        profile.system_class.to_string()
+    );
+    println!(
+        "  data behaviour     {:>12}",
+        profile.data_behavior.to_string()
+    );
+    println!(
+        "\nfirst 5 of the 45 WCRT metrics: {:?}",
+        &profile.metrics.values()[..5]
+    );
+}

@@ -1,0 +1,72 @@
+//! Service-workload deep dive: the HBase-like store under three request
+//! mixes, showing why cloud-OLTP services are the paper's worst front-end
+//! citizens (stochastic request routing through a large handler farm).
+//!
+//! ```sh
+//! cargo run --release --example service_tail
+//! ```
+
+use bigdatabench_repro::prelude::*;
+use stacks::kvstore::{HbaseStack, KvService, Request};
+use trace::{CodeLayout, ExecCtx};
+
+fn main() {
+    // Run the packaged service workloads first.
+    let scale = workloads::Scale::small();
+    let catalog = workloads::catalog::full_catalog();
+    println!("packaged service workloads on the simulated Xeon E5645:\n");
+    for id in ["H-Read", "H-Write", "H-Scan", "H-ReadWrite"] {
+        let def = catalog
+            .iter()
+            .find(|w| w.spec.id == id)
+            .expect("service workload");
+        let p = wcrt::profile_workload(
+            def,
+            scale,
+            sim::MachineConfig::xeon_e5645(),
+            node::NodeConfig::default(),
+        );
+        println!(
+            "  {:11} IPC {:.2}  L1I MPKI {:>6.2}  ITLB MPKI {:.3}  {}",
+            id,
+            p.report.ipc(),
+            p.report.l1i_mpki(),
+            p.report.itlb_mpki(),
+            p.system_class,
+        );
+    }
+
+    // Then drive the KV store directly through the public stacks API.
+    println!("\ndriving the LSM store directly:");
+    let mut layout = CodeLayout::new();
+    let stack = HbaseStack::register(&mut layout);
+    let mut machine = sim::Machine::new(sim::MachineConfig::xeon_e5645());
+    let mut ctx = ExecCtx::new(&layout, &mut machine);
+    let root = stack.root_region();
+    ctx.frame(root, |ctx| {
+        let mut svc = KvService::new(&stack, ctx);
+        svc.bulk_load(
+            (0..5_000)
+                .map(|i| stacks::Record::new(format!("user{i:06}").into_bytes(), vec![b'v'; 128]))
+                .collect(),
+        );
+        let hits = (0..2_000)
+            .filter(|i| {
+                let key = format!("user{:06}", (i * 37) % 5_000);
+                !svc.serve(ctx, &Request::Get(key.into_bytes())).is_empty()
+            })
+            .count();
+        println!(
+            "  2000 gets, {hits} hits (store holds {} records)",
+            svc.resident_records()
+        );
+    });
+    drop(ctx);
+    let report = machine.report();
+    println!(
+        "  direct-drive: IPC {:.2}, L1I MPKI {:.1}, branch mispredict {:.1}%",
+        report.ipc(),
+        report.l1i_mpki(),
+        report.branch.mispredict_ratio() * 100.0
+    );
+}

@@ -1,0 +1,51 @@
+//! The paper's §5.5 experiment as an example: the same WordCount algorithm
+//! on the MPI, Hadoop, and Spark stacks, measured on the same simulated
+//! machine — reproducing the order-of-magnitude front-end gap that is the
+//! paper's headline (L1I MPKI 2 / 7 / 17 on the real testbed).
+//!
+//! ```sh
+//! cargo run --release --example stack_comparison
+//! ```
+
+use bigdatabench_repro::prelude::*;
+
+fn main() {
+    let scale = workloads::Scale::small();
+    let mut defs = workloads::catalog::full_catalog();
+    defs.extend(workloads::catalog::mpi_workloads());
+
+    println!("WordCount on three software stacks (simulated Xeon E5645):\n");
+    println!(
+        "{:14} {:>7} {:>10} {:>9} {:>9} {:>11} {:>12}",
+        "stack", "IPC", "L1I MPKI", "L2 MPKI", "L3 MPKI", "mispredict", "instructions"
+    );
+    let mut l1i = Vec::new();
+    for id in ["M-WordCount", "H-WordCount", "S-WordCount"] {
+        let def = defs
+            .iter()
+            .find(|w| w.spec.id == id)
+            .expect("workload in catalog");
+        let p = wcrt::profile_workload(
+            def,
+            scale,
+            sim::MachineConfig::xeon_e5645(),
+            node::NodeConfig::default(),
+        );
+        println!(
+            "{:14} {:>7.2} {:>10.2} {:>9.2} {:>9.2} {:>10.2}% {:>12}",
+            def.spec.stack.to_string(),
+            p.report.ipc(),
+            p.report.l1i_mpki(),
+            p.report.l2_mpki(),
+            p.report.l3_mpki(),
+            p.report.branch.mispredict_ratio() * 100.0,
+            p.report.instructions,
+        );
+        l1i.push(p.report.l1i_mpki());
+    }
+    println!(
+        "\nL1I MPKI ratio Spark/MPI: {:.0}x (the paper's 'order of magnitude')",
+        l1i[2] / l1i[0].max(1e-9)
+    );
+    println!("paper reference: MPI 2, Hadoop 7, Spark 17");
+}

@@ -1,0 +1,73 @@
+//! The WCRT pipeline end to end: profile a slice of the catalog on 45
+//! metrics, normalize, run PCA, cluster with K-means, and pick
+//! representatives — the same machinery that reduces 77 workloads to 17
+//! (run `cargo run --release -p bdb-bench --bin reduction_77_to_17` for the
+//! full-catalog version).
+//!
+//! ```sh
+//! cargo run --release --example subsetting
+//! ```
+
+use bigdatabench_repro::prelude::*;
+use wcrt::reduction::{reduce, ReductionConfig};
+
+fn main() {
+    // A diverse slice: two text kernels, a service, a query, an iterative
+    // job, and an MPI control — 12 workloads, clustered into 4.
+    let ids = [
+        "H-WordCount",
+        "S-WordCount",
+        "H-Grep",
+        "S-Grep",
+        "H-Read",
+        "H-Scan",
+        "I-SelectQuery",
+        "I-OrderBy",
+        "S-Kmeans",
+        "S-PageRank",
+        "H-Sort",
+        "S-Sort",
+    ];
+    let mut defs = workloads::catalog::full_catalog();
+    defs.extend(workloads::catalog::mpi_workloads());
+    let subset: Vec<_> = ids
+        .iter()
+        .map(|id| defs.iter().find(|w| w.spec.id == *id).expect("id").clone())
+        .collect();
+
+    println!("profiling {} workloads on 45 metrics...", subset.len());
+    let profiles = wcrt::profile::profile_all(
+        &subset,
+        workloads::Scale::tiny(),
+        &sim::MachineConfig::xeon_e5645(),
+        &node::NodeConfig::default(),
+    );
+
+    let result = reduce(
+        &profiles,
+        ReductionConfig {
+            k: 4,
+            ..Default::default()
+        },
+    );
+    println!(
+        "PCA kept {} dims explaining {:.0}% of variance",
+        result.pca_dims,
+        result.explained_variance * 100.0
+    );
+    println!("clusters:");
+    for cluster in 0..result.clustering.k() {
+        let members: Vec<&str> = result
+            .ids
+            .iter()
+            .zip(&result.clustering.assignments)
+            .filter(|(_, &a)| a == cluster)
+            .map(|(id, _)| id.as_str())
+            .collect();
+        if members.is_empty() {
+            continue;
+        }
+        println!("  cluster {cluster}: {members:?}");
+    }
+    println!("representatives: {:?}", result.representative_ids());
+}

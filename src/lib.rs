@@ -1,0 +1,50 @@
+//! Reproduction of *Characterization and Architectural Implications of Big
+//! Data Workloads* (Wang, Zhan, Jia, Han — ISPASS 2016).
+//!
+//! This crate re-exports the whole workspace under one roof:
+//!
+//! * [`datagen`] — seeded synthetic data sets (the BDGS analog),
+//! * [`trace`] — the micro-op trace model and instrumented execution context,
+//! * [`sim`] — the trace-driven micro-architecture simulator (caches, TLBs,
+//!   branch predictors, pipeline) standing in for perf counters and MARSSx86,
+//! * [`node`] — the system-level node model (CPU/disk/network accounting),
+//! * [`stacks`] — miniature Hadoop/Spark/MPI/Hive/Shark/Impala/HBase stacks,
+//! * [`workloads`] — the 77-workload catalog, the paper's 17 representatives,
+//!   the 6 MPI controls, and the comparison-suite kernels,
+//! * [`wcrt`] — the paper's released tool: 45-metric profiling, PCA,
+//!   K-means, and representative subsetting.
+//!
+//! # Quickstart
+//!
+//! Profile one representative workload on the simulated Xeon E5645:
+//!
+//! ```
+//! use bigdatabench_repro::prelude::*;
+//!
+//! let reps = workloads::catalog::representatives();
+//! let wordcount = reps.iter().find(|w| w.spec.id == "H-WordCount").unwrap();
+//! let profile = wcrt::profile_workload(
+//!     wordcount,
+//!     workloads::Scale::tiny(),
+//!     sim::MachineConfig::xeon_e5645(),
+//!     node::NodeConfig::default(),
+//! );
+//! assert!(profile.report.ipc() > 0.0);
+//! println!("IPC {:.2}, L1I MPKI {:.1}", profile.report.ipc(), profile.report.l1i_mpki());
+//! ```
+//!
+//! See `examples/` for runnable end-to-end scenarios and `crates/bench`
+//! for the binaries that regenerate every table and figure of the paper.
+
+pub use bdb_datagen as datagen;
+pub use bdb_node as node;
+pub use bdb_sim as sim;
+pub use bdb_stacks as stacks;
+pub use bdb_trace as trace;
+pub use bdb_wcrt as wcrt;
+pub use bdb_workloads as workloads;
+
+/// Convenient glob import for examples and tests.
+pub mod prelude {
+    pub use crate::{datagen, node, sim, stacks, trace, wcrt, workloads};
+}

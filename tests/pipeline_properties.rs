@@ -1,0 +1,105 @@
+//! Property-based integration tests over the measurement pipeline.
+
+use bigdatabench_repro::prelude::*;
+use proptest::prelude::*;
+use trace::{CodeLayout, ExecCtx};
+
+/// Simulator invariants that must hold for *any* instrumented program.
+fn arbitrary_program(ops: &[(u8, u64)]) -> sim::PerfReport {
+    let mut layout = CodeLayout::new();
+    let a = layout.region("a", 16 * 1024);
+    let b = layout.region("b", 16 * 1024);
+    let mut machine = sim::Machine::new(sim::MachineConfig::xeon_e5645());
+    let mut ctx = ExecCtx::new(&layout, &mut machine);
+    let data = ctx.heap_alloc(1 << 20, 64);
+    ctx.frame(a, |ctx| {
+        for &(kind, val) in ops {
+            match kind % 6 {
+                0 => ctx.read(data.addr(val % data.len()), 8),
+                1 => ctx.write(data.addr(val % data.len()), 8),
+                2 => ctx.int_other((val % 8) as u32 + 1),
+                3 => ctx.fp_ops((val % 4) as u32 + 1),
+                4 => ctx.cond_branch(val % 3 == 0),
+                _ => ctx.frame(b, |ctx| ctx.int_addr((val % 5) as u32 + 1)),
+            }
+        }
+    });
+    drop(ctx);
+    machine.report()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn simulator_invariants_hold(ops in proptest::collection::vec((0u8..6, 0u64..1_000_000), 1..300)) {
+        let r = arbitrary_program(&ops);
+        // Counter consistency.
+        prop_assert_eq!(r.instructions, r.mix.total());
+        prop_assert!(r.cycles > 0.0);
+        prop_assert!(r.l1i.misses <= r.l1i.accesses);
+        prop_assert!(r.l1d.misses <= r.l1d.accesses);
+        prop_assert!(r.l2.misses <= r.l2.accesses);
+        prop_assert!(r.l3.misses <= r.l3.accesses);
+        prop_assert!(r.branch.mispredicts <= r.branch.branches);
+        prop_assert!(r.branch.cond_mispredicts <= r.branch.conditionals);
+        // Miss traffic can only narrow down the hierarchy.
+        prop_assert!(r.l2.accesses <= r.l1i.misses + r.l1d.misses + 8);
+        prop_assert!(r.l3.accesses <= r.l2.misses + 8);
+        // Stall cycles never exceed total cycles.
+        let stalls = r.fetch_stall_cycles + r.data_stall_cycles
+            + r.branch_stall_cycles + r.tlb_stall_cycles;
+        prop_assert!(stalls <= r.cycles + 1e-6);
+        // IPC is bounded by the configured peak width.
+        prop_assert!(r.ipc() <= 1.0 / 0.45 + 1e-9, "ipc {}", r.ipc());
+    }
+
+    #[test]
+    fn identical_programs_measure_identically(ops in proptest::collection::vec((0u8..6, 0u64..1_000_000), 1..120)) {
+        let a = arbitrary_program(&ops);
+        let b = arbitrary_program(&ops);
+        prop_assert_eq!(a.instructions, b.instructions);
+        prop_assert_eq!(a.cycles.to_bits(), b.cycles.to_bits());
+        prop_assert_eq!(a.l1i.misses, b.l1i.misses);
+        prop_assert_eq!(a.branch.mispredicts, b.branch.mispredicts);
+    }
+
+    #[test]
+    fn node_metrics_are_bounded(instr in 0u64..10_000_000_000, read in 0u64..1_000_000_000, write in 0u64..1_000_000_000, qd in 0.0f64..64.0) {
+        let mut n = node::Node::new(node::NodeConfig::default());
+        n.run_phase(node::Phase {
+            name: "p".into(),
+            instructions: instr,
+            disk_read_bytes: read,
+            disk_write_bytes: write,
+            net_bytes: 0,
+            io_parallelism: qd,
+        });
+        let m = n.metrics();
+        prop_assert!((0.0..=100.0).contains(&m.cpu_utilization));
+        prop_assert!((0.0..=100.0).contains(&m.io_wait_ratio));
+        prop_assert!(m.weighted_io_ratio >= 0.0);
+        prop_assert!(m.wall_seconds > 0.0);
+        // The classifier must return one of the three paper classes.
+        let _ = wcrt::classify::classify_system(&m);
+    }
+}
+
+/// Running the same workload twice produces bit-identical 45-metric vectors.
+#[test]
+fn workload_profiles_are_reproducible() {
+    let reps = workloads::catalog::representatives();
+    let def = reps.iter().find(|w| w.spec.id == "S-Grep").expect("S-Grep");
+    let run = || {
+        wcrt::profile_workload(
+            def,
+            workloads::Scale::tiny(),
+            sim::MachineConfig::xeon_e5645(),
+            node::NodeConfig::default(),
+        )
+        .metrics
+        .values()
+        .to_vec()
+    };
+    assert_eq!(run(), run());
+}

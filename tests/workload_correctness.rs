@@ -1,0 +1,261 @@
+//! The reproduction's workloads must compute *correct answers*, not just
+//! plausible traces — these tests check algorithm outputs through the
+//! public stack APIs against independent reference computations.
+
+use bigdatabench_repro::prelude::*;
+use stacks::dataflow::{Dataflow, DataflowConfig, SparkStack};
+use stacks::mapreduce::{Emitter, HadoopStack, MapReduce, MapReduceConfig, Mapper, Reducer};
+use stacks::record::Record;
+use stacks::sql::{execute_hive, execute_impala, execute_shark, Agg, ImpalaStack, Plan, Pred};
+use trace::{CodeLayout, ExecCtx, NullSink};
+
+fn reference_wordcount(docs: &[&str]) -> std::collections::HashMap<String, u64> {
+    let mut m = std::collections::HashMap::new();
+    for d in docs {
+        for w in d.split_whitespace() {
+            *m.entry(w.to_owned()).or_insert(0) += 1;
+        }
+    }
+    m
+}
+
+#[test]
+fn mapreduce_wordcount_matches_reference() {
+    let docs = [
+        "to be or not to be",
+        "that is the question",
+        "whether tis nobler in the mind to suffer",
+        "the slings and arrows of outrageous fortune",
+    ];
+    let input: Vec<Record> = docs
+        .iter()
+        .enumerate()
+        .map(|(i, d)| Record::new(format!("{i}").into_bytes(), d.as_bytes().to_vec()))
+        .collect();
+
+    struct WcMapper;
+    impl Mapper for WcMapper {
+        fn map(&mut self, ctx: &mut ExecCtx<'_>, record: &Record, addr: u64, out: &mut Emitter) {
+            ctx.read(addr, 8);
+            for w in record.value.split(|&b| b == b' ') {
+                if !w.is_empty() {
+                    out.emit(Record::new(w.to_vec(), 1u64.to_be_bytes().to_vec()));
+                }
+            }
+        }
+    }
+    struct SumReducer;
+    impl Reducer for SumReducer {
+        fn reduce(
+            &mut self,
+            ctx: &mut ExecCtx<'_>,
+            key: &[u8],
+            values: &[Record],
+            addr: u64,
+            out: &mut Emitter,
+        ) {
+            ctx.read(addr, 8);
+            let sum: u64 = values
+                .iter()
+                .map(|v| u64::from_be_bytes(v.value[..8].try_into().expect("count")))
+                .sum();
+            out.emit(Record::new(key.to_vec(), sum.to_be_bytes().to_vec()));
+        }
+    }
+
+    let mut layout = CodeLayout::new();
+    let stack = HadoopStack::register(&mut layout);
+    let mut sink = NullSink;
+    let mut ctx = ExecCtx::new(&layout, &mut sink);
+    let engine = MapReduce::new(
+        &stack,
+        MapReduceConfig {
+            reduces: 3,
+            use_combiner: true,
+            ..Default::default()
+        },
+    );
+    let mut combiner = SumReducer;
+    let out = engine.run(
+        &mut ctx,
+        &input,
+        &mut WcMapper,
+        Some(&mut combiner),
+        &mut SumReducer,
+    );
+
+    let reference = reference_wordcount(&docs);
+    assert_eq!(out.records.len(), reference.len());
+    for rec in &out.records {
+        let word = String::from_utf8(rec.key.clone()).expect("utf8 word");
+        let count = u64::from_be_bytes(rec.value[..8].try_into().expect("count"));
+        assert_eq!(reference[&word], count, "count mismatch for {word}");
+    }
+}
+
+#[test]
+fn dataflow_pagerank_mass_is_conserved_shapewise() {
+    // A 4-vertex cycle: symmetric, so every PageRank must converge to 1.0.
+    let mut layout = CodeLayout::new();
+    let stack = SparkStack::register(&mut layout);
+    let mut sink = NullSink;
+    let mut ctx = ExecCtx::new(&layout, &mut sink);
+    let root = stack.root_region();
+    let ranks = ctx.frame(root, |ctx| {
+        let mut df = Dataflow::new(&stack, DataflowConfig::default(), ctx);
+        let adjacency: Vec<Record> = (0..4u32)
+            .map(|v| {
+                Record::new(
+                    v.to_be_bytes().to_vec(),
+                    ((v + 1) % 4).to_be_bytes().to_vec(),
+                )
+            })
+            .collect();
+        let links = df.parallelize(ctx, &adjacency);
+        let mut ranks = vec![1.0f64; 4];
+        for _ in 0..30 {
+            let snapshot = ranks.clone();
+            let contribs = df.narrow(ctx, "contrib", &links, &mut |ctx, rec, _addr, out| {
+                ctx.int_other(1);
+                let src = u32::from_be_bytes(rec.key[..4].try_into().expect("key")) as usize;
+                out.emit(Record::new(
+                    rec.value.clone(),
+                    snapshot[src].to_le_bytes().to_vec(),
+                ));
+            });
+            let sums = df.reduce_by_key(ctx, &contribs, &mut |_, a, b| {
+                let x = f64::from_le_bytes(a.value[..8].try_into().expect("f64"));
+                let y = f64::from_le_bytes(b.value[..8].try_into().expect("f64"));
+                Record::new(a.key.clone(), (x + y).to_le_bytes().to_vec())
+            });
+            for part in &sums.parts {
+                for rec in &part.records {
+                    let v = u32::from_be_bytes(rec.key[..4].try_into().expect("key")) as usize;
+                    let sum = f64::from_le_bytes(rec.value[..8].try_into().expect("f64"));
+                    ranks[v] = 0.15 + 0.85 * sum;
+                }
+            }
+        }
+        ranks
+    });
+    for (v, r) in ranks.iter().enumerate() {
+        assert!((r - 1.0).abs() < 1e-6, "vertex {v} rank {r}");
+    }
+}
+
+#[test]
+fn sql_backends_agree_on_a_tpcds_query() {
+    let data = datagen::tpcds::generate(
+        datagen::tpcds::TpcdsConfig {
+            sales_rows: 400,
+            items: 40,
+            customers: 60,
+            days: 100,
+        },
+        99,
+    );
+    let tables = [
+        &data.store_sales,
+        &data.date_dim,
+        &data.item,
+        &data.customer,
+    ];
+    // A Q8-shaped query: join item, filter category, sum by brand.
+    let plan = Plan::scan(0)
+        .join(Plan::scan(2), 1, 0)
+        .filter(Pred::StrEq(8, "Books".into()))
+        .aggregate(vec![7], Agg::SumF64(5))
+        .sort(1, true)
+        .limit(5);
+
+    let run_impala = || {
+        let mut layout = CodeLayout::new();
+        let stack = ImpalaStack::register(&mut layout);
+        let mut sink = NullSink;
+        let mut ctx = ExecCtx::new(&layout, &mut sink);
+        execute_impala(&mut ctx, &stack, &tables, &plan).0
+    };
+    let run_hive = || {
+        let mut layout = CodeLayout::new();
+        let stack = HadoopStack::register(&mut layout);
+        let mut sink = NullSink;
+        let mut ctx = ExecCtx::new(&layout, &mut sink);
+        execute_hive(&mut ctx, &stack, &tables, &plan).0
+    };
+    let run_shark = || {
+        let mut layout = CodeLayout::new();
+        let stack = SparkStack::register(&mut layout);
+        let mut sink = NullSink;
+        let mut ctx = ExecCtx::new(&layout, &mut sink);
+        execute_shark(&mut ctx, &stack, &tables, &plan).0
+    };
+    // FP sums differ in the last ulps across grouping orders; compare with
+    // fixed precision.
+    let fmt = |rows: Vec<datagen::Row>| {
+        rows.into_iter()
+            .map(|r| {
+                r.iter()
+                    .map(|f| match f {
+                        datagen::Field::F64(x) => format!("F64({x:.6})"),
+                        other => format!("{other:?}"),
+                    })
+                    .collect::<Vec<_>>()
+                    .join("|")
+            })
+            .collect::<Vec<_>>()
+    };
+    let a = fmt(run_impala());
+    let b = fmt(run_hive());
+    let c = fmt(run_shark());
+    assert!(!a.is_empty(), "query should return rows");
+    assert_eq!(a, b, "impala vs hive");
+    assert_eq!(a, c, "impala vs shark");
+}
+
+#[test]
+fn grep_pattern_occurs_rarely_but_does_occur() {
+    use workloads::data;
+    let records = data::text_records(datagen::DataSetId::Wikipedia, workloads::Scale::small());
+    let pattern = data::grep_pattern(datagen::DataSetId::Wikipedia);
+    let matches = records
+        .iter()
+        .filter(|r| {
+            r.value
+                .windows(pattern.len())
+                .any(|w| w == pattern.as_slice())
+        })
+        .count();
+    assert!(matches > 0, "pattern must occur somewhere");
+    assert!(
+        (matches as f64) < 0.2 * records.len() as f64,
+        "pattern should be rare: {matches}/{}",
+        records.len()
+    );
+}
+
+#[test]
+fn kv_store_read_your_writes_under_mixed_load() {
+    use stacks::kvstore::{HbaseStack, KvService, Request};
+    let mut layout = CodeLayout::new();
+    let stack = HbaseStack::register(&mut layout);
+    let mut sink = NullSink;
+    let mut ctx = ExecCtx::new(&layout, &mut sink);
+    let root = stack.root_region();
+    ctx.frame(root, |ctx| {
+        let mut svc = KvService::new(&stack, ctx);
+        for i in 0..1_000u32 {
+            svc.serve(
+                ctx,
+                &Request::Put(Record::new(
+                    format!("k{i:05}").into_bytes(),
+                    i.to_be_bytes().to_vec(),
+                )),
+            );
+        }
+        for i in (0..1_000u32).step_by(37) {
+            let got = svc.serve(ctx, &Request::Get(format!("k{i:05}").into_bytes()));
+            assert_eq!(got.len(), 1, "k{i:05} lost");
+            assert_eq!(got[0].value, i.to_be_bytes().to_vec());
+        }
+    });
+}
