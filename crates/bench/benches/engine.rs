@@ -1,0 +1,195 @@
+#![allow(missing_docs)]
+//! Execution-engine benchmarks: serial vs parallel `profile_all`, and
+//! cold vs warm profile cache.
+//!
+//! Besides the Criterion groups, this bench writes `BENCH_engine.json` at
+//! the workspace root with one explicit wall-clock measurement per
+//! configuration, so CI and the paper-repro notes can quote the numbers
+//! without parsing Criterion output. Parallel speedup scales with the
+//! machine's core count (a single-core runner reports ~1.0×); the warm
+//! cache speedup is hardware-independent and large.
+
+use bdb_engine::{json::Value, Engine, EngineConfig};
+use bdb_node::NodeConfig;
+use bdb_sim::MachineConfig;
+use bdb_wcrt::WorkloadProfile;
+use bdb_workloads::{catalog, Scale, WorkloadDef};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::path::PathBuf;
+use std::time::Instant;
+
+fn workloads() -> Vec<WorkloadDef> {
+    catalog::representatives()
+}
+
+fn scale() -> Scale {
+    Scale::tiny()
+}
+
+fn time<R>(f: impl FnOnce() -> R) -> (f64, R) {
+    let start = Instant::now();
+    let result = f();
+    (start.elapsed().as_secs_f64(), result)
+}
+
+fn fingerprint(profiles: &[WorkloadProfile]) -> Vec<(String, u64, u64)> {
+    profiles
+        .iter()
+        .map(|p| {
+            (
+                p.spec.id.clone(),
+                p.report.instructions,
+                p.report.cycles.to_bits(),
+            )
+        })
+        .collect()
+}
+
+fn scratch_cache_dir() -> PathBuf {
+    std::env::temp_dir().join(format!("bdb-engine-bench-{}", std::process::id()))
+}
+
+/// One explicit measurement per configuration, written to
+/// `BENCH_engine.json`.
+fn measure_and_report() {
+    let defs = workloads();
+    let machine = MachineConfig::xeon_e5645();
+    let node = NodeConfig::default();
+    let threads = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+
+    let (serial_s, serial) = time(|| Engine::serial().profile_all(&defs, scale(), &machine, &node));
+    let (parallel_s, parallel) = time(|| {
+        Engine::new(
+            EngineConfig::default()
+                .threads(threads)
+                .without_memory_cache(),
+        )
+        .profile_all(&defs, scale(), &machine, &node)
+    });
+    assert_eq!(
+        fingerprint(&serial),
+        fingerprint(&parallel),
+        "parallel run must be bit-identical to serial"
+    );
+
+    let dir = scratch_cache_dir();
+    let _ = std::fs::remove_dir_all(&dir);
+    let (cold_s, _) = time(|| {
+        Engine::new(
+            EngineConfig::default()
+                .threads(threads)
+                .cache_dir(&dir)
+                .without_memory_cache(),
+        )
+        .profile_all(&defs, scale(), &machine, &node)
+    });
+    let warm_engine = Engine::new(
+        EngineConfig::default()
+            .threads(threads)
+            .cache_dir(&dir)
+            .without_memory_cache(),
+    );
+    let (warm_s, warm) = time(|| warm_engine.profile_all(&defs, scale(), &machine, &node));
+    assert_eq!(
+        warm_engine.counters().computed,
+        0,
+        "warm run must not simulate"
+    );
+    assert_eq!(fingerprint(&serial), fingerprint(&warm));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let report = Value::object(vec![
+        ("bench", Value::Str("engine".into())),
+        ("workloads", Value::UInt(defs.len() as u64)),
+        ("scale_factor", Value::Float(scale().factor())),
+        ("threads", Value::UInt(threads as u64)),
+        ("serial_seconds", Value::Float(serial_s)),
+        ("parallel_seconds", Value::Float(parallel_s)),
+        ("parallel_speedup", Value::Float(serial_s / parallel_s)),
+        ("cold_cache_seconds", Value::Float(cold_s)),
+        ("warm_cache_seconds", Value::Float(warm_s)),
+        ("warm_cache_speedup", Value::Float(cold_s / warm_s)),
+    ]);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");
+    let mut text = report.encode();
+    text.push('\n');
+    if std::fs::write(path, &text).is_ok() {
+        println!("wrote {path}");
+    }
+    println!(
+        "engine: serial {serial_s:.2}s, parallel({threads}) {parallel_s:.2}s ({:.2}x), \
+         cold cache {cold_s:.2}s, warm cache {warm_s:.3}s ({:.1}x)",
+        serial_s / parallel_s,
+        cold_s / warm_s
+    );
+}
+
+fn profile_all_serial_vs_parallel(c: &mut Criterion) {
+    measure_and_report();
+
+    let defs = workloads();
+    let machine = MachineConfig::xeon_e5645();
+    let node = NodeConfig::default();
+    let threads = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+
+    let mut group = c.benchmark_group("engine_profile_all");
+    group.sample_size(10);
+    group.bench_function("serial", |b| {
+        b.iter(|| Engine::serial().profile_all(&defs, scale(), &machine, &node))
+    });
+    group.bench_function("parallel", |b| {
+        let engine = Engine::new(
+            EngineConfig::default()
+                .threads(threads)
+                .without_memory_cache(),
+        );
+        b.iter(|| engine.profile_all(&defs, scale(), &machine, &node))
+    });
+    group.finish();
+}
+
+fn cache_cold_vs_warm(c: &mut Criterion) {
+    let defs = workloads();
+    let machine = MachineConfig::xeon_e5645();
+    let node = NodeConfig::default();
+    let dir = scratch_cache_dir().with_extension("criterion");
+
+    let mut group = c.benchmark_group("engine_cache");
+    group.sample_size(10);
+    group.bench_function("cold", |b| {
+        b.iter(|| {
+            let _ = std::fs::remove_dir_all(&dir);
+            Engine::new(
+                EngineConfig::default()
+                    .cache_dir(&dir)
+                    .without_memory_cache(),
+            )
+            .profile_all(&defs, scale(), &machine, &node)
+        })
+    });
+    // Prime once, then measure pure warm hits.
+    let _ = std::fs::remove_dir_all(&dir);
+    Engine::new(
+        EngineConfig::default()
+            .cache_dir(&dir)
+            .without_memory_cache(),
+    )
+    .profile_all(&defs, scale(), &machine, &node);
+    group.bench_function("warm", |b| {
+        let engine = Engine::new(
+            EngineConfig::default()
+                .cache_dir(&dir)
+                .without_memory_cache(),
+        );
+        b.iter(|| engine.profile_all(&defs, scale(), &machine, &node))
+    });
+    group.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+criterion_group!(benches, profile_all_serial_vs_parallel, cache_cold_vs_warm);
+criterion_main!(benches);

@@ -6,11 +6,10 @@
 //! 3. cache replacement policy on the capacity sweep,
 //! 4. K and PCA variance retention on the WCRT reduction.
 
-use bdb_bench::scale_from_args;
+use bdb_bench::{profile_on, scale_from_args};
 use bdb_node::NodeConfig;
 use bdb_sim::cache::Replacement;
 use bdb_sim::{Machine, MachineConfig};
-use bdb_wcrt::profile::profile_all;
 use bdb_wcrt::reduction::{reduce, ReductionConfig};
 use bdb_wcrt::report::{f2, pct, TextTable};
 use bdb_workloads::catalog;
@@ -30,14 +29,14 @@ fn main() {
     println!("Ablation 1: branch predictor (per-workload mispredict ratio)");
     let mut t = TextTable::new(["workload", "hybrid+loop (E5645)", "two-level (D510)"]);
     for def in &sample {
-        let e = profile_all(
+        let e = profile_on(
             std::slice::from_ref(def),
             scale,
             &MachineConfig::xeon_e5645(),
             &NodeConfig::default(),
         )
         .remove(0);
-        let d = profile_all(
+        let d = profile_on(
             std::slice::from_ref(def),
             scale,
             &MachineConfig::atom_d510(),
@@ -73,7 +72,7 @@ fn main() {
 
     // --- Ablation 3: K and PCA variance for the reduction -------------
     println!("Ablation 3: WCRT reduction knobs (over the 17 representatives)");
-    let profiles = profile_all(
+    let profiles = profile_on(
         &reps,
         scale,
         &MachineConfig::xeon_e5645(),

@@ -5,10 +5,9 @@
 //! brawny core buy back, and how much is left on the table for wimpy
 //! cores?* — the technology-roadmap question §5.2 raises.
 
-use bdb_bench::scale_from_args;
+use bdb_bench::{profile_on, scale_from_args};
 use bdb_node::NodeConfig;
 use bdb_sim::MachineConfig;
-use bdb_wcrt::profile::profile_all;
 use bdb_wcrt::report::{f2, TextTable};
 use bdb_workloads::catalog;
 
@@ -16,9 +15,9 @@ fn main() {
     let scale = scale_from_args();
     let reps = catalog::representatives();
     let node = NodeConfig::default();
-    let atom = profile_all(&reps, scale, &MachineConfig::atom_d510(), &node);
-    let e5645 = profile_all(&reps, scale, &MachineConfig::xeon_e5645(), &node);
-    let e2697 = profile_all(&reps, scale, &MachineConfig::xeon_e5_2697(), &node);
+    let atom = profile_on(&reps, scale, &MachineConfig::atom_d510(), &node);
+    let e5645 = profile_on(&reps, scale, &MachineConfig::xeon_e5645(), &node);
+    let e2697 = profile_on(&reps, scale, &MachineConfig::xeon_e5_2697(), &node);
 
     let mut table = TextTable::new([
         "workload",

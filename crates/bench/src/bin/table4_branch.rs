@@ -6,10 +6,9 @@
 //! The paper measures an average misprediction ratio of 7.8 % on the D510
 //! and 2.8 % on the E5645 across the big data workloads.
 
-use bdb_bench::scale_from_args;
+use bdb_bench::{profile_on, scale_from_args};
 use bdb_node::NodeConfig;
 use bdb_sim::MachineConfig;
-use bdb_wcrt::profile::profile_all;
 use bdb_wcrt::report::{pct, TextTable};
 use bdb_workloads::catalog;
 
@@ -17,8 +16,8 @@ fn main() {
     let scale = scale_from_args();
     let reps = catalog::representatives();
     let node = NodeConfig::default();
-    let xeon = profile_all(&reps, scale, &MachineConfig::xeon_e5645(), &node);
-    let atom = profile_all(&reps, scale, &MachineConfig::atom_d510(), &node);
+    let xeon = profile_on(&reps, scale, &MachineConfig::xeon_e5645(), &node);
+    let atom = profile_on(&reps, scale, &MachineConfig::atom_d510(), &node);
 
     let mut table = TextTable::new(["workload", "D510 mispredict", "E5645 mispredict"]);
     let mut d_sum = 0.0;

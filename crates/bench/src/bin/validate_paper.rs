@@ -3,10 +3,9 @@
 //! This is the user-facing version of `tests/paper_claims.rs`, runnable at
 //! any scale.
 
-use bdb_bench::{mean_of, profile_on_xeon, scale_from_args};
+use bdb_bench::{mean_of, profile_on, profile_on_xeon, scale_from_args};
 use bdb_node::NodeConfig;
 use bdb_sim::MachineConfig;
-use bdb_wcrt::profile::profile_all;
 use bdb_wcrt::WorkloadProfile;
 use bdb_workloads::{catalog, suites::Suite};
 
@@ -104,13 +103,13 @@ fn main() {
 
     // Table 4: predictor gap.
     let sample: Vec<_> = catalog::representatives().into_iter().take(6).collect();
-    let e = profile_all(
+    let e = profile_on(
         &sample,
         scale,
         &MachineConfig::xeon_e5645(),
         &NodeConfig::default(),
     );
-    let d = profile_all(
+    let d = profile_on(
         &sample,
         scale,
         &MachineConfig::atom_d510(),

@@ -1,14 +1,64 @@
 //! Shared harness for the table/figure regeneration binaries.
 //!
 //! Every binary in `src/bin/` regenerates one table or figure of the
-//! paper; this library holds the common plumbing: scale parsing, profile
-//! collection on the reference machine, and grouping/averaging helpers.
+//! paper; this library holds the common plumbing: scale parsing, the
+//! process-wide execution [`engine`] all measurements flow through, and
+//! grouping/averaging helpers.
+//!
+//! # The shared engine
+//!
+//! Binaries obtain profiles exclusively via [`profile_on`] /
+//! [`profile_on_xeon`] and sweeps via [`group_sweep`], which all route
+//! through one lazily-built [`bdb_engine::Engine`]. That gives every
+//! binary parallel fan-out plus the on-disk profile cache for free.
+//! Environment knobs:
+//!
+//! * `BDB_CACHE_DIR` — cache directory (default: `results/cache/` at the
+//!   workspace root).
+//! * `BDB_NO_CACHE=1` — disable the disk cache for this run.
+//! * `BDB_THREADS=<n>` — cap the worker pool (default: all cores).
 
+use bdb_engine::{Engine, EngineConfig};
 use bdb_node::NodeConfig;
 use bdb_sim::MachineConfig;
-use bdb_wcrt::profile::{profile_all, WorkloadProfile};
+use bdb_wcrt::profile::WorkloadProfile;
 use bdb_wcrt::SystemClass;
 use bdb_workloads::{Category, Scale, WorkloadDef};
+use std::path::PathBuf;
+use std::sync::OnceLock;
+
+static ENGINE: OnceLock<Engine> = OnceLock::new();
+
+/// `results/cache/` at the workspace root, independent of the cwd the
+/// binary was launched from.
+fn default_cache_dir() -> PathBuf {
+    PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../../results/cache"))
+}
+
+/// The process-wide execution engine every measurement flows through.
+///
+/// Built on first use from the environment (see the crate docs for the
+/// knobs). All figure/table binaries and the Criterion benches share this
+/// one instance, so a profile computed for one table is a memory-cache
+/// hit for the next.
+pub fn engine() -> &'static Engine {
+    ENGINE.get_or_init(|| {
+        let mut config = EngineConfig::default();
+        if std::env::var_os("BDB_NO_CACHE").is_none() {
+            let dir = std::env::var_os("BDB_CACHE_DIR")
+                .map(PathBuf::from)
+                .unwrap_or_else(default_cache_dir);
+            config = config.cache_dir(dir);
+        }
+        if let Some(threads) = std::env::var("BDB_THREADS")
+            .ok()
+            .and_then(|t| t.parse().ok())
+        {
+            config = config.threads(threads);
+        }
+        Engine::new(config)
+    })
+}
 
 /// Parses `--scale tiny|small|paper|<factor>` from argv (default: small).
 ///
@@ -34,9 +84,20 @@ pub fn scale_from_args() -> Scale {
     scale
 }
 
+/// Profiles workloads on an arbitrary platform through the shared
+/// [`engine`] (parallel, cached).
+pub fn profile_on(
+    defs: &[WorkloadDef],
+    scale: Scale,
+    machine: &MachineConfig,
+    node: &NodeConfig,
+) -> Vec<WorkloadProfile> {
+    engine().profile_all(defs, scale, machine, node)
+}
+
 /// Profiles workloads on the reference platform (Xeon E5645 + default node).
 pub fn profile_on_xeon(defs: &[WorkloadDef], scale: Scale) -> Vec<WorkloadProfile> {
-    profile_all(
+    profile_on(
         defs,
         scale,
         &MachineConfig::xeon_e5645(),
@@ -104,7 +165,7 @@ pub fn group_sweep(
     use bdb_sim::PAPER_SWEEP_KIB;
     let mut acc = vec![0.0f64; PAPER_SWEEP_KIB.len()];
     for def in defs {
-        let result = bdb_sim::sweep(&def.spec.id, &PAPER_SWEEP_KIB, |machine| {
+        let result = engine().sweep(&def.spec.id, &PAPER_SWEEP_KIB, |machine| {
             let _ = def.run(machine, scale);
         });
         let curve = pick(&result);

@@ -1,0 +1,454 @@
+//! [`WorkloadProfile`] ⇄ JSON, hand-rolled.
+//!
+//! The cache stores one profile per file. Field order mirrors the struct
+//! definitions so encoding is deterministic; enums are stored as their
+//! variant names. Decoding is strict — any missing field, unknown variant,
+//! or wrong-typed value is a [`DecodeError`], which the engine treats as a
+//! cache miss (the file is recomputed and rewritten).
+
+use crate::json::Value;
+use bdb_datagen::DataSetId;
+use bdb_node::SystemMetrics;
+use bdb_sim::{BranchStats, CacheStats, PerfReport};
+use bdb_stacks::{DataBehavior, Relation, StackKind};
+use bdb_trace::InstructionMix;
+use bdb_wcrt::{MetricVector, SystemClass, WorkloadProfile, METRIC_COUNT};
+use bdb_workloads::{Category, KernelKind, WorkloadSpec};
+
+/// A cache file failed to decode (treated as a miss by the engine).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError(pub String);
+
+impl DecodeError {
+    fn field(field: &str, reason: &str) -> Self {
+        DecodeError(format!("{field}: {reason}"))
+    }
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "profile decode error: {}", self.0)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+fn get<'a>(v: &'a Value, key: &str) -> Result<&'a Value, DecodeError> {
+    v.get(key).ok_or_else(|| DecodeError::field(key, "missing"))
+}
+
+fn get_u64(v: &Value, key: &str) -> Result<u64, DecodeError> {
+    get(v, key)?
+        .as_u64()
+        .ok_or_else(|| DecodeError::field(key, "expected unsigned integer"))
+}
+
+fn get_f64(v: &Value, key: &str) -> Result<f64, DecodeError> {
+    get(v, key)?
+        .as_f64()
+        .ok_or_else(|| DecodeError::field(key, "expected number"))
+}
+
+fn get_str<'a>(v: &'a Value, key: &str) -> Result<&'a str, DecodeError> {
+    get(v, key)?
+        .as_str()
+        .ok_or_else(|| DecodeError::field(key, "expected string"))
+}
+
+macro_rules! enum_codec {
+    ($encode:ident, $decode:ident, $ty:ty, [$($variant:ident),+ $(,)?]) => {
+        fn $encode(v: $ty) -> Value {
+            Value::Str(
+                match v {
+                    $(<$ty>::$variant => stringify!($variant),)+
+                }
+                .to_owned(),
+            )
+        }
+
+        fn $decode(v: &Value, field: &str) -> Result<$ty, DecodeError> {
+            let name = v
+                .as_str()
+                .ok_or_else(|| DecodeError::field(field, "expected variant string"))?;
+            match name {
+                $(stringify!($variant) => Ok(<$ty>::$variant),)+
+                other => Err(DecodeError::field(
+                    field,
+                    &format!("unknown variant '{other}'"),
+                )),
+            }
+        }
+    };
+}
+
+enum_codec!(
+    enc_stack,
+    dec_stack,
+    StackKind,
+    [Hadoop, Spark, Mpi, Hive, Shark, Impala, Hbase, Native]
+);
+enum_codec!(
+    enc_category,
+    dec_category,
+    Category,
+    [DataAnalysis, Service, InteractiveAnalysis]
+);
+enum_codec!(
+    enc_dataset,
+    dec_dataset,
+    DataSetId,
+    [
+        Wikipedia,
+        AmazonReviews,
+        GoogleWebGraph,
+        FacebookSocial,
+        EcommerceTransactions,
+        ProfSearchResumes,
+        TpcdsWeb,
+    ]
+);
+enum_codec!(
+    enc_kernel,
+    dec_kernel,
+    KernelKind,
+    [
+        WordCount,
+        Sort,
+        Grep,
+        KMeans,
+        PageRank,
+        NaiveBayes,
+        InvertedIndex,
+        ConnectedComponents,
+        Select,
+        Project,
+        OrderBy,
+        Aggregation,
+        Join,
+        Difference,
+        TpcDsQ3,
+        TpcDsQ6,
+        TpcDsQ8,
+        TpcDsQ10,
+        TpcDsQ13,
+        KvRead,
+        KvWrite,
+        KvScan,
+        SuiteKernel,
+    ]
+);
+enum_codec!(
+    enc_system_class,
+    dec_system_class,
+    SystemClass,
+    [CpuIntensive, IoIntensive, Hybrid]
+);
+enum_codec!(
+    enc_relation,
+    dec_relation,
+    Relation,
+    [Equal, Less, MuchLess, Greater]
+);
+
+fn enc_spec(spec: &WorkloadSpec) -> Value {
+    Value::object(vec![
+        ("id", Value::Str(spec.id.clone())),
+        ("stack", enc_stack(spec.stack)),
+        ("category", enc_category(spec.category)),
+        ("dataset", enc_dataset(spec.dataset)),
+        ("kernel", enc_kernel(spec.kernel)),
+    ])
+}
+
+fn dec_spec(v: &Value) -> Result<WorkloadSpec, DecodeError> {
+    Ok(WorkloadSpec {
+        id: get_str(v, "id")?.to_owned(),
+        stack: dec_stack(get(v, "stack")?, "stack")?,
+        category: dec_category(get(v, "category")?, "category")?,
+        dataset: dec_dataset(get(v, "dataset")?, "dataset")?,
+        kernel: dec_kernel(get(v, "kernel")?, "kernel")?,
+    })
+}
+
+fn enc_mix(mix: &InstructionMix) -> Value {
+    Value::object(vec![
+        ("loads", Value::UInt(mix.loads)),
+        ("stores", Value::UInt(mix.stores)),
+        ("branches", Value::UInt(mix.branches)),
+        ("int_addr", Value::UInt(mix.int_addr)),
+        ("fp_addr", Value::UInt(mix.fp_addr)),
+        ("int_other", Value::UInt(mix.int_other)),
+        ("fp", Value::UInt(mix.fp)),
+        ("bytes_moved", Value::UInt(mix.bytes_moved)),
+    ])
+}
+
+fn dec_mix(v: &Value) -> Result<InstructionMix, DecodeError> {
+    Ok(InstructionMix {
+        loads: get_u64(v, "loads")?,
+        stores: get_u64(v, "stores")?,
+        branches: get_u64(v, "branches")?,
+        int_addr: get_u64(v, "int_addr")?,
+        fp_addr: get_u64(v, "fp_addr")?,
+        int_other: get_u64(v, "int_other")?,
+        fp: get_u64(v, "fp")?,
+        bytes_moved: get_u64(v, "bytes_moved")?,
+    })
+}
+
+fn enc_cache_stats(c: &CacheStats) -> Value {
+    Value::object(vec![
+        ("accesses", Value::UInt(c.accesses)),
+        ("misses", Value::UInt(c.misses)),
+        ("writebacks", Value::UInt(c.writebacks)),
+    ])
+}
+
+fn dec_cache_stats(v: &Value) -> Result<CacheStats, DecodeError> {
+    Ok(CacheStats {
+        accesses: get_u64(v, "accesses")?,
+        misses: get_u64(v, "misses")?,
+        writebacks: get_u64(v, "writebacks")?,
+    })
+}
+
+fn enc_branch(b: &BranchStats) -> Value {
+    Value::object(vec![
+        ("branches", Value::UInt(b.branches)),
+        ("mispredicts", Value::UInt(b.mispredicts)),
+        ("conditionals", Value::UInt(b.conditionals)),
+        ("cond_mispredicts", Value::UInt(b.cond_mispredicts)),
+    ])
+}
+
+fn dec_branch(v: &Value) -> Result<BranchStats, DecodeError> {
+    Ok(BranchStats {
+        branches: get_u64(v, "branches")?,
+        mispredicts: get_u64(v, "mispredicts")?,
+        conditionals: get_u64(v, "conditionals")?,
+        cond_mispredicts: get_u64(v, "cond_mispredicts")?,
+    })
+}
+
+fn enc_report(r: &PerfReport) -> Value {
+    Value::object(vec![
+        ("platform", Value::Str(r.platform.clone())),
+        ("mix", enc_mix(&r.mix)),
+        ("instructions", Value::UInt(r.instructions)),
+        ("cycles", Value::Float(r.cycles)),
+        ("l1i", enc_cache_stats(&r.l1i)),
+        ("l1d", enc_cache_stats(&r.l1d)),
+        ("l2", enc_cache_stats(&r.l2)),
+        ("l3", enc_cache_stats(&r.l3)),
+        ("itlb_misses", Value::UInt(r.itlb_misses)),
+        ("dtlb_misses", Value::UInt(r.dtlb_misses)),
+        ("itlb_walks", Value::UInt(r.itlb_walks)),
+        ("dtlb_walks", Value::UInt(r.dtlb_walks)),
+        ("stlb_misses", Value::UInt(r.stlb_misses)),
+        ("branch", enc_branch(&r.branch)),
+        ("fetch_stall_cycles", Value::Float(r.fetch_stall_cycles)),
+        ("data_stall_cycles", Value::Float(r.data_stall_cycles)),
+        ("branch_stall_cycles", Value::Float(r.branch_stall_cycles)),
+        ("tlb_stall_cycles", Value::Float(r.tlb_stall_cycles)),
+        ("offcore_requests", Value::UInt(r.offcore_requests)),
+        ("snoop_responses", Value::UInt(r.snoop_responses)),
+    ])
+}
+
+fn dec_report(v: &Value) -> Result<PerfReport, DecodeError> {
+    Ok(PerfReport {
+        platform: get_str(v, "platform")?.to_owned(),
+        mix: dec_mix(get(v, "mix")?)?,
+        instructions: get_u64(v, "instructions")?,
+        cycles: get_f64(v, "cycles")?,
+        l1i: dec_cache_stats(get(v, "l1i")?)?,
+        l1d: dec_cache_stats(get(v, "l1d")?)?,
+        l2: dec_cache_stats(get(v, "l2")?)?,
+        l3: dec_cache_stats(get(v, "l3")?)?,
+        itlb_misses: get_u64(v, "itlb_misses")?,
+        dtlb_misses: get_u64(v, "dtlb_misses")?,
+        itlb_walks: get_u64(v, "itlb_walks")?,
+        dtlb_walks: get_u64(v, "dtlb_walks")?,
+        stlb_misses: get_u64(v, "stlb_misses")?,
+        branch: dec_branch(get(v, "branch")?)?,
+        fetch_stall_cycles: get_f64(v, "fetch_stall_cycles")?,
+        data_stall_cycles: get_f64(v, "data_stall_cycles")?,
+        branch_stall_cycles: get_f64(v, "branch_stall_cycles")?,
+        tlb_stall_cycles: get_f64(v, "tlb_stall_cycles")?,
+        offcore_requests: get_u64(v, "offcore_requests")?,
+        snoop_responses: get_u64(v, "snoop_responses")?,
+    })
+}
+
+fn enc_system(s: &SystemMetrics) -> Value {
+    Value::object(vec![
+        ("wall_seconds", Value::Float(s.wall_seconds)),
+        ("cpu_utilization", Value::Float(s.cpu_utilization)),
+        ("io_wait_ratio", Value::Float(s.io_wait_ratio)),
+        ("weighted_io_ratio", Value::Float(s.weighted_io_ratio)),
+        ("disk_bandwidth_mbps", Value::Float(s.disk_bandwidth_mbps)),
+        ("net_bandwidth_mbps", Value::Float(s.net_bandwidth_mbps)),
+    ])
+}
+
+fn dec_system(v: &Value) -> Result<SystemMetrics, DecodeError> {
+    Ok(SystemMetrics {
+        wall_seconds: get_f64(v, "wall_seconds")?,
+        cpu_utilization: get_f64(v, "cpu_utilization")?,
+        io_wait_ratio: get_f64(v, "io_wait_ratio")?,
+        weighted_io_ratio: get_f64(v, "weighted_io_ratio")?,
+        disk_bandwidth_mbps: get_f64(v, "disk_bandwidth_mbps")?,
+        net_bandwidth_mbps: get_f64(v, "net_bandwidth_mbps")?,
+    })
+}
+
+fn enc_behavior(b: &DataBehavior) -> Value {
+    Value::object(vec![
+        ("output", enc_relation(b.output)),
+        (
+            "intermediate",
+            match b.intermediate {
+                Some(r) => enc_relation(r),
+                None => Value::Null,
+            },
+        ),
+    ])
+}
+
+fn dec_behavior(v: &Value) -> Result<DataBehavior, DecodeError> {
+    let intermediate = get(v, "intermediate")?;
+    Ok(DataBehavior {
+        output: dec_relation(get(v, "output")?, "output")?,
+        intermediate: if intermediate.is_null() {
+            None
+        } else {
+            Some(dec_relation(intermediate, "intermediate")?)
+        },
+    })
+}
+
+/// Encodes a profile as a [`Value`] tree.
+pub fn profile_to_value(p: &WorkloadProfile) -> Value {
+    Value::object(vec![
+        ("spec", enc_spec(&p.spec)),
+        ("report", enc_report(&p.report)),
+        ("system", enc_system(&p.system)),
+        ("system_class", enc_system_class(p.system_class)),
+        ("data_behavior", enc_behavior(&p.data_behavior)),
+        ("input_bytes", Value::UInt(p.input_bytes)),
+        ("intermediate_bytes", Value::UInt(p.intermediate_bytes)),
+        ("output_bytes", Value::UInt(p.output_bytes)),
+        (
+            "metrics",
+            Value::Array(
+                p.metrics
+                    .values()
+                    .iter()
+                    .map(|&v| Value::Float(v))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Decodes a profile from a [`Value`] tree.
+pub fn profile_from_value(v: &Value) -> Result<WorkloadProfile, DecodeError> {
+    let metric_values = get(v, "metrics")?
+        .as_array()
+        .ok_or_else(|| DecodeError::field("metrics", "expected array"))?;
+    if metric_values.len() != METRIC_COUNT {
+        return Err(DecodeError::field(
+            "metrics",
+            &format!(
+                "expected {METRIC_COUNT} values, got {}",
+                metric_values.len()
+            ),
+        ));
+    }
+    let mut metrics = [0.0f64; METRIC_COUNT];
+    for (slot, value) in metrics.iter_mut().zip(metric_values) {
+        *slot = value
+            .as_f64()
+            .ok_or_else(|| DecodeError::field("metrics", "expected number"))?;
+    }
+    Ok(WorkloadProfile {
+        spec: dec_spec(get(v, "spec")?)?,
+        report: dec_report(get(v, "report")?)?,
+        system: dec_system(get(v, "system")?)?,
+        system_class: dec_system_class(get(v, "system_class")?, "system_class")?,
+        data_behavior: dec_behavior(get(v, "data_behavior")?)?,
+        input_bytes: get_u64(v, "input_bytes")?,
+        intermediate_bytes: get_u64(v, "intermediate_bytes")?,
+        output_bytes: get_u64(v, "output_bytes")?,
+        metrics: MetricVector::from_values(metrics),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bdb_node::NodeConfig;
+    use bdb_sim::MachineConfig;
+    use bdb_wcrt::profile_workload;
+    use bdb_workloads::{catalog, Scale};
+
+    fn sample_profile() -> WorkloadProfile {
+        let reps = catalog::representatives();
+        let wc = reps
+            .iter()
+            .find(|w| w.spec.id == "H-WordCount")
+            .expect("H-WordCount");
+        profile_workload(
+            wc,
+            Scale::tiny(),
+            MachineConfig::xeon_e5645(),
+            NodeConfig::default(),
+        )
+    }
+
+    #[test]
+    fn real_profile_roundtrips_exactly() {
+        let p = sample_profile();
+        let bytes = profile_to_value(&p).encode();
+        let back = profile_from_value(&crate::json::parse(&bytes).unwrap()).unwrap();
+        assert_eq!(back.spec, p.spec);
+        assert_eq!(back.report, p.report);
+        assert_eq!(back.system, p.system);
+        assert_eq!(back.system_class, p.system_class);
+        assert_eq!(back.data_behavior, p.data_behavior);
+        assert_eq!(
+            (back.input_bytes, back.intermediate_bytes, back.output_bytes),
+            (p.input_bytes, p.intermediate_bytes, p.output_bytes)
+        );
+        let a: Vec<u64> = p.metrics.values().iter().map(|v| v.to_bits()).collect();
+        let b: Vec<u64> = back.metrics.values().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(a, b, "metric bits must survive the roundtrip");
+        // Byte stability: re-encoding the decoded profile is the identity.
+        assert_eq!(profile_to_value(&back).encode(), bytes);
+    }
+
+    #[test]
+    fn decode_rejects_truncated_metrics() {
+        let p = sample_profile();
+        let mut v = profile_to_value(&p);
+        if let Value::Object(pairs) = &mut v {
+            for (k, val) in pairs.iter_mut() {
+                if k == "metrics" {
+                    *val = Value::Array(vec![Value::Float(1.0)]);
+                }
+            }
+        }
+        assert!(profile_from_value(&v).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_unknown_variant() {
+        let v = crate::json::parse(
+            &profile_to_value(&sample_profile())
+                .encode()
+                .replace("\"Hadoop\"", "\"Fortran\""),
+        )
+        .unwrap();
+        assert!(profile_from_value(&v).is_err());
+    }
+}

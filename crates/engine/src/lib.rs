@@ -1,0 +1,582 @@
+//! Execution engine — the one way figures, tables, sweeps, and the 77→17
+//! reduction obtain measurements.
+//!
+//! Every consumer used to call `bdb_wcrt::profile::profile_workload` (or
+//! the `sweep` harness) directly and serially. The [`Engine`] wraps those
+//! entry points with two orthogonal services:
+//!
+//! * **Parallel fan-out** — [`Engine::profile_all`] and [`Engine::sweep`]
+//!   dispatch independent simulations across a rayon thread pool. Results
+//!   are collected back into catalog order, so output is bit-identical to
+//!   a serial run (the `profile_is_deterministic` contract extends to the
+//!   parallel path: same inputs, same bytes, any thread count).
+//! * **Profile cache** — profiling the full catalog at paper scale takes
+//!   minutes; the 45-metric vector for a given (workload, scale, machine
+//!   config, node config) never changes. The engine memoizes profiles in
+//!   memory and, when a cache directory is configured, as one JSON file
+//!   per profile keyed by a content fingerprint. Re-running a figure
+//!   binary after changing only presentation code touches no simulation.
+//!
+//! Capacity sweeps parallelize per swept capacity (each point is an
+//! independent machine) but are *not* cached: a sweep is driven by an
+//! arbitrary workload closure whose content cannot be fingerprinted.
+//!
+//! # Examples
+//!
+//! ```
+//! use bdb_engine::Engine;
+//! use bdb_node::NodeConfig;
+//! use bdb_sim::MachineConfig;
+//! use bdb_workloads::{catalog, Scale};
+//!
+//! let engine = Engine::in_memory();
+//! let reps = catalog::representatives();
+//! let profiles = engine.profile_all(
+//!     &reps[..2],
+//!     Scale::tiny(),
+//!     &MachineConfig::xeon_e5645(),
+//!     &NodeConfig::default(),
+//! );
+//! assert_eq!(profiles.len(), 2);
+//! assert_eq!(profiles[0].spec.id, reps[0].spec.id);
+//! ```
+
+pub mod codec;
+pub mod json;
+
+use bdb_node::NodeConfig;
+use bdb_sim::{assemble_sweep, sweep_point, Machine, MachineConfig, SweepResult};
+use bdb_wcrt::{profile_workload, WorkloadProfile};
+use bdb_workloads::{Scale, WorkloadDef};
+use rayon::prelude::*;
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Bumped whenever the cache file layout changes; old files then decode
+/// as misses and are rewritten.
+pub const CACHE_FORMAT_VERSION: u64 = 1;
+
+/// How an [`Engine`] runs and where it remembers results.
+#[derive(Debug, Clone, Default)]
+pub struct EngineConfig {
+    /// Worker threads for `profile_all` / `sweep`. `None` uses the
+    /// machine's available parallelism; `Some(1)` is fully serial.
+    pub threads: Option<usize>,
+    /// Directory for the on-disk profile cache (one JSON file per
+    /// profile). `None` disables the disk cache.
+    pub cache_dir: Option<PathBuf>,
+    /// Whether to also memoize profiles in memory (cheap; only worth
+    /// disabling in cache-behaviour tests).
+    pub no_memory_cache: bool,
+}
+
+impl EngineConfig {
+    /// Caps the worker pool at `threads`.
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// Enables the on-disk cache under `dir`.
+    #[must_use]
+    pub fn cache_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.cache_dir = Some(dir.into());
+        self
+    }
+
+    /// Disables the in-memory memo (the disk cache, if any, still works).
+    #[must_use]
+    pub fn without_memory_cache(mut self) -> Self {
+        self.no_memory_cache = true;
+        self
+    }
+}
+
+/// Cache-traffic counters (monotonic over the engine's lifetime).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheCounters {
+    /// Profiles served from the in-memory memo.
+    pub memory_hits: u64,
+    /// Profiles decoded from a cache file.
+    pub disk_hits: u64,
+    /// Profiles actually simulated.
+    pub computed: u64,
+}
+
+/// The parallel, cache-aware measurement engine. See the crate docs.
+pub struct Engine {
+    pool: Option<rayon::ThreadPool>,
+    cache_dir: Option<PathBuf>,
+    memory: Option<Mutex<HashMap<u64, WorkloadProfile>>>,
+    memory_hits: AtomicU64,
+    disk_hits: AtomicU64,
+    computed: AtomicU64,
+}
+
+impl Engine {
+    /// Builds an engine from `config`. The cache directory is created
+    /// eagerly; if creation fails the disk cache is disabled (profiling
+    /// still works, nothing persists).
+    pub fn new(config: EngineConfig) -> Self {
+        let pool = config.threads.map(|n| {
+            rayon::ThreadPoolBuilder::new()
+                .num_threads(n)
+                .build()
+                .expect("thread pool construction")
+        });
+        let cache_dir = config
+            .cache_dir
+            .filter(|dir| std::fs::create_dir_all(dir).is_ok());
+        Engine {
+            pool,
+            cache_dir,
+            memory: (!config.no_memory_cache).then(|| Mutex::new(HashMap::new())),
+            memory_hits: AtomicU64::new(0),
+            disk_hits: AtomicU64::new(0),
+            computed: AtomicU64::new(0),
+        }
+    }
+
+    /// Parallel engine with the in-memory memo only (no disk cache).
+    pub fn in_memory() -> Self {
+        Engine::new(EngineConfig::default())
+    }
+
+    /// Single-threaded engine with all caching disabled — the baseline
+    /// the parallel path must match bit for bit.
+    pub fn serial() -> Self {
+        Engine::new(EngineConfig::default().threads(1).without_memory_cache())
+    }
+
+    /// Worker threads `profile_all` / `sweep` fan out to.
+    pub fn worker_threads(&self) -> usize {
+        match &self.pool {
+            Some(pool) => pool.current_num_threads(),
+            None => rayon::current_num_threads(),
+        }
+    }
+
+    /// Cache-traffic counters so far.
+    pub fn counters(&self) -> CacheCounters {
+        CacheCounters {
+            memory_hits: self.memory_hits.load(Ordering::Relaxed),
+            disk_hits: self.disk_hits.load(Ordering::Relaxed),
+            computed: self.computed.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The cache file a profile persists to, if a disk cache is
+    /// configured.
+    pub fn cache_file(
+        &self,
+        workload: &WorkloadDef,
+        scale: Scale,
+        machine: &MachineConfig,
+        node: &NodeConfig,
+    ) -> Option<PathBuf> {
+        let key = profile_fingerprint(&workload.spec.id, scale, machine, node);
+        self.cache_dir
+            .as_ref()
+            .map(|dir| dir.join(cache_file_name(&workload.spec.id, key)))
+    }
+
+    /// Profiles one workload, consulting the caches first.
+    pub fn profile(
+        &self,
+        workload: &WorkloadDef,
+        scale: Scale,
+        machine: &MachineConfig,
+        node: &NodeConfig,
+    ) -> WorkloadProfile {
+        let key = profile_fingerprint(&workload.spec.id, scale, machine, node);
+        if let Some(memory) = &self.memory {
+            if let Some(hit) = lock(memory).get(&key) {
+                self.memory_hits.fetch_add(1, Ordering::Relaxed);
+                return hit.clone();
+            }
+        }
+        if let Some(profile) = self.read_cache_file(&workload.spec.id, key) {
+            self.disk_hits.fetch_add(1, Ordering::Relaxed);
+            self.remember(key, &profile);
+            return profile;
+        }
+        let profile = profile_workload(workload, scale, machine.clone(), *node);
+        self.computed.fetch_add(1, Ordering::Relaxed);
+        self.write_cache_file(&workload.spec.id, key, &profile);
+        self.remember(key, &profile);
+        profile
+    }
+
+    /// Profiles every workload, fanning the independent simulations out
+    /// across the worker pool. The result vector is in `workloads` order
+    /// and bit-identical to calling [`Engine::profile`] in a serial loop.
+    pub fn profile_all(
+        &self,
+        workloads: &[WorkloadDef],
+        scale: Scale,
+        machine: &MachineConfig,
+        node: &NodeConfig,
+    ) -> Vec<WorkloadProfile> {
+        self.install(|| {
+            workloads
+                .par_iter()
+                .map(|w| self.profile(w, scale, machine, node))
+                .collect()
+        })
+    }
+
+    /// Runs a capacity sweep (paper §5.4), one Atom-like machine per
+    /// capacity, fanned out across the worker pool. Equivalent to
+    /// [`bdb_sim::sweep`] but parallel over the sweep points; the curves
+    /// are assembled in `capacities_kib` order, so output is identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacities_kib` is empty.
+    pub fn sweep<F>(&self, label: &str, capacities_kib: &[u64], workload: F) -> SweepResult
+    where
+        F: Fn(&mut Machine) + Sync,
+    {
+        assert!(
+            !capacities_kib.is_empty(),
+            "sweep needs at least one capacity"
+        );
+        let points = self.install(|| {
+            capacities_kib
+                .par_iter()
+                .map(|&kib| sweep_point(kib, &workload))
+                .collect()
+        });
+        assemble_sweep(label, capacities_kib, points)
+    }
+
+    fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        match &self.pool {
+            Some(pool) => pool.install(f),
+            None => f(),
+        }
+    }
+
+    fn remember(&self, key: u64, profile: &WorkloadProfile) {
+        if let Some(memory) = &self.memory {
+            lock(memory).insert(key, profile.clone());
+        }
+    }
+
+    fn read_cache_file(&self, id: &str, key: u64) -> Option<WorkloadProfile> {
+        let path = self.cache_dir.as_ref()?.join(cache_file_name(id, key));
+        let bytes = std::fs::read_to_string(path).ok()?;
+        decode_cache_entry(&bytes, key)
+    }
+
+    fn write_cache_file(&self, id: &str, key: u64, profile: &WorkloadProfile) {
+        let Some(dir) = &self.cache_dir else {
+            return;
+        };
+        let path = dir.join(cache_file_name(id, key));
+        let bytes = encode_cache_entry(key, profile);
+        // Write-to-temp + rename so concurrent engines never observe a
+        // half-written entry; all writers produce identical bytes, so the
+        // last rename winning is harmless.
+        let tmp = dir.join(format!(
+            ".{}.tmp{}",
+            cache_file_name(id, key),
+            std::process::id()
+        ));
+        if std::fs::write(&tmp, bytes).is_ok() && std::fs::rename(&tmp, &path).is_err() {
+            let _ = std::fs::remove_file(&tmp);
+        }
+    }
+}
+
+fn lock<'a>(
+    memory: &'a Mutex<HashMap<u64, WorkloadProfile>>,
+) -> std::sync::MutexGuard<'a, HashMap<u64, WorkloadProfile>> {
+    memory
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Content fingerprint of one measurement: FNV-1a over the cache format
+/// version, the workload id, the exact scale factor bits, and the full
+/// `Debug` renderings of both hardware configs. Any change to either
+/// config type therefore changes every key, which is exactly right — the
+/// measurement inputs changed.
+pub fn profile_fingerprint(
+    workload_id: &str,
+    scale: Scale,
+    machine: &MachineConfig,
+    node: &NodeConfig,
+) -> u64 {
+    let mut h = Fnv::new();
+    h.write_u64(CACHE_FORMAT_VERSION);
+    h.write(workload_id.as_bytes());
+    h.write_u64(scale.factor().to_bits());
+    h.write(format!("{machine:?}").as_bytes());
+    h.write(format!("{node:?}").as_bytes());
+    h.finish()
+}
+
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x1000_0000_01b3);
+        }
+        // Length terminator so concatenated fields cannot alias.
+        self.write_u64(bytes.len() as u64);
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x1000_0000_01b3);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+fn cache_file_name(id: &str, key: u64) -> String {
+    let safe: String = id
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    format!("{safe}-{key:016x}.json")
+}
+
+fn encode_cache_entry(key: u64, profile: &WorkloadProfile) -> String {
+    let mut text = json::Value::object(vec![
+        ("format", json::Value::UInt(CACHE_FORMAT_VERSION)),
+        ("fingerprint", json::Value::Str(format!("{key:016x}"))),
+        ("profile", codec::profile_to_value(profile)),
+    ])
+    .encode();
+    text.push('\n');
+    text
+}
+
+fn decode_cache_entry(bytes: &str, expected_key: u64) -> Option<WorkloadProfile> {
+    let value = json::parse(bytes.trim_end()).ok()?;
+    if value.get("format")?.as_u64()? != CACHE_FORMAT_VERSION {
+        return None;
+    }
+    if value.get("fingerprint")?.as_str()? != format!("{expected_key:016x}") {
+        return None;
+    }
+    codec::profile_from_value(value.get("profile")?).ok()
+}
+
+/// Loads every valid cache entry under `dir` (diagnostics / inspection).
+pub fn read_cache_dir(dir: &Path) -> Vec<WorkloadProfile> {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return Vec::new();
+    };
+    let mut profiles: Vec<(PathBuf, WorkloadProfile)> = entries
+        .flatten()
+        .filter_map(|e| {
+            let path = e.path();
+            if path.extension()? != "json" {
+                return None;
+            }
+            let bytes = std::fs::read_to_string(&path).ok()?;
+            let value = json::parse(bytes.trim_end()).ok()?;
+            if value.get("format")?.as_u64()? != CACHE_FORMAT_VERSION {
+                return None;
+            }
+            let profile = codec::profile_from_value(value.get("profile")?).ok()?;
+            Some((path, profile))
+        })
+        .collect();
+    profiles.sort_by(|(a, _), (b, _)| a.cmp(b));
+    profiles.into_iter().map(|(_, p)| p).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bdb_workloads::catalog;
+
+    fn scratch_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("bdb-engine-test-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn reps(n: usize) -> Vec<WorkloadDef> {
+        catalog::representatives().into_iter().take(n).collect()
+    }
+
+    fn profile_bits(p: &WorkloadProfile) -> (u64, u64, Vec<u64>) {
+        (
+            p.report.instructions,
+            p.report.cycles.to_bits(),
+            p.metrics.values().iter().map(|v| v.to_bits()).collect(),
+        )
+    }
+
+    #[test]
+    fn parallel_matches_serial_bit_for_bit() {
+        let workloads = reps(4);
+        let machine = MachineConfig::xeon_e5645();
+        let node = NodeConfig::default();
+        let parallel = Engine::new(EngineConfig::default().threads(4)).profile_all(
+            &workloads,
+            Scale::tiny(),
+            &machine,
+            &node,
+        );
+        let serial = Engine::serial().profile_all(&workloads, Scale::tiny(), &machine, &node);
+        assert_eq!(parallel.len(), serial.len());
+        for (p, s) in parallel.iter().zip(&serial) {
+            assert_eq!(p.spec.id, s.spec.id, "order must be catalog order");
+            assert_eq!(profile_bits(p), profile_bits(s), "{}", p.spec.id);
+        }
+    }
+
+    #[test]
+    fn memory_cache_serves_repeat_lookups() {
+        let workloads = reps(2);
+        let engine = Engine::in_memory();
+        let machine = MachineConfig::xeon_e5645();
+        let node = NodeConfig::default();
+        let first = engine.profile_all(&workloads, Scale::tiny(), &machine, &node);
+        let again = engine.profile_all(&workloads, Scale::tiny(), &machine, &node);
+        let counters = engine.counters();
+        assert_eq!(counters.computed, 2);
+        assert_eq!(counters.memory_hits, 2);
+        for (a, b) in first.iter().zip(&again) {
+            assert_eq!(profile_bits(a), profile_bits(b));
+        }
+    }
+
+    #[test]
+    fn disk_cache_round_trips_identical_bytes() {
+        let dir = scratch_dir("disk");
+        let workloads = reps(1);
+        let machine = MachineConfig::xeon_e5645();
+        let node = NodeConfig::default();
+
+        let cold_engine = Engine::new(
+            EngineConfig::default()
+                .threads(1)
+                .cache_dir(&dir)
+                .without_memory_cache(),
+        );
+        let cold = cold_engine.profile(&workloads[0], Scale::tiny(), &machine, &node);
+        let path = cold_engine
+            .cache_file(&workloads[0], Scale::tiny(), &machine, &node)
+            .unwrap();
+        let cold_bytes = std::fs::read_to_string(&path).expect("cache file written");
+
+        // A fresh engine over the same directory must hit, not recompute,
+        // and leave the exact bytes in place.
+        let warm_engine = Engine::new(
+            EngineConfig::default()
+                .threads(1)
+                .cache_dir(&dir)
+                .without_memory_cache(),
+        );
+        let warm = warm_engine.profile(&workloads[0], Scale::tiny(), &machine, &node);
+        assert_eq!(warm_engine.counters().disk_hits, 1);
+        assert_eq!(warm_engine.counters().computed, 0);
+        assert_eq!(profile_bits(&cold), profile_bits(&warm));
+        let warm_bytes = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(warm_bytes, cold_bytes, "warm read must return cold bytes");
+
+        // The diagnostics loader sees the entry too.
+        assert_eq!(read_cache_dir(&dir).len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_cache_entry_is_recomputed() {
+        let dir = scratch_dir("corrupt");
+        let workloads = reps(1);
+        let machine = MachineConfig::xeon_e5645();
+        let node = NodeConfig::default();
+        let engine = Engine::new(
+            EngineConfig::default()
+                .threads(1)
+                .cache_dir(&dir)
+                .without_memory_cache(),
+        );
+        let p = engine.profile(&workloads[0], Scale::tiny(), &machine, &node);
+        let path = engine
+            .cache_file(&workloads[0], Scale::tiny(), &machine, &node)
+            .unwrap();
+        std::fs::write(&path, "{not json").unwrap();
+        let q = engine.profile(&workloads[0], Scale::tiny(), &machine, &node);
+        assert_eq!(engine.counters().computed, 2, "corrupt entry must miss");
+        assert_eq!(profile_bits(&p), profile_bits(&q));
+        // The miss rewrote a valid entry.
+        assert!(decode_cache_entry(
+            &std::fs::read_to_string(&path).unwrap(),
+            profile_fingerprint(&workloads[0].spec.id, Scale::tiny(), &machine, &node),
+        )
+        .is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fingerprint_separates_inputs() {
+        let machine = MachineConfig::xeon_e5645();
+        let atom = MachineConfig::atom_sweep(64);
+        let node = NodeConfig::default();
+        let base = profile_fingerprint("H-WordCount", Scale::tiny(), &machine, &node);
+        assert_ne!(
+            base,
+            profile_fingerprint("H-Grep", Scale::tiny(), &machine, &node)
+        );
+        assert_ne!(
+            base,
+            profile_fingerprint("H-WordCount", Scale::small(), &machine, &node)
+        );
+        assert_ne!(
+            base,
+            profile_fingerprint("H-WordCount", Scale::tiny(), &atom, &node)
+        );
+        assert_eq!(
+            base,
+            profile_fingerprint("H-WordCount", Scale::tiny(), &machine, &node)
+        );
+    }
+
+    #[test]
+    fn engine_sweep_matches_serial_sweep() {
+        let workload = |machine: &mut Machine| {
+            let mut layout = bdb_trace::CodeLayout::new();
+            let region = layout.region("kernel", 16 * 1024);
+            let mut ctx = bdb_trace::ExecCtx::new(&layout, machine);
+            let data = ctx.heap_alloc(64 * 1024, 64);
+            ctx.frame(region, |ctx| {
+                for i in 0..20_000u64 {
+                    ctx.read(data.addr(i * 64 % data.len()), 8);
+                    ctx.int_other(1);
+                }
+            });
+        };
+        let serial = bdb_sim::sweep("probe", &[16, 64, 256], workload);
+        let engine = Engine::new(EngineConfig::default().threads(3));
+        let parallel = engine.sweep("probe", &[16, 64, 256], workload);
+        assert_eq!(parallel, serial);
+    }
+}

@@ -1,0 +1,125 @@
+//! The engine's two contracts, exercised end to end:
+//!
+//! 1. **Parallel = serial, bit for bit.** `Engine::profile_all` over the
+//!    full 77-workload catalog must reproduce the direct serial
+//!    `bdb_wcrt::profile::profile_all` path exactly — same order, same
+//!    instruction counts, same cycle bits, same metric bits — at any
+//!    thread count.
+//! 2. **Cache transparency.** A warm cache hit must return exactly the
+//!    bytes the cold run wrote, and the decoded profile must be
+//!    bit-identical to the freshly computed one.
+
+use bdb_engine::{Engine, EngineConfig};
+use bdb_node::NodeConfig;
+use bdb_sim::MachineConfig;
+use bdb_wcrt::WorkloadProfile;
+use bdb_workloads::{catalog, CatalogSet, Scale};
+use proptest::prelude::*;
+
+fn bits(p: &WorkloadProfile) -> (String, u64, u64, Vec<u64>) {
+    (
+        p.spec.id.clone(),
+        p.report.instructions,
+        p.report.cycles.to_bits(),
+        p.metrics.values().iter().map(|v| v.to_bits()).collect(),
+    )
+}
+
+#[test]
+fn parallel_profile_all_is_bit_identical_to_serial_over_full_catalog() {
+    let workloads = CatalogSet::Full.workloads();
+    assert_eq!(workloads.len(), 77);
+    let machine = MachineConfig::xeon_e5645();
+    let node = NodeConfig::default();
+
+    let serial = bdb_wcrt::profile::profile_all(&workloads, Scale::tiny(), &machine, &node);
+    let parallel = Engine::in_memory().profile_all(&workloads, Scale::tiny(), &machine, &node);
+
+    assert_eq!(parallel.len(), serial.len());
+    for (p, s) in parallel.iter().zip(&serial) {
+        assert_eq!(bits(p), bits(s), "{} diverged", s.spec.id);
+    }
+}
+
+#[test]
+fn warm_cache_hit_returns_cold_run_bytes() {
+    let dir = std::env::temp_dir().join(format!("bdb-engine-contract-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let workloads: Vec<_> = catalog::representatives().into_iter().take(3).collect();
+    let machine = MachineConfig::xeon_e5645();
+    let node = NodeConfig::default();
+
+    let cold_engine = Engine::new(
+        EngineConfig::default()
+            .cache_dir(&dir)
+            .without_memory_cache(),
+    );
+    let cold = cold_engine.profile_all(&workloads, Scale::tiny(), &machine, &node);
+    let cold_bytes: Vec<String> = workloads
+        .iter()
+        .map(|w| {
+            let path = cold_engine
+                .cache_file(w, Scale::tiny(), &machine, &node)
+                .unwrap();
+            std::fs::read_to_string(path).expect("cold run wrote the cache file")
+        })
+        .collect();
+
+    let warm_engine = Engine::new(
+        EngineConfig::default()
+            .cache_dir(&dir)
+            .without_memory_cache(),
+    );
+    let warm = warm_engine.profile_all(&workloads, Scale::tiny(), &machine, &node);
+    assert_eq!(warm_engine.counters().disk_hits, workloads.len() as u64);
+    assert_eq!(
+        warm_engine.counters().computed,
+        0,
+        "warm run must not simulate"
+    );
+
+    for ((w, c), cold_text) in warm.iter().zip(&cold).zip(&cold_bytes) {
+        assert_eq!(bits(w), bits(c), "{}", c.spec.id);
+        let path = warm_engine
+            .cache_file(
+                &workloads
+                    .iter()
+                    .find(|x| x.spec.id == c.spec.id)
+                    .unwrap()
+                    .clone(),
+                Scale::tiny(),
+                &machine,
+                &node,
+            )
+            .unwrap();
+        let warm_text = std::fs::read_to_string(path).unwrap();
+        assert_eq!(&warm_text, cold_text, "{} cache bytes changed", c.spec.id);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Any subset of the catalog, any thread count: the engine's parallel
+    /// output equals a serial per-workload loop, in order and in bits.
+    #[test]
+    fn random_subsets_match_serial(
+        start in 0usize..70,
+        len in 1usize..5,
+        threads in 2usize..9,
+    ) {
+        let catalog = CatalogSet::Full.workloads();
+        let end = (start + len).min(catalog.len());
+        let subset = &catalog[start..end];
+        let machine = MachineConfig::xeon_e5645();
+        let node = NodeConfig::default();
+        let parallel = Engine::new(EngineConfig::default().threads(threads))
+            .profile_all(subset, Scale::tiny(), &machine, &node);
+        let serial = Engine::serial().profile_all(subset, Scale::tiny(), &machine, &node);
+        prop_assert_eq!(parallel.len(), serial.len());
+        for (p, s) in parallel.iter().zip(&serial) {
+            prop_assert_eq!(bits(p), bits(s));
+        }
+    }
+}

@@ -49,5 +49,7 @@ pub use branch::{BranchStats, BranchUnit, DirectionScheme};
 pub use cache::{Cache, CacheConfig, CacheStats, Replacement};
 pub use machine::{Machine, MachineConfig, PerfReport};
 pub use pipeline::{Pipeline, PipelineConfig, PipelineKind, ServiceLevel};
-pub use sweep::{sweep, MissRatioCurve, SweepMetric, SweepResult, PAPER_SWEEP_KIB};
+pub use sweep::{
+    assemble_sweep, sweep, sweep_point, MissRatioCurve, SweepMetric, SweepResult, PAPER_SWEEP_KIB,
+};
 pub use tlb::{Tlb, TlbConfig};

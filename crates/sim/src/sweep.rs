@@ -46,16 +46,27 @@ impl MissRatioCurve {
 
     /// Estimated footprint: the smallest swept capacity at which the miss
     /// ratio has dropped within `epsilon` of its final (largest-capacity)
-    /// value. This is how the paper reads "the footprint of PARSEC is about
-    /// 128 KB" off Figure 6.
+    /// value *and stays there* — every larger-capacity point must also be
+    /// within `epsilon` of the floor. This is how the paper reads "the
+    /// footprint of PARSEC is about 128 KB" off Figure 6. Requiring the
+    /// suffix to stay flat keeps a non-monotonic (bumpy) curve from being
+    /// read at the first transient dip.
     ///
     /// Returns `None` for an empty curve.
     pub fn footprint_kib(&self, epsilon: f64) -> Option<u64> {
         let (_, floor) = *self.points.last()?;
-        self.points
-            .iter()
-            .find(|(_, r)| r - floor <= epsilon)
-            .map(|(c, _)| *c)
+        // Walk backwards from the flat tail: the footprint is the earliest
+        // point of the longest suffix that stays within `epsilon` of the
+        // floor.
+        let mut footprint = None;
+        for (c, r) in self.points.iter().rev() {
+            if r - floor <= epsilon {
+                footprint = Some(*c);
+            } else {
+                break;
+            }
+        }
+        footprint
     }
 }
 
@@ -78,40 +89,56 @@ pub fn sweep(
         !capacities_kib.is_empty(),
         "sweep needs at least one capacity"
     );
-    let mut icurve = Vec::with_capacity(capacities_kib.len());
-    let mut dcurve = Vec::with_capacity(capacities_kib.len());
-    let mut ucurve = Vec::with_capacity(capacities_kib.len());
-    for &kib in capacities_kib {
-        let mut machine = Machine::new(MachineConfig::atom_sweep(kib));
-        workload(&mut machine);
-        let report = machine.report();
-        icurve.push((kib, report.l1i.miss_ratio()));
-        dcurve.push((kib, report.l1d.miss_ratio()));
-        let total_acc = report.l1i.accesses + report.l1d.accesses;
-        let total_miss = report.l1i.misses + report.l1d.misses;
-        let unified = if total_acc == 0 {
-            0.0
-        } else {
-            total_miss as f64 / total_acc as f64
-        };
-        ucurve.push((kib, unified));
-    }
+    let points = capacities_kib
+        .iter()
+        .map(|&kib| sweep_point(kib, &mut workload))
+        .collect();
+    assemble_sweep(label, capacities_kib, points)
+}
+
+/// Runs `workload` once on an Atom-like machine with `kib` of L1 and
+/// returns `(instruction, data, unified)` miss ratios — one point of a
+/// sweep curve. `sweep` runs these serially; the execution engine fans
+/// them out across a thread pool (each point is an independent machine).
+pub fn sweep_point(kib: u64, workload: impl FnOnce(&mut Machine)) -> (f64, f64, f64) {
+    let mut machine = Machine::new(MachineConfig::atom_sweep(kib));
+    workload(&mut machine);
+    let report = machine.report();
+    let total_acc = report.l1i.accesses + report.l1d.accesses;
+    let total_miss = report.l1i.misses + report.l1d.misses;
+    let unified = if total_acc == 0 {
+        0.0
+    } else {
+        total_miss as f64 / total_acc as f64
+    };
+    (report.l1i.miss_ratio(), report.l1d.miss_ratio(), unified)
+}
+
+/// Assembles per-capacity `(i, d, u)` miss ratios (in `capacities_kib`
+/// order) into the three labelled curves of a [`SweepResult`].
+pub fn assemble_sweep(
+    label: &str,
+    capacities_kib: &[u64],
+    points: Vec<(f64, f64, f64)>,
+) -> SweepResult {
+    assert_eq!(
+        capacities_kib.len(),
+        points.len(),
+        "one (i, d, u) point per swept capacity"
+    );
+    let curve = |metric, pick: fn(&(f64, f64, f64)) -> f64| MissRatioCurve {
+        label: label.to_owned(),
+        metric,
+        points: capacities_kib
+            .iter()
+            .zip(&points)
+            .map(|(&kib, p)| (kib, pick(p)))
+            .collect(),
+    };
     SweepResult {
-        instruction: MissRatioCurve {
-            label: label.to_owned(),
-            metric: SweepMetric::Instruction,
-            points: icurve,
-        },
-        data: MissRatioCurve {
-            label: label.to_owned(),
-            metric: SweepMetric::Data,
-            points: dcurve,
-        },
-        unified: MissRatioCurve {
-            label: label.to_owned(),
-            metric: SweepMetric::Unified,
-            points: ucurve,
-        },
+        instruction: curve(SweepMetric::Instruction, |p| p.0),
+        data: curve(SweepMetric::Data, |p| p.1),
+        unified: curve(SweepMetric::Unified, |p| p.2),
     }
 }
 
@@ -184,6 +211,53 @@ mod tests {
         );
         let dfoot = result.data.footprint_kib(0.002).unwrap();
         assert!(dfoot <= 64, "expected small data footprint, got {dfoot}");
+    }
+
+    #[test]
+    fn footprint_skips_transient_dips_on_bumpy_curves() {
+        // Non-monotonic curve: dips to the floor at 32 KiB, bounces back
+        // up, and only settles from 256 KiB on. The old first-match read
+        // reported 32; the footprint is where the curve *stays* flat.
+        let bumpy = MissRatioCurve {
+            label: "bumpy".into(),
+            metric: SweepMetric::Data,
+            points: vec![
+                (16, 0.30),
+                (32, 0.1004), // within epsilon of the floor, but transient
+                (64, 0.25),
+                (128, 0.18),
+                (256, 0.1007),
+                (512, 0.1002),
+                (1024, 0.10),
+            ],
+        };
+        assert_eq!(bumpy.footprint_kib(0.002), Some(256));
+        // A monotone curve still reads at the first settled point.
+        let monotone = MissRatioCurve {
+            label: "monotone".into(),
+            metric: SweepMetric::Data,
+            points: vec![(16, 0.3), (32, 0.101), (64, 0.1005), (128, 0.10)],
+        };
+        assert_eq!(monotone.footprint_kib(0.002), Some(32));
+        // Curves that never settle report the last capacity; empty -> None.
+        assert_eq!(monotone.footprint_kib(-1.0), None);
+        let empty = MissRatioCurve {
+            label: "empty".into(),
+            metric: SweepMetric::Data,
+            points: vec![],
+        };
+        assert_eq!(empty.footprint_kib(0.002), None);
+    }
+
+    #[test]
+    fn sweep_point_matches_serial_sweep() {
+        let result = sweep("synthetic", &[16, 256], synthetic);
+        let (i16, d16, u16_) = sweep_point(16, synthetic);
+        assert_eq!(result.instruction.at(16), Some(i16));
+        assert_eq!(result.data.at(16), Some(d16));
+        assert_eq!(result.unified.at(16), Some(u16_));
+        let (i256, _, _) = sweep_point(256, synthetic);
+        assert_eq!(result.instruction.at(256), Some(i256));
     }
 
     #[test]

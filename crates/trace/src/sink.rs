@@ -77,7 +77,91 @@ impl TraceSink for MixSink {
     }
 }
 
+/// Forwarding through a mutable reference, so sinks compose without being
+/// moved: a `FanoutSink` can borrow a `Machine` that the caller still owns.
+impl<S: TraceSink + ?Sized> TraceSink for &mut S {
+    fn exec(&mut self, pc: u64, op: MicroOp) {
+        (**self).exec(pc, op);
+    }
+
+    fn finish(&mut self) {
+        (**self).finish();
+    }
+}
+
+/// Fans one trace out to any number of sinks, so a single instrumented run
+/// can feed e.g. a `Machine`, a [`MixSink`], and a reuse profiler in one
+/// pass instead of re-executing the workload per consumer.
+///
+/// Sinks are borrowed, not owned: the caller keeps its `Machine` and reads
+/// the report afterwards. Dispatch order is the registration order, and
+/// [`TraceSink::finish`] is forwarded to every sink.
+///
+/// ```
+/// use bdb_trace::{CountingSink, FanoutSink, MicroOp, MixSink, TraceSink};
+///
+/// let mut count = CountingSink::new();
+/// let mut mix = MixSink::new();
+/// {
+///     let mut fan = FanoutSink::new().with(&mut count).with(&mut mix);
+///     fan.exec(0, MicroOp::Fp);
+///     fan.finish();
+/// }
+/// assert_eq!(count.ops(), 1);
+/// assert_eq!(mix.mix().fp, 1);
+/// ```
+#[derive(Default)]
+pub struct FanoutSink<'a> {
+    sinks: Vec<&'a mut dyn TraceSink>,
+}
+
+impl<'a> FanoutSink<'a> {
+    /// Creates an empty fan-out (a `NullSink` until receivers are added).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a receiver (builder style).
+    #[must_use]
+    pub fn with(mut self, sink: &'a mut dyn TraceSink) -> Self {
+        self.sinks.push(sink);
+        self
+    }
+
+    /// Adds a receiver.
+    pub fn push(&mut self, sink: &'a mut dyn TraceSink) {
+        self.sinks.push(sink);
+    }
+
+    /// Number of registered receivers.
+    pub fn len(&self) -> usize {
+        self.sinks.len()
+    }
+
+    /// Whether no receivers are registered.
+    pub fn is_empty(&self) -> bool {
+        self.sinks.is_empty()
+    }
+}
+
+impl TraceSink for FanoutSink<'_> {
+    fn exec(&mut self, pc: u64, op: MicroOp) {
+        for sink in &mut self.sinks {
+            sink.exec(pc, op);
+        }
+    }
+
+    fn finish(&mut self) {
+        for sink in &mut self.sinks {
+            sink.finish();
+        }
+    }
+}
+
 /// Fans one trace out to two sinks (e.g. machine + mix in one pass).
+///
+/// For more than two receivers, or when the receivers must stay owned by
+/// the caller, use [`FanoutSink`].
 #[derive(Debug, Default)]
 pub struct TeeSink<A, B> {
     /// First receiver.
@@ -147,5 +231,42 @@ mod tests {
         t.finish();
         assert_eq!(t.first.ops(), 1);
         assert_eq!(t.second.mix().fp, 1);
+    }
+
+    #[test]
+    fn fanout_feeds_all_in_one_pass() {
+        let mut a = CountingSink::new();
+        let mut b = MixSink::new();
+        let mut c = CountingSink::new();
+        {
+            let mut fan = FanoutSink::new().with(&mut a).with(&mut b).with(&mut c);
+            assert_eq!(fan.len(), 3);
+            fan.exec(0, MicroOp::Fp);
+            fan.exec(4, MicroOp::Load { addr: 8, size: 8 });
+            fan.finish();
+        }
+        assert_eq!(a.ops(), 2);
+        assert_eq!(b.mix().fp, 1);
+        assert_eq!(b.mix().loads, 1);
+        assert_eq!(c.ops(), 2);
+    }
+
+    #[test]
+    fn empty_fanout_is_a_null_sink() {
+        let mut fan = FanoutSink::new();
+        assert!(fan.is_empty());
+        fan.exec(0, MicroOp::Fp);
+        fan.finish();
+    }
+
+    #[test]
+    fn mut_ref_forwards() {
+        let mut inner = CountingSink::new();
+        {
+            let mut by_ref: &mut CountingSink = &mut inner;
+            TraceSink::exec(&mut by_ref, 0, MicroOp::Fp);
+            TraceSink::finish(&mut by_ref);
+        }
+        assert_eq!(inner.ops(), 1);
     }
 }

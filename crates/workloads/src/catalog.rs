@@ -316,6 +316,75 @@ pub fn suite_workloads(suite: Suite) -> Vec<WorkloadDef> {
         .collect()
 }
 
+/// A named slice of the workload universe — the unit the execution engine
+/// and the benchmark binaries iterate over.
+///
+/// Using `CatalogSet` instead of calling the individual constructors keeps
+/// set membership and ordering in one place, so a parallel `profile_all`
+/// over a set is guaranteed to enumerate exactly what the serial figures
+/// enumerated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CatalogSet {
+    /// All 77 BigDataBench-like workloads ([`full_catalog`]).
+    Full,
+    /// The paper's 17 Table 2 representatives ([`representatives`]).
+    Representatives,
+    /// The six MPI control implementations ([`mpi_workloads`]).
+    Mpi,
+    /// One comparison suite's kernels ([`suite_workloads`]).
+    Suite(Suite),
+}
+
+impl CatalogSet {
+    /// Materializes the set's workloads in its canonical order.
+    pub fn workloads(self) -> Vec<WorkloadDef> {
+        match self {
+            CatalogSet::Full => full_catalog(),
+            CatalogSet::Representatives => representatives(),
+            CatalogSet::Mpi => mpi_workloads(),
+            CatalogSet::Suite(suite) => suite_workloads(suite),
+        }
+    }
+
+    /// Number of workloads without materializing them.
+    pub fn len(self) -> usize {
+        match self {
+            CatalogSet::Full => 77,
+            CatalogSet::Representatives => 17,
+            CatalogSet::Mpi => 6,
+            CatalogSet::Suite(suite) => suites::kernel_names(suite).len(),
+        }
+    }
+
+    /// Whether the set is empty (never, for the shipped sets).
+    pub fn is_empty(self) -> bool {
+        self.len() == 0
+    }
+
+    /// Every shipped set: full, representatives, MPI, then the six
+    /// comparison suites in the paper's order.
+    pub fn all() -> Vec<CatalogSet> {
+        let mut sets = vec![
+            CatalogSet::Full,
+            CatalogSet::Representatives,
+            CatalogSet::Mpi,
+        ];
+        sets.extend(ALL_SUITES.map(CatalogSet::Suite));
+        sets
+    }
+}
+
+impl std::fmt::Display for CatalogSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CatalogSet::Full => f.write_str("full-catalog"),
+            CatalogSet::Representatives => f.write_str("representatives"),
+            CatalogSet::Mpi => f.write_str("mpi"),
+            CatalogSet::Suite(suite) => write!(f, "suite:{suite}"),
+        }
+    }
+}
+
 /// All comparison suites in the paper's presentation order.
 pub const ALL_SUITES: [Suite; 6] = [
     Suite::SpecInt,
@@ -391,6 +460,22 @@ mod tests {
                 "M-Sort"
             ]
         );
+    }
+
+    #[test]
+    fn catalog_sets_agree_with_constructors() {
+        for set in CatalogSet::all() {
+            let workloads = set.workloads();
+            assert_eq!(workloads.len(), set.len(), "{set}");
+            assert!(!set.is_empty(), "{set}");
+        }
+        let ids: Vec<String> = CatalogSet::Representatives
+            .workloads()
+            .into_iter()
+            .map(|w| w.spec.id)
+            .collect();
+        let expected: Vec<String> = representatives().into_iter().map(|w| w.spec.id).collect();
+        assert_eq!(ids, expected, "CatalogSet must preserve canonical order");
     }
 
     #[test]

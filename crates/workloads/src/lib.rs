@@ -41,4 +41,6 @@ pub mod spec;
 pub mod suites;
 
 pub use bdb_stacks::RunStats;
+pub use catalog::CatalogSet;
 pub use spec::{Category, KernelKind, Scale, WorkloadDef, WorkloadSpec};
+pub use suites::Suite;

@@ -12,7 +12,9 @@
 //! * [`workloads`] — the 77-workload catalog, the paper's 17 representatives,
 //!   the 6 MPI controls, and the comparison-suite kernels,
 //! * [`wcrt`] — the paper's released tool: 45-metric profiling, PCA,
-//!   K-means, and representative subsetting.
+//!   K-means, and representative subsetting,
+//! * [`engine`] — the parallel, cache-aware execution engine every figure,
+//!   table, and sweep obtains its measurements through.
 //!
 //! # Quickstart
 //!
@@ -37,6 +39,7 @@
 //! for the binaries that regenerate every table and figure of the paper.
 
 pub use bdb_datagen as datagen;
+pub use bdb_engine as engine;
 pub use bdb_node as node;
 pub use bdb_sim as sim;
 pub use bdb_stacks as stacks;
@@ -46,5 +49,5 @@ pub use bdb_workloads as workloads;
 
 /// Convenient glob import for examples and tests.
 pub mod prelude {
-    pub use crate::{datagen, node, sim, stacks, trace, wcrt, workloads};
+    pub use crate::{datagen, engine, node, sim, stacks, trace, wcrt, workloads};
 }

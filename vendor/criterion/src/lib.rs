@@ -1,0 +1,318 @@
+//! Offline stand-in for `criterion` 0.5.
+//!
+//! Provides the API surface the workspace's benches use — `Criterion`,
+//! benchmark groups, `Bencher::iter`/`iter_batched`, `Throughput`,
+//! `BatchSize`, and the `criterion_group!`/`criterion_main!` macros — backed
+//! by a simple wall-clock harness: warm up, then run iterations until the
+//! measurement budget is spent, and report the mean time per iteration.
+//!
+//! Under `cargo bench` cargo passes `--bench`, which selects full
+//! measurement; any other invocation (notably `cargo test`, which also runs
+//! `harness = false` bench targets) runs each benchmark once as a smoke
+//! test so the tier-1 suite stays fast.
+
+use std::time::{Duration, Instant};
+
+/// Re-export of the standard optimization barrier.
+pub use std::hint::black_box;
+
+/// Work-unit annotation used to report a rate alongside the mean time.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Iterations process this many logical elements.
+    Elements(u64),
+    /// Iterations process this many bytes.
+    Bytes(u64),
+}
+
+/// Hint for how `iter_batched` amortizes setup; the shim times every batch
+/// individually, so this only exists for API compatibility.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// Fresh input for every iteration.
+    PerIteration,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Settings {
+    warm_up: Duration,
+    measurement: Duration,
+    min_samples: u32,
+    throughput: Option<Throughput>,
+    full: bool,
+}
+
+impl Settings {
+    fn quick() -> Self {
+        Settings {
+            warm_up: Duration::ZERO,
+            measurement: Duration::ZERO,
+            min_samples: 1,
+            throughput: None,
+            full: false,
+        }
+    }
+
+    fn full() -> Self {
+        Settings {
+            warm_up: Duration::from_millis(500),
+            measurement: Duration::from_secs(2),
+            min_samples: 10,
+            throughput: None,
+            full: true,
+        }
+    }
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    settings: Settings,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let full = std::env::args().any(|a| a == "--bench");
+        Criterion {
+            settings: if full {
+                Settings::full()
+            } else {
+                Settings::quick()
+            },
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the measurement budget (full mode only).
+    #[must_use]
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        if self.settings.full {
+            self.settings.measurement = d;
+        }
+        self
+    }
+
+    /// Sets the warm-up budget (full mode only).
+    #[must_use]
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        if self.settings.full {
+            self.settings.warm_up = d;
+        }
+        self
+    }
+
+    /// Sets the minimum sample count (full mode only).
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        if self.settings.full {
+            self.settings.min_samples = n as u32;
+        }
+        self
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_bench(name, self.settings, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        let settings = self.settings;
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_owned(),
+            settings,
+        }
+    }
+}
+
+/// A group of benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    settings: Settings,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the measurement budget (full mode only).
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        if self.settings.full {
+            self.settings.measurement = d;
+        }
+        self
+    }
+
+    /// Sets the warm-up budget (full mode only).
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        if self.settings.full {
+            self.settings.warm_up = d;
+        }
+        self
+    }
+
+    /// Sets the minimum sample count (full mode only).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        if self.settings.full {
+            self.settings.min_samples = n as u32;
+        }
+        self
+    }
+
+    /// Declares per-iteration throughput for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.settings.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_bench(&format!("{}/{}", self.name, name), self.settings, f);
+        self
+    }
+
+    /// Ends the group (formatting no-op in the shim).
+    pub fn finish(&mut self) {}
+}
+
+/// Passed to the benchmark closure; collects timed iterations.
+pub struct Bencher {
+    settings: Settings,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        self.run(|| {
+            let t = Instant::now();
+            black_box(routine());
+            t.elapsed()
+        });
+    }
+
+    /// Times `routine` with untimed per-iteration `setup`.
+    pub fn iter_batched<I, R, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> R,
+    {
+        self.run(|| {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            t.elapsed()
+        });
+    }
+
+    fn run<F: FnMut() -> Duration>(&mut self, mut timed_once: F) {
+        let warm_up_end = Instant::now() + self.settings.warm_up;
+        while Instant::now() < warm_up_end {
+            timed_once();
+        }
+        let measure_start = Instant::now();
+        loop {
+            self.samples.push(timed_once());
+            let enough_samples = self.samples.len() as u32 >= self.settings.min_samples;
+            let budget_spent = measure_start.elapsed() >= self.settings.measurement;
+            if enough_samples && budget_spent {
+                break;
+            }
+        }
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(name: &str, settings: Settings, mut f: F) {
+    let mut b = Bencher {
+        settings,
+        samples: Vec::new(),
+    };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("{name:<40} no samples");
+        return;
+    }
+    let total: Duration = b.samples.iter().sum();
+    let mean = total / b.samples.len() as u32;
+    let rate = match settings.throughput {
+        Some(Throughput::Elements(n)) if mean > Duration::ZERO => {
+            format!("  {:>12.0} elem/s", n as f64 / mean.as_secs_f64())
+        }
+        Some(Throughput::Bytes(n)) if mean > Duration::ZERO => {
+            format!("  {:>12.0} B/s", n as f64 / mean.as_secs_f64())
+        }
+        _ => String::new(),
+    };
+    let mode = if settings.full { "" } else { "  [smoke]" };
+    println!(
+        "{name:<40} time: {:>12.3?}  ({} samples){rate}{mode}",
+        mean,
+        b.samples.len()
+    );
+}
+
+/// Bundles benchmark functions into a callable group. Supports both the
+/// short form (`criterion_group!(benches, a, b)`) and the long form with
+/// an explicit `config = ...` expression.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Entry point running one or more `criterion_group!`s.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_mode_runs_once() {
+        let mut c = Criterion {
+            settings: Settings::quick(),
+        };
+        let mut calls = 0u32;
+        c.bench_function("probe", |b| b.iter(|| calls += 1));
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn iter_batched_times_only_routine() {
+        let mut c = Criterion {
+            settings: Settings::quick(),
+        };
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Elements(10));
+        group.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1u64; 10],
+                |v| v.iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+        group.finish();
+    }
+}

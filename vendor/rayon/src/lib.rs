@@ -1,0 +1,334 @@
+//! Offline stand-in for `rayon`.
+//!
+//! Implements the subset of the rayon API the execution engine uses —
+//! `par_iter()` / `into_par_iter()` over slices and vectors, `map`,
+//! `collect`, `ThreadPoolBuilder`, and `current_num_threads` — on plain
+//! `std::thread::scope` threads.
+//!
+//! Scheduling is dynamic (an atomic work index, so expensive items do not
+//! serialize behind a static partition) while results are reassembled in
+//! input order, so a parallel `map` + `collect` is always a permutation-free
+//! drop-in for the serial equivalent: output ordering is deterministic
+//! regardless of thread interleaving.
+
+use std::cell::Cell;
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+thread_local! {
+    static POOL_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Number of worker threads the current context fans out to.
+pub fn current_num_threads() -> usize {
+    POOL_THREADS.with(|t| t.get()).unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    })
+}
+
+/// Error returned by [`ThreadPoolBuilder::build`] (the shim never fails).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("thread pool construction failed")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with default (auto) parallelism.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Caps the pool at `n` threads; 0 means auto.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = if n == 0 { None } else { Some(n) };
+        self
+    }
+
+    /// Builds the pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let threads = self.num_threads.unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        });
+        Ok(ThreadPool {
+            threads: threads.max(1),
+        })
+    }
+}
+
+/// A handle fixing the fan-out width for closures run inside it.
+///
+/// The shim spawns scoped threads per parallel call rather than keeping
+/// workers alive, so the pool only carries the configured width.
+#[derive(Debug)]
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `f` with this pool's thread count as the ambient parallelism.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        let previous = POOL_THREADS.with(|t| t.replace(Some(self.threads)));
+        let result = f();
+        POOL_THREADS.with(|t| t.set(previous));
+        result
+    }
+
+    /// The pool's thread count.
+    pub fn current_num_threads(&self) -> usize {
+        self.threads
+    }
+}
+
+/// Dynamic-scheduled, order-preserving parallel map over a slice.
+fn parallel_map<'a, T: Sync, R: Send>(items: &'a [T], f: &(dyn Fn(&'a T) -> R + Sync)) -> Vec<R> {
+    let n = items.len();
+    let threads = current_num_threads().min(n);
+    if threads <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut tagged: Vec<(usize, R)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        out.push((i, f(&items[i])));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("parallel worker panicked"))
+            .collect()
+    });
+    tagged.sort_unstable_by_key(|(i, _)| *i);
+    tagged.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Borrowing conversion into a parallel iterator (`.par_iter()`).
+pub trait IntoParallelRefIterator<'a> {
+    /// Element type (a reference).
+    type Item: 'a;
+    /// The produced parallel iterator.
+    type Iter: ParallelIterator<Item = Self::Item>;
+
+    /// Parallel iterator over `&self`'s elements.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    type Iter = ParSliceIter<'a, T>;
+    fn par_iter(&'a self) -> ParSliceIter<'a, T> {
+        ParSliceIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    type Iter = ParSliceIter<'a, T>;
+    fn par_iter(&'a self) -> ParSliceIter<'a, T> {
+        ParSliceIter { items: self }
+    }
+}
+
+/// Consuming conversion into a parallel iterator (`.into_par_iter()`).
+pub trait IntoParallelIterator {
+    /// Element type.
+    type Item;
+    /// The produced parallel iterator.
+    type Iter: ParallelIterator<Item = Self::Item>;
+
+    /// Parallel iterator consuming `self`.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<T: Send + Sync> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = ParVecIter<T>;
+    fn into_par_iter(self) -> ParVecIter<T> {
+        ParVecIter { items: self }
+    }
+}
+
+/// Operations shared by the shim's parallel iterators.
+pub trait ParallelIterator: Sized {
+    /// Element type.
+    type Item;
+
+    /// Maps every element through `op` in parallel, preserving order.
+    fn map<R: Send, F: Fn(Self::Item) -> R + Sync>(self, op: F) -> ParMap<Self, F> {
+        ParMap { inner: self, op }
+    }
+
+    /// Runs the pipeline and collects results in input order.
+    ///
+    /// Only `Vec<_>` collection targets are supported.
+    fn collect<C: FromParallelIterator<Self::Item>>(self) -> C
+    where
+        Self::Item: Send,
+    {
+        C::from_par_vec(self.run())
+    }
+
+    /// Executes the pipeline, yielding results in input order.
+    #[doc(hidden)]
+    fn run(self) -> Vec<Self::Item>
+    where
+        Self::Item: Send;
+}
+
+/// Parallel iterator over `&[T]`.
+pub struct ParSliceIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for ParSliceIter<'a, T> {
+    type Item = &'a T;
+    fn run(self) -> Vec<&'a T> {
+        self.items.iter().collect()
+    }
+}
+
+/// Parallel iterator over an owned `Vec<T>`.
+pub struct ParVecIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send + Sync> ParallelIterator for ParVecIter<T> {
+    type Item = T;
+    fn run(self) -> Vec<T> {
+        self.items
+    }
+}
+
+/// A mapped parallel iterator; the map stage is where fan-out happens.
+pub struct ParMap<I, F> {
+    inner: I,
+    op: F,
+}
+
+impl<'a, T: Sync, R: Send, F: Fn(&'a T) -> R + Sync> ParallelIterator
+    for ParMap<ParSliceIter<'a, T>, F>
+{
+    type Item = R;
+    fn run(self) -> Vec<R> {
+        parallel_map(self.inner.items, &self.op)
+    }
+}
+
+impl<T: Send + Sync, R: Send, F: Fn(T) -> R + Sync> ParallelIterator for ParMap<ParVecIter<T>, F>
+where
+    T: Clone,
+{
+    type Item = R;
+    fn run(self) -> Vec<R> {
+        parallel_map(&self.inner.items, &|item| (self.op)(item.clone()))
+    }
+}
+
+/// Collection targets for [`ParallelIterator::collect`].
+pub trait FromParallelIterator<T> {
+    /// Builds the collection from in-order results.
+    fn from_par_vec(v: Vec<T>) -> Self;
+}
+
+impl<T> FromParallelIterator<T> for Vec<T> {
+    fn from_par_vec(v: Vec<T>) -> Self {
+        v
+    }
+}
+
+/// The customary glob import.
+pub mod prelude {
+    pub use crate::{
+        FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator, ParallelIterator,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let input: Vec<u64> = (0..1000).collect();
+        let out: Vec<u64> = input.par_iter().map(|&x| x * 2).collect();
+        let expected: Vec<u64> = input.iter().map(|&x| x * 2).collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn uneven_work_still_ordered() {
+        let input: Vec<u64> = (0..64).collect();
+        let out: Vec<u64> = input
+            .par_iter()
+            .map(|&x| {
+                // Make early items much more expensive than late ones.
+                let spins = if x < 8 { 200_000 } else { 10 };
+                let mut acc = x;
+                for i in 0..spins {
+                    acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+                }
+                std::hint::black_box(acc);
+                x
+            })
+            .collect();
+        assert_eq!(out, input);
+    }
+
+    #[test]
+    fn pool_install_overrides_width() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.current_num_threads(), 3);
+        pool.install(|| assert_eq!(current_num_threads(), 3));
+    }
+
+    #[test]
+    fn into_par_iter_consumes() {
+        let v: Vec<String> = vec!["a".into(), "b".into(), "c".into()];
+        let out: Vec<usize> = v.clone().into_par_iter().map(|s| s.len()).collect();
+        assert_eq!(out, vec![1, 1, 1]);
+        assert_eq!(v.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "parallel worker panicked")]
+    fn worker_panic_propagates() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        pool.install(|| {
+            let input: Vec<u64> = (0..100).collect();
+            let _: Vec<u64> = input
+                .par_iter()
+                .map(|&x| {
+                    assert!(x != 50, "boom");
+                    x
+                })
+                .collect();
+        });
+    }
+}

@@ -1,0 +1,36 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its public data types
+//! to document intent and keep the door open for the real serde, but no
+//! code path serializes through the serde data model (the profile cache in
+//! `bdb-engine` uses its own JSON codec). This shim therefore provides the
+//! two marker traits with blanket impls, and re-exports no-op derives.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`. Blanket-implemented for all
+/// types so generic bounds keep compiling.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`. Blanket-implemented for all
+/// types so generic bounds keep compiling.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+#[cfg(test)]
+mod tests {
+    #[allow(unused_imports)]
+    use super::{Deserialize, Serialize};
+
+    #[derive(super::Serialize, super::Deserialize, Debug, PartialEq)]
+    struct Probe {
+        x: u64,
+    }
+
+    #[test]
+    fn derives_are_inert() {
+        let p = Probe { x: 7 };
+        assert_eq!(p, Probe { x: 7 });
+    }
+}
