@@ -76,6 +76,7 @@ pub fn scale_from_args() -> Scale {
                 other => Scale::custom(
                     other
                         .parse()
+                        // bdb-lint: allow(panic-hygiene): CLI config abort.
                         .unwrap_or_else(|_| panic!("bad scale: {other}")),
                 ),
             };

@@ -68,6 +68,7 @@ pub fn ecommerce_items(orders: &Table, items_per_order: usize, seed: u64) -> Tab
     let mut rows = Vec::new();
     let mut item_id = 0i64;
     for order in orders.rows() {
+        // bdb-lint: allow(panic-hygiene): column 0 is I64 by construction above.
         let order_id = order[0].as_i64().expect("order_id is i64");
         let n = 1 + rng.gen_range(0..2 * items_per_order);
         for _ in 0..n {
@@ -197,6 +198,7 @@ pub fn labelled_documents(
 ///
 /// Panics if the column is missing or not an integer.
 pub fn col_i64(row: &Row, idx: usize) -> i64 {
+    // bdb-lint: allow(panic-hygiene): documented panic; schema misuse.
     row[idx].as_i64().expect("column is i64")
 }
 

@@ -49,6 +49,9 @@ use bdb_sim::{assemble_sweep, sweep_point, Machine, MachineConfig, SweepResult};
 use bdb_wcrt::{profile_workload, WorkloadProfile};
 use bdb_workloads::{Scale, WorkloadDef};
 use rayon::prelude::*;
+// The in-memory cache below is keyed-lookup only (get/insert by
+// fingerprint, never iterated), so map order cannot reach profile bytes.
+// bdb-lint: allow(determinism): keyed-lookup-only memo, never iterated.
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -106,10 +109,26 @@ pub struct CacheCounters {
     pub computed: u64,
 }
 
+/// How the engine dispatches independent simulations.
+///
+/// Degradation is always safe: the parallel path is bit-identical to the
+/// serial one, so falling back from `Pool` to `Serial` (when thread-pool
+/// construction fails) changes wall-clock time, never output bytes.
+enum Dispatch {
+    /// A dedicated pool capped at the configured width.
+    Pool(rayon::ThreadPool),
+    /// The ambient rayon context (machine parallelism).
+    Ambient,
+    /// Plain serial iteration on the calling thread — used for
+    /// `threads = 1` and as the fallback when pool construction fails.
+    Serial,
+}
+
 /// The parallel, cache-aware measurement engine. See the crate docs.
 pub struct Engine {
-    pool: Option<rayon::ThreadPool>,
+    dispatch: Dispatch,
     cache_dir: Option<PathBuf>,
+    // bdb-lint: allow(determinism): keyed-lookup-only memo, never iterated.
     memory: Option<Mutex<HashMap<u64, WorkloadProfile>>>,
     memory_hits: AtomicU64,
     disk_hits: AtomicU64,
@@ -119,20 +138,25 @@ pub struct Engine {
 impl Engine {
     /// Builds an engine from `config`. The cache directory is created
     /// eagerly; if creation fails the disk cache is disabled (profiling
-    /// still works, nothing persists).
+    /// still works, nothing persists). Likewise, if the worker pool
+    /// cannot be built the engine degrades to serial execution rather
+    /// than panicking — output is identical either way.
     pub fn new(config: EngineConfig) -> Self {
-        let pool = config.threads.map(|n| {
-            rayon::ThreadPoolBuilder::new()
+        let dispatch = match config.threads {
+            None => Dispatch::Ambient,
+            Some(1) => Dispatch::Serial,
+            Some(n) => rayon::ThreadPoolBuilder::new()
                 .num_threads(n)
                 .build()
-                .expect("thread pool construction")
-        });
+                .map_or(Dispatch::Serial, Dispatch::Pool),
+        };
         let cache_dir = config
             .cache_dir
             .filter(|dir| std::fs::create_dir_all(dir).is_ok());
         Engine {
-            pool,
+            dispatch,
             cache_dir,
+            // bdb-lint: allow(determinism): keyed-lookup-only memo.
             memory: (!config.no_memory_cache).then(|| Mutex::new(HashMap::new())),
             memory_hits: AtomicU64::new(0),
             disk_hits: AtomicU64::new(0),
@@ -153,9 +177,10 @@ impl Engine {
 
     /// Worker threads `profile_all` / `sweep` fan out to.
     pub fn worker_threads(&self) -> usize {
-        match &self.pool {
-            Some(pool) => pool.current_num_threads(),
-            None => rayon::current_num_threads(),
+        match &self.dispatch {
+            Dispatch::Pool(pool) => pool.current_num_threads(),
+            Dispatch::Ambient => rayon::current_num_threads(),
+            Dispatch::Serial => 1,
         }
     }
 
@@ -220,6 +245,12 @@ impl Engine {
         machine: &MachineConfig,
         node: &NodeConfig,
     ) -> Vec<WorkloadProfile> {
+        if matches!(self.dispatch, Dispatch::Serial) {
+            return workloads
+                .iter()
+                .map(|w| self.profile(w, scale, machine, node))
+                .collect();
+        }
         self.install(|| {
             workloads
                 .par_iter()
@@ -244,19 +275,26 @@ impl Engine {
             !capacities_kib.is_empty(),
             "sweep needs at least one capacity"
         );
-        let points = self.install(|| {
+        let points = if matches!(self.dispatch, Dispatch::Serial) {
             capacities_kib
-                .par_iter()
+                .iter()
                 .map(|&kib| sweep_point(kib, &workload))
                 .collect()
-        });
+        } else {
+            self.install(|| {
+                capacities_kib
+                    .par_iter()
+                    .map(|&kib| sweep_point(kib, &workload))
+                    .collect()
+            })
+        };
         assemble_sweep(label, capacities_kib, points)
     }
 
     fn install<R>(&self, f: impl FnOnce() -> R) -> R {
-        match &self.pool {
-            Some(pool) => pool.install(f),
-            None => f(),
+        match &self.dispatch {
+            Dispatch::Pool(pool) => pool.install(f),
+            Dispatch::Ambient | Dispatch::Serial => f(),
         }
     }
 
@@ -292,8 +330,14 @@ impl Engine {
     }
 }
 
+/// Locks the memo with poison recovery: a panic in another profiling
+/// thread must not cascade into every later cache lookup. The map holds
+/// only fully-computed profiles (inserted after simulation completes),
+/// so a poisoned guard still sees consistent data.
 fn lock<'a>(
+    // bdb-lint: allow(determinism): keyed-lookup-only memo, never iterated.
     memory: &'a Mutex<HashMap<u64, WorkloadProfile>>,
+    // bdb-lint: allow(determinism): keyed-lookup-only memo, never iterated.
 ) -> std::sync::MutexGuard<'a, HashMap<u64, WorkloadProfile>> {
     memory
         .lock()

@@ -1,0 +1,203 @@
+//! `bdb-lint` — repo-native static analysis for the BigDataBench
+//! reproduction.
+//!
+//! The engine's headline guarantee (bit-identical profiles at any thread
+//! count, byte-stable cache files) and the paper's structural invariants
+//! (77 workloads, 45 metrics, 17 clusters) are runtime-tested but easy to
+//! silently regress. This crate enforces them at lint time with two pass
+//! families:
+//!
+//! * **Source passes** run a lightweight Rust scanner ([`lexer`]) over
+//!   every workspace crate:
+//!   - `determinism` — no unordered-collection types (`HashMap` /
+//!     `HashSet`), wall-clock reads (`Instant` / `SystemTime`), or
+//!     thread-identity queries inside the profile-producing crates
+//!     (`engine`, `sim`, `wcrt`, `trace`). Keyed-lookup-only uses are
+//!     annotated with an explicit allowlist comment.
+//!   - `panic-hygiene` — no `.unwrap()` / `.expect(..)` / `panic!` in
+//!     library code outside tests.
+//!   - `workspace-hygiene` — member crates resolve every dependency
+//!     through `[workspace.dependencies]`, and the vendored shims stay
+//!     unified (no stray path deps).
+//! * **Artifact passes** statically validate the checked-in contracts:
+//!   the catalog spec (77 workloads), metric schema (45 metrics), the
+//!   reduction config (17 clusters, weights summing to 77), and the JSON
+//!   schema / byte-stability of `results/cache` entries and
+//!   `BENCH_*.json`.
+//!
+//! Diagnostics carry `file:line` and a rule id and are suppressible with
+//! `// bdb-lint: allow(<rule>): <justification>` on the offending line or
+//! the line above it.
+
+pub mod json;
+pub mod lexer;
+
+mod artifact;
+mod manifest;
+mod source;
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Paper invariant: the full catalog enumerates exactly 77 workloads.
+pub const PAPER_WORKLOADS: usize = 77;
+/// Paper invariant: the characterization vector has exactly 45 metrics.
+pub const PAPER_METRICS: usize = 45;
+/// Paper invariant: the reduction clusters 77 workloads into 17.
+pub const PAPER_CLUSTERS: usize = 17;
+
+/// Every rule id with a one-line description, in report order.
+pub const RULES: &[(&str, &str)] = &[
+    (
+        "determinism",
+        "no unordered collections, wall-clock reads, or thread-identity queries in profile-producing crates",
+    ),
+    (
+        "panic-hygiene",
+        "no unwrap()/expect()/panic! in library code outside tests",
+    ),
+    (
+        "workspace-hygiene",
+        "member crates resolve dependencies through [workspace.dependencies]; vendored shims stay unified",
+    ),
+    (
+        "catalog-spec",
+        "contracts/catalog.tsv lists exactly 77 unique workloads covering every subclass",
+    ),
+    (
+        "metric-schema",
+        "contracts/metrics.txt lists exactly 45 unique metric names",
+    ),
+    (
+        "reduction-config",
+        "contracts/reduction.txt pins 17 clusters whose weights sum to 77",
+    ),
+    (
+        "cache-format",
+        "results/cache entries are schema-valid and byte-stable under canonical re-encoding",
+    ),
+    (
+        "bench-format",
+        "BENCH_*.json records are schema-valid and byte-stable under canonical re-encoding",
+    ),
+];
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// File the finding is in, relative to the workspace root.
+    pub file: PathBuf,
+    /// 1-indexed source line; 0 for whole-file findings.
+    pub line: usize,
+    /// Rule id (one of [`RULES`]).
+    pub rule: &'static str,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(
+                f,
+                "{}: [{}] {}",
+                self.file.display(),
+                self.rule,
+                self.message
+            )
+        } else {
+            write!(
+                f,
+                "{}:{}: [{}] {}",
+                self.file.display(),
+                self.line,
+                self.rule,
+                self.message
+            )
+        }
+    }
+}
+
+impl Diagnostic {
+    fn new(file: &Path, line: usize, rule: &'static str, message: impl Into<String>) -> Self {
+        Diagnostic {
+            file: file.to_path_buf(),
+            line,
+            rule,
+            message: message.into(),
+        }
+    }
+}
+
+/// Runs every pass over the workspace at `root`. `rules` filters to the
+/// given rule ids (empty = all). Diagnostics come back sorted by
+/// (file, line, rule) so output is deterministic.
+pub fn run(root: &Path, rules: &[String]) -> Result<Vec<Diagnostic>, String> {
+    let mut diags = Vec::new();
+    diags.extend(source::run(root)?);
+    diags.extend(manifest::run(root)?);
+    diags.extend(artifact::run(root)?);
+    if !rules.is_empty() {
+        diags.retain(|d| rules.iter().any(|r| r == d.rule));
+    }
+    for d in &mut diags {
+        if let Ok(rel) = d.file.strip_prefix(root) {
+            d.file = rel.to_path_buf();
+        }
+    }
+    diags.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    Ok(diags)
+}
+
+/// Ascends from `start` to the nearest directory whose `Cargo.toml`
+/// declares a `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start);
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d.to_path_buf());
+            }
+        }
+        dir = d.parent();
+    }
+    None
+}
+
+/// Recursively lists `*.rs` files under `dir`, sorted for deterministic
+/// diagnostic order. Missing directories yield an empty list.
+fn rust_files(dir: &Path) -> Vec<PathBuf> {
+    let mut files = Vec::new();
+    collect_rust_files(dir, &mut files);
+    files.sort();
+    files
+}
+
+fn collect_rust_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rust_files(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Sorted immediate subdirectories of `dir` (empty if `dir` is missing).
+fn subdirs(dir: &Path) -> Vec<PathBuf> {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return Vec::new();
+    };
+    let mut dirs: Vec<PathBuf> = entries
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| p.is_dir())
+        .collect();
+    dirs.sort();
+    dirs
+}

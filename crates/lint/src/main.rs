@@ -1,0 +1,97 @@
+//! The `bdb-lint` command-line driver.
+//!
+//! ```text
+//! bdb-lint [--deny-warnings] [--root <dir>] [--rule <id>]... [--list-rules]
+//! ```
+//!
+//! Diagnostics print as `file:line: [rule] message`. Exit status is 0
+//! when the tree is clean (or when findings are only advisory), 1 when
+//! `--deny-warnings` is set and any diagnostic fired, 2 on usage or I/O
+//! errors.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut deny = false;
+    let mut root: Option<PathBuf> = None;
+    let mut rules: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--deny-warnings" => deny = true,
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => return usage("--root needs a directory"),
+            },
+            "--rule" => match args.next() {
+                Some(rule) => {
+                    if !bdb_lint::RULES.iter().any(|(id, _)| *id == rule) {
+                        return usage(&format!("unknown rule `{rule}` (try --list-rules)"));
+                    }
+                    rules.push(rule);
+                }
+                None => return usage("--rule needs a rule id"),
+            },
+            "--list-rules" => {
+                for (id, description) in bdb_lint::RULES {
+                    println!("{id:20} {description}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                println!(
+                    "bdb-lint — repo-native static analysis\n\n\
+                     USAGE: bdb-lint [--deny-warnings] [--root <dir>] [--rule <id>]... [--list-rules]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let start = root.unwrap_or_else(|| PathBuf::from("."));
+    let Some(workspace) = bdb_lint::find_workspace_root(&start) else {
+        eprintln!(
+            "bdb-lint: no workspace root found at or above {}",
+            start.display()
+        );
+        return ExitCode::from(2);
+    };
+
+    match bdb_lint::run(&workspace, &rules) {
+        Ok(diags) => {
+            for d in &diags {
+                println!("{d}");
+            }
+            if diags.is_empty() {
+                println!("bdb-lint: clean ({} rules)", effective_rules(&rules));
+                ExitCode::SUCCESS
+            } else {
+                println!("bdb-lint: {} diagnostic(s)", diags.len());
+                if deny {
+                    ExitCode::FAILURE
+                } else {
+                    ExitCode::SUCCESS
+                }
+            }
+        }
+        Err(e) => {
+            eprintln!("bdb-lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn effective_rules(rules: &[String]) -> usize {
+    if rules.is_empty() {
+        bdb_lint::RULES.len()
+    } else {
+        rules.len()
+    }
+}
+
+fn usage(message: &str) -> ExitCode {
+    eprintln!("bdb-lint: {message}");
+    ExitCode::from(2)
+}

@@ -1,0 +1,229 @@
+//! Source passes: `determinism` and `panic-hygiene`.
+
+use crate::lexer::{self, find_word, ScannedFile};
+use crate::Diagnostic;
+use std::path::{Path, PathBuf};
+
+/// Crate directory names whose sources feed profile bytes — the scope of
+/// the `determinism` rule. Anything nondeterministic here (unordered
+/// iteration, wall-clock, thread identity) can change cache bytes between
+/// runs or thread counts.
+const DETERMINISM_SCOPE: &[&str] = &["engine", "sim", "wcrt", "trace"];
+
+/// Tokens the `determinism` rule rejects, with the reason.
+const DETERMINISM_TOKENS: &[(&str, &str)] = &[
+    ("HashMap", "unordered collection; iteration order varies run to run — use BTreeMap/Vec, or annotate a keyed-lookup-only use"),
+    ("HashSet", "unordered collection; iteration order varies run to run — use BTreeSet/Vec, or annotate a keyed-lookup-only use"),
+    ("Instant", "wall-clock read; profile bytes must not depend on time"),
+    ("SystemTime", "wall-clock read; profile bytes must not depend on time"),
+    ("UNIX_EPOCH", "wall-clock read; profile bytes must not depend on time"),
+    ("ThreadId", "thread-identity query; profile bytes must not depend on scheduling"),
+    ("current_thread_index", "thread-identity query; profile bytes must not depend on scheduling"),
+];
+
+/// Runs both source passes over the workspace's library sources.
+pub fn run(root: &Path) -> Result<Vec<Diagnostic>, String> {
+    let mut diags = Vec::new();
+    for (crate_dir, src) in library_roots(root) {
+        let deterministic_scope = DETERMINISM_SCOPE.iter().any(|c| crate_dir == *c);
+        for file in crate::rust_files(&src) {
+            // Binaries are driver code, not library code: panic-hygiene
+            // and determinism both scope to the library surface.
+            if file.strip_prefix(&src).is_ok_and(|p| p.starts_with("bin")) {
+                continue;
+            }
+            let text = std::fs::read_to_string(&file)
+                .map_err(|e| format!("read {}: {e}", file.display()))?;
+            let scanned = lexer::scan(&text);
+            check_panic_hygiene(&file, &scanned, &mut diags);
+            if deterministic_scope {
+                check_determinism(&file, &scanned, &mut diags);
+            }
+        }
+    }
+    Ok(diags)
+}
+
+/// `(crate-dir-name, src-path)` pairs for the root package and every
+/// member under `crates/`. Vendored shims are exempt from source passes:
+/// they mirror external APIs (a test harness *should* panic on failure).
+fn library_roots(root: &Path) -> Vec<(String, PathBuf)> {
+    let mut roots = vec![("bigdatabench-repro".to_owned(), root.join("src"))];
+    for dir in crate::subdirs(&root.join("crates")) {
+        let name = dir
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        roots.push((name, dir.join("src")));
+    }
+    roots
+}
+
+fn check_panic_hygiene(file: &Path, scanned: &ScannedFile, diags: &mut Vec<Diagnostic>) {
+    const RULE: &str = "panic-hygiene";
+    for (idx, line) in scanned.lines.iter().enumerate() {
+        if line.in_test || line.code.is_empty() {
+            continue;
+        }
+        let code = &line.code;
+        let lineno = idx + 1;
+        let mut emit = |message: String| {
+            if !scanned.allowed(idx, RULE) {
+                diags.push(Diagnostic::new(file, lineno, RULE, message));
+            }
+        };
+        for at in word_sites(code, "unwrap") {
+            if preceded_by_dot(code, at) && followed_by_paren(code, at + "unwrap".len()) {
+                emit("`.unwrap()` in library code — propagate the error or annotate why aborting is right".into());
+            }
+        }
+        for at in word_sites(code, "expect") {
+            if preceded_by_dot(code, at)
+                && followed_by_paren(code, at + "expect".len())
+                && !receiver_is_self(code, at)
+            {
+                emit("`.expect(..)` in library code — propagate the error or annotate why aborting is right".into());
+            }
+        }
+        for at in word_sites(code, "panic") {
+            if code[at + "panic".len()..].starts_with('!') {
+                emit(
+                    "`panic!` in library code — return an error or annotate why aborting is right"
+                        .into(),
+                );
+            }
+        }
+    }
+}
+
+fn check_determinism(file: &Path, scanned: &ScannedFile, diags: &mut Vec<Diagnostic>) {
+    const RULE: &str = "determinism";
+    for (idx, line) in scanned.lines.iter().enumerate() {
+        if line.in_test || line.code.is_empty() {
+            continue;
+        }
+        let code = &line.code;
+        let lineno = idx + 1;
+        if scanned.allowed(idx, RULE) {
+            continue;
+        }
+        for (token, why) in DETERMINISM_TOKENS {
+            if lexer::contains_word(code, token) {
+                diags.push(Diagnostic::new(
+                    file,
+                    lineno,
+                    RULE,
+                    format!("`{token}` in a profile-producing path: {why}"),
+                ));
+            }
+        }
+        if code.contains("thread::current") {
+            diags.push(Diagnostic::new(
+                file,
+                lineno,
+                RULE,
+                "`thread::current` in a profile-producing path: profile bytes must not depend on scheduling".to_owned(),
+            ));
+        }
+    }
+}
+
+/// All word-boundary occurrences of `word` in `code`.
+fn word_sites(code: &str, word: &str) -> Vec<usize> {
+    let mut sites = Vec::new();
+    let mut from = 0;
+    while let Some(at) = find_word(code, word, from) {
+        sites.push(at);
+        from = at + word.len();
+    }
+    sites
+}
+
+fn preceded_by_dot(code: &str, at: usize) -> bool {
+    code[..at].trim_end().ends_with('.')
+}
+
+fn followed_by_paren(code: &str, after: usize) -> bool {
+    code[after..].trim_start().starts_with('(')
+}
+
+/// Whether the method receiver before the `.` at `at` is literally
+/// `self` — the JSON parser's own `self.expect(b'{')` is not
+/// `Result::expect`.
+fn receiver_is_self(code: &str, at: usize) -> bool {
+    let before = code[..at].trim_end();
+    let before = before.strip_suffix('.').map(str::trim_end).unwrap_or("");
+    before.ends_with("self")
+        && !before
+            .as_bytes()
+            .get(before.len().wrapping_sub(5))
+            .is_some_and(|b| b.is_ascii_alphanumeric() || *b == b'_')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::scan;
+
+    fn hygiene(src: &str) -> Vec<Diagnostic> {
+        let mut diags = Vec::new();
+        check_panic_hygiene(Path::new("x.rs"), &scan(src), &mut diags);
+        diags
+    }
+
+    fn determinism(src: &str) -> Vec<Diagnostic> {
+        let mut diags = Vec::new();
+        check_determinism(Path::new("x.rs"), &scan(src), &mut diags);
+        diags
+    }
+
+    #[test]
+    fn unwrap_flagged_outside_tests_only() {
+        assert_eq!(
+            hygiene("pub fn f(x: Option<u32>) { x.unwrap(); }\n").len(),
+            1
+        );
+        assert!(hygiene("#[cfg(test)]\nmod t {\n fn f() { x.unwrap(); }\n}\n").is_empty());
+    }
+
+    #[test]
+    fn unwrap_or_else_not_flagged() {
+        assert!(hygiene("let v = x.unwrap_or_else(Default::default);\n").is_empty());
+        assert!(hygiene("let v = x.unwrap_or(0);\n").is_empty());
+    }
+
+    #[test]
+    fn self_expect_is_a_parser_method_not_result() {
+        assert!(hygiene("self.expect(b'{')?;\n").is_empty());
+        assert_eq!(hygiene("value.expect(\"boom\");\n").len(), 1);
+    }
+
+    #[test]
+    fn panic_macro_flagged() {
+        assert_eq!(hygiene("panic!(\"no\");\n").len(), 1);
+        assert!(hygiene("// panic! only in a comment\n").is_empty());
+    }
+
+    #[test]
+    fn allow_comment_suppresses() {
+        let src = "// bdb-lint: allow(panic-hygiene): invariant documented\nx.unwrap();\n";
+        assert!(hygiene(src).is_empty());
+    }
+
+    #[test]
+    fn hashmap_flagged_and_allowable() {
+        assert_eq!(determinism("use std::collections::HashMap;\n").len(), 1);
+        let allowed =
+            "// bdb-lint: allow(determinism): keyed lookups only\nuse std::collections::HashMap;\n";
+        assert!(determinism(allowed).is_empty());
+    }
+
+    #[test]
+    fn wall_clock_and_thread_identity_flagged() {
+        assert_eq!(determinism("let t = Instant::now();\n").len(), 1);
+        assert_eq!(
+            determinism("let id = std::thread::current().id();\n").len(),
+            1
+        );
+    }
+}

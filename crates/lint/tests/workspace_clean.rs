@@ -1,0 +1,42 @@
+//! The workspace must stay lint-clean: every rule the paper's invariants
+//! demand (determinism, panic hygiene, catalog/metric/reduction contracts,
+//! artifact byte-stability) runs here against the real repository, so a
+//! violation fails `cargo test` before it ever reaches CI.
+
+use std::path::PathBuf;
+
+fn workspace_root() -> PathBuf {
+    // crates/lint -> crates -> repo root
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("lint crate lives two levels under the workspace root")
+        .to_path_buf()
+}
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = workspace_root();
+    let diags = bdb_lint::run(&root, &[]).expect("lint run succeeds");
+    assert!(
+        diags.is_empty(),
+        "bdb-lint found {} violation(s):\n{}",
+        diags.len(),
+        diags
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn every_rule_id_is_documented() {
+    for (rule, desc) in bdb_lint::RULES {
+        assert!(!rule.is_empty() && !desc.is_empty());
+        assert!(
+            rule.chars().all(|c| c.is_ascii_lowercase() || c == '-'),
+            "rule ids are kebab-case: {rule}"
+        );
+    }
+}

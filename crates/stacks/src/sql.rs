@@ -254,21 +254,26 @@ pub fn decode_row(mut bytes: &[u8]) -> Row {
     while !bytes.is_empty() {
         match bytes[0] {
             0 => {
+                // bdb-lint: allow(panic-hygiene): documented panic on malformed input.
                 let v = u64::from_be_bytes(bytes[1..9].try_into().expect("i64 field"));
                 row.push(Field::I64((v ^ (1 << 63)) as i64));
                 bytes = &bytes[9..];
             }
             1 => {
+                // bdb-lint: allow(panic-hygiene): documented panic on malformed input.
                 let v = f64::from_be_bytes(bytes[1..9].try_into().expect("f64 field"));
                 row.push(Field::F64(v));
                 bytes = &bytes[9..];
             }
             2 => {
+                // bdb-lint: allow(panic-hygiene): documented panic on malformed input.
                 let len = u32::from_be_bytes(bytes[1..5].try_into().expect("str len")) as usize;
+                // bdb-lint: allow(panic-hygiene): documented panic on malformed input.
                 let s = std::str::from_utf8(&bytes[5..5 + len]).expect("utf8 field");
                 row.push(Field::Str(s.to_owned()));
                 bytes = &bytes[5 + len..];
             }
+            // bdb-lint: allow(panic-hygiene): documented panic on malformed input.
             t => panic!("unknown field tag {t}"),
         }
     }
@@ -507,6 +512,7 @@ impl ImpalaExec<'_> {
                     let mut keys: Vec<Vec<u8>> = groups.keys().cloned().collect();
                     keys.sort();
                     for k in keys {
+                        // bdb-lint: allow(panic-hygiene): k was drawn from groups.keys().
                         let (mut row, sum, count) = groups.remove(&k).expect("key present");
                         match agg {
                             Agg::CountStar => row.push(Field::I64(count as i64)),

@@ -318,7 +318,28 @@ impl<'a> ExecCtx<'a> {
         self.frames.push(Frame { base, size, cursor });
     }
 
+    /// The active frame. Tracing micro-ops without an enclosing
+    /// [`frame`](Self::frame) call is API misuse: silently dropping the
+    /// op would corrupt the trace, so aborting is the right response.
+    fn top(&self) -> &Frame {
+        self.frames
+            .last()
+            // bdb-lint: allow(panic-hygiene): documented API contract.
+            .expect("micro-ops require an active frame")
+    }
+
+    /// Mutable variant of [`top`](Self::top), same contract.
+    fn top_mut(&mut self) -> &mut Frame {
+        self.frames
+            .last_mut()
+            // bdb-lint: allow(panic-hygiene): documented API contract.
+            .expect("micro-ops require an active frame")
+    }
+
     fn leave(&mut self) {
+        // A pop here is always paired with an enter() in frame(); a
+        // mismatch means the trace itself is corrupt, so abort.
+        // bdb-lint: allow(panic-hygiene): paired enter/leave contract.
         let top = self.frames.pop().expect("leave without matching enter");
         if let Some(caller) = self.frames.last() {
             let pc = top.pc();
@@ -337,10 +358,7 @@ impl<'a> ExecCtx<'a> {
 
     #[inline]
     fn emit(&mut self, op: MicroOp) {
-        let top = self
-            .frames
-            .last_mut()
-            .expect("micro-ops require an active frame");
+        let top = self.top_mut();
         let pc = top.pc();
         top.advance();
         self.ops += 1;
@@ -429,11 +447,7 @@ impl<'a> ExecCtx<'a> {
     /// [`loop_start`](Self::loop_start)/[`loop_back`](Self::loop_back) for
     /// backward loop branches.
     pub fn cond_branch(&mut self, taken: bool) {
-        let pc = self
-            .frames
-            .last()
-            .expect("branch requires an active frame")
-            .pc();
+        let pc = self.top().pc();
         self.emit(MicroOp::Branch {
             taken,
             target: pc + 4 * INSTR_BYTES,
@@ -447,7 +461,7 @@ impl<'a> ExecCtx<'a> {
     ///
     /// Panics if no frame is active.
     pub fn loop_start(&mut self) -> LoopLabel {
-        let top = self.frames.last().expect("loop requires an active frame");
+        let top = self.top();
         LoopLabel {
             cursor: top.cursor,
             depth: self.frames.len(),
@@ -468,7 +482,7 @@ impl<'a> ExecCtx<'a> {
             self.frames.len(),
             "loop_back must be called in the frame that created the label"
         );
-        let top = self.frames.last().expect("loop requires an active frame");
+        let top = self.top();
         let target = top.base + label.cursor;
         self.emit(MicroOp::Branch {
             taken,
@@ -476,8 +490,7 @@ impl<'a> ExecCtx<'a> {
             kind: BranchKind::Conditional,
         });
         if taken {
-            let top = self.frames.last_mut().expect("frame vanished");
-            top.cursor = label.cursor;
+            self.top_mut().cursor = label.cursor;
         }
     }
 
@@ -527,7 +540,7 @@ impl<'a> ExecCtx<'a> {
                     // constant sites after one visit; what separates
                     // platforms is predictor *capacity* across megabytes of
                     // code plus the loop/periodic sites.
-                    let pc = self.frames.last().expect("boilerplate needs a frame").pc();
+                    let pc = self.top().pc();
                     let site = (pc >> 2).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 56;
                     let taken = if site < 52 {
                         // ~20% of sites: periodic batch-boundary branches.

@@ -87,6 +87,7 @@ impl CodeLayout {
     /// Panics if `size == 0`.
     pub fn region(&mut self, name: impl Into<String>, size: u64) -> RegionId {
         assert!(size > 0, "code region must be non-empty");
+        // bdb-lint: allow(panic-hygiene): >4G regions is synthetic-trace abuse.
         let id = RegionId(u32::try_from(self.regions.len()).expect("too many regions"));
         let base = self.next_base;
         let padded = size.div_ceil(REGION_ALIGN) * REGION_ALIGN;

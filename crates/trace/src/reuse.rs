@@ -23,6 +23,9 @@
 //! assert_eq!(h.bucket_for_distance(1), 1);
 //! ```
 
+// The last-access map is keyed-lookup only (get/insert/remove by line
+// address, never iterated), so hash order cannot affect the histogram.
+// bdb-lint: allow(determinism): keyed-lookup-only map, never iterated.
 use std::collections::HashMap;
 
 /// Power-of-two bucketed reuse-distance histogram.
@@ -134,6 +137,7 @@ pub struct ReuseProfiler {
     line_shift: u32,
     window: usize,
     time: u64,
+    // bdb-lint: allow(determinism): keyed-lookup-only map, never iterated.
     last_access: HashMap<u64, u64>,
     fenwick: Fenwick,
     cold: u64,
@@ -167,6 +171,7 @@ impl ReuseProfiler {
             line_shift: line_bytes.trailing_zeros(),
             window,
             time: 0,
+            // bdb-lint: allow(determinism): keyed-lookup-only map.
             last_access: HashMap::new(),
             fenwick: Fenwick::new(window),
             cold: 0,

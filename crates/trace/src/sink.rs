@@ -260,6 +260,36 @@ mod tests {
     }
 
     #[test]
+    fn single_sink_fanout_matches_direct_delivery() {
+        let ops = [
+            MicroOp::Fp,
+            MicroOp::Load { addr: 8, size: 8 },
+            MicroOp::Store { addr: 16, size: 4 },
+            MicroOp::Branch {
+                taken: true,
+                target: 0,
+                kind: BranchKind::Conditional,
+            },
+        ];
+        let mut direct = MixSink::new();
+        for (pc, op) in ops.iter().enumerate() {
+            direct.exec(pc as u64 * 4, *op);
+        }
+        direct.finish();
+
+        let mut fanned = MixSink::new();
+        {
+            let mut fan = FanoutSink::new().with(&mut fanned);
+            assert_eq!(fan.len(), 1);
+            for (pc, op) in ops.iter().enumerate() {
+                fan.exec(pc as u64 * 4, *op);
+            }
+            fan.finish();
+        }
+        assert_eq!(fanned.mix(), direct.mix());
+    }
+
+    #[test]
     fn mut_ref_forwards() {
         let mut inner = CountingSink::new();
         {

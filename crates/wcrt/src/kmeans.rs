@@ -87,12 +87,9 @@ pub fn kmeans(data: &[Vec<f64>], k: usize, seed: u64, max_iters: usize) -> KMean
             let best = centroids
                 .iter()
                 .enumerate()
-                .min_by(|(_, a), (_, b)| {
-                    dist_sq(p, a)
-                        .partial_cmp(&dist_sq(p, b))
-                        .expect("finite distances")
-                })
+                .min_by(|(_, a), (_, b)| dist_sq(p, a).total_cmp(&dist_sq(p, b)))
                 .map(|(j, _)| j)
+                // bdb-lint: allow(panic-hygiene): k >= 1 is asserted at entry.
                 .expect("k >= 1");
             if assignments[i] != best {
                 assignments[i] = best;

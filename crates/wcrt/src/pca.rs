@@ -59,11 +59,7 @@ impl Pca {
         let (eigenvalues, eigenvectors) = jacobi_eigen(cov);
         // Sort descending by eigenvalue.
         let mut order: Vec<usize> = (0..dims).collect();
-        order.sort_by(|&a, &b| {
-            eigenvalues[b]
-                .partial_cmp(&eigenvalues[a])
-                .expect("finite eigenvalues")
-        });
+        order.sort_by(|&a, &b| eigenvalues[b].total_cmp(&eigenvalues[a]));
         let mut kept_values = Vec::new();
         let mut kept_vectors = Vec::new();
         let mut acc = 0.0;

@@ -15,9 +15,7 @@ pub fn select_representatives(data: &[Vec<f64>], clustering: &KMeansResult) -> V
             .enumerate()
             .filter(|&(_, &a)| a == c)
             .min_by(|&(i, _), &(j, _)| {
-                dist_sq(&data[i], centroid)
-                    .partial_cmp(&dist_sq(&data[j], centroid))
-                    .expect("finite distances")
+                dist_sq(&data[i], centroid).total_cmp(&dist_sq(&data[j], centroid))
             })
             .map(|(i, _)| i);
         if let Some(i) = best {

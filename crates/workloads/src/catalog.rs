@@ -251,6 +251,9 @@ pub fn representatives() -> Vec<WorkloadDef> {
             catalog
                 .iter()
                 .find(|w| w.spec.id == *id)
+                // IDS is a static list pinned to the catalog; a miss
+                // here is a paper-invariant violation, so abort.
+                // bdb-lint: allow(panic-hygiene): static id list.
                 .unwrap_or_else(|| panic!("representative {id} missing from catalog"))
                 .clone()
         })

@@ -137,6 +137,7 @@ pub fn resume_records(scale: Scale) -> Vec<Record> {
         .rows()
         .iter()
         .map(|row| {
+            // bdb-lint: allow(panic-hygiene): column 0 is I64 by schema.
             let id = row[0].as_i64().expect("person_id");
             let mut value = Vec::with_capacity(256);
             for f in &row[1..] {

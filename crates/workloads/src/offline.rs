@@ -85,9 +85,29 @@ fn f64s_to_bytes(v: &[f64]) -> Vec<u8> {
 }
 
 fn bytes_to_f64s(b: &[u8]) -> Vec<f64> {
-    b.chunks_exact(8)
-        .map(|c| f64::from_le_bytes(c.try_into().expect("8 bytes")))
-        .collect()
+    b.chunks_exact(8).map(le_f64).collect()
+}
+
+// Record keys and values in this module are fixed-width by construction
+// (the emitters in the same workload write them), so a short slice is an
+// internal bug worth an immediate abort, not a recoverable error.
+
+/// Decodes the leading 4 bytes of a record key/value as big-endian `u32`.
+fn be_u32(b: &[u8]) -> u32 {
+    // bdb-lint: allow(panic-hygiene): fixed-width record by construction.
+    u32::from_be_bytes(b[..4].try_into().expect("4-byte field"))
+}
+
+/// Decodes the leading 4 bytes of a record value as little-endian `u32`.
+fn le_u32(b: &[u8]) -> u32 {
+    // bdb-lint: allow(panic-hygiene): fixed-width record by construction.
+    u32::from_le_bytes(b[..4].try_into().expect("4-byte field"))
+}
+
+/// Decodes the leading 8 bytes of a record value as little-endian `f64`.
+fn le_f64(b: &[u8]) -> f64 {
+    // bdb-lint: allow(panic-hygiene): fixed-width record by construction.
+    f64::from_le_bytes(b[..8].try_into().expect("8-byte field"))
 }
 
 // ---------------------------------------------------------------------------
@@ -226,7 +246,7 @@ pub fn hadoop_bayes(sink: &mut dyn TraceSink, scale: Scale) -> RunStats {
                 for (i, chunk) in record.value.chunks_exact(4).enumerate() {
                     ctx.read(addr + i as u64 * 4, 4);
                     ctx.int_other(2);
-                    let word = u32::from_le_bytes(chunk.try_into().expect("4 bytes"));
+                    let word = le_u32(chunk);
                     let mut key = vec![class];
                     key.extend_from_slice(&word.to_be_bytes());
                     out.emit(Record::new(key, 1u64.to_be_bytes().to_vec()));
@@ -433,7 +453,7 @@ pub fn hadoop_pagerank(
     }
     impl Mapper for ContribMapper {
         fn map(&mut self, ctx: &mut ExecCtx<'_>, record: &Record, addr: u64, out: &mut Emitter) {
-            let src = u32::from_be_bytes(record.key[..4].try_into().expect("4-byte key")) as usize;
+            let src = be_u32(&record.key) as usize;
             let degree = record.value.len() / 4;
             if degree == 0 {
                 return;
@@ -469,7 +489,7 @@ pub fn hadoop_pagerank(
                 for (i, v) in values.iter().enumerate() {
                     ctx.read_fp(addr + i as u64 * 8, 8);
                     ctx.fp_ops(1);
-                    acc += f64::from_le_bytes(v.value[..8].try_into().expect("8 bytes"));
+                    acc += le_f64(&v.value);
                     ctx.loop_back(top, i + 1 < values.len());
                 }
                 ctx.fp_ops(2);
@@ -489,8 +509,8 @@ pub fn hadoop_pagerank(
         let mut reducer = RankReducer { kernel: red_k };
         let out = engine.run(&mut ctx, &input, &mut mapper, None, &mut reducer);
         for rec in &out.records {
-            let v = u32::from_be_bytes(rec.key[..4].try_into().expect("4 bytes")) as usize;
-            ranks[v] = f64::from_le_bytes(rec.value[..8].try_into().expect("8 bytes"));
+            let v = be_u32(&rec.key) as usize;
+            ranks[v] = le_f64(&rec.value);
         }
         stats.merge(out.stats);
     }
@@ -525,7 +545,7 @@ pub fn hadoop_cc(sink: &mut dyn TraceSink, scale: Scale, iterations: usize) -> R
     }
     impl Mapper for PropagateMapper {
         fn map(&mut self, ctx: &mut ExecCtx<'_>, record: &Record, addr: u64, out: &mut Emitter) {
-            let src = u32::from_be_bytes(record.key[..4].try_into().expect("4 bytes")) as usize;
+            let src = be_u32(&record.key) as usize;
             let label = self.labels[src];
             ctx.frame(self.kernel.region, |ctx| {
                 // Keep own label in play, and push it to every neighbour.
@@ -561,7 +581,7 @@ pub fn hadoop_cc(sink: &mut dyn TraceSink, scale: Scale, iterations: usize) -> R
                 let top = ctx.loop_start();
                 for (i, v) in values.iter().enumerate() {
                     ctx.read(addr + i as u64 * 4, 4);
-                    let x = u32::from_be_bytes(v.value[..4].try_into().expect("4 bytes"));
+                    let x = be_u32(&v.value);
                     let smaller = x < min;
                     ctx.cond_branch(smaller);
                     if smaller {
@@ -585,8 +605,8 @@ pub fn hadoop_cc(sink: &mut dyn TraceSink, scale: Scale, iterations: usize) -> R
         let mut reducer = MinReducer { kernel: red_k };
         let out = engine.run(&mut ctx, &input, &mut mapper, None, &mut reducer);
         for rec in &out.records {
-            let v = u32::from_be_bytes(rec.key[..4].try_into().expect("4 bytes")) as usize;
-            labels[v] = u32::from_be_bytes(rec.value[..4].try_into().expect("4 bytes"));
+            let v = be_u32(&rec.key) as usize;
+            labels[v] = be_u32(&rec.value);
         }
         stats.merge(out.stats);
     }
@@ -829,7 +849,7 @@ pub fn spark_pagerank(
             let ops0 = ctx.ops_retired();
             let ranks_snapshot = ranks.clone();
             let contribs = df.narrow(ctx, "contrib", &links, &mut |ctx, rec, addr, out| {
-                let src = u32::from_be_bytes(rec.key[..4].try_into().expect("4 bytes")) as usize;
+                let src = be_u32(&rec.key) as usize;
                 let degree = rec.value.len() / 4;
                 if degree == 0 {
                     return;
@@ -848,14 +868,14 @@ pub fn spark_pagerank(
             });
             let sums = df.reduce_by_key(ctx, &contribs, &mut |ctx, a, b| {
                 ctx.fp_ops(1);
-                let x = f64::from_le_bytes(a.value[..8].try_into().expect("8 bytes"));
-                let y = f64::from_le_bytes(b.value[..8].try_into().expect("8 bytes"));
+                let x = le_f64(&a.value);
+                let y = le_f64(&b.value);
                 Record::new(a.key.clone(), (x + y).to_le_bytes().to_vec())
             });
             for part in &sums.parts {
                 for rec in &part.records {
-                    let v = u32::from_be_bytes(rec.key[..4].try_into().expect("4 bytes")) as usize;
-                    let sum = f64::from_le_bytes(rec.value[..8].try_into().expect("8 bytes"));
+                    let v = be_u32(&rec.key) as usize;
+                    let sum = le_f64(&rec.value);
                     ranks[v] = 0.15 + 0.85 * sum;
                 }
             }
@@ -895,7 +915,7 @@ pub fn spark_cc(sink: &mut dyn TraceSink, scale: Scale, iterations: usize) -> Ru
             let ops0 = ctx.ops_retired();
             let snapshot = labels.clone();
             let msgs = df.narrow(ctx, "propagate", &links, &mut |ctx, rec, addr, out| {
-                let src = u32::from_be_bytes(rec.key[..4].try_into().expect("4 bytes")) as usize;
+                let src = be_u32(&rec.key) as usize;
                 let label = snapshot[src];
                 ctx.frame(k.region, |ctx| {
                     out.emit(Record::new(rec.key.clone(), label.to_be_bytes().to_vec()));
@@ -910,14 +930,14 @@ pub fn spark_cc(sink: &mut dyn TraceSink, scale: Scale, iterations: usize) -> Ru
             });
             let mins = df.reduce_by_key(ctx, &msgs, &mut |ctx, a, b| {
                 ctx.int_other(1);
-                let x = u32::from_be_bytes(a.value[..4].try_into().expect("4 bytes"));
-                let y = u32::from_be_bytes(b.value[..4].try_into().expect("4 bytes"));
+                let x = be_u32(&a.value);
+                let y = be_u32(&b.value);
                 Record::new(a.key.clone(), x.min(y).to_be_bytes().to_vec())
             });
             for part in &mins.parts {
                 for rec in &part.records {
-                    let v = u32::from_be_bytes(rec.key[..4].try_into().expect("4 bytes")) as usize;
-                    labels[v] = u32::from_be_bytes(rec.value[..4].try_into().expect("4 bytes"));
+                    let v = be_u32(&rec.key) as usize;
+                    labels[v] = be_u32(&rec.value);
                 }
             }
             df.note_compute_phase(ctx, &format!("cc_iter{iter}"), ops0);
@@ -1222,9 +1242,8 @@ pub fn mpi_pagerank(
                         for (i, entry) in msg.value.chunks_exact(12).enumerate() {
                             ctx.read_fp(region.base() + (i as u64 * 12) % region.len(), 8);
                             ctx.fp_ops(1);
-                            let dst = u32::from_be_bytes(entry[..4].try_into().expect("4 bytes"))
-                                as usize;
-                            let c = f64::from_le_bytes(entry[4..12].try_into().expect("8 bytes"));
+                            let dst = be_u32(entry) as usize;
+                            let c = le_f64(&entry[4..]);
                             incoming[dst] += c;
                             ctx.loop_back(top, i + 1 < entries.max(1));
                         }

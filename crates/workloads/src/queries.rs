@@ -89,6 +89,7 @@ pub fn query_plan(kernel: KernelKind, data: QueryData) -> Plan {
             .filter(Pred::I64Eq(7, 1998))
             .aggregate(vec![8], Agg::SumF64(4))
             .sort(0, false),
+        // bdb-lint: allow(panic-hygiene): combinations are fixed by the catalog.
         (data, kernel) => panic!("unsupported query workload: {kernel:?} on {data:?}"),
     }
 }
@@ -144,6 +145,7 @@ pub fn run_query(
             ctx.finish();
             stats
         }
+        // bdb-lint: allow(panic-hygiene): engines are fixed by the catalog.
         other => panic!("{other} is not a SQL engine"),
     }
 }

@@ -1,0 +1,20 @@
+//! Tier-1 entry point for the static analysis layer: `cargo test -q` at
+//! the workspace root runs `bdb-lint` over the whole repository, so the
+//! determinism / panic-hygiene / contract rules gate every change even
+//! without the CI lint job.
+
+#[test]
+fn repository_passes_bdb_lint() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    let diags = bdb_lint::run(root, &[]).expect("lint run succeeds");
+    assert!(
+        diags.is_empty(),
+        "bdb-lint found {} violation(s):\n{}\n\nsee DESIGN.md §11 for the rule catalog and allowlist policy",
+        diags.len(),
+        diags
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
