@@ -11,29 +11,30 @@
 //! [`profile_on_xeon`] and sweeps via [`group_sweep`], which all route
 //! through one lazily-built [`bdb_engine::Engine`]. That gives every
 //! binary parallel fan-out plus the on-disk profile cache for free.
-//! Environment knobs:
+//! Environment knobs (parsed by [`EngineConfig::from_env`], shared with
+//! `bdb-clusterd` so the harness and workers cannot drift; every binary's
+//! `--help` renders the same list via [`help_text`]):
 //!
 //! * `BDB_CACHE_DIR` — cache directory (default: `results/cache/` at the
 //!   workspace root).
 //! * `BDB_NO_CACHE=1` — disable the disk cache for this run.
 //! * `BDB_THREADS=<n>` — cap the worker pool (default: all cores).
+//! * `BDB_CACHE_MAX_BYTES=<n>` — cap the disk cache (LRU eviction).
+//! * `BDB_CLUSTER=<addr,addr>` — profile via remote `bdb-clusterd`
+//!   workers instead of the local engine (also `--cluster addr,addr`).
 
+use bdb_cluster::{profile_all_distributed, TcpTransport, Transport};
 use bdb_engine::{Engine, EngineConfig};
 use bdb_node::NodeConfig;
 use bdb_sim::MachineConfig;
 use bdb_wcrt::profile::WorkloadProfile;
 use bdb_wcrt::SystemClass;
 use bdb_workloads::{Category, Scale, WorkloadDef};
-use std::path::PathBuf;
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
 
 static ENGINE: OnceLock<Engine> = OnceLock::new();
-
-/// `results/cache/` at the workspace root, independent of the cwd the
-/// binary was launched from.
-fn default_cache_dir() -> PathBuf {
-    PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../../results/cache"))
-}
+static CLUSTER: OnceLock<Option<Vec<String>>> = OnceLock::new();
 
 /// The process-wide execution engine every measurement flows through.
 ///
@@ -42,30 +43,78 @@ fn default_cache_dir() -> PathBuf {
 /// one instance, so a profile computed for one table is a memory-cache
 /// hit for the next.
 pub fn engine() -> &'static Engine {
-    ENGINE.get_or_init(|| {
-        let mut config = EngineConfig::default();
-        if std::env::var_os("BDB_NO_CACHE").is_none() {
-            let dir = std::env::var_os("BDB_CACHE_DIR")
-                .map(PathBuf::from)
-                .unwrap_or_else(default_cache_dir);
-            config = config.cache_dir(dir);
-        }
-        if let Some(threads) = std::env::var("BDB_THREADS")
-            .ok()
-            .and_then(|t| t.parse().ok())
-        {
-            config = config.threads(threads);
-        }
-        Engine::new(config)
-    })
+    ENGINE.get_or_init(|| Engine::new(EngineConfig::from_env()))
 }
 
-/// Parses `--scale tiny|small|paper|<factor>` from argv (default: small).
+/// Worker addresses for distributed profiling, if configured via
+/// `--cluster a,b` or `BDB_CLUSTER=a,b`. `None` means run locally.
+pub fn cluster_addrs() -> Option<&'static [String]> {
+    CLUSTER
+        .get_or_init(|| {
+            let args: Vec<String> = std::env::args().collect();
+            let mut spec = None;
+            for pair in args.windows(2) {
+                if pair[0] == "--cluster" {
+                    spec = Some(pair[1].clone());
+                }
+            }
+            let spec = spec.or_else(|| std::env::var("BDB_CLUSTER").ok())?;
+            let addrs: Vec<String> = spec
+                .split(',')
+                .filter(|a| !a.is_empty())
+                .map(str::to_owned)
+                .collect();
+            (!addrs.is_empty()).then_some(addrs)
+        })
+        .as_deref()
+}
+
+/// The usage text every figure/table binary prints for `--help`: one
+/// shared renderer, so the option and environment-knob lists cannot
+/// drift between binaries (a test greps this for every knob).
+pub fn help_text(bin: &str) -> String {
+    format!(
+        "\
+{bin}: regenerates one table/figure of the paper reproduction
+
+USAGE:
+    {bin} [--scale tiny|small|paper|<factor>] [--cluster <addr,addr,...>]
+
+OPTIONS:
+    --scale <s>       Input scale (default small; paper regenerates reported numbers)
+    --cluster <list>  Profile via remote bdb-clusterd workers (comma-separated addresses)
+    -h, --help        Print this help
+
+ENVIRONMENT:
+    BDB_THREADS          Worker-pool width for the local engine (default: all cores)
+    BDB_CACHE_DIR        Profile-cache directory (default: results/cache/)
+    BDB_NO_CACHE         Set to disable the disk cache
+    BDB_CACHE_MAX_BYTES  Disk-cache size cap in bytes with LRU eviction (default: unbounded)
+    BDB_CLUSTER          Worker addresses, same meaning as --cluster
+"
+    )
+}
+
+/// Parses `--scale tiny|small|paper|<factor>` from argv (default: small),
+/// and handles `--help`/`-h` by printing [`help_text`] and exiting.
 ///
 /// The figure binaries accept this so CI can smoke-test them quickly while
 /// `--scale paper` regenerates the reported numbers.
 pub fn scale_from_args() -> Scale {
     let args: Vec<String> = std::env::args().collect();
+    if args.iter().skip(1).any(|a| a == "--help" || a == "-h") {
+        let bin = args
+            .first()
+            .map(|p| {
+                std::path::Path::new(p)
+                    .file_stem()
+                    .map(|s| s.to_string_lossy().into_owned())
+                    .unwrap_or_else(|| p.clone())
+            })
+            .unwrap_or_else(|| "bdb-bench".to_owned());
+        print!("{}", help_text(&bin));
+        std::process::exit(0);
+    }
     let mut scale = Scale::small();
     for pair in args.windows(2) {
         if pair[0] == "--scale" {
@@ -85,15 +134,43 @@ pub fn scale_from_args() -> Scale {
     scale
 }
 
-/// Profiles workloads on an arbitrary platform through the shared
-/// [`engine`] (parallel, cached).
+/// Profiles workloads on an arbitrary platform. With a cluster
+/// configured ([`cluster_addrs`]) the batch is sharded across the remote
+/// workers — the merge is byte-identical to a local run, so callers
+/// cannot tell the difference; any cluster failure falls back to the
+/// local [`engine`] with a warning rather than aborting the figure.
 pub fn profile_on(
     defs: &[WorkloadDef],
     scale: Scale,
     machine: &MachineConfig,
     node: &NodeConfig,
 ) -> Vec<WorkloadProfile> {
+    if let Some(addrs) = cluster_addrs() {
+        match profile_via_cluster(addrs, defs, scale, machine, node) {
+            Ok(profiles) => return profiles,
+            Err(e) => {
+                eprintln!("warning: distributed run failed ({e}); falling back to local engine");
+            }
+        }
+    }
     engine().profile_all(defs, scale, machine, node)
+}
+
+/// One coordinator session over TCP: dial every worker, shard, merge.
+fn profile_via_cluster(
+    addrs: &[String],
+    defs: &[WorkloadDef],
+    scale: Scale,
+    machine: &MachineConfig,
+    node: &NodeConfig,
+) -> Result<Vec<WorkloadProfile>, String> {
+    let mut workers: Vec<Arc<dyn Transport>> = Vec::new();
+    for addr in addrs {
+        let transport = TcpTransport::connect(addr, Duration::from_secs(10))
+            .map_err(|e| format!("worker {addr}: {e}"))?;
+        workers.push(Arc::new(transport));
+    }
+    profile_all_distributed(workers, defs, scale, machine, node).map_err(|e| e.to_string())
 }
 
 /// Profiles workloads on the reference platform (Xeon E5645 + default node).

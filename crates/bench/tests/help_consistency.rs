@@ -1,0 +1,64 @@
+//! Guards against `--help` / environment-knob drift.
+//!
+//! Every engine-backed figure/table binary renders its help through the
+//! single shared [`bdb_bench::help_text`] (wired in via
+//! `scale_from_args`). These tests pin both halves of that invariant:
+//! the shared text lists every knob the engine actually reads, and every
+//! engine-backed binary actually routes through the shared parser.
+
+use std::path::Path;
+
+/// Every CLI option and environment variable the engine layer honours.
+/// Adding a knob to `EngineConfig::from_env` or `cluster_addrs` without
+/// documenting it here (and thus in every binary's --help) is a bug.
+const REQUIRED_KNOBS: &[&str] = &[
+    "--scale",
+    "--cluster",
+    "BDB_THREADS",
+    "BDB_CACHE_DIR",
+    "BDB_NO_CACHE",
+    "BDB_CACHE_MAX_BYTES",
+    "BDB_CLUSTER",
+];
+
+#[test]
+fn shared_help_lists_every_engine_knob() {
+    let help = bdb_bench::help_text("fig1_instruction_mix");
+    for knob in REQUIRED_KNOBS {
+        assert!(
+            help.contains(knob),
+            "help text is missing the {knob} knob:\n{help}"
+        );
+    }
+    assert!(help.contains("fig1_instruction_mix"), "bin name rendered");
+}
+
+#[test]
+fn every_engine_backed_binary_wires_the_shared_help() {
+    let bin_dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("src/bin");
+    let mut checked = 0;
+    for entry in std::fs::read_dir(&bin_dir).expect("list src/bin") {
+        let path = entry.expect("dir entry").path();
+        if path.extension().and_then(|e| e.to_str()) != Some("rs") {
+            continue;
+        }
+        let source = std::fs::read_to_string(&path).expect("read bin source");
+        let engine_backed = ["profile_on", "engine()", "group_sweep", "suite_profiles"]
+            .iter()
+            .any(|marker| source.contains(marker));
+        if !engine_backed {
+            continue;
+        }
+        assert!(
+            source.contains("scale_from_args"),
+            "{} profiles through the engine but does not call scale_from_args, \
+             so it lacks the shared --help/--scale/--cluster handling",
+            path.display()
+        );
+        checked += 1;
+    }
+    assert!(
+        checked >= 19,
+        "expected at least 19 engine-backed binaries, found {checked}"
+    );
+}

@@ -1,0 +1,166 @@
+//! `bdb-clusterd` — one profiling worker serving cluster coordinators.
+//!
+//! Listens on `--listen <addr>` (default `127.0.0.1:0`; the bound
+//! address is printed as `listening on <addr>` so scripts can scrape an
+//! ephemeral port) and serves coordinator sessions sequentially: each
+//! accepted connection runs the worker loop to completion before the
+//! next is accepted. The local engine is built from the standard `BDB_*`
+//! environment knobs, so a worker with a warm `results/cache/` answers
+//! repeat tasks without re-simulating.
+//!
+//! Fault-injection flags (for smoke tests; omit them in real runs):
+//!
+//! * `--fault-crash-task <k>` — exit(3) when assigned the k-th task.
+//! * `--fault-drop-frames <n>` — drop the connection after n frames.
+//! * `--fault-delay-ms <ms>` — delay every outbound reply.
+//! * `--fault-dup-results` — send every Result frame twice.
+//!
+//! With any crash/drop fault the daemon serves exactly one session and
+//! then exits (a crashed worker must stay dead so the coordinator's
+//! recovery path is actually exercised); otherwise it serves forever.
+
+use bdb_cluster::{
+    run_worker, FaultPlan, FaultyTransport, TcpTransport, WorkerConfig, WorkerError,
+};
+use bdb_engine::{Engine, EngineConfig};
+use std::net::TcpListener;
+use std::process::ExitCode;
+use std::time::Duration;
+
+const USAGE: &str = "\
+bdb-clusterd: profiling worker for distributed fleet runs
+
+USAGE:
+    bdb-clusterd [--listen <addr>] [--name <name>] [fault flags]
+
+OPTIONS:
+    --listen <addr>          Bind address (default 127.0.0.1:0)
+    --name <name>            Worker name sent in Hello (default: the bound address)
+    --fault-crash-task <k>   Injected fault: exit(3) when assigned task #k (0-based)
+    --fault-drop-frames <n>  Injected fault: drop the connection after n frames
+    --fault-delay-ms <ms>    Injected fault: delay every outbound reply by ms
+    --fault-dup-results      Injected fault: send every Result frame twice
+    -h, --help               Print this help
+
+ENVIRONMENT:
+    BDB_THREADS          Worker-pool width for the local engine (default: all cores)
+    BDB_CACHE_DIR        Profile-cache directory (default: results/cache/)
+    BDB_NO_CACHE         Set to disable the disk cache
+    BDB_CACHE_MAX_BYTES  Disk-cache size cap with LRU eviction (default: unbounded)
+";
+
+struct Args {
+    listen: String,
+    name: Option<String>,
+    faults: FaultPlan,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        listen: "127.0.0.1:0".to_owned(),
+        name: None,
+        faults: FaultPlan::default(),
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let value = |i: &mut usize, flag: &str| -> Result<String, String> {
+        *i += 1;
+        argv.get(*i)
+            .cloned()
+            .ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--listen" => args.listen = value(&mut i, "--listen")?,
+            "--name" => args.name = Some(value(&mut i, "--name")?),
+            "--fault-crash-task" => {
+                let v = value(&mut i, "--fault-crash-task")?;
+                args.faults.crash_on_task =
+                    Some(v.parse().map_err(|_| format!("bad task number {v:?}"))?);
+            }
+            "--fault-drop-frames" => {
+                let v = value(&mut i, "--fault-drop-frames")?;
+                args.faults.drop_after_frames =
+                    Some(v.parse().map_err(|_| format!("bad frame count {v:?}"))?);
+            }
+            "--fault-delay-ms" => {
+                let v = value(&mut i, "--fault-delay-ms")?;
+                args.faults.delay_reply = Some(Duration::from_millis(
+                    v.parse().map_err(|_| format!("bad delay {v:?}"))?,
+                ));
+            }
+            "--fault-dup-results" => args.faults.duplicate_results = true,
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+        i += 1;
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("bdb-clusterd: {e}");
+            eprint!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let listener = match TcpListener::bind(&args.listen) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("bdb-clusterd: bind {}: {e}", args.listen);
+            return ExitCode::from(2);
+        }
+    };
+    let bound = listener
+        .local_addr()
+        .map(|a| a.to_string())
+        .unwrap_or_else(|_| args.listen.clone());
+    println!("listening on {bound}");
+    let name = args.name.clone().unwrap_or_else(|| bound.clone());
+    let engine = Engine::new(EngineConfig::from_env());
+    // A crash/drop plan is one-shot by design: the dead worker must stay
+    // dead for the coordinator's recovery to be exercised end to end.
+    let one_shot = args.faults.crash_on_task.is_some() || args.faults.drop_after_frames.is_some();
+    for stream in listener.incoming() {
+        let stream = match stream {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("bdb-clusterd: accept: {e}");
+                continue;
+            }
+        };
+        let peer = stream
+            .peer_addr()
+            .map(|a| a.to_string())
+            .unwrap_or_else(|_| "?".to_owned());
+        let transport = match TcpTransport::from_stream(stream, &peer) {
+            Ok(t) => FaultyTransport::new(t, args.faults.clone()),
+            Err(e) => {
+                eprintln!("bdb-clusterd: session setup with {peer}: {e}");
+                continue;
+            }
+        };
+        let config = WorkerConfig {
+            name: name.clone(),
+            faults: args.faults.clone(),
+        };
+        match run_worker(&transport, &engine, &config) {
+            Ok(served) => eprintln!("bdb-clusterd: session with {peer} done ({served} tasks)"),
+            Err(WorkerError::InjectedCrash { task_number }) => {
+                eprintln!("bdb-clusterd: injected crash on task #{task_number}");
+                return ExitCode::from(3);
+            }
+            Err(e) => eprintln!("bdb-clusterd: session with {peer} failed: {e}"),
+        }
+        if one_shot {
+            return ExitCode::SUCCESS;
+        }
+    }
+    ExitCode::SUCCESS
+}

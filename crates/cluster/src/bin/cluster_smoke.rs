@@ -1,0 +1,102 @@
+//! `cluster-smoke` — byte-level oracle for distributed vs. serial runs.
+//!
+//! Profiles the first N catalog workloads and prints one canonical-JSON
+//! line per profile, in catalog order. Without `--cluster` the profiles
+//! come from a fully serial local engine; with `--cluster a,b,...` they
+//! come from a coordinator run over the listed TCP workers. Because the
+//! cluster contract is *byte* identity, CI simply diffs the two outputs:
+//!
+//! ```text
+//! cluster-smoke --workloads 12 > serial.jsonl
+//! cluster-smoke --workloads 12 --cluster 127.0.0.1:9001,127.0.0.1:9002 > cluster.jsonl
+//! diff serial.jsonl cluster.jsonl
+//! ```
+
+use bdb_cluster::{profile_all_distributed, TcpTransport, Transport};
+use bdb_engine::{codec, Engine};
+use bdb_node::NodeConfig;
+use bdb_sim::MachineConfig;
+use bdb_workloads::{catalog, Scale};
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
+
+const USAGE: &str = "\
+cluster-smoke: print canonical profile bytes, serially or via a cluster
+
+USAGE:
+    cluster-smoke [--workloads <n>] [--scale tiny|small|paper|<factor>] [--cluster <addr,addr,...>]
+
+OPTIONS:
+    --workloads <n>   Profile the first n catalog workloads (default 12)
+    --scale <s>       Input scale (default tiny)
+    --cluster <list>  Comma-separated worker addresses; omit for a serial local run
+    -h, --help        Print this help
+";
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.iter().any(|a| a == "-h" || a == "--help") {
+        print!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    let mut count: usize = 12;
+    let mut scale = Scale::tiny();
+    let mut cluster: Option<String> = None;
+    for pair in argv.windows(2) {
+        match pair[0].as_str() {
+            "--workloads" => match pair[1].parse() {
+                Ok(n) => count = n,
+                Err(_) => {
+                    eprintln!("cluster-smoke: bad workload count {:?}", pair[1]);
+                    return ExitCode::from(2);
+                }
+            },
+            "--scale" => {
+                scale = match pair[1].as_str() {
+                    "tiny" => Scale::tiny(),
+                    "small" => Scale::small(),
+                    "paper" => Scale::paper(),
+                    other => match other.parse() {
+                        Ok(f) => Scale::custom(f),
+                        Err(_) => {
+                            eprintln!("cluster-smoke: bad scale {other:?}");
+                            return ExitCode::from(2);
+                        }
+                    },
+                }
+            }
+            "--cluster" => cluster = Some(pair[1].clone()),
+            _ => {}
+        }
+    }
+    let workloads: Vec<_> = catalog::full_catalog().into_iter().take(count).collect();
+    let machine = MachineConfig::xeon_e5645();
+    let node = NodeConfig::default();
+    let profiles = match cluster {
+        None => Engine::serial().profile_all(&workloads, scale, &machine, &node),
+        Some(addrs) => {
+            let mut workers: Vec<Arc<dyn Transport>> = Vec::new();
+            for addr in addrs.split(',').filter(|a| !a.is_empty()) {
+                match TcpTransport::connect(addr, Duration::from_secs(10)) {
+                    Ok(t) => workers.push(Arc::new(t)),
+                    Err(e) => {
+                        eprintln!("cluster-smoke: worker {addr}: {e}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            match profile_all_distributed(workers, &workloads, scale, &machine, &node) {
+                Ok(profiles) => profiles,
+                Err(e) => {
+                    eprintln!("cluster-smoke: distributed run failed: {e}");
+                    return ExitCode::from(1);
+                }
+            }
+        }
+    };
+    for profile in &profiles {
+        println!("{}", codec::profile_to_value(profile).encode());
+    }
+    ExitCode::SUCCESS
+}

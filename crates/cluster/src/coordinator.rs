@@ -1,0 +1,538 @@
+//! The coordinator: shard a task batch across workers and merge results
+//! bit-identically to a serial run.
+//!
+//! # Scheduling
+//!
+//! Tasks are first split into contiguous static chunks, one per worker
+//! (good locality for per-worker disk caches). When a worker drains its
+//! own chunk it *steals* from the back of the longest surviving plan —
+//! pull-based dynamic balancing without any shared queue contention.
+//! Failed or orphaned tasks enter a retry queue with capped exponential
+//! backoff and are handed to the next idle worker once their backoff
+//! expires.
+//!
+//! # Liveness and time
+//!
+//! The scheduler owns no wall clock (the determinism lint bans
+//! `Instant`/`SystemTime` in this crate). Time is counted in *ticks*: a
+//! tick elapses each time the event loop's `recv_timeout` expires with
+//! no traffic, so ticks advance only while the fleet is quiet — exactly
+//! when deadlines and heartbeats matter. Per-task deadlines, heartbeat
+//! probing of idle workers, and retry backoff are all tick-denominated.
+//!
+//! # Bit-identity
+//!
+//! The merged output is ordered by task index, not completion order, so
+//! worker count, stealing, retries, and duplicate deliveries cannot
+//! reorder it. Duplicate `Result` frames are deduplicated by task index
+//! (first verified result wins), and every result's content fingerprint
+//! is checked against the coordinator's locally computed expectation —
+//! a mismatched worker is treated as faulty and its work re-run.
+
+use crate::proto::{Message, PROTOCOL_VERSION};
+use crate::transport::Transport;
+use bdb_engine::Task;
+use bdb_wcrt::WorkloadProfile;
+use std::collections::VecDeque;
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Tunables for one coordinator run. Times are in scheduler ticks; see
+/// the module docs for tick semantics.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Event-loop poll interval — the real-time length of one tick.
+    pub tick: Duration,
+    /// Quiet ticks before an in-flight task's worker is declared slow
+    /// and the task reassigned.
+    pub task_deadline_ticks: u64,
+    /// Probe idle workers with a heartbeat every this many ticks.
+    pub heartbeat_every_ticks: u64,
+    /// Unanswered probes before an idle worker is declared dead.
+    pub heartbeat_miss_limit: u32,
+    /// Failures of one task before the whole run aborts.
+    pub max_attempts: u32,
+    /// Retry backoff after the first failure, in ticks (doubles per
+    /// failure).
+    pub backoff_base_ticks: u64,
+    /// Upper bound on the retry backoff, in ticks.
+    pub backoff_cap_ticks: u64,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            tick: Duration::from_millis(50),
+            task_deadline_ticks: 600,
+            heartbeat_every_ticks: 20,
+            heartbeat_miss_limit: 3,
+            max_attempts: 5,
+            backoff_base_ticks: 2,
+            backoff_cap_ticks: 64,
+        }
+    }
+}
+
+/// Why a distributed run failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClusterError {
+    /// The run was started with an empty worker list.
+    NoWorkers,
+    /// Every worker died or was declared dead with tasks outstanding.
+    AllWorkersDead {
+        /// Tasks still missing a verified result.
+        remaining: usize,
+    },
+    /// One task failed [`ClusterConfig::max_attempts`] times.
+    TaskExhausted {
+        /// Index of the exhausted task in the submitted batch.
+        task_id: usize,
+        /// The last worker-reported error, if any.
+        last_error: String,
+    },
+    /// A worker violated the protocol in a way retries cannot fix.
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClusterError::NoWorkers => write!(f, "no workers supplied"),
+            ClusterError::AllWorkersDead { remaining } => {
+                write!(f, "all workers dead with {remaining} tasks outstanding")
+            }
+            ClusterError::TaskExhausted {
+                task_id,
+                last_error,
+            } => write!(f, "task #{task_id} exhausted retries: {last_error}"),
+            ClusterError::Protocol(e) => write!(f, "protocol violation: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+enum Event {
+    Msg(usize, Box<Message>),
+    Closed(usize),
+}
+
+struct Busy {
+    task: usize,
+    deadline: u64,
+}
+
+struct WorkerState {
+    ready: bool,
+    alive: bool,
+    busy: Option<Busy>,
+    plan: VecDeque<usize>,
+    probe: Option<u64>,
+    missed: u32,
+}
+
+struct Run<'a> {
+    config: &'a ClusterConfig,
+    workers: &'a [Arc<dyn Transport>],
+    tasks: &'a [Task],
+    expected: Vec<u64>,
+    states: Vec<WorkerState>,
+    results: Vec<Option<WorkloadProfile>>,
+    attempts: Vec<u32>,
+    last_error: Vec<String>,
+    /// `(task, not_before_tick)` — tasks awaiting reassignment.
+    retry: VecDeque<(usize, u64)>,
+    done: usize,
+    now: u64,
+    next_probe_seq: u64,
+}
+
+/// Shards task batches across a worker fleet. See the module docs.
+pub struct Coordinator {
+    config: ClusterConfig,
+}
+
+impl Coordinator {
+    /// A coordinator with the given tunables.
+    pub fn new(config: ClusterConfig) -> Self {
+        Coordinator { config }
+    }
+
+    /// Runs `tasks` across `workers` and returns profiles in task order,
+    /// byte-identical to what a local [`bdb_engine::Engine`] run of the
+    /// same tasks would produce.
+    pub fn run(
+        &self,
+        workers: Vec<Arc<dyn Transport>>,
+        tasks: &[Task],
+    ) -> Result<Vec<WorkloadProfile>, ClusterError> {
+        if workers.is_empty() {
+            return Err(ClusterError::NoWorkers);
+        }
+        if tasks.is_empty() {
+            return Ok(Vec::new());
+        }
+        let (tx, rx) = channel();
+        for (idx, transport) in workers.iter().enumerate() {
+            spawn_reader(idx, Arc::clone(transport), tx.clone());
+        }
+        let mut run = Run {
+            config: &self.config,
+            workers: &workers,
+            tasks,
+            expected: tasks.iter().map(Task::fingerprint).collect(),
+            states: static_plans(workers.len(), tasks.len()),
+            results: tasks.iter().map(|_| None).collect(),
+            attempts: vec![0; tasks.len()],
+            last_error: vec![String::new(); tasks.len()],
+            retry: VecDeque::new(),
+            done: 0,
+            now: 0,
+            next_probe_seq: 0,
+        };
+        let outcome = run.event_loop(&rx);
+        run.farewell();
+        outcome?;
+        let profiles: Vec<WorkloadProfile> = run.results.into_iter().flatten().collect();
+        if profiles.len() == tasks.len() {
+            Ok(profiles)
+        } else {
+            Err(ClusterError::Protocol(
+                "merge incomplete after convergence".to_owned(),
+            ))
+        }
+    }
+}
+
+impl Run<'_> {
+    fn event_loop(&mut self, rx: &Receiver<Event>) -> Result<(), ClusterError> {
+        loop {
+            self.dispatch()?;
+            if self.done == self.tasks.len() {
+                return Ok(());
+            }
+            if self.states.iter().all(|s| !s.alive) {
+                return Err(ClusterError::AllWorkersDead {
+                    remaining: self.tasks.len() - self.done,
+                });
+            }
+            match rx.recv_timeout(self.config.tick) {
+                Ok(Event::Msg(idx, msg)) => self.handle_msg(idx, *msg)?,
+                Ok(Event::Closed(idx)) => self.handle_death(idx),
+                Err(RecvTimeoutError::Timeout) => self.on_tick()?,
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(ClusterError::AllWorkersDead {
+                        remaining: self.tasks.len() - self.done,
+                    })
+                }
+            }
+        }
+    }
+
+    /// Hands work to every idle, ready worker.
+    fn dispatch(&mut self) -> Result<(), ClusterError> {
+        for idx in 0..self.states.len() {
+            let state = &self.states[idx];
+            if !(state.alive && state.ready && state.busy.is_none()) {
+                continue;
+            }
+            while let Some(task) = self.next_task_for(idx) {
+                // A retried copy may have completed through a late
+                // result while queued; skip it.
+                if self.results[task].is_some() {
+                    continue;
+                }
+                self.assign(idx, task);
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    /// Retry queue first, then the worker's own plan, then stealing.
+    fn next_task_for(&mut self, idx: usize) -> Option<usize> {
+        if let Some(pos) = self
+            .retry
+            .iter()
+            .position(|&(_, not_before)| not_before <= self.now)
+        {
+            return self.retry.remove(pos).map(|(task, _)| task);
+        }
+        if let Some(task) = self.states[idx].plan.pop_front() {
+            return Some(task);
+        }
+        let victim = (0..self.states.len())
+            .filter(|&w| w != idx && self.states[w].alive)
+            .max_by_key(|&w| self.states[w].plan.len())?;
+        self.states[victim].plan.pop_back()
+    }
+
+    fn assign(&mut self, idx: usize, task: usize) {
+        let msg = Message::Assign {
+            task_id: task as u64,
+            task: Box::new(self.tasks[task].clone()),
+        };
+        if self.workers[idx].send(&msg).is_ok() {
+            self.states[idx].busy = Some(Busy {
+                task,
+                deadline: self.now + self.config.task_deadline_ticks,
+            });
+        } else {
+            self.handle_death(idx);
+            self.retry.push_back((task, self.now));
+        }
+    }
+
+    fn handle_msg(&mut self, idx: usize, msg: Message) -> Result<(), ClusterError> {
+        match msg {
+            Message::Hello { worker, protocol } => {
+                if protocol == PROTOCOL_VERSION {
+                    self.states[idx].ready = true;
+                } else {
+                    // Version skew could silently break bit-identity;
+                    // refuse this worker, keep the rest.
+                    let peer = self.workers[idx].peer();
+                    let _ = (worker, peer);
+                    self.handle_death(idx);
+                }
+                Ok(())
+            }
+            Message::Heartbeat { seq } => {
+                let state = &mut self.states[idx];
+                if state.probe == Some(seq) {
+                    state.probe = None;
+                    state.missed = 0;
+                }
+                Ok(())
+            }
+            Message::Result {
+                task_id,
+                fingerprint,
+                outcome,
+            } => self.handle_result(idx, task_id, fingerprint, outcome),
+            other => {
+                // Workers never send Assign/Bye; the connection is
+                // unusable but the run can continue without it.
+                let _ = other;
+                self.handle_death(idx);
+                Ok(())
+            }
+        }
+    }
+
+    fn handle_result(
+        &mut self,
+        idx: usize,
+        task_id: u64,
+        fingerprint: u64,
+        outcome: Result<Box<WorkloadProfile>, String>,
+    ) -> Result<(), ClusterError> {
+        let Some(task) = usize::try_from(task_id)
+            .ok()
+            .filter(|&t| t < self.tasks.len())
+        else {
+            self.handle_death(idx);
+            return Ok(());
+        };
+        if let Some(busy) = &self.states[idx].busy {
+            if busy.task == task {
+                self.states[idx].busy = None;
+            }
+        }
+        if self.results[task].is_some() {
+            // Duplicate or late delivery of an already-verified task.
+            return Ok(());
+        }
+        if fingerprint != self.expected[task] {
+            // The worker computed something else than what we asked
+            // for — its results cannot be trusted.
+            self.handle_death(idx);
+            return self.requeue_failure(task, "content fingerprint mismatch".to_owned());
+        }
+        match outcome {
+            Ok(profile) => {
+                self.results[task] = Some(*profile);
+                self.done += 1;
+                Ok(())
+            }
+            Err(error) => self.requeue_failure(task, error),
+        }
+    }
+
+    /// One failure of `task`: count the attempt, back off, requeue.
+    fn requeue_failure(&mut self, task: usize, error: String) -> Result<(), ClusterError> {
+        self.attempts[task] += 1;
+        self.last_error[task] = error;
+        if self.attempts[task] >= self.config.max_attempts {
+            return Err(ClusterError::TaskExhausted {
+                task_id: task,
+                last_error: self.last_error[task].clone(),
+            });
+        }
+        let backoff = self
+            .config
+            .backoff_base_ticks
+            .saturating_shl(self.attempts[task] - 1)
+            .min(self.config.backoff_cap_ticks);
+        self.retry.push_back((task, self.now + backoff));
+        Ok(())
+    }
+
+    /// The worker at `idx` is gone: orphan its in-flight task and drain
+    /// its remaining plan back into the retry queue (no backoff — those
+    /// tasks never failed).
+    fn handle_death(&mut self, idx: usize) {
+        let state = &mut self.states[idx];
+        if !state.alive {
+            return;
+        }
+        state.alive = false;
+        state.ready = false;
+        let orphan = state.busy.take().map(|b| b.task);
+        let plan: Vec<usize> = state.plan.drain(..).collect();
+        for task in plan {
+            self.retry.push_back((task, self.now));
+        }
+        if let Some(task) = orphan {
+            if self.results[task].is_none() {
+                // The death itself counts as one failed attempt.
+                let _ = self.requeue_failure(task, "worker died mid-task".to_owned());
+            }
+        }
+    }
+
+    /// A quiet tick elapsed: advance time, expire deadlines, probe idle
+    /// workers.
+    fn on_tick(&mut self) -> Result<(), ClusterError> {
+        self.now += 1;
+        for idx in 0..self.states.len() {
+            let expired = matches!(
+                &self.states[idx].busy,
+                Some(busy) if busy.deadline <= self.now
+            );
+            if expired {
+                // Slow worker: reassign elsewhere. Its late result, if
+                // it ever lands, is deduplicated by task index.
+                self.handle_death(idx);
+            }
+        }
+        if self.now.is_multiple_of(self.config.heartbeat_every_ticks) {
+            self.probe_idle_workers();
+        }
+        Ok(())
+    }
+
+    fn probe_idle_workers(&mut self) {
+        for idx in 0..self.states.len() {
+            let state = &self.states[idx];
+            if !(state.alive && state.ready && state.busy.is_none()) {
+                continue;
+            }
+            if self.states[idx].probe.is_some() {
+                self.states[idx].missed += 1;
+                if self.states[idx].missed > self.config.heartbeat_miss_limit {
+                    self.handle_death(idx);
+                    continue;
+                }
+            }
+            self.next_probe_seq += 1;
+            let seq = self.next_probe_seq;
+            if self.workers[idx].send(&Message::Heartbeat { seq }).is_ok() {
+                self.states[idx].probe = Some(seq);
+            } else {
+                self.handle_death(idx);
+            }
+        }
+    }
+
+    /// Best-effort `Bye` to every surviving worker.
+    fn farewell(&mut self) {
+        for idx in 0..self.states.len() {
+            if self.states[idx].alive {
+                let _ = self.workers[idx].send(&Message::Bye);
+            }
+        }
+    }
+}
+
+/// Contiguous static chunks: worker `i` of `w` plans tasks
+/// `[i*n/w, (i+1)*n/w)`.
+fn static_plans(workers: usize, tasks: usize) -> Vec<WorkerState> {
+    (0..workers)
+        .map(|i| {
+            let lo = i * tasks / workers;
+            let hi = (i + 1) * tasks / workers;
+            WorkerState {
+                ready: false,
+                alive: true,
+                busy: None,
+                plan: (lo..hi).collect(),
+                probe: None,
+                missed: 0,
+            }
+        })
+        .collect()
+}
+
+fn spawn_reader(idx: usize, transport: Arc<dyn Transport>, tx: Sender<Event>) {
+    std::thread::spawn(move || loop {
+        match transport.recv() {
+            Ok(msg) => {
+                if tx.send(Event::Msg(idx, Box::new(msg))).is_err() {
+                    return;
+                }
+            }
+            Err(_) => {
+                let _ = tx.send(Event::Closed(idx));
+                return;
+            }
+        }
+    });
+}
+
+trait SaturatingShl {
+    fn saturating_shl(self, shift: u32) -> Self;
+}
+
+impl SaturatingShl for u64 {
+    fn saturating_shl(self, shift: u32) -> Self {
+        if shift >= 64 {
+            u64::MAX
+        } else {
+            self.checked_shl(shift).unwrap_or(u64::MAX)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_plans_cover_all_tasks_contiguously() {
+        for workers in 1..6 {
+            for tasks in 0..20 {
+                let states = static_plans(workers, tasks);
+                let all: Vec<usize> = states.iter().flat_map(|s| s.plan.iter().copied()).collect();
+                assert_eq!(all, (0..tasks).collect::<Vec<_>>());
+            }
+        }
+    }
+
+    #[test]
+    fn empty_worker_list_is_an_error() {
+        let coordinator = Coordinator::new(ClusterConfig::default());
+        assert!(matches!(
+            coordinator.run(Vec::new(), &[]),
+            Err(ClusterError::NoWorkers)
+        ));
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        assert_eq!(2u64.saturating_shl(0), 2);
+        assert_eq!(2u64.saturating_shl(3), 16);
+        assert_eq!(2u64.saturating_shl(100), u64::MAX);
+    }
+}

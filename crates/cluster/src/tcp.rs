@@ -1,0 +1,184 @@
+//! Std-only TCP transport: length-prefixed frames over blocking sockets.
+//!
+//! No async runtime — the coordinator dedicates one reader thread per
+//! worker connection and sends from the scheduler thread, so plain
+//! blocking sockets with a writer/reader mutex pair are all that is
+//! needed. `TCP_NODELAY` is set because the protocol is small
+//! request/response frames, the worst case for Nagle batching.
+
+use crate::proto::Message;
+use crate::transport::{lock, Transport, TransportError};
+use crate::wire;
+use std::io::{BufReader, ErrorKind, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// One TCP connection speaking the cluster frame protocol.
+pub struct TcpTransport {
+    peer: String,
+    writer: Mutex<TcpStream>,
+    reader: Mutex<BufReader<TcpStream>>,
+}
+
+impl TcpTransport {
+    /// Connects to a worker (coordinator side).
+    pub fn connect(addr: &str, timeout: Duration) -> Result<Self, TransportError> {
+        let resolved = addr
+            .to_socket_addrs()
+            .map_err(|e| TransportError::Io(format!("resolve {addr}: {e}")))?
+            .next()
+            .ok_or_else(|| TransportError::Io(format!("resolve {addr}: no address")))?;
+        let stream = TcpStream::connect_timeout(&resolved, timeout)
+            .map_err(|e| TransportError::Io(format!("connect {addr}: {e}")))?;
+        Self::from_stream(stream, addr)
+    }
+
+    /// Wraps an accepted connection (worker side).
+    pub fn from_stream(stream: TcpStream, peer: &str) -> Result<Self, TransportError> {
+        stream
+            .set_nodelay(true)
+            .map_err(|e| TransportError::Io(e.to_string()))?;
+        let reader = stream
+            .try_clone()
+            .map_err(|e| TransportError::Io(e.to_string()))?;
+        Ok(TcpTransport {
+            peer: peer.to_owned(),
+            writer: Mutex::new(stream),
+            reader: Mutex::new(BufReader::new(reader)),
+        })
+    }
+
+    fn set_read_timeout(
+        reader: &BufReader<TcpStream>,
+        timeout: Option<Duration>,
+    ) -> Result<(), TransportError> {
+        reader
+            .get_ref()
+            .set_read_timeout(timeout)
+            .map_err(|e| TransportError::Io(e.to_string()))
+    }
+}
+
+impl Transport for TcpTransport {
+    fn send(&self, msg: &Message) -> Result<(), TransportError> {
+        let mut writer = lock(&self.writer);
+        wire::write_frame(&mut *writer, msg).map_err(TransportError::from)?;
+        writer.flush().map_err(|e| {
+            if e.kind() == ErrorKind::BrokenPipe || e.kind() == ErrorKind::ConnectionReset {
+                TransportError::Closed
+            } else {
+                TransportError::Io(e.to_string())
+            }
+        })
+    }
+
+    fn recv(&self) -> Result<Message, TransportError> {
+        let mut reader = lock(&self.reader);
+        Self::set_read_timeout(&reader, None)?;
+        match wire::read_frame(&mut *reader) {
+            Ok(Some(msg)) => Ok(msg),
+            Ok(None) => Err(TransportError::Closed),
+            Err(wire::WireError::Io(e)) => Err(classify_io(&e)),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> Result<Option<Message>, TransportError> {
+        let mut reader = lock(&self.reader);
+        // Timeout applies only to waiting for the frame to *start*; once
+        // the first header byte arrives the rest is read blocking, so a
+        // slow sender cannot leave a partial frame behind.
+        Self::set_read_timeout(&reader, Some(timeout))?;
+        let mut first = [0u8; 1];
+        let n = loop {
+            match std::io::Read::read(&mut *reader, &mut first) {
+                Ok(n) => break n,
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                    return Ok(None)
+                }
+                Err(e) => return Err(classify_io(&e.to_string())),
+            }
+        };
+        if n == 0 {
+            return Err(TransportError::Closed);
+        }
+        Self::set_read_timeout(&reader, None)?;
+        let mut rest = [0u8; 3];
+        std::io::Read::read_exact(&mut *reader, &mut rest)
+            .map_err(|e| classify_io(&e.to_string()))?;
+        let len = u32::from_be_bytes([first[0], rest[0], rest[1], rest[2]]);
+        if len > wire::MAX_FRAME_BYTES {
+            return Err(wire::WireError::TooLarge(len).into());
+        }
+        let mut payload = vec![0u8; len as usize];
+        std::io::Read::read_exact(&mut *reader, &mut payload)
+            .map_err(|e| classify_io(&e.to_string()))?;
+        match wire::decode_frames(&{
+            let mut framed = len.to_be_bytes().to_vec();
+            framed.extend_from_slice(&payload);
+            framed
+        }) {
+            Ok(msgs) if msgs.len() == 1 => Ok(msgs.into_iter().next()),
+            Ok(_) => Err(TransportError::Protocol("empty frame".to_owned())),
+            Err((_, e)) => Err(e.into()),
+        }
+    }
+
+    fn peer(&self) -> String {
+        self.peer.clone()
+    }
+}
+
+fn classify_io(detail: &str) -> TransportError {
+    // EOF surfaced as read_exact's UnexpectedEof and peer resets both mean
+    // the connection is gone; everything else stays an I/O error.
+    let gone = ["unexpected end of file", "Connection reset", "Broken pipe"];
+    if gone.iter().any(|g| detail.contains(g)) {
+        TransportError::Closed
+    } else {
+        TransportError::Io(detail.to_owned())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::PROTOCOL_VERSION;
+    use std::net::TcpListener;
+
+    #[test]
+    fn tcp_roundtrip_and_close() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let t = TcpTransport::from_stream(stream, "client").unwrap();
+            let msg = t.recv().unwrap();
+            t.send(&msg).unwrap(); // echo
+        });
+        let t = TcpTransport::connect(&addr, Duration::from_secs(5)).unwrap();
+        t.send(&Message::Hello {
+            worker: "w".to_owned(),
+            protocol: PROTOCOL_VERSION,
+        })
+        .unwrap();
+        assert!(matches!(t.recv(), Ok(Message::Hello { .. })));
+        server.join().unwrap();
+        // Server thread dropped its end: next recv reports Closed.
+        assert!(matches!(t.recv(), Err(TransportError::Closed)));
+    }
+
+    #[test]
+    fn tcp_recv_timeout_is_none_when_idle() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let _keepalive = std::thread::spawn(move || listener.accept());
+        let t = TcpTransport::connect(&addr, Duration::from_secs(5)).unwrap();
+        assert!(matches!(
+            t.recv_timeout(Duration::from_millis(10)),
+            Ok(None)
+        ));
+    }
+}

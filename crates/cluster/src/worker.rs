@@ -1,0 +1,199 @@
+//! The worker loop: execute assigned tasks with a local [`Engine`].
+//!
+//! A worker is single-threaded and blocking: it introduces itself with
+//! `Hello`, then serves `Assign` / `Heartbeat` until `Bye` or the
+//! coordinator disconnects. Each task runs through the local engine's
+//! cache-aware [`Engine::run_task`], so repeated fleet runs hit the
+//! worker's own `results/cache/` exactly as local runs do. While a task
+//! is computing the worker cannot echo heartbeats — the coordinator
+//! covers that window with per-task deadlines instead.
+
+use crate::fault::FaultPlan;
+use crate::proto::{Message, PROTOCOL_VERSION};
+use crate::transport::{Transport, TransportError};
+use bdb_engine::Engine;
+
+/// Per-session worker settings.
+#[derive(Debug, Clone, Default)]
+pub struct WorkerConfig {
+    /// Name sent in `Hello` (diagnostics only).
+    pub name: String,
+    /// Injected misbehaviour for testing; [`FaultPlan::default`] is
+    /// fault-free.
+    pub faults: FaultPlan,
+}
+
+impl WorkerConfig {
+    /// A fault-free config with the given name.
+    pub fn named(name: &str) -> Self {
+        WorkerConfig {
+            name: name.to_owned(),
+            ..WorkerConfig::default()
+        }
+    }
+}
+
+/// Why a worker session ended abnormally.
+#[derive(Debug)]
+pub enum WorkerError {
+    /// The transport failed mid-session.
+    Transport(TransportError),
+    /// The session's [`FaultPlan::crash_on_task`] fired; a worker binary
+    /// maps this to a hard process exit.
+    InjectedCrash {
+        /// The 0-based accepted-task count at which the crash fired.
+        task_number: u64,
+    },
+}
+
+impl std::fmt::Display for WorkerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WorkerError::Transport(e) => write!(f, "worker transport failed: {e}"),
+            WorkerError::InjectedCrash { task_number } => {
+                write!(f, "injected crash on task #{task_number}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WorkerError {}
+
+impl From<TransportError> for WorkerError {
+    fn from(e: TransportError) -> Self {
+        WorkerError::Transport(e)
+    }
+}
+
+/// Serves one coordinator session over `transport`. Returns `Ok(served)`
+/// — the number of tasks completed — after `Bye` or a clean disconnect.
+pub fn run_worker(
+    transport: &dyn Transport,
+    engine: &Engine,
+    config: &WorkerConfig,
+) -> Result<u64, WorkerError> {
+    transport.send(&Message::Hello {
+        worker: config.name.clone(),
+        protocol: PROTOCOL_VERSION,
+    })?;
+    let mut accepted: u64 = 0;
+    let mut served: u64 = 0;
+    loop {
+        let msg = match transport.recv() {
+            Ok(msg) => msg,
+            // Coordinator gone between tasks: treat as session end.
+            Err(TransportError::Closed) => return Ok(served),
+            Err(e) => return Err(e.into()),
+        };
+        match msg {
+            Message::Assign { task_id, task } => {
+                if config.faults.crash_on_task == Some(accepted) {
+                    return Err(WorkerError::InjectedCrash {
+                        task_number: accepted,
+                    });
+                }
+                accepted += 1;
+                let outcome = match engine.run_task(&task) {
+                    Ok(result) => {
+                        served += 1;
+                        transport.send(&Message::Result {
+                            task_id,
+                            fingerprint: result.fingerprint,
+                            outcome: Ok(Box::new(result.profile)),
+                        })
+                    }
+                    Err(e) => transport.send(&Message::Result {
+                        task_id,
+                        fingerprint: task.fingerprint(),
+                        outcome: Err(e.to_string()),
+                    }),
+                };
+                outcome?;
+            }
+            Message::Heartbeat { seq } => transport.send(&Message::Heartbeat { seq })?,
+            Message::Bye => return Ok(served),
+            // A coordinator never sends Hello/Result; strict protocol.
+            other => {
+                return Err(WorkerError::Transport(TransportError::Protocol(format!(
+                    "unexpected message from coordinator: {other:?}"
+                ))))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::loopback_pair;
+    use bdb_engine::Task;
+    use bdb_node::NodeConfig;
+    use bdb_sim::MachineConfig;
+    use bdb_workloads::{catalog, Scale};
+
+    fn sample_task() -> Task {
+        let workload = &catalog::full_catalog()[0];
+        Task::new(
+            workload,
+            Scale::tiny(),
+            &MachineConfig::xeon_e5645(),
+            &NodeConfig::default(),
+        )
+    }
+
+    #[test]
+    fn worker_serves_assign_heartbeat_bye() {
+        let (coord, worker_end) = loopback_pair("serve");
+        let handle = std::thread::spawn(move || {
+            let engine = Engine::in_memory();
+            run_worker(&worker_end, &engine, &WorkerConfig::named("w0"))
+        });
+        assert!(matches!(coord.recv(), Ok(Message::Hello { .. })));
+        coord.send(&Message::Heartbeat { seq: 9 }).unwrap();
+        assert!(matches!(coord.recv(), Ok(Message::Heartbeat { seq: 9 })));
+        coord
+            .send(&Message::Assign {
+                task_id: 0,
+                task: Box::new(sample_task()),
+            })
+            .unwrap();
+        match coord.recv().unwrap() {
+            Message::Result {
+                task_id, outcome, ..
+            } => {
+                assert_eq!(task_id, 0);
+                assert!(outcome.is_ok());
+            }
+            other => panic!("expected result, got {other:?}"),
+        }
+        coord.send(&Message::Bye).unwrap();
+        assert_eq!(handle.join().unwrap().unwrap(), 1);
+    }
+
+    #[test]
+    fn injected_crash_fires_on_requested_task() {
+        let (coord, worker_end) = loopback_pair("crash");
+        let handle = std::thread::spawn(move || {
+            let engine = Engine::in_memory();
+            let config = WorkerConfig {
+                name: "w0".to_owned(),
+                faults: FaultPlan {
+                    crash_on_task: Some(0),
+                    ..FaultPlan::default()
+                },
+            };
+            run_worker(&worker_end, &engine, &config)
+        });
+        assert!(matches!(coord.recv(), Ok(Message::Hello { .. })));
+        coord
+            .send(&Message::Assign {
+                task_id: 0,
+                task: Box::new(sample_task()),
+            })
+            .unwrap();
+        assert!(matches!(
+            handle.join().unwrap(),
+            Err(WorkerError::InjectedCrash { task_number: 0 })
+        ));
+    }
+}

@@ -1,0 +1,108 @@
+//! Property tests for the cluster wire codec: arbitrary messages must
+//! round-trip byte-stably, every mid-frame truncation must be detected,
+//! and duplicated frames must decode to byte-identical copies (the
+//! coordinator's dedup-by-content-key relies on that).
+
+use bdb_cluster::wire::{decode_frames, encode_frame, WireError};
+use bdb_cluster::{Message, PROTOCOL_VERSION};
+use bdb_engine::Task;
+use bdb_node::NodeConfig;
+use bdb_sim::MachineConfig;
+use bdb_workloads::Scale;
+use proptest::prelude::*;
+
+fn ident() -> impl Strategy<Value = String> {
+    proptest::collection::vec(97u8..123, 1..16)
+        .prop_map(|bytes| bytes.into_iter().map(char::from).collect())
+}
+
+fn machine() -> impl Strategy<Value = MachineConfig> {
+    prop_oneof![
+        Just(MachineConfig::xeon_e5645()),
+        Just(MachineConfig::xeon_e5_2697()),
+        Just(MachineConfig::atom_d510()),
+        (8u64..512).prop_map(MachineConfig::atom_sweep),
+    ]
+}
+
+fn node() -> impl Strategy<Value = NodeConfig> {
+    (0.5f64..4.0, 0.1f64..2.0).prop_map(|(ghz, ipc)| NodeConfig {
+        clock_hz: ghz * 1e9,
+        assumed_ipc: ipc,
+        ..NodeConfig::default()
+    })
+}
+
+fn task() -> impl Strategy<Value = Task> {
+    (ident(), 0.01f64..4.0, machine(), node()).prop_map(|(id, factor, machine, node)| Task {
+        workload_id: id,
+        scale: Scale::custom(factor),
+        machine,
+        node,
+    })
+}
+
+fn message() -> impl Strategy<Value = Message> {
+    prop_oneof![
+        ident().prop_map(|worker| Message::Hello {
+            worker,
+            protocol: PROTOCOL_VERSION,
+        }),
+        (any::<u64>(), task()).prop_map(|(task_id, task)| Message::Assign {
+            task_id,
+            task: Box::new(task),
+        }),
+        (any::<u64>(), any::<u64>(), ident()).prop_map(|(task_id, fingerprint, error)| {
+            Message::Result {
+                task_id,
+                fingerprint,
+                outcome: Err(error),
+            }
+        }),
+        any::<u64>().prop_map(|seq| Message::Heartbeat { seq }),
+        Just(Message::Bye),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn messages_roundtrip_byte_stably(msg in message()) {
+        let frame = encode_frame(&msg);
+        let decoded = decode_frames(&frame).unwrap();
+        prop_assert_eq!(decoded.len(), 1);
+        // Canonical JSON makes re-encoding the identity on bytes.
+        prop_assert_eq!(encode_frame(&decoded[0]), frame);
+    }
+
+    #[test]
+    fn every_truncation_is_detected(msg in message(), cut_seed in any::<u64>()) {
+        let frame = encode_frame(&msg);
+        let cut = 1 + (cut_seed as usize) % (frame.len() - 1);
+        let err = decode_frames(&frame[..cut]).unwrap_err();
+        prop_assert_eq!(err, (0, WireError::Truncated));
+    }
+
+    #[test]
+    fn duplicated_frames_decode_to_identical_copies(msg in message()) {
+        // A faulty worker may send the same Result frame twice; the
+        // coordinator dedups by content, which requires both copies to
+        // decode to the same bytes.
+        let mut stream = encode_frame(&msg);
+        stream.extend_from_slice(&encode_frame(&msg));
+        let decoded = decode_frames(&stream).unwrap();
+        prop_assert_eq!(decoded.len(), 2);
+        prop_assert_eq!(encode_frame(&decoded[0]), encode_frame(&decoded[1]));
+    }
+
+    #[test]
+    fn garbage_after_a_valid_frame_reports_index_one(msg in message(), junk in 1u32..64) {
+        let mut stream = encode_frame(&msg);
+        stream.extend_from_slice(&junk.to_be_bytes());
+        stream.extend_from_slice(&vec![b'x'; junk as usize - 1]);
+        let (at, err) = decode_frames(&stream).unwrap_err();
+        prop_assert_eq!(at, 1);
+        prop_assert!(matches!(err, WireError::Truncated | WireError::Decode(_)));
+    }
+}

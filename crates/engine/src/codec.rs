@@ -8,12 +8,15 @@
 
 use crate::json::Value;
 use bdb_datagen::DataSetId;
-use bdb_node::SystemMetrics;
-use bdb_sim::{BranchStats, CacheStats, PerfReport};
+use bdb_node::{NodeConfig, SystemMetrics};
+use bdb_sim::{
+    BranchStats, CacheConfig, CacheStats, DirectionScheme, MachineConfig, PerfReport,
+    PipelineConfig, PipelineKind, Replacement, TlbConfig,
+};
 use bdb_stacks::{DataBehavior, Relation, StackKind};
 use bdb_trace::InstructionMix;
 use bdb_wcrt::{MetricVector, SystemClass, WorkloadProfile, METRIC_COUNT};
-use bdb_workloads::{Category, KernelKind, WorkloadSpec};
+use bdb_workloads::{Category, KernelKind, Scale, WorkloadSpec};
 
 /// A cache file failed to decode (treated as a miss by the engine).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -148,6 +151,19 @@ enum_codec!(
     dec_relation,
     Relation,
     [Equal, Less, MuchLess, Greater]
+);
+enum_codec!(enc_replacement, dec_replacement, Replacement, [Lru, Random]);
+enum_codec!(
+    enc_predictor,
+    dec_predictor,
+    DirectionScheme,
+    [TwoLevel, Hybrid]
+);
+enum_codec!(
+    enc_pipeline_kind,
+    dec_pipeline_kind,
+    PipelineKind,
+    [InOrder, OutOfOrder]
 );
 
 fn enc_spec(spec: &WorkloadSpec) -> Value {
@@ -384,11 +400,173 @@ pub fn profile_from_value(v: &Value) -> Result<WorkloadProfile, DecodeError> {
     })
 }
 
+fn enc_cache_config(c: &CacheConfig) -> Value {
+    Value::object(vec![
+        ("size_bytes", Value::UInt(c.size_bytes)),
+        ("assoc", Value::UInt(c.assoc as u64)),
+        ("line_bytes", Value::UInt(c.line_bytes)),
+        ("replacement", enc_replacement(c.replacement)),
+    ])
+}
+
+fn dec_cache_config(v: &Value) -> Result<CacheConfig, DecodeError> {
+    Ok(CacheConfig {
+        size_bytes: get_u64(v, "size_bytes")?,
+        assoc: get_u64(v, "assoc")? as usize,
+        line_bytes: get_u64(v, "line_bytes")?,
+        replacement: dec_replacement(get(v, "replacement")?, "replacement")?,
+    })
+}
+
+fn enc_tlb_config(t: &TlbConfig) -> Value {
+    Value::object(vec![
+        ("entries", Value::UInt(t.entries as u64)),
+        ("assoc", Value::UInt(t.assoc as u64)),
+        ("page_bytes", Value::UInt(t.page_bytes)),
+    ])
+}
+
+fn dec_tlb_config(v: &Value) -> Result<TlbConfig, DecodeError> {
+    Ok(TlbConfig {
+        entries: get_u64(v, "entries")? as usize,
+        assoc: get_u64(v, "assoc")? as usize,
+        page_bytes: get_u64(v, "page_bytes")?,
+    })
+}
+
+fn enc_pipeline(p: &PipelineConfig) -> Value {
+    Value::object(vec![
+        ("kind", enc_pipeline_kind(p.kind)),
+        ("base_cpi", Value::Float(p.base_cpi)),
+        ("l2_latency", Value::UInt(u64::from(p.l2_latency))),
+        ("l3_latency", Value::UInt(u64::from(p.l3_latency))),
+        ("mem_latency", Value::UInt(u64::from(p.mem_latency))),
+        (
+            "tlb_walk_latency",
+            Value::UInt(u64::from(p.tlb_walk_latency)),
+        ),
+        ("stlb_latency", Value::UInt(u64::from(p.stlb_latency))),
+    ])
+}
+
+fn dec_pipeline(v: &Value) -> Result<PipelineConfig, DecodeError> {
+    Ok(PipelineConfig {
+        kind: dec_pipeline_kind(get(v, "kind")?, "kind")?,
+        base_cpi: get_f64(v, "base_cpi")?,
+        l2_latency: get_u64(v, "l2_latency")? as u32,
+        l3_latency: get_u64(v, "l3_latency")? as u32,
+        mem_latency: get_u64(v, "mem_latency")? as u32,
+        tlb_walk_latency: get_u64(v, "tlb_walk_latency")? as u32,
+        stlb_latency: get_u64(v, "stlb_latency")? as u32,
+    })
+}
+
+/// Encodes a full machine configuration (used by the cluster wire
+/// protocol to ship the exact simulation inputs to workers).
+pub fn machine_config_to_value(m: &MachineConfig) -> Value {
+    Value::object(vec![
+        ("name", Value::Str(m.name.clone())),
+        ("l1i", enc_cache_config(&m.l1i)),
+        ("l1d", enc_cache_config(&m.l1d)),
+        ("l2", enc_cache_config(&m.l2)),
+        (
+            "l3",
+            match &m.l3 {
+                Some(c) => enc_cache_config(c),
+                None => Value::Null,
+            },
+        ),
+        ("itlb", enc_tlb_config(&m.itlb)),
+        ("dtlb", enc_tlb_config(&m.dtlb)),
+        ("stlb", enc_tlb_config(&m.stlb)),
+        ("predictor", enc_predictor(m.predictor)),
+        ("pipeline", enc_pipeline(&m.pipeline)),
+    ])
+}
+
+/// Decodes a machine configuration (strict, like the profile codec).
+pub fn machine_config_from_value(v: &Value) -> Result<MachineConfig, DecodeError> {
+    let l3 = get(v, "l3")?;
+    Ok(MachineConfig {
+        name: get_str(v, "name")?.to_owned(),
+        l1i: dec_cache_config(get(v, "l1i")?)?,
+        l1d: dec_cache_config(get(v, "l1d")?)?,
+        l2: dec_cache_config(get(v, "l2")?)?,
+        l3: if l3.is_null() {
+            None
+        } else {
+            Some(dec_cache_config(l3)?)
+        },
+        itlb: dec_tlb_config(get(v, "itlb")?)?,
+        dtlb: dec_tlb_config(get(v, "dtlb")?)?,
+        stlb: dec_tlb_config(get(v, "stlb")?)?,
+        predictor: dec_predictor(get(v, "predictor")?, "predictor")?,
+        pipeline: dec_pipeline(get(v, "pipeline")?)?,
+    })
+}
+
+/// Encodes a node (system-metrics) configuration.
+pub fn node_config_to_value(n: &NodeConfig) -> Value {
+    Value::object(vec![
+        ("clock_hz", Value::Float(n.clock_hz)),
+        ("assumed_ipc", Value::Float(n.assumed_ipc)),
+        ("instr_scale", Value::Float(n.instr_scale)),
+        ("disk_bw", Value::Float(n.disk_bw)),
+        ("disk_overhead_s", Value::Float(n.disk_overhead_s)),
+        ("net_bw", Value::Float(n.net_bw)),
+    ])
+}
+
+/// Decodes a node configuration.
+pub fn node_config_from_value(v: &Value) -> Result<NodeConfig, DecodeError> {
+    Ok(NodeConfig {
+        clock_hz: get_f64(v, "clock_hz")?,
+        assumed_ipc: get_f64(v, "assumed_ipc")?,
+        instr_scale: get_f64(v, "instr_scale")?,
+        disk_bw: get_f64(v, "disk_bw")?,
+        disk_overhead_s: get_f64(v, "disk_overhead_s")?,
+        net_bw: get_f64(v, "net_bw")?,
+    })
+}
+
+/// Encodes a [`crate::task::Task`]. The scale factor travels as its exact
+/// `f64` bit pattern so the worker profiles with bit-identical inputs.
+pub fn task_to_value(t: &crate::task::Task) -> Value {
+    Value::object(vec![
+        ("workload_id", Value::Str(t.workload_id.clone())),
+        (
+            "scale_bits",
+            Value::Str(format!("{:016x}", t.scale.factor().to_bits())),
+        ),
+        ("machine", machine_config_to_value(&t.machine)),
+        ("node", node_config_to_value(&t.node)),
+    ])
+}
+
+/// Decodes a [`crate::task::Task`]. Rejects non-finite or non-positive
+/// scale factors rather than panicking in `Scale::custom`.
+pub fn task_from_value(v: &Value) -> Result<crate::task::Task, DecodeError> {
+    let bits = get_str(v, "scale_bits")?;
+    let bits = u64::from_str_radix(bits, 16)
+        .map_err(|_| DecodeError::field("scale_bits", "expected 16 hex digits"))?;
+    let factor = f64::from_bits(bits);
+    if !factor.is_finite() || factor <= 0.0 {
+        return Err(DecodeError::field(
+            "scale_bits",
+            "scale factor must be finite and positive",
+        ));
+    }
+    Ok(crate::task::Task {
+        workload_id: get_str(v, "workload_id")?.to_owned(),
+        scale: Scale::custom(factor),
+        machine: machine_config_from_value(get(v, "machine")?)?,
+        node: node_config_from_value(get(v, "node")?)?,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bdb_node::NodeConfig;
-    use bdb_sim::MachineConfig;
     use bdb_wcrt::profile_workload;
     use bdb_workloads::{catalog, Scale};
 
@@ -439,6 +617,52 @@ mod tests {
             }
         }
         assert!(profile_from_value(&v).is_err());
+    }
+
+    #[test]
+    fn task_roundtrips_exactly() {
+        for machine in [
+            MachineConfig::xeon_e5645(),
+            MachineConfig::atom_d510(),
+            MachineConfig::atom_sweep(64),
+        ] {
+            let task = crate::task::Task {
+                workload_id: "H-WordCount".to_owned(),
+                scale: Scale::custom(0.073),
+                machine,
+                node: NodeConfig::default(),
+            };
+            let bytes = task_to_value(&task).encode();
+            let back = task_from_value(&crate::json::parse(&bytes).unwrap()).unwrap();
+            assert_eq!(back.workload_id, task.workload_id);
+            assert_eq!(
+                back.scale.factor().to_bits(),
+                task.scale.factor().to_bits(),
+                "scale bits must survive"
+            );
+            assert_eq!(back.machine, task.machine);
+            assert_eq!(back.node, task.node);
+            // Byte stability: re-encoding the decoded task is the identity.
+            assert_eq!(task_to_value(&back).encode(), bytes);
+        }
+    }
+
+    #[test]
+    fn task_decode_rejects_bad_scale() {
+        let task = crate::task::Task {
+            workload_id: "H-Grep".to_owned(),
+            scale: Scale::tiny(),
+            machine: MachineConfig::xeon_e5645(),
+            node: NodeConfig::default(),
+        };
+        let good = task_to_value(&task).encode();
+        let zero = format!("{:016x}", 0.0f64.to_bits());
+        let nan = format!("{:016x}", f64::NAN.to_bits());
+        let tiny = format!("{:016x}", Scale::tiny().factor().to_bits());
+        for bad in [zero, nan] {
+            let v = crate::json::parse(&good.replace(&tiny, &bad)).unwrap();
+            assert!(task_from_value(&v).is_err(), "must reject factor {bad}");
+        }
     }
 
     #[test]

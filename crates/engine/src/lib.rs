@@ -43,6 +43,9 @@
 
 pub mod codec;
 pub mod json;
+pub mod task;
+
+pub use task::{resolve_workload, Task, TaskError, TaskResult};
 
 use bdb_node::NodeConfig;
 use bdb_sim::{assemble_sweep, sweep_point, Machine, MachineConfig, SweepResult};
@@ -73,6 +76,10 @@ pub struct EngineConfig {
     /// Whether to also memoize profiles in memory (cheap; only worth
     /// disabling in cache-behaviour tests).
     pub no_memory_cache: bool,
+    /// Size cap for the on-disk cache in bytes. When a write pushes the
+    /// directory past the cap, least-recently-used entries (hits refresh
+    /// recency) are evicted until it fits. `None` means unbounded.
+    pub cache_max_bytes: Option<u64>,
 }
 
 impl EngineConfig {
@@ -95,6 +102,48 @@ impl EngineConfig {
     pub fn without_memory_cache(mut self) -> Self {
         self.no_memory_cache = true;
         self
+    }
+
+    /// Caps the on-disk cache at `bytes` (LRU-style eviction).
+    #[must_use]
+    pub fn cache_max_bytes(mut self, bytes: u64) -> Self {
+        self.cache_max_bytes = Some(bytes);
+        self
+    }
+
+    /// Builds a config from the standard `BDB_*` environment knobs — the
+    /// one place their semantics live, shared by the bench harness and
+    /// the cluster worker daemon so the two cannot drift:
+    ///
+    /// * `BDB_CACHE_DIR` — disk-cache directory (default:
+    ///   `results/cache/` at the workspace root).
+    /// * `BDB_NO_CACHE=1` — disable the disk cache for this run.
+    /// * `BDB_THREADS=<n>` — cap the worker pool (default: all cores).
+    /// * `BDB_CACHE_MAX_BYTES=<n>` — cap the disk cache; LRU entries are
+    ///   evicted past the cap (default: unbounded).
+    pub fn from_env() -> Self {
+        let mut config = EngineConfig::default();
+        if std::env::var_os("BDB_NO_CACHE").is_none() {
+            let dir = std::env::var_os("BDB_CACHE_DIR")
+                .map(PathBuf::from)
+                .unwrap_or_else(|| {
+                    PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../../results/cache"))
+                });
+            config = config.cache_dir(dir);
+        }
+        if let Some(threads) = std::env::var("BDB_THREADS")
+            .ok()
+            .and_then(|t| t.parse().ok())
+        {
+            config = config.threads(threads);
+        }
+        if let Some(bytes) = std::env::var("BDB_CACHE_MAX_BYTES")
+            .ok()
+            .and_then(|b| b.parse().ok())
+        {
+            config = config.cache_max_bytes(bytes);
+        }
+        config
     }
 }
 
@@ -128,6 +177,7 @@ enum Dispatch {
 pub struct Engine {
     dispatch: Dispatch,
     cache_dir: Option<PathBuf>,
+    cache_max_bytes: Option<u64>,
     // bdb-lint: allow(determinism): keyed-lookup-only memo, never iterated.
     memory: Option<Mutex<HashMap<u64, WorkloadProfile>>>,
     memory_hits: AtomicU64,
@@ -156,6 +206,7 @@ impl Engine {
         Engine {
             dispatch,
             cache_dir,
+            cache_max_bytes: config.cache_max_bytes,
             // bdb-lint: allow(determinism): keyed-lookup-only memo.
             memory: (!config.no_memory_cache).then(|| Mutex::new(HashMap::new())),
             memory_hits: AtomicU64::new(0),
@@ -306,8 +357,14 @@ impl Engine {
 
     fn read_cache_file(&self, id: &str, key: u64) -> Option<WorkloadProfile> {
         let path = self.cache_dir.as_ref()?.join(cache_file_name(id, key));
-        let bytes = std::fs::read_to_string(path).ok()?;
-        decode_cache_entry(&bytes, key)
+        let bytes = std::fs::read_to_string(&path).ok()?;
+        let profile = decode_cache_entry(&bytes, key)?;
+        // A hit refreshes the entry's recency so LRU eviction spares hot
+        // entries. Best-effort: a failed touch only skews eviction order.
+        if self.cache_max_bytes.is_some() {
+            touch(&path);
+        }
+        Some(profile)
     }
 
     fn write_cache_file(&self, id: &str, key: u64, profile: &WorkloadProfile) {
@@ -326,6 +383,53 @@ impl Engine {
         ));
         if std::fs::write(&tmp, bytes).is_ok() && std::fs::rename(&tmp, &path).is_err() {
             let _ = std::fs::remove_file(&tmp);
+        }
+        if let Some(cap) = self.cache_max_bytes {
+            enforce_cache_cap(dir, cap);
+        }
+    }
+}
+
+/// Best-effort mtime refresh marking a cache entry as recently used.
+fn touch(path: &Path) {
+    if let Ok(file) = std::fs::File::options().write(true).open(path) {
+        // bdb-lint: allow(determinism): recency metadata for cache eviction only; never reaches profile bytes.
+        let _ = file.set_modified(std::time::SystemTime::now());
+    }
+}
+
+/// Evicts least-recently-used cache entries until the directory's `.json`
+/// entries total at most `max_bytes`. Recency is file mtime (refreshed on
+/// hits); ties break on file name so eviction order is deterministic.
+/// Eviction removes whole files only — surviving entries are never
+/// rewritten, so a cap can shrink the cache but never corrupt it.
+fn enforce_cache_cap(dir: &Path, max_bytes: u64) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    // bdb-lint: allow(determinism): eviction recency ordering only; never reaches profile bytes.
+    let mut files: Vec<(std::time::SystemTime, PathBuf, u64)> = entries
+        .flatten()
+        .filter_map(|e| {
+            let path = e.path();
+            if path.extension()? != "json" {
+                return None;
+            }
+            let meta = e.metadata().ok()?;
+            Some((meta.modified().ok()?, path, meta.len()))
+        })
+        .collect();
+    let mut total: u64 = files.iter().map(|(_, _, len)| len).sum();
+    if total <= max_bytes {
+        return;
+    }
+    files.sort_by(|(at, ap, _), (bt, bp, _)| (at, ap).cmp(&(bt, bp)));
+    for (_, path, len) in files {
+        if total <= max_bytes {
+            break;
+        }
+        if std::fs::remove_file(&path).is_ok() {
+            total = total.saturating_sub(len);
         }
     }
 }
@@ -577,6 +681,169 @@ mod tests {
             profile_fingerprint(&workloads[0].spec.id, Scale::tiny(), &machine, &node),
         )
         .is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cache_cap_evicts_without_corrupting_survivors() {
+        let dir = scratch_dir("evict");
+        let workloads = reps(4);
+        let machine = MachineConfig::xeon_e5645();
+        let node = NodeConfig::default();
+
+        // Measure one entry to size the cap at roughly two entries.
+        let probe = Engine::new(
+            EngineConfig::default()
+                .threads(1)
+                .cache_dir(&dir)
+                .without_memory_cache(),
+        );
+        probe.profile(&workloads[0], Scale::tiny(), &machine, &node);
+        let entry_bytes = std::fs::metadata(
+            probe
+                .cache_file(&workloads[0], Scale::tiny(), &machine, &node)
+                .unwrap(),
+        )
+        .unwrap()
+        .len();
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let cap = entry_bytes * 2 + entry_bytes / 2;
+        let engine = Engine::new(
+            EngineConfig::default()
+                .threads(1)
+                .cache_dir(&dir)
+                .without_memory_cache()
+                .cache_max_bytes(cap),
+        );
+        for w in &workloads {
+            engine.profile(w, Scale::tiny(), &machine, &node);
+        }
+
+        // The cap held: at most two entries survive and the total fits.
+        let survivors = read_cache_dir(&dir);
+        assert!(
+            (1..=2).contains(&survivors.len()),
+            "expected 1-2 survivors under the cap, got {}",
+            survivors.len()
+        );
+        let total: u64 = std::fs::read_dir(&dir)
+            .unwrap()
+            .flatten()
+            .map(|e| e.metadata().unwrap().len())
+            .sum();
+        assert!(total <= cap, "cache dir {total} B exceeds cap {cap} B");
+
+        // Surviving entries are intact: each decodes and is served as a
+        // disk hit with bytes identical to a fresh recompute.
+        for p in &survivors {
+            let w = workloads
+                .iter()
+                .find(|w| w.spec.id == p.spec.id)
+                .expect("survivor is one of the profiled workloads");
+            let warm = Engine::new(
+                EngineConfig::default()
+                    .threads(1)
+                    .cache_dir(&dir)
+                    .without_memory_cache(),
+            );
+            let served = warm.profile(w, Scale::tiny(), &machine, &node);
+            assert_eq!(warm.counters().disk_hits, 1, "{} must hit", w.spec.id);
+            let fresh = Engine::serial().profile(w, Scale::tiny(), &machine, &node);
+            assert_eq!(profile_bits(&served), profile_bits(&fresh), "{}", w.spec.id);
+        }
+
+        // Evicted entries are recomputed transparently.
+        let recount = Engine::new(
+            EngineConfig::default()
+                .threads(1)
+                .cache_dir(&dir)
+                .without_memory_cache()
+                .cache_max_bytes(cap),
+        );
+        for w in &workloads {
+            recount.profile(w, Scale::tiny(), &machine, &node);
+        }
+        assert_eq!(
+            recount.counters().computed + recount.counters().disk_hits,
+            workloads.len() as u64
+        );
+        assert!(
+            recount.counters().computed >= 2,
+            "evicted entries recompute"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cache_hits_refresh_recency_for_eviction() {
+        let dir = scratch_dir("lru");
+        let workloads = reps(3);
+        let machine = MachineConfig::xeon_e5645();
+        let node = NodeConfig::default();
+        let entry_bytes = {
+            let probe = Engine::new(
+                EngineConfig::default()
+                    .threads(1)
+                    .cache_dir(&dir)
+                    .without_memory_cache(),
+            );
+            probe.profile(&workloads[0], Scale::tiny(), &machine, &node);
+            let len = std::fs::metadata(
+                probe
+                    .cache_file(&workloads[0], Scale::tiny(), &machine, &node)
+                    .unwrap(),
+            )
+            .unwrap()
+            .len();
+            let _ = std::fs::remove_dir_all(&dir);
+            len
+        };
+
+        // Cap fits two entries. Write A then B, re-read A (refreshing its
+        // recency), then write C: B, not A, must be the eviction victim.
+        let engine = Engine::new(
+            EngineConfig::default()
+                .threads(1)
+                .cache_dir(&dir)
+                .without_memory_cache()
+                .cache_max_bytes(entry_bytes * 2 + entry_bytes / 2),
+        );
+        let mtime = |w: &WorkloadDef| {
+            std::fs::metadata(
+                engine
+                    .cache_file(w, Scale::tiny(), &machine, &node)
+                    .unwrap(),
+            )
+            .and_then(|m| m.modified())
+            .ok()
+        };
+        engine.profile(&workloads[0], Scale::tiny(), &machine, &node);
+        engine.profile(&workloads[1], Scale::tiny(), &machine, &node);
+        let before = mtime(&workloads[0]).expect("entry A exists");
+        // File mtimes can be coarse; wait until the touch is observable.
+        for _ in 0..50 {
+            engine.profile(&workloads[0], Scale::tiny(), &machine, &node);
+            if mtime(&workloads[0]).is_some_and(|t| t > before) {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        }
+        assert_eq!(engine.counters().computed, 2);
+        engine.profile(&workloads[2], Scale::tiny(), &machine, &node);
+
+        let check = Engine::new(
+            EngineConfig::default()
+                .threads(1)
+                .cache_dir(&dir)
+                .without_memory_cache(),
+        );
+        check.profile(&workloads[0], Scale::tiny(), &machine, &node);
+        assert_eq!(
+            check.counters().disk_hits,
+            1,
+            "recently-read entry A must survive eviction"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -1,0 +1,170 @@
+//! The task boundary: one schedulable unit of profiling work.
+//!
+//! A [`Task`] names everything a measurement depends on — workload id,
+//! scale, machine config, node config — in a form that can cross a
+//! process or network boundary (see `bdb-cluster`). [`Engine::run_task`]
+//! is the single entry point that turns a task back into a
+//! [`WorkloadProfile`]; it consults the engine's caches exactly like
+//! [`Engine::profile`], so a worker with a warm local cache never
+//! re-simulates.
+//!
+//! The workload is carried *by id*, not by value: workload definitions
+//! contain closures and cannot be serialized, but every id resolves
+//! against the same checked-in catalog on every node, so sending the id
+//! is equivalent to sending the workload (the `catalog-spec` lint pins
+//! the catalog to the contract file). Machine and node configs are sent
+//! in full — they are plain data and the fingerprint depends on their
+//! exact field values.
+
+use crate::{profile_fingerprint, Engine};
+use bdb_node::NodeConfig;
+use bdb_sim::MachineConfig;
+use bdb_wcrt::WorkloadProfile;
+use bdb_workloads::{catalog, Scale, WorkloadDef};
+
+/// One unit of profiling work, self-describing across process boundaries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Task {
+    /// Catalog id of the workload (e.g. `"H-WordCount"`). Resolved on the
+    /// executing node via [`resolve_workload`].
+    pub workload_id: String,
+    /// Input scale; the exact `f64` factor participates in the
+    /// fingerprint, so it is preserved bit-for-bit on the wire.
+    pub scale: Scale,
+    /// Full simulated-machine configuration.
+    pub machine: MachineConfig,
+    /// Full node (system-metrics) configuration.
+    pub node: NodeConfig,
+}
+
+impl Task {
+    /// Builds the task for profiling `workload` with the given inputs.
+    pub fn new(
+        workload: &WorkloadDef,
+        scale: Scale,
+        machine: &MachineConfig,
+        node: &NodeConfig,
+    ) -> Self {
+        Task {
+            workload_id: workload.spec.id.clone(),
+            scale,
+            machine: machine.clone(),
+            node: *node,
+        }
+    }
+
+    /// The task's content fingerprint — the same key the profile cache
+    /// uses, and the key the cluster coordinator dedups results by.
+    pub fn fingerprint(&self) -> u64 {
+        profile_fingerprint(&self.workload_id, self.scale, &self.machine, &self.node)
+    }
+}
+
+/// The result of executing one [`Task`].
+#[derive(Debug, Clone)]
+pub struct TaskResult {
+    /// The executed task's [`Task::fingerprint`], echoed back so the
+    /// consumer can verify the result answers the task it asked about.
+    pub fingerprint: u64,
+    /// The measured profile.
+    pub profile: WorkloadProfile,
+}
+
+/// A task could not be executed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TaskError {
+    /// The workload id resolves to nothing in this node's catalog —
+    /// either a typo or a catalog-version skew between nodes.
+    UnknownWorkload(String),
+}
+
+impl std::fmt::Display for TaskError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TaskError::UnknownWorkload(id) => {
+                write!(f, "unknown workload id {id:?} (catalog skew?)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TaskError {}
+
+/// Resolves a workload id against the full shipped universe: the 77
+/// catalog workloads, the six MPI controls, and every comparison suite's
+/// kernels — exactly the sets the bench binaries profile. First match
+/// wins; ids are unique within each set.
+pub fn resolve_workload(id: &str) -> Option<WorkloadDef> {
+    let mut universe = catalog::full_catalog();
+    universe.extend(catalog::mpi_workloads());
+    for &suite in &catalog::ALL_SUITES {
+        universe.extend(catalog::suite_workloads(suite));
+    }
+    universe.into_iter().find(|w| w.spec.id == id)
+}
+
+impl Engine {
+    /// Executes one [`Task`]: resolves the workload, profiles it through
+    /// the caches, and returns the profile tagged with the task's
+    /// fingerprint. This is the entry point cluster workers call; its
+    /// output is bit-identical to [`Engine::profile`] with the same
+    /// inputs on any node.
+    pub fn run_task(&self, task: &Task) -> Result<TaskResult, TaskError> {
+        let workload = resolve_workload(&task.workload_id)
+            .ok_or_else(|| TaskError::UnknownWorkload(task.workload_id.clone()))?;
+        let profile = self.profile(&workload, task.scale, &task.machine, &task.node);
+        Ok(TaskResult {
+            fingerprint: task.fingerprint(),
+            profile,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_task_matches_direct_profile() {
+        let engine = Engine::serial();
+        let defs = catalog::representatives();
+        let def = &defs[0];
+        let machine = MachineConfig::xeon_e5645();
+        let node = NodeConfig::default();
+        let task = Task::new(def, Scale::tiny(), &machine, &node);
+        let via_task = engine.run_task(&task).unwrap();
+        let direct = engine.profile(def, Scale::tiny(), &machine, &node);
+        assert_eq!(via_task.fingerprint, task.fingerprint());
+        assert_eq!(
+            crate::codec::profile_to_value(&via_task.profile).encode(),
+            crate::codec::profile_to_value(&direct).encode(),
+            "task path must be byte-identical to the direct path"
+        );
+    }
+
+    #[test]
+    fn unknown_workload_is_an_error() {
+        let engine = Engine::serial();
+        let task = Task {
+            workload_id: "no-such-workload".to_owned(),
+            scale: Scale::tiny(),
+            machine: MachineConfig::xeon_e5645(),
+            node: NodeConfig::default(),
+        };
+        assert!(matches!(
+            engine.run_task(&task),
+            Err(TaskError::UnknownWorkload(id)) if id == "no-such-workload"
+        ));
+    }
+
+    #[test]
+    fn resolver_covers_catalog_mpi_and_suites() {
+        for id in ["H-WordCount", "M-Sort"] {
+            assert!(resolve_workload(id).is_some(), "{id} must resolve");
+        }
+        let suite_id = &catalog::suite_workloads(bdb_workloads::Suite::Hpcc)[0]
+            .spec
+            .id;
+        assert!(resolve_workload(suite_id).is_some(), "{suite_id}");
+    }
+}

@@ -12,8 +12,8 @@
 //!   - `determinism` — no unordered-collection types (`HashMap` /
 //!     `HashSet`), wall-clock reads (`Instant` / `SystemTime`), or
 //!     thread-identity queries inside the profile-producing crates
-//!     (`engine`, `sim`, `wcrt`, `trace`). Keyed-lookup-only uses are
-//!     annotated with an explicit allowlist comment.
+//!     (`engine`, `sim`, `wcrt`, `trace`, `cluster`). Keyed-lookup-only
+//!     uses are annotated with an explicit allowlist comment.
 //!   - `panic-hygiene` — no `.unwrap()` / `.expect(..)` / `panic!` in
 //!     library code outside tests.
 //!   - `workspace-hygiene` — member crates resolve every dependency

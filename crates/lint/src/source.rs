@@ -7,8 +7,10 @@ use std::path::{Path, PathBuf};
 /// Crate directory names whose sources feed profile bytes — the scope of
 /// the `determinism` rule. Anything nondeterministic here (unordered
 /// iteration, wall-clock, thread identity) can change cache bytes between
-/// runs or thread counts.
-const DETERMINISM_SCOPE: &[&str] = &["engine", "sim", "wcrt", "trace"];
+/// runs or thread counts. `cluster` is in scope because its merge must be
+/// byte-identical to a serial engine run: its scheduler counts time in
+/// poll ticks precisely so that no wall-clock read can reach the output.
+const DETERMINISM_SCOPE: &[&str] = &["engine", "sim", "wcrt", "trace", "cluster"];
 
 /// Tokens the `determinism` rule rejects, with the reason.
 const DETERMINISM_TOKENS: &[(&str, &str)] = &[

@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# Cluster smoke: three bdb-clusterd workers on localhost (one of which
+# crashes mid-run), a 12-workload coordinator run over TCP, and a
+# byte-for-byte diff against the serial engine's output.
+#
+# This is the multi-process twin of crates/cluster/tests/tcp_smoke.rs:
+# same contract, but with real worker processes, real injected process
+# death (exit 3), and the real bdb-clusterd/cluster-smoke binaries.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+WORKLOADS="${WORKLOADS:-12}"
+OUT="$(mktemp -d)"
+PIDS=()
+cleanup() {
+    for pid in "${PIDS[@]:-}"; do
+        kill "$pid" 2>/dev/null || true
+    done
+    rm -rf "$OUT"
+}
+trap cleanup EXIT
+
+echo "== build =="
+cargo build -q --release -p bdb-cluster --bins
+
+CLUSTERD=target/release/bdb_clusterd
+SMOKE=target/release/cluster_smoke
+
+# Workers must profile, not serve stale bytes, so the smoke is hermetic.
+export BDB_NO_CACHE=1
+
+start_worker() { # args: logfile, extra flags...
+    local log="$1"; shift
+    "$CLUSTERD" --listen 127.0.0.1:0 "$@" >"$log" 2>"$log.err" &
+    PIDS+=($!)
+    # Scrape the ephemeral port from the "listening on <addr>" line.
+    for _ in $(seq 1 100); do
+        if addr=$(grep -m1 '^listening on ' "$log" | cut -d' ' -f3) && [ -n "$addr" ]; then
+            echo "$addr"
+            return 0
+        fi
+        sleep 0.1
+    done
+    echo "worker did not report its address ($log)" >&2
+    return 1
+}
+
+echo "== start 3 workers (one crashes on its 2nd task) =="
+A=$(start_worker "$OUT/w0.log")
+B=$(start_worker "$OUT/w1.log" --fault-crash-task 1)
+C=$(start_worker "$OUT/w2.log")
+echo "workers: $A $B (crashing) $C"
+
+echo "== serial baseline =="
+"$SMOKE" --workloads "$WORKLOADS" >"$OUT/serial.jsonl"
+
+echo "== distributed run =="
+"$SMOKE" --workloads "$WORKLOADS" --cluster "$A,$B,$C" >"$OUT/cluster.jsonl"
+
+echo "== byte-for-byte diff =="
+diff "$OUT/serial.jsonl" "$OUT/cluster.jsonl"
+echo "cluster smoke OK: $(wc -l <"$OUT/serial.jsonl") profiles byte-identical despite an injected worker crash"
