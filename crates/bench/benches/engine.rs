@@ -1,17 +1,21 @@
 #![allow(missing_docs)]
-//! Execution-engine benchmarks: serial vs parallel `profile_all`, and
-//! cold vs warm profile cache.
+//! Execution-engine benchmarks: serial vs parallel `profile_all`, cold
+//! vs warm profile cache, and per-point vs fused (trace-once/replay-many)
+//! capacity sweeps.
 //!
 //! Besides the Criterion groups, this bench writes `BENCH_engine.json` at
 //! the workspace root with one explicit wall-clock measurement per
 //! configuration, so CI and the paper-repro notes can quote the numbers
 //! without parsing Criterion output. Parallel speedup scales with the
 //! machine's core count (a single-core runner reports ~1.0×); the warm
-//! cache speedup is hardware-independent and large.
+//! cache speedup and the fused-sweep speedup are hardware-independent
+//! and large. Every multi-thread point asserts `Engine::worker_threads`
+//! equals the requested width, so a pool that silently falls back to
+//! serial fails the bench run loudly instead of reporting a fake 1.0×.
 
-use bdb_engine::{json::Value, Engine, EngineConfig};
+use bdb_engine::{json::Value, Engine, EngineConfig, SweepMode};
 use bdb_node::NodeConfig;
-use bdb_sim::MachineConfig;
+use bdb_sim::{sweep_per_point, MachineConfig, SweepFamily, SweepResult, PAPER_SWEEP_KIB};
 use bdb_wcrt::WorkloadProfile;
 use bdb_workloads::{catalog, Scale, WorkloadDef};
 use criterion::{criterion_group, criterion_main, Criterion};
@@ -47,6 +51,51 @@ fn fingerprint(profiles: &[WorkloadProfile]) -> Vec<(String, u64, u64)> {
 
 fn scratch_cache_dir() -> PathBuf {
     std::env::temp_dir().join(format!("bdb-engine-bench-{}", std::process::id()))
+}
+
+/// Builds a sweep engine with an honest worker pool: if the requested
+/// width is not what the pool actually delivers (a silent serial
+/// fallback), the bench aborts instead of recording a bogus point.
+fn sweep_engine(threads: usize, mode: SweepMode) -> Engine {
+    let engine = Engine::new(
+        EngineConfig::default()
+            .threads(threads)
+            .without_memory_cache()
+            .sweep_mode(mode),
+    );
+    assert_eq!(
+        engine.worker_threads(),
+        threads,
+        "requested a {threads}-thread pool but got {} workers: \
+         the pool silently fell back — refusing to record this point",
+        engine.worker_threads()
+    );
+    engine
+}
+
+/// Sweeps every def over the full paper capacity axis on `engine`.
+fn run_sweeps(engine: &Engine, defs: &[WorkloadDef]) -> Vec<SweepResult> {
+    defs.iter()
+        .map(|def| {
+            engine.sweep(&def.spec.id, &PAPER_SWEEP_KIB, |sink| {
+                let _ = def.run(sink, scale());
+            })
+        })
+        .collect()
+}
+
+/// The reference sweep: re-runs the workload generator on a full machine
+/// once per capacity point, with no trace replay anywhere — the cost the
+/// fused speedup is quoted against.
+fn run_reference_sweeps(defs: &[WorkloadDef]) -> Vec<SweepResult> {
+    let family = SweepFamily::atom();
+    defs.iter()
+        .map(|def| {
+            sweep_per_point(&family, &def.spec.id, &PAPER_SWEEP_KIB, |sink| {
+                let _ = def.run(sink, scale());
+            })
+        })
+        .collect()
 }
 
 /// One explicit measurement per configuration, written to
@@ -100,7 +149,40 @@ fn measure_and_report() {
     assert_eq!(fingerprint(&serial), fingerprint(&warm));
     let _ = std::fs::remove_dir_all(&dir);
 
-    let report = Value::object(vec![
+    // Sweep section: the per-point reference re-runs the workload
+    // generator and a full Machine for each of the 10 capacity points;
+    // the fused path extracts the L1 event streams once and replays them
+    // per capacity. Same bits, fraction of the work. The engine's
+    // per-point mode (trace once, full machine replayed per point) is
+    // timed as a third column and must also match bit for bit.
+    let (sweep_serial_s, serial_sweeps) = time(|| run_reference_sweeps(&defs));
+    let (sweep_replay_pp_s, replay_pp_sweeps) =
+        time(|| run_sweeps(&sweep_engine(1, SweepMode::PerPoint), &defs));
+    assert_eq!(
+        serial_sweeps, replay_pp_sweeps,
+        "engine per-point mode must be bit-identical to the reference sweep"
+    );
+    let (sweep_fused_s, fused_sweeps) =
+        time(|| run_sweeps(&sweep_engine(1, SweepMode::Fused), &defs));
+    assert_eq!(
+        serial_sweeps, fused_sweeps,
+        "fused sweep must be bit-identical to the per-point sweep"
+    );
+    let fused_speedup = sweep_serial_s / sweep_fused_s;
+
+    // Multi-thread fused points (1/2/4 workers), each honesty-checked
+    // against `worker_threads` and against the serial reference bits.
+    let mut sweep_thread_fields = Vec::new();
+    for t in [1usize, 2, 4] {
+        let (secs, sweeps) = time(|| run_sweeps(&sweep_engine(t, SweepMode::Fused), &defs));
+        assert_eq!(
+            serial_sweeps, sweeps,
+            "{t}-thread fused sweep must be bit-identical to serial"
+        );
+        sweep_thread_fields.push((t, secs));
+    }
+
+    let mut fields = vec![
         ("bench", Value::Str("engine".into())),
         ("workloads", Value::UInt(defs.len() as u64)),
         ("scale_factor", Value::Float(scale().factor())),
@@ -111,7 +193,27 @@ fn measure_and_report() {
         ("cold_cache_seconds", Value::Float(cold_s)),
         ("warm_cache_seconds", Value::Float(warm_s)),
         ("warm_cache_speedup", Value::Float(cold_s / warm_s)),
-    ]);
+        (
+            "sweep_capacity_points",
+            Value::UInt(PAPER_SWEEP_KIB.len() as u64),
+        ),
+        ("sweep_serial_seconds", Value::Float(sweep_serial_s)),
+        (
+            "sweep_replay_per_point_seconds",
+            Value::Float(sweep_replay_pp_s),
+        ),
+        ("sweep_fused_seconds", Value::Float(sweep_fused_s)),
+        ("fused_speedup", Value::Float(fused_speedup)),
+    ];
+    for &(t, secs) in &sweep_thread_fields {
+        let key = match t {
+            1 => "sweep_fused_1t_seconds",
+            2 => "sweep_fused_2t_seconds",
+            _ => "sweep_fused_4t_seconds",
+        };
+        fields.push((key, Value::Float(secs)));
+    }
+    let report = Value::object(fields);
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");
     let mut text = report.encode();
     text.push('\n');
@@ -123,6 +225,15 @@ fn measure_and_report() {
          cold cache {cold_s:.2}s, warm cache {warm_s:.3}s ({:.1}x)",
         serial_s / parallel_s,
         cold_s / warm_s
+    );
+    println!(
+        "sweep:  per-point {sweep_serial_s:.2}s, per-point(replay) {sweep_replay_pp_s:.2}s, \
+         fused {sweep_fused_s:.2}s ({fused_speedup:.1}x), fused threads {}",
+        sweep_thread_fields
+            .iter()
+            .map(|&(t, s)| format!("{t}t={s:.2}s"))
+            .collect::<Vec<_>>()
+            .join(" ")
     );
 }
 
@@ -191,5 +302,36 @@ fn cache_cold_vs_warm(c: &mut Criterion) {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
-criterion_group!(benches, profile_all_serial_vs_parallel, cache_cold_vs_warm);
+fn sweep_per_point_vs_fused(c: &mut Criterion) {
+    let defs = workloads();
+    let def = &defs[0];
+    let caps = [16u64, 256, 4096];
+
+    let mut group = c.benchmark_group("engine_sweep");
+    group.sample_size(10);
+    group.bench_function("per_point", |b| {
+        let engine = sweep_engine(1, SweepMode::PerPoint);
+        b.iter(|| {
+            engine.sweep(&def.spec.id, &caps, |sink| {
+                let _ = def.run(sink, scale());
+            })
+        })
+    });
+    group.bench_function("fused", |b| {
+        let engine = sweep_engine(1, SweepMode::Fused);
+        b.iter(|| {
+            engine.sweep(&def.spec.id, &caps, |sink| {
+                let _ = def.run(sink, scale());
+            })
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    profile_all_serial_vs_parallel,
+    cache_cold_vs_warm,
+    sweep_per_point_vs_fused
+);
 criterion_main!(benches);

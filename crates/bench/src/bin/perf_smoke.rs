@@ -1,0 +1,126 @@
+//! CI perf smoke: proves the fused (trace-once/replay-many) sweep is
+//! both *correct* (bit-identical to the per-point reference) and
+//! *actually faster* at the CLI-selected scale, and that multi-thread
+//! pools are honest about their width.
+//!
+//! Exits non-zero with a loud message on any violation, so the CI
+//! `perf-smoke` job fails instead of shipping a silent regression:
+//!
+//! * a worker pool that silently falls back to serial,
+//! * a fused sweep whose bits drift from the per-point sweep,
+//! * a fused speedup below 2× (the default-scale bench demands ≥ 5×;
+//!   the smoke bound is looser because tiny inputs amortise less).
+
+use bdb_engine::{Engine, EngineConfig, SweepMode};
+use bdb_sim::{sweep_per_point, SweepFamily, SweepResult, PAPER_SWEEP_KIB};
+use bdb_workloads::{Scale, WorkloadDef};
+use std::time::Instant;
+
+/// Smoke threshold: fused must beat per-point by at least this factor
+/// even at tiny scale. The default-scale bench (`BENCH_engine.json`)
+/// records the real margin.
+const MIN_FUSED_SPEEDUP: f64 = 2.0;
+
+fn fail(msg: &str) -> ! {
+    eprintln!("perf_smoke: FAIL: {msg}");
+    std::process::exit(1);
+}
+
+/// Builds an engine and verifies the pool width it reports matches the
+/// width we asked for — the guard against silent serial fallback.
+fn honest_engine(threads: usize, mode: SweepMode) -> Engine {
+    let engine = Engine::new(
+        EngineConfig::default()
+            .threads(threads)
+            .without_memory_cache()
+            .sweep_mode(mode),
+    );
+    let got = engine.worker_threads();
+    if got != threads {
+        fail(&format!(
+            "requested a {threads}-thread pool but worker_threads() reports {got} \
+             — the pool silently fell back to a different width"
+        ));
+    }
+    engine
+}
+
+fn run_sweeps(engine: &Engine, defs: &[WorkloadDef], scale: Scale) -> Vec<SweepResult> {
+    defs.iter()
+        .map(|def| {
+            engine.sweep(&def.spec.id, &PAPER_SWEEP_KIB, |sink| {
+                let _ = def.run(sink, scale);
+            })
+        })
+        .collect()
+}
+
+fn assert_bit_identical(reference: &[SweepResult], candidate: &[SweepResult], what: &str) {
+    if reference == candidate {
+        return;
+    }
+    fail(&format!(
+        "{what} is not bit-identical to the per-point reference sweep"
+    ));
+}
+
+fn main() {
+    let scale = bdb_bench::scale_from_args();
+    let defs = bdb_bench::hadoop_sweep_defs();
+    if defs.is_empty() {
+        fail("hadoop sweep workload set is empty");
+    }
+
+    // Thread-honesty probe for every width CI cares about.
+    for threads in [1usize, 2, 4] {
+        let _ = honest_engine(threads, SweepMode::Fused);
+    }
+
+    // Reference: the raw per-point oracle — generator re-run on a full
+    // machine per capacity, no trace replay anywhere.
+    let family = SweepFamily::atom();
+    let start = Instant::now();
+    let reference: Vec<SweepResult> = defs
+        .iter()
+        .map(|def| {
+            sweep_per_point(&family, &def.spec.id, &PAPER_SWEEP_KIB, |sink| {
+                let _ = def.run(sink, scale);
+            })
+        })
+        .collect();
+    let per_point_s = start.elapsed().as_secs_f64();
+
+    // The engine's per-point mode (trace once into a pooled buffer, full
+    // machine replayed per capacity) must reproduce the oracle's bits.
+    let replay_pp = run_sweeps(&honest_engine(1, SweepMode::PerPoint), &defs, scale);
+    assert_bit_identical(&reference, &replay_pp, "engine per-point (replay) sweep");
+
+    let start = Instant::now();
+    let fused = run_sweeps(&honest_engine(1, SweepMode::Fused), &defs, scale);
+    let fused_s = start.elapsed().as_secs_f64();
+    assert_bit_identical(&reference, &fused, "serial fused sweep");
+
+    // Multi-thread fused runs must also reproduce the reference bits.
+    for threads in [2usize, 4] {
+        let sweeps = run_sweeps(&honest_engine(threads, SweepMode::Fused), &defs, scale);
+        assert_bit_identical(
+            &reference,
+            &sweeps,
+            &format!("{threads}-thread fused sweep"),
+        );
+    }
+
+    let speedup = per_point_s / fused_s;
+    println!(
+        "perf_smoke: {} workloads x {} capacities: per-point {per_point_s:.2}s, \
+         fused {fused_s:.2}s ({speedup:.1}x)",
+        defs.len(),
+        PAPER_SWEEP_KIB.len()
+    );
+    if speedup < MIN_FUSED_SPEEDUP {
+        fail(&format!(
+            "fused speedup {speedup:.2}x is below the {MIN_FUSED_SPEEDUP:.1}x smoke floor"
+        ));
+    }
+    println!("perf_smoke: OK");
+}

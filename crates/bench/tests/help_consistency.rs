@@ -19,6 +19,7 @@ const REQUIRED_KNOBS: &[&str] = &[
     "BDB_NO_CACHE",
     "BDB_CACHE_MAX_BYTES",
     "BDB_CLUSTER",
+    "BDB_SWEEP_MODE",
 ];
 
 #[test]

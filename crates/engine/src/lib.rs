@@ -17,9 +17,14 @@
 //!   per profile keyed by a content fingerprint. Re-running a figure
 //!   binary after changing only presentation code touches no simulation.
 //!
-//! Capacity sweeps parallelize per swept capacity (each point is an
-//! independent machine) but are *not* cached: a sweep is driven by an
-//! arbitrary workload closure whose content cannot be fingerprinted.
+//! Capacity sweeps run the workload generator exactly **once** in either
+//! [`SweepMode`]: the default fused mode streams its events into
+//! capacity-independent L1 event streams and replays those per capacity
+//! (trace-once/replay-many, DESIGN.md §13); per-point mode records the
+//! trace into a pooled buffer and replays a full machine per capacity.
+//! Points parallelize across the pool (each is independent) but are
+//! *not* cached: a sweep is driven by an arbitrary workload closure
+//! whose content cannot be fingerprinted.
 //!
 //! # Examples
 //!
@@ -48,7 +53,11 @@ pub mod task;
 pub use task::{resolve_workload, Task, TaskError, TaskResult};
 
 use bdb_node::NodeConfig;
-use bdb_sim::{assemble_sweep, sweep_point, Machine, MachineConfig, SweepResult};
+use bdb_sim::{
+    assemble_sweep, fused_point, sweep_point_replay, MachineConfig, SweepFamily, SweepResult,
+    SweepStreams,
+};
+use bdb_trace::{TraceBufferPool, TraceSink};
 use bdb_wcrt::{profile_workload, WorkloadProfile};
 use bdb_workloads::{Scale, WorkloadDef};
 use rayon::prelude::*;
@@ -63,6 +72,18 @@ use std::sync::Mutex;
 /// Bumped whenever the cache file layout changes; old files then decode
 /// as misses and are rewritten.
 pub const CACHE_FORMAT_VERSION: u64 = 1;
+
+/// How [`Engine::sweep`] computes its points.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum SweepMode {
+    /// Trace once, replay the extracted L1 streams per capacity (the
+    /// fast path; byte-identical to `PerPoint` by contract).
+    #[default]
+    Fused,
+    /// Re-run the workload on a full machine per capacity — the
+    /// reference path, kept as the oracle and escape hatch.
+    PerPoint,
+}
 
 /// How an [`Engine`] runs and where it remembers results.
 #[derive(Debug, Clone, Default)]
@@ -80,6 +101,8 @@ pub struct EngineConfig {
     /// directory past the cap, least-recently-used entries (hits refresh
     /// recency) are evicted until it fits. `None` means unbounded.
     pub cache_max_bytes: Option<u64>,
+    /// Sweep execution strategy (fused trace-replay by default).
+    pub sweep_mode: SweepMode,
 }
 
 impl EngineConfig {
@@ -111,6 +134,13 @@ impl EngineConfig {
         self
     }
 
+    /// Selects the sweep execution strategy.
+    #[must_use]
+    pub fn sweep_mode(mut self, mode: SweepMode) -> Self {
+        self.sweep_mode = mode;
+        self
+    }
+
     /// Builds a config from the standard `BDB_*` environment knobs — the
     /// one place their semantics live, shared by the bench harness and
     /// the cluster worker daemon so the two cannot drift:
@@ -121,6 +151,9 @@ impl EngineConfig {
     /// * `BDB_THREADS=<n>` — cap the worker pool (default: all cores).
     /// * `BDB_CACHE_MAX_BYTES=<n>` — cap the disk cache; LRU entries are
     ///   evicted past the cap (default: unbounded).
+    /// * `BDB_SWEEP_MODE=per-point` — use the per-point reference sweep
+    ///   instead of the fused trace-replay path (default: `fused`; the
+    ///   two are byte-identical by contract).
     pub fn from_env() -> Self {
         let mut config = EngineConfig::default();
         if std::env::var_os("BDB_NO_CACHE").is_none() {
@@ -142,6 +175,11 @@ impl EngineConfig {
             .and_then(|b| b.parse().ok())
         {
             config = config.cache_max_bytes(bytes);
+        }
+        if let Ok(mode) = std::env::var("BDB_SWEEP_MODE") {
+            if matches!(mode.as_str(), "per-point" | "perpoint" | "per_point") {
+                config = config.sweep_mode(SweepMode::PerPoint);
+            }
         }
         config
     }
@@ -178,6 +216,11 @@ pub struct Engine {
     dispatch: Dispatch,
     cache_dir: Option<PathBuf>,
     cache_max_bytes: Option<u64>,
+    sweep_mode: SweepMode,
+    /// Recycled trace buffers for per-point sweeps (which record once and
+    /// replay a full machine per capacity): consecutive sweeps and
+    /// concurrent sweep callers reuse recorded-trace chunk allocations.
+    buffers: TraceBufferPool,
     // bdb-lint: allow(determinism): keyed-lookup-only memo, never iterated.
     memory: Option<Mutex<HashMap<u64, WorkloadProfile>>>,
     memory_hits: AtomicU64,
@@ -207,6 +250,8 @@ impl Engine {
             dispatch,
             cache_dir,
             cache_max_bytes: config.cache_max_bytes,
+            sweep_mode: config.sweep_mode,
+            buffers: TraceBufferPool::new(),
             // bdb-lint: allow(determinism): keyed-lookup-only memo.
             memory: (!config.no_memory_cache).then(|| Mutex::new(HashMap::new())),
             memory_hits: AtomicU64::new(0),
@@ -310,34 +355,69 @@ impl Engine {
         })
     }
 
-    /// Runs a capacity sweep (paper §5.4), one Atom-like machine per
-    /// capacity, fanned out across the worker pool. Equivalent to
-    /// [`bdb_sim::sweep`] but parallel over the sweep points; the curves
-    /// are assembled in `capacities_kib` order, so output is identical.
+    /// Runs a capacity sweep (paper §5.4), fanned out across the worker
+    /// pool per swept capacity. Equivalent to [`bdb_sim::sweep`]; the
+    /// curves are assembled in `capacities_kib` order, so output is
+    /// identical at any thread count and in either [`SweepMode`].
+    ///
+    /// Either mode runs the workload generator exactly **once**. In the
+    /// default fused mode its events stream straight into the extracted
+    /// L1 event streams ([`bdb_sim::SweepStreams::record`] — no trace is
+    /// materialized) and each capacity point replays those streams
+    /// ([`bdb_sim::fused_point`]). In per-point mode
+    /// (`BDB_SWEEP_MODE=per-point`) the trace is recorded into a pooled
+    /// buffer and a full machine replays it per capacity
+    /// ([`bdb_sim::sweep_point_replay`]) — the reference semantics, one
+    /// whole machine per point, without re-generating.
     ///
     /// # Panics
     ///
     /// Panics if `capacities_kib` is empty.
     pub fn sweep<F>(&self, label: &str, capacities_kib: &[u64], workload: F) -> SweepResult
     where
-        F: Fn(&mut Machine) + Sync,
+        F: Fn(&mut dyn TraceSink) + Sync,
     {
         assert!(
             !capacities_kib.is_empty(),
             "sweep needs at least one capacity"
         );
-        let points = if matches!(self.dispatch, Dispatch::Serial) {
-            capacities_kib
-                .iter()
-                .map(|&kib| sweep_point(kib, &workload))
-                .collect()
-        } else {
-            self.install(|| {
-                capacities_kib
-                    .par_iter()
-                    .map(|&kib| sweep_point(kib, &workload))
-                    .collect()
-            })
+        let points = match self.sweep_mode {
+            SweepMode::Fused => {
+                let streams = SweepStreams::record(|sink| workload(sink));
+                let family = SweepFamily::atom();
+                if matches!(self.dispatch, Dispatch::Serial) {
+                    capacities_kib
+                        .iter()
+                        .map(|&kib| fused_point(&family, kib, &streams))
+                        .collect()
+                } else {
+                    self.install(|| {
+                        capacities_kib
+                            .par_iter()
+                            .map(|&kib| fused_point(&family, kib, &streams))
+                            .collect()
+                    })
+                }
+            }
+            SweepMode::PerPoint => {
+                let mut buffer = self.buffers.checkout();
+                workload(&mut buffer);
+                let points = if matches!(self.dispatch, Dispatch::Serial) {
+                    capacities_kib
+                        .iter()
+                        .map(|&kib| sweep_point_replay(kib, &buffer))
+                        .collect()
+                } else {
+                    self.install(|| {
+                        capacities_kib
+                            .par_iter()
+                            .map(|&kib| sweep_point_replay(kib, &buffer))
+                            .collect()
+                    })
+                };
+                self.buffers.checkin(buffer);
+                points
+            }
         };
         assemble_sweep(label, capacities_kib, points)
     }
@@ -871,23 +951,47 @@ mod tests {
         );
     }
 
+    fn sweep_probe_workload(sink: &mut dyn TraceSink) {
+        let mut layout = bdb_trace::CodeLayout::new();
+        let region = layout.region("kernel", 16 * 1024);
+        let mut ctx = bdb_trace::ExecCtx::new(&layout, sink);
+        let data = ctx.heap_alloc(64 * 1024, 64);
+        ctx.frame(region, |ctx| {
+            for i in 0..20_000u64 {
+                ctx.read(data.addr(i * 64 % data.len()), 8);
+                ctx.int_other(1);
+            }
+        });
+    }
+
     #[test]
     fn engine_sweep_matches_serial_sweep() {
-        let workload = |machine: &mut Machine| {
-            let mut layout = bdb_trace::CodeLayout::new();
-            let region = layout.region("kernel", 16 * 1024);
-            let mut ctx = bdb_trace::ExecCtx::new(&layout, machine);
-            let data = ctx.heap_alloc(64 * 1024, 64);
-            ctx.frame(region, |ctx| {
-                for i in 0..20_000u64 {
-                    ctx.read(data.addr(i * 64 % data.len()), 8);
-                    ctx.int_other(1);
-                }
-            });
-        };
-        let serial = bdb_sim::sweep("probe", &[16, 64, 256], workload);
+        let serial = bdb_sim::sweep("probe", &[16, 64, 256], sweep_probe_workload);
         let engine = Engine::new(EngineConfig::default().threads(3));
-        let parallel = engine.sweep("probe", &[16, 64, 256], workload);
+        let parallel = engine.sweep("probe", &[16, 64, 256], sweep_probe_workload);
         assert_eq!(parallel, serial);
+    }
+
+    #[test]
+    fn sweep_modes_are_byte_identical_at_any_thread_count() {
+        let caps = [16u64, 64, 256];
+        let reference =
+            bdb_sim::sweep_per_point(&SweepFamily::atom(), "probe", &caps, sweep_probe_workload);
+        for threads in [1, 3] {
+            for mode in [SweepMode::Fused, SweepMode::PerPoint] {
+                let engine = Engine::new(EngineConfig::default().threads(threads).sweep_mode(mode));
+                let result = engine.sweep("probe", &caps, sweep_probe_workload);
+                assert_eq!(result, reference, "mode {mode:?} at {threads} threads");
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_mode_env_knob_selects_per_point() {
+        // Env-var parsing only; never mutate the process env in tests.
+        let fused = EngineConfig::default();
+        assert_eq!(fused.sweep_mode, SweepMode::Fused);
+        let per_point = EngineConfig::default().sweep_mode(SweepMode::PerPoint);
+        assert_eq!(per_point.sweep_mode, SweepMode::PerPoint);
     }
 }

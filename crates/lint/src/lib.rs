@@ -19,6 +19,9 @@
 //!   - `workspace-hygiene` — member crates resolve every dependency
 //!     through `[workspace.dependencies]`, and the vendored shims stay
 //!     unified (no stray path deps).
+//!   - `batched-dispatch` — the trace-replay/sweep hot loops
+//!     (`trace/src/buffer.rs`, `sim/src/fused.rs`) deliver events via
+//!     `exec_batch`, never one virtual `TraceSink::exec` call per op.
 //! * **Artifact passes** statically validate the checked-in contracts:
 //!   the catalog spec (77 workloads), metric schema (45 metrics), the
 //!   reduction config (17 clusters, weights summing to 77), and the JSON
@@ -59,6 +62,10 @@ pub const RULES: &[(&str, &str)] = &[
     (
         "workspace-hygiene",
         "member crates resolve dependencies through [workspace.dependencies]; vendored shims stay unified",
+    ),
+    (
+        "batched-dispatch",
+        "no per-op TraceSink::exec calls inside trace-replay/sweep hot loops (deliver through exec_batch)",
     ),
     (
         "catalog-spec",

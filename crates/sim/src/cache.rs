@@ -89,6 +89,9 @@ impl CacheStats {
 pub struct Cache {
     config: CacheConfig,
     sets: usize,
+    /// `sets - 1` when the set count is a power of two (so indexing is a
+    /// mask instead of a modulo), `u64::MAX` otherwise.
+    set_mask: u64,
     line_shift: u32,
     /// `tags[set * assoc + way]`; `u64::MAX` marks an invalid way.
     tags: Vec<u64>,
@@ -128,6 +131,11 @@ impl Cache {
         Self {
             config,
             sets,
+            set_mask: if sets.is_power_of_two() {
+                sets as u64 - 1
+            } else {
+                u64::MAX
+            },
             line_shift: config.line_bytes.trailing_zeros(),
             tags: vec![INVALID; ways],
             stamp: vec![0; ways],
@@ -143,15 +151,26 @@ impl Cache {
         &self.config
     }
 
+    /// Set index of a line number. Modulo indexing supports
+    /// non-power-of-two set counts (the Xeon's 12 MiB L3 has 12288 sets);
+    /// power-of-two geometries — every swept L1 — take the mask path,
+    /// which computes the identical value without the division.
+    #[inline]
+    fn set_index(&self, line: u64) -> usize {
+        if self.set_mask != u64::MAX {
+            (line & self.set_mask) as usize
+        } else {
+            (line % self.sets as u64) as usize
+        }
+    }
+
     /// Accesses `addr`; returns `true` on hit. `is_store` marks the line
     /// dirty so its eventual eviction counts as a writeback.
     pub fn access(&mut self, addr: u64, is_store: bool) -> bool {
         self.tick += 1;
         self.stats.accesses += 1;
         let line = addr >> self.line_shift;
-        // Modulo indexing supports non-power-of-two set counts (the Xeon's
-        // 12 MiB L3 has 12288 sets); the full line number serves as the tag.
-        let set = (line % self.sets as u64) as usize;
+        let set = self.set_index(line);
         let tag = line;
         let base = set * self.config.assoc;
         let ways = &mut self.tags[base..base + self.config.assoc];
@@ -196,6 +215,33 @@ impl Cache {
         self.stamp[slot] = self.tick;
         self.dirty[slot] = is_store;
         false
+    }
+
+    /// Equivalent to `count` back-to-back [`Cache::access`] calls with
+    /// the same `addr`/`is_store`, returning the first call's hit flag.
+    ///
+    /// After the first access the line is resident and most recent, so
+    /// with nothing else touching the cache in between, the remaining
+    /// `count - 1` accesses are hits whose only effects are advancing the
+    /// clock and refreshing the line's own stamp — which this applies in
+    /// bulk. Trace-replay code uses it to collapse same-line runs; every
+    /// counter (and, for [`Replacement::Random`], the RNG, which hits
+    /// never touch) ends up exactly as if the calls had been made one by
+    /// one.
+    pub fn access_run(&mut self, addr: u64, is_store: bool, count: u64) -> bool {
+        let hit = self.access(addr, is_store);
+        if count > 1 {
+            let line = addr >> self.line_shift;
+            let set = self.set_index(line);
+            let base = set * self.config.assoc;
+            let ways = &self.tags[base..base + self.config.assoc];
+            if let Some(w) = ways.iter().position(|&t| t == line) {
+                self.tick += count - 1;
+                self.stats.accesses += count - 1;
+                self.stamp[base + w] = self.tick;
+            }
+        }
+        hit
     }
 
     /// Installs the line containing `addr` without touching the demand

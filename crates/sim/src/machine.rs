@@ -9,7 +9,7 @@ use crate::branch::{BranchStats, BranchUnit, DirectionScheme};
 use crate::cache::{Cache, CacheConfig, CacheStats};
 use crate::pipeline::{Pipeline, PipelineConfig, ServiceLevel};
 use crate::tlb::{Tlb, TlbConfig};
-use bdb_trace::{InstructionMix, MicroOp, TraceSink};
+use bdb_trace::{InstructionMix, MicroOp, TraceEvent, TraceSink};
 use serde::{Deserialize, Serialize};
 
 /// Complete configuration of a simulated machine.
@@ -483,6 +483,14 @@ impl TraceSink for Machine {
                 }
             }
             MicroOp::Int { .. } | MicroOp::Fp => {}
+        }
+    }
+
+    /// Batched delivery for trace replay: one virtual call per chunk, with
+    /// the per-op loop fully monomorphic over `Machine::exec`.
+    fn exec_batch(&mut self, batch: &[TraceEvent]) {
+        for event in batch {
+            self.exec(event.pc, event.op);
         }
     }
 }

@@ -3,11 +3,20 @@
 //! The paper estimates instruction/data footprints by sweeping the L1 size
 //! of a MARSSx86 Atom-like core from 16 KiB to 8192 KiB and plotting the
 //! miss ratio at each point (Figures 6–9); the capacity where the curve
-//! flattens is the footprint. [`sweep`] re-runs a workload closure once per
-//! capacity on [`MachineConfig::atom_sweep`] machines and collects the
-//! resulting [`MissRatioCurve`]s.
+//! flattens is the footprint.
+//!
+//! [`sweep`] records the workload's trace **once** into a
+//! [`TraceBuffer`], then computes every point from the extracted L1 event
+//! streams (see [`crate::fused`]) — byte-identical to the per-point
+//! reference path ([`sweep_per_point`]), which re-runs the workload on a
+//! full [`crate::MachineConfig::atom_sweep`] machine per capacity and survives
+//! as the contract oracle and the engine's `BDB_SWEEP_MODE=per-point`
+//! escape hatch.
 
-use crate::machine::{Machine, MachineConfig};
+use crate::cache::CacheStats;
+use crate::fused::{fused_points, SweepFamily, SweepStreams};
+use crate::machine::Machine;
+use bdb_trace::{TraceBuffer, TraceSink};
 use serde::{Deserialize, Serialize};
 
 /// The paper's sweep points, in KiB (Figures 6–9 x-axis).
@@ -70,12 +79,13 @@ impl MissRatioCurve {
     }
 }
 
-/// Runs `workload` once per capacity in `capacities_kib` on an Atom-like
-/// in-order machine and returns the three curves (instruction, data,
-/// unified).
+/// Sweeps `workload` over `capacities_kib` on the Atom-like family and
+/// returns the three curves (instruction, data, unified).
 ///
-/// The workload closure must regenerate identical work on every call (all
-/// generators in this workspace are seeded, so this holds by construction).
+/// The workload runs **once**, recorded into a [`TraceBuffer`]; every
+/// capacity point is then computed from the recorded trace. The output is
+/// byte-identical to [`sweep_per_point`] (contract-tested across the full
+/// catalog in `bdb-engine`).
 ///
 /// # Panics
 ///
@@ -83,7 +93,67 @@ impl MissRatioCurve {
 pub fn sweep(
     label: &str,
     capacities_kib: &[u64],
-    mut workload: impl FnMut(&mut Machine),
+    workload: impl FnMut(&mut dyn TraceSink),
+) -> SweepResult {
+    sweep_on(&SweepFamily::atom(), label, capacities_kib, workload)
+}
+
+/// [`sweep`] over an explicit cache [`SweepFamily`].
+pub fn sweep_on(
+    family: &SweepFamily,
+    label: &str,
+    capacities_kib: &[u64],
+    mut workload: impl FnMut(&mut dyn TraceSink),
+) -> SweepResult {
+    assert!(
+        !capacities_kib.is_empty(),
+        "sweep needs at least one capacity"
+    );
+    let mut buffer = TraceBuffer::new();
+    workload(&mut buffer);
+    sweep_replay(family, label, capacities_kib, &buffer)
+}
+
+/// Sweeps an already-recorded trace: extract the L1 event streams once,
+/// then compute every point (single-pass where the family's inclusion
+/// property holds, exact per-capacity replay otherwise).
+///
+/// # Panics
+///
+/// Panics if `capacities_kib` is empty.
+pub fn sweep_replay(
+    family: &SweepFamily,
+    label: &str,
+    capacities_kib: &[u64],
+    buffer: &TraceBuffer,
+) -> SweepResult {
+    assert!(
+        !capacities_kib.is_empty(),
+        "sweep needs at least one capacity"
+    );
+    let streams = SweepStreams::extract(buffer);
+    assemble_sweep(
+        label,
+        capacities_kib,
+        fused_points(family, capacities_kib, &streams),
+    )
+}
+
+/// The per-point reference sweep: re-runs `workload` once per capacity on
+/// a full machine. Kept as the oracle the fused path is contract-tested
+/// against, and as the engine's `BDB_SWEEP_MODE=per-point` escape hatch.
+///
+/// The workload closure must regenerate identical work on every call (all
+/// generators in this workspace are seeded, so this holds by construction).
+///
+/// # Panics
+///
+/// Panics if `capacities_kib` is empty.
+pub fn sweep_per_point(
+    family: &SweepFamily,
+    label: &str,
+    capacities_kib: &[u64],
+    mut workload: impl FnMut(&mut dyn TraceSink),
 ) -> SweepResult {
     assert!(
         !capacities_kib.is_empty(),
@@ -91,27 +161,57 @@ pub fn sweep(
     );
     let points = capacities_kib
         .iter()
-        .map(|&kib| sweep_point(kib, &mut workload))
+        .map(|&kib| sweep_point_on(family, kib, &mut workload))
         .collect();
     assemble_sweep(label, capacities_kib, points)
 }
 
 /// Runs `workload` once on an Atom-like machine with `kib` of L1 and
 /// returns `(instruction, data, unified)` miss ratios — one point of a
-/// sweep curve. `sweep` runs these serially; the execution engine fans
-/// them out across a thread pool (each point is an independent machine).
-pub fn sweep_point(kib: u64, workload: impl FnOnce(&mut Machine)) -> (f64, f64, f64) {
-    let mut machine = Machine::new(MachineConfig::atom_sweep(kib));
+/// sweep curve, computed the reference way (full machine, no replay). The
+/// execution engine fans these out across a thread pool in per-point mode
+/// (each point is an independent machine).
+pub fn sweep_point(kib: u64, workload: impl FnOnce(&mut dyn TraceSink)) -> (f64, f64, f64) {
+    sweep_point_on(&SweepFamily::atom(), kib, workload)
+}
+
+/// One per-point sample computed from a recorded trace: a full Atom-like
+/// machine at `kib`, fed by replaying `buffer`. Bit-identical to
+/// [`sweep_point`] on the workload that recorded the buffer — trace
+/// replay reproduces the exact event sequence — but the generator does
+/// not re-run. The engine's per-point mode records once into a pooled
+/// buffer and replays it at every capacity.
+pub fn sweep_point_replay(kib: u64, buffer: &TraceBuffer) -> (f64, f64, f64) {
+    let mut machine = Machine::new(SweepFamily::atom().machine_config(kib));
+    buffer.replay_into(&mut machine);
+    let report = machine.report();
+    point_ratios(report.l1i, report.l1d)
+}
+
+/// [`sweep_point`] over an explicit cache [`SweepFamily`].
+pub fn sweep_point_on(
+    family: &SweepFamily,
+    kib: u64,
+    workload: impl FnOnce(&mut dyn TraceSink),
+) -> (f64, f64, f64) {
+    let mut machine = Machine::new(family.machine_config(kib));
     workload(&mut machine);
     let report = machine.report();
-    let total_acc = report.l1i.accesses + report.l1d.accesses;
-    let total_miss = report.l1i.misses + report.l1d.misses;
+    point_ratios(report.l1i, report.l1d)
+}
+
+/// `(instruction, data, unified)` miss ratios from the two L1 stat
+/// blocks. Both sweep paths funnel through this one arithmetic so their
+/// outputs can be compared byte for byte.
+pub(crate) fn point_ratios(l1i: CacheStats, l1d: CacheStats) -> (f64, f64, f64) {
+    let total_acc = l1i.accesses + l1d.accesses;
+    let total_miss = l1i.misses + l1d.misses;
     let unified = if total_acc == 0 {
         0.0
     } else {
         total_miss as f64 / total_acc as f64
     };
-    (report.l1i.miss_ratio(), report.l1d.miss_ratio(), unified)
+    (l1i.miss_ratio(), l1d.miss_ratio(), unified)
 }
 
 /// Assembles per-capacity `(i, d, u)` miss ratios (in `capacities_kib`
@@ -160,12 +260,12 @@ mod tests {
 
     /// Synthetic workload with ~256 KiB instruction footprint and ~32 KiB
     /// data footprint.
-    fn synthetic(machine: &mut Machine) {
+    fn synthetic(sink: &mut dyn TraceSink) {
         let mut layout = CodeLayout::new();
         let regions: Vec<_> = (0..64)
             .map(|i| layout.region(format!("r{i}"), 4096))
             .collect();
-        let mut ctx = ExecCtx::new(&layout, machine);
+        let mut ctx = ExecCtx::new(&layout, sink);
         let data = ctx.heap_alloc(32 * 1024, 64);
         ctx.frame(regions[0], |ctx| {
             for round in 0..40u64 {
@@ -261,6 +361,33 @@ mod tests {
     }
 
     #[test]
+    fn fused_sweep_is_byte_identical_to_per_point() {
+        let fused = sweep("synthetic", &PAPER_SWEEP_KIB, synthetic);
+        let family = SweepFamily::atom();
+        let per_point = sweep_per_point(&family, "synthetic", &PAPER_SWEEP_KIB, synthetic);
+        assert_eq!(fused, per_point);
+        for (curve, reference) in [
+            (&fused.instruction, &per_point.instruction),
+            (&fused.data, &per_point.data),
+            (&fused.unified, &per_point.unified),
+        ] {
+            for ((ck, cr), (rk, rr)) in curve.points.iter().zip(&reference.points) {
+                assert_eq!(ck, rk);
+                assert_eq!(cr.to_bits(), rr.to_bits(), "ratio bits differ at {ck} KiB");
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_replay_reuses_one_recording() {
+        let buffer = bdb_trace::TraceBuffer::capture(synthetic);
+        let family = SweepFamily::atom();
+        let replayed = sweep_replay(&family, "synthetic", &[16, 256], &buffer);
+        let direct = sweep("synthetic", &[16, 256], synthetic);
+        assert_eq!(replayed, direct);
+    }
+
+    #[test]
     fn at_returns_swept_points_only() {
         let result = sweep("synthetic", &[16, 32], synthetic);
         assert!(result.instruction.at(16).is_some());
@@ -271,5 +398,18 @@ mod tests {
     #[should_panic(expected = "at least one capacity")]
     fn empty_sweep_panics() {
         let _ = sweep("x", &[], |_| {});
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one capacity")]
+    fn empty_replay_sweep_panics() {
+        let buffer = bdb_trace::TraceBuffer::new();
+        let _ = sweep_replay(&SweepFamily::atom(), "x", &[], &buffer);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one capacity")]
+    fn empty_per_point_sweep_panics() {
+        let _ = sweep_per_point(&SweepFamily::atom(), "x", &[], |_| {});
     }
 }

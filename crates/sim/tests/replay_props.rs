@@ -1,0 +1,99 @@
+//! The `Machine` leg of the trace-replay contract: feeding a recorded
+//! trace to a cycle-accurate machine through batched replay must produce
+//! the exact same `PerfReport` as streaming the ops directly — caches,
+//! TLBs, branch predictor, pipeline, everything.
+
+use bdb_sim::{Machine, MachineConfig};
+use bdb_trace::{BranchKind, IntPurpose, MicroOp, TraceBuffer, TraceSink};
+use proptest::prelude::*;
+
+fn op_from(selector: u8, payload: u64, size_seed: u64, flag: bool) -> MicroOp {
+    let size = (size_seed % 16) as u8 + 1;
+    match selector % 11 {
+        0 => MicroOp::Int {
+            purpose: IntPurpose::IntAddr,
+        },
+        1 => MicroOp::Int {
+            purpose: IntPurpose::FpAddr,
+        },
+        2 => MicroOp::Int {
+            purpose: IntPurpose::Other,
+        },
+        3 => MicroOp::Fp,
+        4 => MicroOp::Load {
+            addr: payload,
+            size,
+        },
+        5 => MicroOp::Store {
+            addr: payload,
+            size,
+        },
+        kind => MicroOp::Branch {
+            taken: flag,
+            target: payload,
+            kind: match kind {
+                6 => BranchKind::Conditional,
+                7 => BranchKind::Direct,
+                8 => BranchKind::Indirect,
+                9 => BranchKind::Call,
+                _ => BranchKind::Return,
+            },
+        },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn machine_replay_equals_direct_streaming(
+        raw in proptest::collection::vec(
+            // Bounded address spaces keep `pc + 64` prefetch arithmetic in
+            // range and give cache sets realistic contention.
+            (0u64..1 << 30, (0u8..11, 0u64..1 << 30, any::<u64>(), any::<bool>())),
+            1..500,
+        ),
+        chunk in prop_oneof![Just(1usize), Just(7), Just(256)],
+    ) {
+        let ops: Vec<(u64, MicroOp)> = raw
+            .iter()
+            .map(|&(pc, (sel, payload, sz, flag))| (pc, op_from(sel, payload, sz, flag)))
+            .collect();
+
+        let mut direct = Machine::new(MachineConfig::atom_sweep(32));
+        let mut buffer = TraceBuffer::with_chunk_capacity(chunk);
+        for &(pc, op) in &ops {
+            direct.exec(pc, op);
+            buffer.exec(pc, op);
+        }
+        let mut replayed = Machine::new(MachineConfig::atom_sweep(32));
+        buffer.replay_into(&mut replayed);
+        prop_assert_eq!(replayed.report(), direct.report());
+    }
+
+    #[test]
+    fn one_recording_replays_identically_many_times(
+        raw in proptest::collection::vec(
+            (0u64..1 << 24, (0u8..11, 0u64..1 << 24, any::<u64>(), any::<bool>())),
+            1..200,
+        ),
+    ) {
+        let ops: Vec<(u64, MicroOp)> = raw
+            .iter()
+            .map(|&(pc, (sel, payload, sz, flag))| (pc, op_from(sel, payload, sz, flag)))
+            .collect();
+        let mut buffer = TraceBuffer::new();
+        for &(pc, op) in &ops {
+            buffer.exec(pc, op);
+        }
+        let reports: Vec<_> = (0..3)
+            .map(|_| {
+                let mut machine = Machine::new(MachineConfig::atom_sweep(16));
+                buffer.replay_into(&mut machine);
+                machine.report()
+            })
+            .collect();
+        prop_assert_eq!(&reports[0], &reports[1]);
+        prop_assert_eq!(&reports[1], &reports[2]);
+    }
+}

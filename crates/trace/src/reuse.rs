@@ -143,6 +143,11 @@ pub struct ReuseProfiler {
     cold: u64,
     beyond: u64,
     buckets: Vec<u64>,
+    /// Bucket boundary table, built once at construction: maps a reuse
+    /// distance's bit width (`64 - leading_zeros`) to its clamped bucket
+    /// index, hoisting the shift/clamp arithmetic out of the per-access
+    /// path of [`ReuseProfiler::touch`].
+    bucket_of: [u8; 65],
 }
 
 impl ReuseProfiler {
@@ -167,6 +172,12 @@ impl ReuseProfiler {
             "line size must be a power of two"
         );
         assert!(window > 0, "window must be positive");
+        let buckets = vec![0; 40];
+        let last = buckets.len() - 1;
+        let mut bucket_of = [0u8; 65];
+        for (width, slot) in bucket_of.iter_mut().enumerate() {
+            *slot = width.saturating_sub(1).min(last) as u8;
+        }
         Self {
             line_shift: line_bytes.trailing_zeros(),
             window,
@@ -176,7 +187,8 @@ impl ReuseProfiler {
             fenwick: Fenwick::new(window),
             cold: 0,
             beyond: 0,
-            buckets: vec![0; 40],
+            buckets,
+            bucket_of,
         }
     }
 
@@ -212,10 +224,8 @@ impl ReuseProfiler {
                     // Distinct lines touched strictly between prev and now:
                     // count of set slots in (prev, now) over the ring.
                     let distance = self.count_between(prev, now);
-                    let b =
-                        (64 - distance.max(1).leading_zeros() as u64).saturating_sub(1) as usize;
-                    let last = self.buckets.len() - 1;
-                    self.buckets[b.min(last)] += 1;
+                    let width = (64 - distance.max(1).leading_zeros()) as usize;
+                    self.buckets[self.bucket_of[width] as usize] += 1;
                     // Clear the previous position.
                     self.fenwick.add(self.slot(prev), -1);
                 }
@@ -289,6 +299,18 @@ impl crate::TraceSink for ReuseSink {
                 self.data.touch(addr);
             }
             _ => {}
+        }
+    }
+
+    fn exec_batch(&mut self, batch: &[crate::TraceEvent]) {
+        for event in batch {
+            self.instructions.touch(event.pc);
+            match event.op {
+                crate::MicroOp::Load { addr, .. } | crate::MicroOp::Store { addr, .. } => {
+                    self.data.touch(addr);
+                }
+                _ => {}
+            }
         }
     }
 }
@@ -376,6 +398,67 @@ mod tests {
         p.touch(0xAAAA_0000); // reuse 100 accesses later, window is 64
         let h = p.histogram();
         assert_eq!(h.beyond_window, 1);
+    }
+
+    /// Exact LRU stack distance by brute force: distinct lines touched
+    /// since the previous occurrence, via a linear recency list.
+    fn brute_force_histogram(lines: &[u64]) -> ReuseHistogram {
+        let mut stack: Vec<u64> = Vec::new();
+        let mut h = ReuseHistogram {
+            cold: 0,
+            beyond_window: 0,
+            buckets: vec![0; 40],
+            line_bytes: 64,
+        };
+        for &line in lines {
+            match stack.iter().position(|&l| l == line) {
+                None => h.cold += 1,
+                Some(pos) => {
+                    // `pos` lines are more recent than the previous touch.
+                    let width = (64 - (pos as u64).max(1).leading_zeros()) as usize;
+                    let bucket = width.saturating_sub(1).min(h.buckets.len() - 1);
+                    h.buckets[bucket] += 1;
+                    stack.remove(pos);
+                }
+            }
+            stack.insert(0, line);
+        }
+        h
+    }
+
+    /// Regression pin for the hoisted bucket-boundary table: a fixed
+    /// xorshift trace must produce a histogram byte-identical to an
+    /// independent brute-force reference AND to a pinned checksum, so any
+    /// drift in the per-access bucket arithmetic fails loudly.
+    #[test]
+    fn histogram_bytes_are_pinned() {
+        let mut profiler = ReuseProfiler::new(64);
+        let mut lines = Vec::new();
+        let mut x = 0x0123_4567_89AB_CDEF_u64;
+        for _ in 0..4000 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let line = x % 700;
+            lines.push(line);
+            profiler.touch(line * 64);
+        }
+        let h = profiler.histogram();
+        assert_eq!(h, brute_force_histogram(&lines));
+
+        // FNV-1a over the histogram's fields, pinned. This is the byte-level
+        // contract: an optimization may not move a single count.
+        let mut fnv = 0xcbf2_9ce4_8422_2325u64;
+        for value in [h.cold, h.beyond_window]
+            .into_iter()
+            .chain(h.buckets.iter().copied())
+        {
+            for byte in value.to_le_bytes() {
+                fnv ^= u64::from(byte);
+                fnv = fnv.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        }
+        assert_eq!(fnv, 0x2DA7_6EC5_F32E_1399, "histogram checksum drifted");
     }
 
     #[test]

@@ -1,0 +1,144 @@
+//! Property tests for the trace-once/replay-many contract: recording an
+//! arbitrary op sequence into a [`TraceBuffer`] and replaying it must be
+//! observation-equivalent to streaming the same ops directly into a sink
+//! — for every sink kind and across chunk boundaries.
+//!
+//! The `Machine` (cycle-accurate) leg of the same contract lives in
+//! `bdb-sim/tests/replay_props.rs`, since `bdb-trace` cannot depend on
+//! the simulator.
+
+use bdb_trace::{
+    BranchKind, CountingSink, IntPurpose, MicroOp, MixSink, ReuseSink, TraceBuffer, TraceSink,
+};
+use proptest::prelude::*;
+
+/// Decodes a generated `(selector, payload, payload2, flag)` tuple into a
+/// micro-op, covering every variant shape.
+fn op_from(selector: u8, payload: u64, size_seed: u64, flag: bool) -> MicroOp {
+    let size = (size_seed % 16) as u8 + 1;
+    match selector % 11 {
+        0 => MicroOp::Int {
+            purpose: IntPurpose::IntAddr,
+        },
+        1 => MicroOp::Int {
+            purpose: IntPurpose::FpAddr,
+        },
+        2 => MicroOp::Int {
+            purpose: IntPurpose::Other,
+        },
+        3 => MicroOp::Fp,
+        4 => MicroOp::Load {
+            addr: payload,
+            size,
+        },
+        5 => MicroOp::Store {
+            addr: payload,
+            size,
+        },
+        kind => MicroOp::Branch {
+            taken: flag,
+            target: payload,
+            kind: match kind {
+                6 => BranchKind::Conditional,
+                7 => BranchKind::Direct,
+                8 => BranchKind::Indirect,
+                9 => BranchKind::Call,
+                _ => BranchKind::Return,
+            },
+        },
+    }
+}
+
+fn record(ops: &[(u64, MicroOp)], chunk_capacity: usize) -> TraceBuffer {
+    let mut buffer = TraceBuffer::with_chunk_capacity(chunk_capacity);
+    for &(pc, op) in ops {
+        buffer.exec(pc, op);
+    }
+    buffer
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn replay_equals_direct_for_mix_and_counting_sinks(
+        raw in proptest::collection::vec(
+            (any::<u64>(), (0u8..11, any::<u64>(), any::<u64>(), any::<bool>())),
+            0..400,
+        ),
+        chunk in prop_oneof![Just(1usize), Just(3), Just(64), Just(1 << 16)],
+    ) {
+        let ops: Vec<(u64, MicroOp)> = raw
+            .iter()
+            .map(|&(pc, (sel, payload, sz, flag))| (pc, op_from(sel, payload, sz, flag)))
+            .collect();
+        let buffer = record(&ops, chunk);
+        prop_assert_eq!(buffer.len(), ops.len() as u64);
+
+        let mut direct_mix = MixSink::new();
+        let mut direct_count = CountingSink::new();
+        for &(pc, op) in &ops {
+            direct_mix.exec(pc, op);
+            direct_count.exec(pc, op);
+        }
+        let mut replay_mix = MixSink::new();
+        let mut replay_count = CountingSink::new();
+        buffer.replay_into(&mut replay_mix);
+        buffer.replay_into(&mut replay_count);
+        prop_assert_eq!(replay_mix.mix(), direct_mix.mix());
+        prop_assert_eq!(replay_count.ops(), direct_count.ops());
+    }
+
+    #[test]
+    fn replay_equals_direct_for_reuse_sink(
+        raw in proptest::collection::vec(
+            (0u64..1 << 14, (0u8..11, 0u64..1 << 14, any::<u64>(), any::<bool>())),
+            0..300,
+        ),
+        chunk in prop_oneof![Just(1usize), Just(5), Just(128)],
+    ) {
+        let ops: Vec<(u64, MicroOp)> = raw
+            .iter()
+            .map(|&(pc, (sel, payload, sz, flag))| (pc, op_from(sel, payload, sz, flag)))
+            .collect();
+        let buffer = record(&ops, chunk);
+
+        let mut direct = ReuseSink::new();
+        for &(pc, op) in &ops {
+            direct.exec(pc, op);
+        }
+        let mut replayed = ReuseSink::new();
+        buffer.replay_into(&mut replayed);
+        prop_assert_eq!(
+            replayed.data.histogram(),
+            direct.data.histogram()
+        );
+        prop_assert_eq!(
+            replayed.instructions.histogram(),
+            direct.instructions.histogram()
+        );
+    }
+
+    #[test]
+    fn chunk_boundaries_are_invisible(
+        pcs in proptest::collection::vec(any::<u64>(), 0..130),
+    ) {
+        // Same trace recorded at chunk capacities surrounding the trace
+        // length (empty, exactly one chunk, chunk+1) must replay the same.
+        let ops: Vec<(u64, MicroOp)> = pcs
+            .iter()
+            .map(|&pc| (pc, MicroOp::Load { addr: pc ^ 0xFFFF, size: 8 }))
+            .collect();
+        let n = ops.len().max(1);
+        let mut observed = Vec::new();
+        for chunk in [n, n + 1, 64usize, 1] {
+            let buffer = record(&ops, chunk);
+            let mut mix = MixSink::new();
+            buffer.replay_into(&mut mix);
+            observed.push(mix.mix());
+        }
+        for window in observed.windows(2) {
+            prop_assert_eq!(window[0], window[1]);
+        }
+    }
+}

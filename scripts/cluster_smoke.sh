@@ -60,3 +60,12 @@ echo "== distributed run =="
 echo "== byte-for-byte diff =="
 diff "$OUT/serial.jsonl" "$OUT/cluster.jsonl"
 echo "cluster smoke OK: $(wc -l <"$OUT/serial.jsonl") profiles byte-identical despite an injected worker crash"
+
+# Replay-enabled pass: the trace-once/replay-many sweep path
+# (BDB_SWEEP_MODE=fused) must leave distributed task payloads and the
+# merged bytes untouched. Worker B already died on its injected fault,
+# so this run also proves the surviving pair still merges identically.
+echo "== replay-enabled distributed run (BDB_SWEEP_MODE=fused) =="
+BDB_SWEEP_MODE=fused "$SMOKE" --workloads "$WORKLOADS" --cluster "$A,$C" >"$OUT/cluster_replay.jsonl"
+diff "$OUT/serial.jsonl" "$OUT/cluster_replay.jsonl"
+echo "replay smoke OK: fused sweep mode leaves the distributed merge byte-identical"
