@@ -24,6 +24,11 @@
 //!   workers instead of the local engine (also `--cluster addr,addr`).
 //! * `BDB_SWEEP_MODE=per-point` — disable the fused trace-once/replay-many
 //!   capacity sweep and re-simulate each point (debug aid; same bits).
+//! * `BDB_JOURNAL=<path>` — checkpoint completed profiles/sweeps into a
+//!   write-ahead run journal.
+//! * `BDB_RESUME=1` (or the `--resume` flag) — resume completed work
+//!   from the journal instead of recomputing it; with no explicit
+//!   journal path, each binary journals to `results/journal/<bin>.wal`.
 
 use bdb_cluster::{profile_all_distributed, TcpTransport, Transport};
 use bdb_engine::{Engine, EngineConfig};
@@ -32,6 +37,7 @@ use bdb_sim::MachineConfig;
 use bdb_wcrt::profile::WorkloadProfile;
 use bdb_wcrt::SystemClass;
 use bdb_workloads::{Category, Scale, WorkloadDef};
+use std::path::PathBuf;
 use std::sync::{Arc, OnceLock};
 use std::time::Duration;
 
@@ -45,7 +51,53 @@ static CLUSTER: OnceLock<Option<Vec<String>>> = OnceLock::new();
 /// one instance, so a profile computed for one table is a memory-cache
 /// hit for the next.
 pub fn engine() -> &'static Engine {
-    ENGINE.get_or_init(|| Engine::new(EngineConfig::from_env()))
+    ENGINE.get_or_init(|| {
+        let engine = Engine::new(engine_config_from_invocation());
+        if let Some((tasks, sweeps)) = engine.journal_preloaded() {
+            if tasks + sweeps > 0 {
+                eprintln!("bdb-bench: journal preloaded {tasks} profiles and {sweeps} sweeps");
+            }
+        }
+        engine
+    })
+}
+
+/// [`EngineConfig::from_env`] plus the bench-only `--resume` argv flag.
+///
+/// `--resume` behaves exactly like `BDB_RESUME=1`, except that the
+/// default journal path is per-binary (`results/journal/<bin>.wal`) so
+/// two figure binaries interrupted back to back never splice into each
+/// other's journal. An explicit `BDB_JOURNAL` always wins.
+fn engine_config_from_invocation() -> EngineConfig {
+    let mut config = EngineConfig::from_env();
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().skip(1).any(|a| a == "--resume") {
+        config = config.resume();
+    }
+    if config.resume && config.journal_path.is_none() {
+        let path = PathBuf::from(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../results/journal"
+        ))
+        .join(format!("{}.wal", bin_name(&args)));
+        config = config
+            .journal(path)
+            .journal_context(bdb_engine::argv_journal_context());
+    }
+    config
+}
+
+/// The invoking binary's name (argv\[0\] file stem), for per-binary
+/// journal paths and `--help` headers.
+fn bin_name(args: &[String]) -> String {
+    args.first()
+        .map(|p| {
+            std::path::Path::new(p)
+                .file_stem()
+                .map(|s| s.to_string_lossy().into_owned())
+                .unwrap_or_else(|| p.clone())
+        })
+        .unwrap_or_else(|| "bdb-bench".to_owned())
 }
 
 /// Worker addresses for distributed profiling, if configured via
@@ -80,11 +132,12 @@ pub fn help_text(bin: &str) -> String {
 {bin}: regenerates one table/figure of the paper reproduction
 
 USAGE:
-    {bin} [--scale tiny|small|paper|<factor>] [--cluster <addr,addr,...>]
+    {bin} [--scale tiny|small|paper|<factor>] [--cluster <addr,addr,...>] [--resume]
 
 OPTIONS:
     --scale <s>       Input scale (default small; paper regenerates reported numbers)
     --cluster <list>  Profile via remote bdb-clusterd workers (comma-separated addresses)
+    --resume          Resume completed work from the run journal (results/journal/{bin}.wal)
     -h, --help        Print this help
 
 ENVIRONMENT:
@@ -94,6 +147,8 @@ ENVIRONMENT:
     BDB_CACHE_MAX_BYTES  Disk-cache size cap in bytes with LRU eviction (default: unbounded)
     BDB_CLUSTER          Worker addresses, same meaning as --cluster
     BDB_SWEEP_MODE       Capacity-sweep strategy: fused (default) or per-point
+    BDB_JOURNAL          Write-ahead run-journal path (default: results/journal/{bin}.wal)
+    BDB_RESUME           Set to resume from the journal, same meaning as --resume
 "
     )
 }
@@ -106,16 +161,7 @@ ENVIRONMENT:
 pub fn scale_from_args() -> Scale {
     let args: Vec<String> = std::env::args().collect();
     if args.iter().skip(1).any(|a| a == "--help" || a == "-h") {
-        let bin = args
-            .first()
-            .map(|p| {
-                std::path::Path::new(p)
-                    .file_stem()
-                    .map(|s| s.to_string_lossy().into_owned())
-                    .unwrap_or_else(|| p.clone())
-            })
-            .unwrap_or_else(|| "bdb-bench".to_owned());
-        print!("{}", help_text(&bin));
+        print!("{}", help_text(&bin_name(&args)));
         std::process::exit(0);
     }
     let mut scale = Scale::small();

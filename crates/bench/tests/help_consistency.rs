@@ -20,6 +20,9 @@ const REQUIRED_KNOBS: &[&str] = &[
     "BDB_CACHE_MAX_BYTES",
     "BDB_CLUSTER",
     "BDB_SWEEP_MODE",
+    "--resume",
+    "BDB_JOURNAL",
+    "BDB_RESUME",
 ];
 
 #[test]

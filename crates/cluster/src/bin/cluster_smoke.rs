@@ -12,11 +12,13 @@
 //! diff serial.jsonl cluster.jsonl
 //! ```
 
-use bdb_cluster::{profile_all_distributed, TcpTransport, Transport};
-use bdb_engine::{codec, Engine};
+use bdb_cluster::{profile_all_distributed, profile_all_distributed_journaled};
+use bdb_cluster::{TcpTransport, Transport};
+use bdb_engine::{argv_journal_context, codec, CacheStore, Engine, RealFs, RunJournal};
 use bdb_node::NodeConfig;
 use bdb_sim::MachineConfig;
 use bdb_workloads::{catalog, Scale};
+use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Duration;
@@ -26,11 +28,14 @@ cluster-smoke: print canonical profile bytes, serially or via a cluster
 
 USAGE:
     cluster-smoke [--workloads <n>] [--scale tiny|small|paper|<factor>] [--cluster <addr,addr,...>]
+                  [--journal <path>] [--resume]
 
 OPTIONS:
     --workloads <n>   Profile the first n catalog workloads (default 12)
     --scale <s>       Input scale (default tiny)
     --cluster <list>  Comma-separated worker addresses; omit for a serial local run
+    --journal <path>  Checkpoint completed tasks into a write-ahead run journal
+    --resume          Merge completed tasks from the journal instead of re-running them
     -h, --help        Print this help
 ";
 
@@ -43,6 +48,8 @@ fn main() -> ExitCode {
     let mut count: usize = 12;
     let mut scale = Scale::tiny();
     let mut cluster: Option<String> = None;
+    let mut journal_path: Option<PathBuf> = None;
+    let resume = argv.iter().any(|a| a == "--resume");
     for pair in argv.windows(2) {
         match pair[0].as_str() {
             "--workloads" => match pair[1].parse() {
@@ -67,9 +74,21 @@ fn main() -> ExitCode {
                 }
             }
             "--cluster" => cluster = Some(pair[1].clone()),
+            "--journal" => journal_path = Some(PathBuf::from(&pair[1])),
             _ => {}
         }
     }
+    // The journal context is the command line minus --resume, so only
+    // the identical invocation replays journaled results.
+    let mut journal = journal_path.map(|path| {
+        let store: Arc<dyn CacheStore> = Arc::new(RealFs);
+        let (journal, stats) = RunJournal::open(store, path, &argv_journal_context(), resume);
+        eprintln!(
+            "cluster-smoke: journal preloaded {} of {count} tasks",
+            stats.loaded_tasks
+        );
+        journal
+    });
     let workloads: Vec<_> = catalog::full_catalog().into_iter().take(count).collect();
     let machine = MachineConfig::xeon_e5645();
     let node = NodeConfig::default();
@@ -86,7 +105,13 @@ fn main() -> ExitCode {
                     }
                 }
             }
-            match profile_all_distributed(workers, &workloads, scale, &machine, &node) {
+            let outcome = match journal.as_mut() {
+                Some(journal) => profile_all_distributed_journaled(
+                    workers, &workloads, scale, &machine, &node, journal,
+                ),
+                None => profile_all_distributed(workers, &workloads, scale, &machine, &node),
+            };
+            match outcome {
                 Ok(profiles) => profiles,
                 Err(e) => {
                     eprintln!("cluster-smoke: distributed run failed: {e}");

@@ -31,7 +31,7 @@
 
 use crate::proto::{Message, PROTOCOL_VERSION};
 use crate::transport::Transport;
-use bdb_engine::Task;
+use bdb_engine::{RunJournal, Task};
 use bdb_wcrt::WorkloadProfile;
 use std::collections::VecDeque;
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
@@ -146,6 +146,10 @@ struct Run<'a> {
     done: usize,
     now: u64,
     next_probe_seq: u64,
+    /// Optional write-ahead journal: verified results are checkpointed
+    /// as they land, assignments are logged for provenance, and a
+    /// resumed run starts with journaled tasks already merged.
+    journal: Option<&'a mut RunJournal>,
 }
 
 /// Shards task batches across a worker fleet. See the module docs.
@@ -166,6 +170,31 @@ impl Coordinator {
         &self,
         workers: Vec<Arc<dyn Transport>>,
         tasks: &[Task],
+    ) -> Result<Vec<WorkloadProfile>, ClusterError> {
+        self.run_inner(workers, tasks, None)
+    }
+
+    /// Like [`run`](Self::run), but checkpoints progress into `journal`:
+    /// every verified result is appended as it lands, and tasks the
+    /// journal already holds (from a previous, killed coordinator) are
+    /// merged up front without being re-dispatched. The merged output is
+    /// byte-identical to an uninterrupted run — journaled profiles are
+    /// replayed, not recomputed, and the determinism contract makes the
+    /// two indistinguishable.
+    pub fn run_journaled(
+        &self,
+        workers: Vec<Arc<dyn Transport>>,
+        tasks: &[Task],
+        journal: &mut RunJournal,
+    ) -> Result<Vec<WorkloadProfile>, ClusterError> {
+        self.run_inner(workers, tasks, Some(journal))
+    }
+
+    fn run_inner(
+        &self,
+        workers: Vec<Arc<dyn Transport>>,
+        tasks: &[Task],
+        journal: Option<&mut RunJournal>,
     ) -> Result<Vec<WorkloadProfile>, ClusterError> {
         if workers.is_empty() {
             return Err(ClusterError::NoWorkers);
@@ -190,7 +219,19 @@ impl Coordinator {
             done: 0,
             now: 0,
             next_probe_seq: 0,
+            journal,
         };
+        // Resume: merge journaled results up front. `dispatch` skips
+        // completed tasks, so finished shards are never re-run; stale
+        // journal entries (foreign fingerprints) simply never match.
+        if let Some(journal) = run.journal.as_deref() {
+            for (task, &fingerprint) in run.expected.iter().enumerate() {
+                if let Some(profile) = journal.completed_task(fingerprint) {
+                    run.results[task] = Some(profile.clone());
+                    run.done += 1;
+                }
+            }
+        }
         let outcome = run.event_loop(&rx);
         run.farewell();
         outcome?;
@@ -278,6 +319,11 @@ impl Run<'_> {
                 task,
                 deadline: self.now + self.config.task_deadline_ticks,
             });
+            // Provenance only (ignored on resume): a crashed
+            // coordinator's journal shows what was in flight.
+            if let Some(journal) = self.journal.as_deref_mut() {
+                let _ = journal.record_assign(self.expected[task]);
+            }
         } else {
             self.handle_death(idx);
             self.retry.push_back((task, self.now));
@@ -352,6 +398,12 @@ impl Run<'_> {
         }
         match outcome {
             Ok(profile) => {
+                // Checkpoint before merging: once journaled, a killed
+                // coordinator never re-runs this shard. Best-effort —
+                // a broken journal degrades resume, not the run.
+                if let Some(journal) = self.journal.as_deref_mut() {
+                    let _ = journal.record_task(fingerprint, &profile);
+                }
                 self.results[task] = Some(*profile);
                 self.done += 1;
                 Ok(())

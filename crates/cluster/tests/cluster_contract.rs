@@ -154,6 +154,74 @@ fn single_worker_cluster_matches_serial() {
 }
 
 #[test]
+fn killed_coordinator_resumes_from_journal_without_rerunning_shards() {
+    use bdb_engine::{CacheStore, RealFs, RunJournal};
+    use std::path::PathBuf;
+
+    let workloads: Vec<WorkloadDef> = catalog::full_catalog().into_iter().take(8).collect();
+    let scale = Scale::tiny();
+    let serial = serial_baseline(&workloads, scale);
+    let tasks = fleet_tasks(
+        &workloads,
+        scale,
+        &MachineConfig::xeon_e5645(),
+        &NodeConfig::default(),
+    );
+    let dir = std::env::temp_dir().join(format!("bdb-cluster-journal-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let path: PathBuf = dir.join("run.wal");
+    let context = "cluster-contract restart";
+
+    // First coordinator: completes only the first five shards before the
+    // process "dies" (we simply stop after a partial batch — every
+    // verified result is already on disk in the write-ahead journal).
+    let completed = 5usize;
+    {
+        let store: Arc<dyn CacheStore> = Arc::new(RealFs);
+        let (mut journal, _) = RunJournal::open(store, path.clone(), context, false);
+        let partial = Coordinator::new(test_config())
+            .run_journaled(
+                vec![spawn_worker("first-life", FaultPlan::default())],
+                &tasks[..completed],
+                &mut journal,
+            )
+            .expect("partial journaled run must converge");
+        assert_eq!(partial.len(), completed);
+    }
+
+    // Second coordinator: resumes from the journal. Its only worker is
+    // rigged to crash if it is ever assigned more than the three
+    // remaining shards, so any re-dispatch of a finished shard fails the
+    // whole run — resumption must come purely from the journal.
+    let store: Arc<dyn CacheStore> = Arc::new(RealFs);
+    let (mut journal, stats) = RunJournal::open(store, path, context, true);
+    assert_eq!(
+        stats.loaded_tasks, completed,
+        "journal must replay all completed shards"
+    );
+    let remaining = (tasks.len() - completed) as u64;
+    let resumed = Coordinator::new(test_config())
+        .run_journaled(
+            vec![spawn_worker(
+                "second-life",
+                FaultPlan {
+                    crash_on_task: Some(remaining),
+                    ..FaultPlan::default()
+                },
+            )],
+            &tasks,
+            &mut journal,
+        )
+        .expect("resumed run must converge without re-dispatching finished shards");
+    assert_eq!(
+        canonical_bytes(&resumed),
+        serial,
+        "resumed merge must be byte-identical to an uninterrupted serial run"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn all_workers_crashing_is_a_clean_error() {
     let workloads: Vec<WorkloadDef> = catalog::full_catalog().into_iter().take(4).collect();
     let tasks = fleet_tasks(

@@ -10,8 +10,8 @@ use crate::json::Value;
 use bdb_datagen::DataSetId;
 use bdb_node::{NodeConfig, SystemMetrics};
 use bdb_sim::{
-    BranchStats, CacheConfig, CacheStats, DirectionScheme, MachineConfig, PerfReport,
-    PipelineConfig, PipelineKind, Replacement, TlbConfig,
+    BranchStats, CacheConfig, CacheStats, DirectionScheme, MachineConfig, MissRatioCurve,
+    PerfReport, PipelineConfig, PipelineKind, Replacement, SweepMetric, SweepResult, TlbConfig,
 };
 use bdb_stacks::{DataBehavior, Relation, StackKind};
 use bdb_trace::InstructionMix;
@@ -529,6 +529,74 @@ pub fn node_config_from_value(v: &Value) -> Result<NodeConfig, DecodeError> {
     })
 }
 
+enum_codec!(
+    enc_sweep_metric,
+    dec_sweep_metric,
+    SweepMetric,
+    [Instruction, Data, Unified]
+);
+
+fn enc_curve(c: &MissRatioCurve) -> Value {
+    Value::object(vec![
+        ("label", Value::Str(c.label.clone())),
+        ("metric", enc_sweep_metric(c.metric)),
+        (
+            "points",
+            Value::Array(
+                c.points
+                    .iter()
+                    .map(|&(kib, ratio)| Value::Array(vec![Value::UInt(kib), Value::Float(ratio)]))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+fn dec_curve(v: &Value) -> Result<MissRatioCurve, DecodeError> {
+    let raw = get(v, "points")?
+        .as_array()
+        .ok_or_else(|| DecodeError::field("points", "expected array"))?;
+    let mut points = Vec::with_capacity(raw.len());
+    for point in raw {
+        let pair = point
+            .as_array()
+            .filter(|p| p.len() == 2)
+            .ok_or_else(|| DecodeError::field("points", "expected [capacity, ratio] pairs"))?;
+        let kib = pair[0]
+            .as_u64()
+            .ok_or_else(|| DecodeError::field("points", "expected unsigned capacity"))?;
+        let ratio = pair[1]
+            .as_f64()
+            .ok_or_else(|| DecodeError::field("points", "expected numeric ratio"))?;
+        points.push((kib, ratio));
+    }
+    Ok(MissRatioCurve {
+        label: get_str(v, "label")?.to_owned(),
+        metric: dec_sweep_metric(get(v, "metric")?, "metric")?,
+        points,
+    })
+}
+
+/// Encodes a sweep result (the run journal persists completed sweeps so
+/// interrupted campaigns resume without re-tracing). Ratios travel as
+/// canonical floats, so the roundtrip is bit-exact.
+pub fn sweep_result_to_value(s: &SweepResult) -> Value {
+    Value::object(vec![
+        ("instruction", enc_curve(&s.instruction)),
+        ("data", enc_curve(&s.data)),
+        ("unified", enc_curve(&s.unified)),
+    ])
+}
+
+/// Decodes a sweep result (strict, like the profile codec).
+pub fn sweep_result_from_value(v: &Value) -> Result<SweepResult, DecodeError> {
+    Ok(SweepResult {
+        instruction: dec_curve(get(v, "instruction")?)?,
+        data: dec_curve(get(v, "data")?)?,
+        unified: dec_curve(get(v, "unified")?)?,
+    })
+}
+
 /// Encodes a [`crate::task::Task`]. The scale factor travels as its exact
 /// `f64` bit pattern so the worker profiles with bit-identical inputs.
 pub fn task_to_value(t: &crate::task::Task) -> Value {
@@ -663,6 +731,49 @@ mod tests {
             let v = crate::json::parse(&good.replace(&tiny, &bad)).unwrap();
             assert!(task_from_value(&v).is_err(), "must reject factor {bad}");
         }
+    }
+
+    #[test]
+    fn sweep_result_roundtrips_exactly() {
+        let curve = |metric, bias: f64| MissRatioCurve {
+            label: "probe".to_owned(),
+            metric,
+            points: vec![(16, 0.25 + bias), (64, 0.125 + bias), (256, bias / 3.0)],
+        };
+        let result = SweepResult {
+            instruction: curve(SweepMetric::Instruction, 0.001),
+            data: curve(SweepMetric::Data, 0.002),
+            unified: curve(SweepMetric::Unified, 0.003),
+        };
+        let bytes = sweep_result_to_value(&result).encode();
+        let back = sweep_result_from_value(&crate::json::parse(&bytes).unwrap()).unwrap();
+        assert_eq!(back, result);
+        // Byte stability: re-encoding the decoded result is the identity.
+        assert_eq!(sweep_result_to_value(&back).encode(), bytes);
+    }
+
+    #[test]
+    fn sweep_result_decode_rejects_malformed_points() {
+        let result = SweepResult {
+            instruction: MissRatioCurve {
+                label: "p".to_owned(),
+                metric: SweepMetric::Instruction,
+                points: vec![(16, 0.5)],
+            },
+            data: MissRatioCurve {
+                label: "p".to_owned(),
+                metric: SweepMetric::Data,
+                points: vec![(16, 0.5)],
+            },
+            unified: MissRatioCurve {
+                label: "p".to_owned(),
+                metric: SweepMetric::Unified,
+                points: vec![(16, 0.5)],
+            },
+        };
+        let good = sweep_result_to_value(&result).encode();
+        let bad = good.replace("[16,0.5]", "[16]");
+        assert!(sweep_result_from_value(&crate::json::parse(&bad).unwrap()).is_err());
     }
 
     #[test]

@@ -17,6 +17,15 @@
 //!   per profile keyed by a content fingerprint. Re-running a figure
 //!   binary after changing only presentation code touches no simulation.
 //!
+//! Persistence is crash-safe and integrity-checked (DESIGN.md §14):
+//! every filesystem access flows through the [`store::CacheStore`] seam
+//! (real backend or a seeded fault-injecting [`ChaosFs`]), cache entries
+//! carry a CRC-64 content checksum and are moved to a `quarantine/`
+//! subdirectory when verification fails — never silently reused or
+//! recomputed over — and an optional write-ahead [`RunJournal`]
+//! checkpoints completed profiles and sweeps so an interrupted run
+//! resumes (`BDB_RESUME`) byte-identical to an uninterrupted one.
+//!
 //! Capacity sweeps run the workload generator exactly **once** in either
 //! [`SweepMode`]: the default fused mode streams its events into
 //! capacity-independent L1 event streams and replays those per capacity
@@ -47,9 +56,15 @@
 //! ```
 
 pub mod codec;
+pub mod journal;
 pub mod json;
+pub mod store;
 pub mod task;
 
+pub use journal::{sweep_key, JournalStats, RunJournal};
+pub use store::{
+    crc64, CacheStore, ChaosCounters, ChaosFs, ChaosPlan, FileMeta, RealFs, StoreError,
+};
 pub use task::{resolve_workload, Task, TaskError, TaskResult};
 
 use bdb_node::NodeConfig;
@@ -67,11 +82,18 @@ use rayon::prelude::*;
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
-/// Bumped whenever the cache file layout changes; old files then decode
-/// as misses and are rewritten.
-pub const CACHE_FORMAT_VERSION: u64 = 1;
+/// Bumped whenever the cache file layout changes. The version feeds
+/// [`profile_fingerprint`], so old-format files simply stop being
+/// referenced (their keys no longer occur) and fresh entries are written
+/// under new names. Version 2 added the `crc64` content checksum.
+pub const CACHE_FORMAT_VERSION: u64 = 2;
+
+/// Subdirectory of the cache dir where entries that fail verification
+/// are moved (bytes preserved for forensics, never reused or
+/// recomputed-over in place).
+pub const QUARANTINE_DIR: &str = "quarantine";
 
 /// How [`Engine::sweep`] computes its points.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -86,7 +108,7 @@ pub enum SweepMode {
 }
 
 /// How an [`Engine`] runs and where it remembers results.
-#[derive(Debug, Clone, Default)]
+#[derive(Clone, Default)]
 pub struct EngineConfig {
     /// Worker threads for `profile_all` / `sweep`. `None` uses the
     /// machine's available parallelism; `Some(1)` is fully serial.
@@ -103,6 +125,36 @@ pub struct EngineConfig {
     pub cache_max_bytes: Option<u64>,
     /// Sweep execution strategy (fused trace-replay by default).
     pub sweep_mode: SweepMode,
+    /// Storage backend behind every engine filesystem access. `None`
+    /// uses the real filesystem ([`RealFs`]); chaos tests inject a
+    /// seeded [`ChaosFs`].
+    pub store: Option<Arc<dyn CacheStore>>,
+    /// Path of the write-ahead run journal (see [`RunJournal`]). `None`
+    /// disables journaling.
+    pub journal_path: Option<PathBuf>,
+    /// Whether to load completed work from an existing journal instead
+    /// of starting it fresh.
+    pub resume: bool,
+    /// Context string pinned into the journal's `start` record; a
+    /// journal resumes only under a byte-identical context (in the
+    /// bench bins: the command line minus `--resume`).
+    pub journal_context: String,
+}
+
+impl std::fmt::Debug for EngineConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EngineConfig")
+            .field("threads", &self.threads)
+            .field("cache_dir", &self.cache_dir)
+            .field("no_memory_cache", &self.no_memory_cache)
+            .field("cache_max_bytes", &self.cache_max_bytes)
+            .field("sweep_mode", &self.sweep_mode)
+            .field("store", &self.store.as_ref().map(|_| "<custom>"))
+            .field("journal_path", &self.journal_path)
+            .field("resume", &self.resume)
+            .field("journal_context", &self.journal_context)
+            .finish()
+    }
 }
 
 impl EngineConfig {
@@ -141,6 +193,36 @@ impl EngineConfig {
         self
     }
 
+    /// Routes every filesystem access through `store` (tests inject a
+    /// seeded [`ChaosFs`] here).
+    #[must_use]
+    pub fn store(mut self, store: Arc<dyn CacheStore>) -> Self {
+        self.store = Some(store);
+        self
+    }
+
+    /// Enables the write-ahead run journal at `path`.
+    #[must_use]
+    pub fn journal(mut self, path: impl Into<PathBuf>) -> Self {
+        self.journal_path = Some(path.into());
+        self
+    }
+
+    /// Resumes completed work from an existing journal (no-op without
+    /// [`journal`](Self::journal)).
+    #[must_use]
+    pub fn resume(mut self) -> Self {
+        self.resume = true;
+        self
+    }
+
+    /// Sets the journal context string (see the field docs).
+    #[must_use]
+    pub fn journal_context(mut self, context: impl Into<String>) -> Self {
+        self.journal_context = context.into();
+        self
+    }
+
     /// Builds a config from the standard `BDB_*` environment knobs — the
     /// one place their semantics live, shared by the bench harness and
     /// the cluster worker daemon so the two cannot drift:
@@ -154,6 +236,11 @@ impl EngineConfig {
     /// * `BDB_SWEEP_MODE=per-point` — use the per-point reference sweep
     ///   instead of the fused trace-replay path (default: `fused`; the
     ///   two are byte-identical by contract).
+    /// * `BDB_JOURNAL=<path>` — write-ahead run journal checkpointing
+    ///   completed profiles and sweeps (default: none).
+    /// * `BDB_RESUME=1` — resume completed work from the journal
+    ///   (implies a default journal path of `results/journal/run.wal`
+    ///   at the workspace root when `BDB_JOURNAL` is unset).
     pub fn from_env() -> Self {
         let mut config = EngineConfig::default();
         if std::env::var_os("BDB_NO_CACHE").is_none() {
@@ -181,8 +268,34 @@ impl EngineConfig {
                 config = config.sweep_mode(SweepMode::PerPoint);
             }
         }
+        if let Some(path) = std::env::var_os("BDB_JOURNAL") {
+            config = config.journal(PathBuf::from(path));
+        }
+        if std::env::var_os("BDB_RESUME").is_some() {
+            config = config.resume();
+            if config.journal_path.is_none() {
+                config = config.journal(PathBuf::from(concat!(
+                    env!("CARGO_MANIFEST_DIR"),
+                    "/../../results/journal/run.wal"
+                )));
+            }
+        }
+        if config.journal_path.is_some() {
+            config = config.journal_context(argv_journal_context());
+        }
         config
     }
+}
+
+/// The default journal context: the process's own command line minus the
+/// `--resume` flag itself, so "the same command, resumed" matches while
+/// any change to the inputs (scale, workload list, cluster set) resets
+/// the journal instead of splicing in stale results.
+pub fn argv_journal_context() -> String {
+    std::env::args()
+        .filter(|arg| arg != "--resume")
+        .collect::<Vec<_>>()
+        .join(" ")
 }
 
 /// Cache-traffic counters (monotonic over the engine's lifetime).
@@ -192,8 +305,18 @@ pub struct CacheCounters {
     pub memory_hits: u64,
     /// Profiles decoded from a cache file.
     pub disk_hits: u64,
+    /// Profiles and sweeps replayed from the run journal.
+    pub journal_hits: u64,
     /// Profiles actually simulated.
     pub computed: u64,
+    /// Store operations that failed (reads, writes, renames, journal
+    /// appends). The old code swallowed all of these with `.ok()`.
+    pub disk_errors: u64,
+    /// Cache entries that failed verification and were moved to the
+    /// [`QUARANTINE_DIR`] subdirectory.
+    pub corrupt_quarantined: u64,
+    /// Stale `.tmp` files from crashed writers reclaimed at startup.
+    pub tmp_reclaimed: u64,
 }
 
 /// How the engine dispatches independent simulations.
@@ -214,6 +337,7 @@ enum Dispatch {
 /// The parallel, cache-aware measurement engine. See the crate docs.
 pub struct Engine {
     dispatch: Dispatch,
+    store: Arc<dyn CacheStore>,
     cache_dir: Option<PathBuf>,
     cache_max_bytes: Option<u64>,
     sweep_mode: SweepMode,
@@ -223,9 +347,14 @@ pub struct Engine {
     buffers: TraceBufferPool,
     // bdb-lint: allow(determinism): keyed-lookup-only memo, never iterated.
     memory: Option<Mutex<HashMap<u64, WorkloadProfile>>>,
+    journal: Option<Mutex<RunJournal>>,
     memory_hits: AtomicU64,
     disk_hits: AtomicU64,
+    journal_hits: AtomicU64,
     computed: AtomicU64,
+    disk_errors: AtomicU64,
+    corrupt_quarantined: AtomicU64,
+    tmp_reclaimed: AtomicU64,
 }
 
 impl Engine {
@@ -243,21 +372,47 @@ impl Engine {
                 .build()
                 .map_or(Dispatch::Serial, Dispatch::Pool),
         };
+        let store: Arc<dyn CacheStore> = config.store.unwrap_or_else(|| Arc::new(RealFs));
         let cache_dir = config
             .cache_dir
-            .filter(|dir| std::fs::create_dir_all(dir).is_ok());
+            .filter(|dir| store.create_dir_all(dir).is_ok());
+        let tmp_reclaimed = cache_dir
+            .as_ref()
+            .map_or(0, |dir| reclaim_stale_tmp(store.as_ref(), dir));
+        let mut disk_errors = 0u64;
+        let journal = config.journal_path.map(|path| {
+            let (journal, stats) =
+                RunJournal::open(store.clone(), path, &config.journal_context, config.resume);
+            disk_errors += stats.io_errors;
+            Mutex::new(journal)
+        });
         Engine {
             dispatch,
+            store,
             cache_dir,
             cache_max_bytes: config.cache_max_bytes,
             sweep_mode: config.sweep_mode,
             buffers: TraceBufferPool::new(),
             // bdb-lint: allow(determinism): keyed-lookup-only memo.
             memory: (!config.no_memory_cache).then(|| Mutex::new(HashMap::new())),
+            journal,
             memory_hits: AtomicU64::new(0),
             disk_hits: AtomicU64::new(0),
+            journal_hits: AtomicU64::new(0),
             computed: AtomicU64::new(0),
+            disk_errors: AtomicU64::new(disk_errors),
+            corrupt_quarantined: AtomicU64::new(0),
+            tmp_reclaimed: AtomicU64::new(tmp_reclaimed),
         }
+    }
+
+    /// Completed work currently known to this engine's journal as
+    /// `(tasks, sweeps)`, or `None` when journaling is disabled. Right
+    /// after construction this is what a resume preloaded.
+    pub fn journal_preloaded(&self) -> Option<(usize, usize)> {
+        let journal = self.journal.as_ref()?;
+        let guard = lock_journal(journal);
+        Some((guard.task_count(), guard.sweep_count()))
     }
 
     /// Parallel engine with the in-memory memo only (no disk cache).
@@ -285,7 +440,11 @@ impl Engine {
         CacheCounters {
             memory_hits: self.memory_hits.load(Ordering::Relaxed),
             disk_hits: self.disk_hits.load(Ordering::Relaxed),
+            journal_hits: self.journal_hits.load(Ordering::Relaxed),
             computed: self.computed.load(Ordering::Relaxed),
+            disk_errors: self.disk_errors.load(Ordering::Relaxed),
+            corrupt_quarantined: self.corrupt_quarantined.load(Ordering::Relaxed),
+            tmp_reclaimed: self.tmp_reclaimed.load(Ordering::Relaxed),
         }
     }
 
@@ -319,6 +478,14 @@ impl Engine {
                 return hit.clone();
             }
         }
+        if let Some(journal) = &self.journal {
+            let hit = lock_journal(journal).completed_task(key).cloned();
+            if let Some(profile) = hit {
+                self.journal_hits.fetch_add(1, Ordering::Relaxed);
+                self.remember(key, &profile);
+                return profile;
+            }
+        }
         if let Some(profile) = self.read_cache_file(&workload.spec.id, key) {
             self.disk_hits.fetch_add(1, Ordering::Relaxed);
             self.remember(key, &profile);
@@ -327,6 +494,7 @@ impl Engine {
         let profile = profile_workload(workload, scale, machine.clone(), *node);
         self.computed.fetch_add(1, Ordering::Relaxed);
         self.write_cache_file(&workload.spec.id, key, &profile);
+        self.journal_task(key, &profile);
         self.remember(key, &profile);
         profile
     }
@@ -381,6 +549,18 @@ impl Engine {
             !capacities_kib.is_empty(),
             "sweep needs at least one capacity"
         );
+        // Sweeps are driven by arbitrary closures whose content cannot
+        // be fingerprinted, so journaled sweeps are keyed by (label,
+        // capacities) and gated by the journal's context string: only
+        // the byte-identical command line replays them.
+        let key = journal::sweep_key(label, capacities_kib);
+        if let Some(journal) = &self.journal {
+            let hit = lock_journal(journal).completed_sweep(key).cloned();
+            if let Some(result) = hit {
+                self.journal_hits.fetch_add(1, Ordering::Relaxed);
+                return result;
+            }
+        }
         let points = match self.sweep_mode {
             SweepMode::Fused => {
                 let streams = SweepStreams::record(|sink| workload(sink));
@@ -419,7 +599,13 @@ impl Engine {
                 points
             }
         };
-        assemble_sweep(label, capacities_kib, points)
+        let result = assemble_sweep(label, capacities_kib, points);
+        if let Some(journal) = &self.journal {
+            if lock_journal(journal).record_sweep(key, &result).is_err() {
+                self.disk_errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        result
     }
 
     fn install<R>(&self, f: impl FnOnce() -> R) -> R {
@@ -436,15 +622,56 @@ impl Engine {
     }
 
     fn read_cache_file(&self, id: &str, key: u64) -> Option<WorkloadProfile> {
-        let path = self.cache_dir.as_ref()?.join(cache_file_name(id, key));
-        let bytes = std::fs::read_to_string(&path).ok()?;
-        let profile = decode_cache_entry(&bytes, key)?;
-        // A hit refreshes the entry's recency so LRU eviction spares hot
-        // entries. Best-effort: a failed touch only skews eviction order.
-        if self.cache_max_bytes.is_some() {
-            touch(&path);
+        let dir = self.cache_dir.as_ref()?;
+        let path = dir.join(cache_file_name(id, key));
+        let bytes = match self.store.read(&path) {
+            Ok(Some(bytes)) => bytes,
+            Ok(None) => return None,
+            Err(_) => {
+                self.disk_errors.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+        };
+        match verify_cache_entry(&bytes, key) {
+            Ok(profile) => {
+                // A hit refreshes the entry's recency so LRU eviction
+                // spares hot entries. Best-effort: a failed touch only
+                // skews eviction order.
+                if self.cache_max_bytes.is_some() {
+                    let _ = self.store.touch(&path);
+                }
+                Some(profile)
+            }
+            Err(_) => {
+                self.quarantine(dir, &path);
+                None
+            }
         }
-        Some(profile)
+    }
+
+    /// Moves an entry that failed verification into [`QUARANTINE_DIR`]:
+    /// the damaged bytes are preserved for forensics and the slot is
+    /// freed for a fresh entry — never silently reused, never
+    /// recomputed-over in place. If even the move fails, the entry is
+    /// removed so the live cache cannot keep serving it.
+    fn quarantine(&self, dir: &Path, path: &Path) {
+        self.corrupt_quarantined.fetch_add(1, Ordering::Relaxed);
+        let moved = path.file_name().is_some_and(|name| {
+            let quarantine_dir = dir.join(QUARANTINE_DIR);
+            if self.store.create_dir_all(&quarantine_dir).is_err() {
+                return false;
+            }
+            match self.store.rename(path, &quarantine_dir.join(name)) {
+                Ok(()) => true,
+                Err(_) => {
+                    self.disk_errors.fetch_add(1, Ordering::Relaxed);
+                    false
+                }
+            }
+        });
+        if !moved {
+            let _ = self.store.remove(path);
+        }
     }
 
     fn write_cache_file(&self, id: &str, key: u64, profile: &WorkloadProfile) {
@@ -455,27 +682,58 @@ impl Engine {
         let bytes = encode_cache_entry(key, profile);
         // Write-to-temp + rename so concurrent engines never observe a
         // half-written entry; all writers produce identical bytes, so the
-        // last rename winning is harmless.
+        // last rename winning is harmless. Both failure arms remove the
+        // temp file — a failed write used to leak its partial `.tmp`.
         let tmp = dir.join(format!(
             ".{}.tmp{}",
             cache_file_name(id, key),
             std::process::id()
         ));
-        if std::fs::write(&tmp, bytes).is_ok() && std::fs::rename(&tmp, &path).is_err() {
-            let _ = std::fs::remove_file(&tmp);
+        match self.store.write(&tmp, bytes.as_bytes()) {
+            Ok(()) => {
+                if self.store.rename(&tmp, &path).is_err() {
+                    self.disk_errors.fetch_add(1, Ordering::Relaxed);
+                    let _ = self.store.remove(&tmp);
+                }
+            }
+            Err(_) => {
+                self.disk_errors.fetch_add(1, Ordering::Relaxed);
+                let _ = self.store.remove(&tmp);
+            }
         }
         if let Some(cap) = self.cache_max_bytes {
-            enforce_cache_cap(dir, cap);
+            enforce_cache_cap(self.store.as_ref(), dir, cap);
+        }
+    }
+
+    fn journal_task(&self, key: u64, profile: &WorkloadProfile) {
+        if let Some(journal) = &self.journal {
+            if lock_journal(journal).record_task(key, profile).is_err() {
+                self.disk_errors.fetch_add(1, Ordering::Relaxed);
+            }
         }
     }
 }
 
-/// Best-effort mtime refresh marking a cache entry as recently used.
-fn touch(path: &Path) {
-    if let Ok(file) = std::fs::File::options().write(true).open(path) {
-        // bdb-lint: allow(determinism): recency metadata for cache eviction only; never reaches profile bytes.
-        let _ = file.set_modified(std::time::SystemTime::now());
+/// Removes stale temp files left by crashed writers. They are invisible
+/// to [`enforce_cache_cap`] (which only counts `.json`), so without this
+/// startup sweep they would accumulate forever.
+fn reclaim_stale_tmp(store: &dyn CacheStore, dir: &Path) -> u64 {
+    let Ok(files) = store.list(dir) else {
+        return 0;
+    };
+    let mut reclaimed = 0;
+    for meta in files {
+        let name = meta
+            .path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or_default();
+        if name.starts_with('.') && name.contains(".tmp") && store.remove(&meta.path).is_ok() {
+            reclaimed += 1;
+        }
     }
+    reclaimed
 }
 
 /// Evicts least-recently-used cache entries until the directory's `.json`
@@ -483,33 +741,27 @@ fn touch(path: &Path) {
 /// hits); ties break on file name so eviction order is deterministic.
 /// Eviction removes whole files only — surviving entries are never
 /// rewritten, so a cap can shrink the cache but never corrupt it.
-fn enforce_cache_cap(dir: &Path, max_bytes: u64) {
-    let Ok(entries) = std::fs::read_dir(dir) else {
+/// Quarantined entries live in a subdirectory, which [`CacheStore::list`]
+/// does not descend into, so they never count against the cap.
+fn enforce_cache_cap(store: &dyn CacheStore, dir: &Path, max_bytes: u64) {
+    let Ok(listed) = store.list(dir) else {
         return;
     };
-    // bdb-lint: allow(determinism): eviction recency ordering only; never reaches profile bytes.
-    let mut files: Vec<(std::time::SystemTime, PathBuf, u64)> = entries
-        .flatten()
-        .filter_map(|e| {
-            let path = e.path();
-            if path.extension()? != "json" {
-                return None;
-            }
-            let meta = e.metadata().ok()?;
-            Some((meta.modified().ok()?, path, meta.len()))
-        })
+    let mut files: Vec<FileMeta> = listed
+        .into_iter()
+        .filter(|meta| meta.path.extension().is_some_and(|e| e == "json"))
         .collect();
-    let mut total: u64 = files.iter().map(|(_, _, len)| len).sum();
+    let mut total: u64 = files.iter().map(|meta| meta.len).sum();
     if total <= max_bytes {
         return;
     }
-    files.sort_by(|(at, ap, _), (bt, bp, _)| (at, ap).cmp(&(bt, bp)));
-    for (_, path, len) in files {
+    files.sort_by(|a, b| (a.modified, &a.path).cmp(&(b.modified, &b.path)));
+    for meta in files {
         if total <= max_bytes {
             break;
         }
-        if std::fs::remove_file(&path).is_ok() {
-            total = total.saturating_sub(len);
+        if store.remove(&meta.path).is_ok() {
+            total = total.saturating_sub(meta.len);
         }
     }
 }
@@ -524,6 +776,14 @@ fn lock<'a>(
     // bdb-lint: allow(determinism): keyed-lookup-only memo, never iterated.
 ) -> std::sync::MutexGuard<'a, HashMap<u64, WorkloadProfile>> {
     memory
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Locks the journal with the same poison-recovery rationale as [`lock`]:
+/// the journal only ever holds fully-appended records.
+fn lock_journal(journal: &Mutex<RunJournal>) -> std::sync::MutexGuard<'_, RunJournal> {
+    journal
         .lock()
         .unwrap_or_else(std::sync::PoisonError::into_inner)
 }
@@ -591,8 +851,11 @@ fn cache_file_name(id: &str, key: u64) -> String {
 }
 
 fn encode_cache_entry(key: u64, profile: &WorkloadProfile) -> String {
+    let body = codec::profile_to_value(profile);
+    let crc = crc64(body.encode().as_bytes());
     let mut text = json::Value::object(vec![
         ("format", json::Value::UInt(CACHE_FORMAT_VERSION)),
+        ("crc64", json::Value::Str(format!("{crc:016x}"))),
         ("fingerprint", json::Value::Str(format!("{key:016x}"))),
         ("profile", codec::profile_to_value(profile)),
     ])
@@ -601,35 +864,72 @@ fn encode_cache_entry(key: u64, profile: &WorkloadProfile) -> String {
     text
 }
 
-fn decode_cache_entry(bytes: &str, expected_key: u64) -> Option<WorkloadProfile> {
-    let value = json::parse(bytes.trim_end()).ok()?;
-    if value.get("format")?.as_u64()? != CACHE_FORMAT_VERSION {
-        return None;
+/// Verifies and decodes one cache entry against the key it was looked up
+/// under. This is the single decode path for every reader (the engine's
+/// own cache reads and [`read_cache_dir`]), so no two readers can
+/// disagree on what counts as a valid entry. Any failure — bad UTF-8,
+/// bad JSON, non-canonical bytes, wrong format version, checksum or
+/// fingerprint mismatch, undecodable profile — is grounds for
+/// quarantine: entries are written canonically, so a valid entry can
+/// only fail here if its bytes changed underneath us.
+pub fn verify_cache_entry(bytes: &[u8], expected_key: u64) -> Result<WorkloadProfile, String> {
+    let text = std::str::from_utf8(bytes).map_err(|_| "entry is not UTF-8".to_owned())?;
+    let body = text.trim_end();
+    let value = json::parse(body).map_err(|_| "entry is not valid JSON".to_owned())?;
+    // Canonical-byte stability first: stored entries are canonical, so
+    // even damage that still parses to an equal JSON value (e.g. a case
+    // flip inside a float exponent) re-encodes differently and is
+    // caught before the checksum is even consulted.
+    if value.encode() != body {
+        return Err("entry bytes are not canonical".to_owned());
     }
-    if value.get("fingerprint")?.as_str()? != format!("{expected_key:016x}") {
-        return None;
+    if value.get("format").and_then(|v| v.as_u64()) != Some(CACHE_FORMAT_VERSION) {
+        return Err(format!(
+            "unsupported cache format (want {CACHE_FORMAT_VERSION})"
+        ));
     }
-    codec::profile_from_value(value.get("profile")?).ok()
+    let stored_crc = value
+        .get("crc64")
+        .and_then(|v| v.as_str())
+        .and_then(|s| u64::from_str_radix(s, 16).ok())
+        .ok_or_else(|| "missing or malformed crc64".to_owned())?;
+    let profile_value = value
+        .get("profile")
+        .ok_or_else(|| "missing profile".to_owned())?;
+    let actual_crc = crc64(profile_value.encode().as_bytes());
+    if stored_crc != actual_crc {
+        return Err(format!(
+            "checksum mismatch: stored {stored_crc:016x}, computed {actual_crc:016x}"
+        ));
+    }
+    let expected = format!("{expected_key:016x}");
+    if value.get("fingerprint").and_then(|v| v.as_str()) != Some(expected.as_str()) {
+        return Err(format!("fingerprint mismatch (want {expected})"));
+    }
+    codec::profile_from_value(profile_value).map_err(|e| e.to_string())
 }
 
 /// Loads every valid cache entry under `dir` (diagnostics / inspection).
+/// Each entry is verified by [`verify_cache_entry`] against the
+/// fingerprint in its own file name — the same decode-and-verify path
+/// the engine's cache reads use. Read-only: entries that fail
+/// verification are skipped here, not quarantined.
 pub fn read_cache_dir(dir: &Path) -> Vec<WorkloadProfile> {
-    let Ok(entries) = std::fs::read_dir(dir) else {
+    let Ok(files) = RealFs.list(dir) else {
         return Vec::new();
     };
-    let mut profiles: Vec<(PathBuf, WorkloadProfile)> = entries
-        .flatten()
-        .filter_map(|e| {
-            let path = e.path();
+    let mut profiles: Vec<(PathBuf, WorkloadProfile)> = files
+        .into_iter()
+        .filter_map(|meta| {
+            let path = meta.path;
             if path.extension()? != "json" {
                 return None;
             }
-            let bytes = std::fs::read_to_string(&path).ok()?;
-            let value = json::parse(bytes.trim_end()).ok()?;
-            if value.get("format")?.as_u64()? != CACHE_FORMAT_VERSION {
-                return None;
-            }
-            let profile = codec::profile_from_value(value.get("profile")?).ok()?;
+            // `cache_file_name` ends the stem with `-{key:016x}`.
+            let (_, hex) = path.file_stem()?.to_str()?.rsplit_once('-')?;
+            let key = u64::from_str_radix(hex, 16).ok()?;
+            let bytes = RealFs.read(&path).ok()??;
+            let profile = verify_cache_entry(&bytes, key).ok()?;
             Some((path, profile))
         })
         .collect();
@@ -736,7 +1036,7 @@ mod tests {
     }
 
     #[test]
-    fn corrupt_cache_entry_is_recomputed() {
+    fn corrupt_cache_entry_is_quarantined_and_recomputed() {
         let dir = scratch_dir("corrupt");
         let workloads = reps(1);
         let machine = MachineConfig::xeon_e5645();
@@ -754,13 +1054,91 @@ mod tests {
         std::fs::write(&path, "{not json").unwrap();
         let q = engine.profile(&workloads[0], Scale::tiny(), &machine, &node);
         assert_eq!(engine.counters().computed, 2, "corrupt entry must miss");
+        assert_eq!(engine.counters().corrupt_quarantined, 1);
         assert_eq!(profile_bits(&p), profile_bits(&q));
-        // The miss rewrote a valid entry.
-        assert!(decode_cache_entry(
-            &std::fs::read_to_string(&path).unwrap(),
-            profile_fingerprint(&workloads[0].spec.id, Scale::tiny(), &machine, &node),
-        )
-        .is_some());
+        // The damaged bytes moved to quarantine/ — preserved, not
+        // recomputed-over in place.
+        let quarantined = dir.join(QUARANTINE_DIR).join(path.file_name().unwrap());
+        assert_eq!(std::fs::read_to_string(&quarantined).unwrap(), "{not json");
+        // The miss rewrote a fresh valid entry in the live slot.
+        let key = profile_fingerprint(&workloads[0].spec.id, Scale::tiny(), &machine, &node);
+        assert!(verify_cache_entry(&std::fs::read(&path).unwrap(), key).is_ok());
+        // The quarantine subdirectory is invisible to the diagnostics
+        // loader (and to cap enforcement, which shares `list`).
+        assert_eq!(read_cache_dir(&dir).len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn wrong_fingerprint_entry_is_quarantined_not_served() {
+        let dir = scratch_dir("wrongkey");
+        let workloads = reps(2);
+        let machine = MachineConfig::xeon_e5645();
+        let node = NodeConfig::default();
+        let engine = Engine::new(
+            EngineConfig::default()
+                .threads(1)
+                .cache_dir(&dir)
+                .without_memory_cache(),
+        );
+        engine.profile(&workloads[0], Scale::tiny(), &machine, &node);
+        let path_a = engine
+            .cache_file(&workloads[0], Scale::tiny(), &machine, &node)
+            .unwrap();
+        let path_b = engine
+            .cache_file(&workloads[1], Scale::tiny(), &machine, &node)
+            .unwrap();
+        // A valid entry parked under the wrong key must not be served.
+        std::fs::copy(&path_a, &path_b).unwrap();
+        engine.profile(&workloads[1], Scale::tiny(), &machine, &node);
+        assert_eq!(engine.counters().computed, 2, "foreign entry must miss");
+        assert_eq!(engine.counters().corrupt_quarantined, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_tmp_files_are_reclaimed_at_startup() {
+        let dir = scratch_dir("tmpsweep");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join(".H-Grep-00ff.json.tmp4242"), "partial").unwrap();
+        std::fs::write(dir.join(".other.json.tmp7"), "partial").unwrap();
+        let engine = Engine::new(
+            EngineConfig::default()
+                .threads(1)
+                .cache_dir(&dir)
+                .without_memory_cache(),
+        );
+        assert_eq!(engine.counters().tmp_reclaimed, 2);
+        assert!(
+            std::fs::read_dir(&dir).unwrap().next().is_none(),
+            "stale tmp files must be gone"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn failed_cache_write_counts_and_leaves_no_tmp() {
+        let dir = scratch_dir("wfail");
+        let workloads = reps(1);
+        let machine = MachineConfig::xeon_e5645();
+        let node = NodeConfig::default();
+        let chaos = Arc::new(ChaosFs::new(ChaosPlan {
+            write_error_period: Some(1), // every write fails
+            ..ChaosPlan::clean(9)
+        }));
+        let engine = Engine::new(
+            EngineConfig::default()
+                .threads(1)
+                .cache_dir(&dir)
+                .without_memory_cache()
+                .store(chaos),
+        );
+        engine.profile(&workloads[0], Scale::tiny(), &machine, &node);
+        assert_eq!(engine.counters().disk_errors, 1, "failed write counted");
+        assert!(
+            std::fs::read_dir(&dir).unwrap().next().is_none(),
+            "failed write must not leak a tmp file"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -9,8 +9,9 @@
 //!   whose representative weights sum to 77 and whose ids exist in the
 //!   catalog spec.
 //! * `cache-format` — every `results/cache/*.json` entry parses, matches
-//!   the cache schema (format version, fingerprint-in-filename, 45-metric
-//!   vector), and survives canonical re-encoding byte for byte.
+//!   the v2 cache schema (format version, CRC-64 content checksum,
+//!   fingerprint-in-filename, 45-metric vector), and survives canonical
+//!   re-encoding byte for byte.
 //! * `bench-format` — every `BENCH_*.json` record at the repo root is a
 //!   canonical single-line JSON object with a `bench` tag.
 //!
@@ -300,8 +301,23 @@ fn check_cache_entry(file: &Path, text: &str, diags: &mut Vec<Diagnostic>) {
     if value.encode() != body {
         emit("cache entry is not byte-stable: canonical re-encoding differs from the file".into());
     }
-    if value.get("format").and_then(Value::as_u64) != Some(1) {
-        emit("cache entry `format` must be the integer 1".into());
+    if value.get("format").and_then(Value::as_u64) != Some(2) {
+        emit("cache entry `format` must be the integer 2 (checksummed v2 schema)".into());
+    }
+    let crc = value
+        .get("crc64")
+        .and_then(Value::as_str)
+        .unwrap_or_default()
+        .to_owned();
+    if crc.len() != 16 || !crc.bytes().all(|b| b.is_ascii_hexdigit()) {
+        emit(format!("`crc64` must be 16 hex digits, got {crc:?}"));
+    } else if let Some(profile) = value.get("profile") {
+        let actual = format!("{:016x}", crc64(profile.encode().as_bytes()));
+        if !actual.eq_ignore_ascii_case(&crc) {
+            emit(format!(
+                "`crc64` is {crc} but the profile body hashes to {actual} — entry content was altered"
+            ));
+        }
     }
     let stem = file
         .file_stem()
@@ -365,6 +381,27 @@ fn check_cache_entry(file: &Path, text: &str, diags: &mut Vec<Diagnostic>) {
         }
         None => emit("profile `metrics` must be an array".into()),
     }
+}
+
+/// CRC-64/XZ, bit-identical to `bdb_engine::crc64`. Re-implemented here
+/// because the linter deliberately has no dependency on the crates it
+/// audits — a broken engine must not break the tool that reports it.
+/// The shared check value (`crc64(b"123456789") == 0x995dc9bbdf1939fa`)
+/// pins both implementations to the same polynomial.
+fn crc64(bytes: &[u8]) -> u64 {
+    const POLY: u64 = 0xC96C_5795_D787_0F42;
+    let mut crc = !0u64;
+    for &b in bytes {
+        crc ^= u64::from(b);
+        for _ in 0..8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ POLY
+            } else {
+                crc >> 1
+            };
+        }
+    }
+    !crc
 }
 
 fn check_bench_files(root: &Path, diags: &mut Vec<Diagnostic>) {
@@ -488,9 +525,57 @@ mod tests {
         // Extra whitespace: parses fine, re-encodes differently.
         check_cache_entry(
             Path::new("X-1234567890abcdef.json"),
-            "{ \"format\": 1 }\n",
+            "{ \"format\": 2 }\n",
             &mut diags,
         );
         assert!(diags.iter().any(|d| d.message.contains("byte-stable")));
+    }
+
+    #[test]
+    fn crc64_matches_the_engine_check_value() {
+        assert_eq!(crc64(b"123456789"), 0x995dc9bbdf1939fa);
+    }
+
+    #[test]
+    fn legacy_format_1_entry_is_rejected() {
+        let mut diags = Vec::new();
+        check_cache_entry(
+            Path::new("X-1234567890abcdef.json"),
+            "{\"format\":1,\"fingerprint\":\"1234567890abcdef\"}\n",
+            &mut diags,
+        );
+        assert!(
+            diags.iter().any(|d| d.message.contains("integer 2")),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn checksum_mismatch_is_rejected_and_match_accepted() {
+        let profile = "{\"x\":1}";
+        let good = format!("{:016x}", crc64(profile.as_bytes()));
+        let entry = |crc: &str| {
+            format!("{{\"format\":2,\"crc64\":\"{crc}\",\"fingerprint\":\"1234567890abcdef\",\"profile\":{profile}}}\n")
+        };
+        let mut diags = Vec::new();
+        check_cache_entry(
+            Path::new("X-1234567890abcdef.json"),
+            &entry("0000000000000000"),
+            &mut diags,
+        );
+        assert!(
+            diags.iter().any(|d| d.message.contains("altered")),
+            "{diags:?}"
+        );
+        let mut diags = Vec::new();
+        check_cache_entry(
+            Path::new("X-1234567890abcdef.json"),
+            &entry(&good),
+            &mut diags,
+        );
+        assert!(
+            !diags.iter().any(|d| d.message.contains("altered")),
+            "{diags:?}"
+        );
     }
 }

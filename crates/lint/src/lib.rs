@@ -22,6 +22,10 @@
 //!   - `batched-dispatch` — the trace-replay/sweep hot loops
 //!     (`trace/src/buffer.rs`, `sim/src/fused.rs`) deliver events via
 //!     `exec_batch`, never one virtual `TraceSink::exec` call per op.
+//!   - `raw-fs` — engine sources outside `store.rs` never call
+//!     `std::fs` directly; all disk I/O routes through the `CacheStore`
+//!     abstraction so chaos injection and the crash-safety counters see
+//!     every operation.
 //! * **Artifact passes** statically validate the checked-in contracts:
 //!   the catalog spec (77 workloads), metric schema (45 metrics), the
 //!   reduction config (17 clusters, weights summing to 77), and the JSON
@@ -66,6 +70,10 @@ pub const RULES: &[(&str, &str)] = &[
     (
         "batched-dispatch",
         "no per-op TraceSink::exec calls inside trace-replay/sweep hot loops (deliver through exec_batch)",
+    ),
+    (
+        "raw-fs",
+        "engine disk I/O routes through CacheStore (store.rs); no direct std::fs calls elsewhere in the engine",
     ),
     (
         "catalog-spec",

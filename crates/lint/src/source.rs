@@ -1,4 +1,5 @@
-//! Source passes: `determinism`, `panic-hygiene`, and `batched-dispatch`.
+//! Source passes: `determinism`, `panic-hygiene`, `batched-dispatch`,
+//! and `raw-fs`.
 
 use crate::lexer::{self, find_word, ScannedFile};
 use crate::Diagnostic;
@@ -31,6 +32,14 @@ const DETERMINISM_TOKENS: &[(&str, &str)] = &[
 /// `exec` is the per-op entry point the batches drain into.
 const BATCHED_DISPATCH_SCOPE: &[&str] = &["crates/trace/src/buffer.rs", "crates/sim/src/fused.rs"];
 
+/// The one engine source file allowed to touch `std::fs` — the scope
+/// boundary of the `raw-fs` rule. Every other engine file must go
+/// through the [`CacheStore`] abstraction so fault injection
+/// (`ChaosFs`) and the crash-safety counters see every disk operation;
+/// a direct `std::fs` call is an I/O path the chaos harness cannot
+/// exercise and the counters cannot account for.
+const RAW_FS_BOUNDARY: &str = "store.rs";
+
 /// Runs the source passes over the workspace's library sources.
 pub fn run(root: &Path) -> Result<Vec<Diagnostic>, String> {
     let mut diags = Vec::new();
@@ -54,6 +63,9 @@ pub fn run(root: &Path) -> Result<Vec<Diagnostic>, String> {
                 .any(|s| file.strip_prefix(root).is_ok_and(|p| p == Path::new(s)))
             {
                 check_batched_dispatch(&file, &scanned, &mut diags);
+            }
+            if crate_dir == "engine" && file.file_name().is_none_or(|n| n != RAW_FS_BOUNDARY) {
+                check_raw_fs(&file, &scanned, &mut diags);
             }
         }
     }
@@ -166,6 +178,33 @@ fn check_batched_dispatch(file: &Path, scanned: &ScannedFile, diags: &mut Vec<Di
                      through `exec_batch` so dispatch is per-chunk, not per-op",
                 ));
             }
+        }
+    }
+}
+
+fn check_raw_fs(file: &Path, scanned: &ScannedFile, diags: &mut Vec<Diagnostic>) {
+    const RULE: &str = "raw-fs";
+    for (idx, line) in scanned.lines.iter().enumerate() {
+        if line.in_test || line.code.is_empty() {
+            continue;
+        }
+        let code = &line.code;
+        if scanned.allowed(idx, RULE) {
+            continue;
+        }
+        // `fs::...` paths and `use std::fs` imports; `_` is a word
+        // character, so `raw_fs` or `chaos_fs` never trip this.
+        let raw = word_sites(code, "fs")
+            .into_iter()
+            .any(|at| code[at + "fs".len()..].starts_with("::") || code[..at].ends_with("std::"));
+        if raw {
+            diags.push(Diagnostic::new(
+                file,
+                idx + 1,
+                RULE,
+                "direct `std::fs` access in the engine outside store.rs — route disk I/O \
+                 through `CacheStore` so chaos injection and the crash-safety counters see it",
+            ));
         }
     }
 }
@@ -285,6 +324,32 @@ mod tests {
             "// bdb-lint: allow(batched-dispatch): cold path, one event\nsink.exec(pc, op);\n";
         assert!(batched(allowed).is_empty());
         assert!(batched("#[cfg(test)]\nmod t {\n fn f() { sink.exec(pc, op); }\n}\n").is_empty());
+    }
+
+    fn raw_fs(src: &str) -> Vec<Diagnostic> {
+        let mut diags = Vec::new();
+        check_raw_fs(Path::new("x.rs"), &scan(src), &mut diags);
+        diags
+    }
+
+    #[test]
+    fn raw_fs_flags_direct_std_fs_access() {
+        assert_eq!(raw_fs("use std::fs;\n").len(), 1);
+        assert_eq!(raw_fs("use std::fs::File;\n").len(), 1);
+        assert_eq!(raw_fs("let bytes = fs::read(&path)?;\n").len(), 1);
+        // One diagnostic per line, even with several sites.
+        assert_eq!(raw_fs("fs::rename(fs::canonicalize(a)?, b)?;\n").len(), 1);
+    }
+
+    #[test]
+    fn raw_fs_ignores_lookalikes_tests_and_allows() {
+        assert!(raw_fs("let chaos_fs = ChaosFs::new(plan);\n").is_empty());
+        assert!(raw_fs("// std::fs is banned here\n").is_empty());
+        assert!(
+            raw_fs("#[cfg(test)]\nmod t {\n fn f() { std::fs::remove_file(p); }\n}\n").is_empty()
+        );
+        let allowed = "// bdb-lint: allow(raw-fs): bootstrap before the store exists\nstd::fs::create_dir_all(&dir)?;\n";
+        assert!(raw_fs(allowed).is_empty());
     }
 
     #[test]
