@@ -13,21 +13,40 @@
 //! equals the requested width, so a pool that silently falls back to
 //! serial fails the bench run loudly instead of reporting a fake 1.0×.
 
+use bdb_cluster::{loopback_pair, profile_all_distributed, run_worker, wire};
+use bdb_cluster::{Message, Transport, WireFormat, WorkerConfig};
+use bdb_codec::{columnar, RecordKind};
 use bdb_engine::{json::Value, Engine, EngineConfig, SweepMode};
 use bdb_node::NodeConfig;
 use bdb_sim::{sweep_per_point, MachineConfig, SweepFamily, SweepResult, PAPER_SWEEP_KIB};
+use bdb_trace::TraceBuffer;
 use bdb_wcrt::WorkloadProfile;
 use bdb_workloads::{catalog, Scale, WorkloadDef};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::Instant;
 
 fn workloads() -> Vec<WorkloadDef> {
     catalog::representatives()
 }
 
+/// Base input scale, selectable with `BDB_BENCH_SCALE` (`tiny`, `small`,
+/// `paper`, or a float factor; default `tiny` so CI stays fast). A bad
+/// value aborts rather than silently benchmarking the wrong scale.
 fn scale() -> Scale {
-    Scale::tiny()
+    match std::env::var("BDB_BENCH_SCALE") {
+        Err(_) => Scale::tiny(),
+        Ok(v) => match v.as_str() {
+            "tiny" => Scale::tiny(),
+            "small" => Scale::small(),
+            "paper" => Scale::paper(),
+            other => match other.parse() {
+                Ok(f) => Scale::custom(f),
+                Err(_) => panic!("bad BDB_BENCH_SCALE {other:?} (tiny|small|paper|<factor>)"),
+            },
+        },
+    }
 }
 
 fn time<R>(f: impl FnOnce() -> R) -> (f64, R) {
@@ -74,11 +93,11 @@ fn sweep_engine(threads: usize, mode: SweepMode) -> Engine {
 }
 
 /// Sweeps every def over the full paper capacity axis on `engine`.
-fn run_sweeps(engine: &Engine, defs: &[WorkloadDef]) -> Vec<SweepResult> {
+fn run_sweeps(engine: &Engine, defs: &[WorkloadDef], at: Scale) -> Vec<SweepResult> {
     defs.iter()
         .map(|def| {
             engine.sweep(&def.spec.id, &PAPER_SWEEP_KIB, |sink| {
-                let _ = def.run(sink, scale());
+                let _ = def.run(sink, at);
             })
         })
         .collect()
@@ -87,15 +106,40 @@ fn run_sweeps(engine: &Engine, defs: &[WorkloadDef]) -> Vec<SweepResult> {
 /// The reference sweep: re-runs the workload generator on a full machine
 /// once per capacity point, with no trace replay anywhere — the cost the
 /// fused speedup is quoted against.
-fn run_reference_sweeps(defs: &[WorkloadDef]) -> Vec<SweepResult> {
+fn run_reference_sweeps(defs: &[WorkloadDef], at: Scale) -> Vec<SweepResult> {
     let family = SweepFamily::atom();
     defs.iter()
         .map(|def| {
             sweep_per_point(&family, &def.spec.id, &PAPER_SWEEP_KIB, |sink| {
-                let _ = def.run(sink, scale());
+                let _ = def.run(sink, at);
             })
         })
         .collect()
+}
+
+/// Times a 3-worker loopback distributed run under whatever
+/// `BDB_WIRE_FORMAT` is currently set, returning `(seconds, profiles)`.
+fn run_distributed(
+    defs: &[WorkloadDef],
+    at: Scale,
+    machine: &MachineConfig,
+    node: &NodeConfig,
+) -> (f64, Vec<WorkloadProfile>) {
+    let mut ends = Vec::new();
+    for i in 0..3 {
+        let (coord_end, worker_end) = loopback_pair(&format!("bench-w{i}"));
+        std::thread::spawn(move || {
+            let engine = Engine::in_memory();
+            run_worker(
+                &worker_end,
+                &engine,
+                &WorkerConfig::named(&format!("bench-w{i}")),
+            )
+        });
+        ends.push(Arc::new(coord_end) as Arc<dyn Transport>);
+    }
+    let (secs, outcome) = time(|| profile_all_distributed(ends, defs, at, machine, node));
+    (secs, outcome.expect("loopback distributed run converges"))
 }
 
 /// One explicit measurement per configuration, written to
@@ -155,15 +199,15 @@ fn measure_and_report() {
     // per capacity. Same bits, fraction of the work. The engine's
     // per-point mode (trace once, full machine replayed per point) is
     // timed as a third column and must also match bit for bit.
-    let (sweep_serial_s, serial_sweeps) = time(|| run_reference_sweeps(&defs));
+    let (sweep_serial_s, serial_sweeps) = time(|| run_reference_sweeps(&defs, scale()));
     let (sweep_replay_pp_s, replay_pp_sweeps) =
-        time(|| run_sweeps(&sweep_engine(1, SweepMode::PerPoint), &defs));
+        time(|| run_sweeps(&sweep_engine(1, SweepMode::PerPoint), &defs, scale()));
     assert_eq!(
         serial_sweeps, replay_pp_sweeps,
         "engine per-point mode must be bit-identical to the reference sweep"
     );
     let (sweep_fused_s, fused_sweeps) =
-        time(|| run_sweeps(&sweep_engine(1, SweepMode::Fused), &defs));
+        time(|| run_sweeps(&sweep_engine(1, SweepMode::Fused), &defs, scale()));
     assert_eq!(
         serial_sweeps, fused_sweeps,
         "fused sweep must be bit-identical to the per-point sweep"
@@ -174,13 +218,108 @@ fn measure_and_report() {
     // against `worker_threads` and against the serial reference bits.
     let mut sweep_thread_fields = Vec::new();
     for t in [1usize, 2, 4] {
-        let (secs, sweeps) = time(|| run_sweeps(&sweep_engine(t, SweepMode::Fused), &defs));
+        let (secs, sweeps) =
+            time(|| run_sweeps(&sweep_engine(t, SweepMode::Fused), &defs, scale()));
         assert_eq!(
             serial_sweeps, sweeps,
             "{t}-thread fused sweep must be bit-identical to serial"
         );
         sweep_thread_fields.push((t, secs));
     }
+
+    // Larger-scale fused triplet: the same 1/2/4-thread points at 4x the
+    // base scale, where per-event costs dominate fixed overheads. The
+    // 1-thread result is the bit-identity reference for the wider pools.
+    let scaled = Scale::custom(scale().factor() * 4.0);
+    let mut sweep_scaled_fields = Vec::new();
+    let mut scaled_reference: Option<Vec<SweepResult>> = None;
+    for t in [1usize, 2, 4] {
+        let (secs, sweeps) = time(|| run_sweeps(&sweep_engine(t, SweepMode::Fused), &defs, scaled));
+        match &scaled_reference {
+            None => scaled_reference = Some(sweeps),
+            Some(reference) => assert_eq!(
+                reference, &sweeps,
+                "{t}-thread scaled fused sweep must be bit-identical to 1-thread"
+            ),
+        }
+        sweep_scaled_fields.push((t, secs));
+    }
+
+    // Codec section: BDBC binary vs canonical JSON for the byte-heavy
+    // artifacts. Trace chunks are where the columnar format pays off —
+    // delta-varint columns against JSON arrays of decimal integers.
+    let captured = TraceBuffer::capture(|sink| {
+        let _ = defs[0].run(sink, scale());
+    });
+    let (spill_s, spill) = time(|| captured.spill().expect("trace spill encodes"));
+    let (load_s, reloaded) = time(|| TraceBuffer::load(&spill).expect("trace spill loads"));
+    assert_eq!(reloaded.len(), captured.len(), "reloaded trace lost events");
+    // Two JSON baselines: the columnar-array interchange form (what
+    // `trace_chunk_to_json` pins for the fixtures) and the per-event
+    // JSON-lines form a non-columnar spill would write. The >=10x
+    // frame-size claim is against event frames; the array form is
+    // already column-compressed by construction, so its ratio is
+    // smaller and reported as its own field.
+    let mut trace_json_bytes = 0usize;
+    let mut trace_event_json_bytes = 0usize;
+    let mut rest: &[u8] = &spill;
+    while !rest.is_empty() {
+        let (_, payload, used) =
+            bdb_codec::decode_record_prefix(rest).expect("spill holds whole records");
+        let columns = columnar::TraceChunkView::parse(payload)
+            .expect("chunk payload parses")
+            .to_columns();
+        trace_json_bytes += columnar::trace_chunk_to_json(&columns).encode().len() + 1;
+        for i in 0..columns.len() {
+            trace_event_json_bytes += format!(
+                "{{\"arg\":{},\"aux\":{},\"kind\":{},\"pc\":{}}}\n",
+                columns.arg[i], columns.aux[i], columns.kind[i], columns.pc[i]
+            )
+            .len();
+        }
+        rest = &rest[used..];
+    }
+    let trace_array_ratio = trace_json_bytes as f64 / spill.len() as f64;
+    let trace_ratio = trace_event_json_bytes as f64 / spill.len() as f64;
+    assert!(
+        trace_ratio >= 10.0,
+        "columnar trace chunks must be >=10x smaller than JSON event \
+         frames (got {trace_ratio:.1}x)"
+    );
+    let spill_mib = spill.len() as f64 / (1024.0 * 1024.0);
+
+    let profile_value = bdb_engine::codec::profile_to_value(&serial[0]);
+    let cache_json_bytes = profile_value.encode().len() + 1;
+    let cache_binary_bytes = bdb_codec::encode_record(
+        RecordKind::CacheEntry,
+        &bdb_codec::encode_cache_payload(0, &profile_value),
+    )
+    .len();
+    let result_msg = Message::Result {
+        task_id: 0,
+        fingerprint: 0,
+        outcome: Ok(Box::new(serial[0].clone())),
+    };
+    let wire_json_bytes = wire::encode_frame_with(WireFormat::Json, &result_msg).len();
+    let wire_binary_bytes = wire::encode_frame_with(WireFormat::Binary, &result_msg).len();
+
+    // Cluster merge, JSON wire vs binary wire: same loopback fleet, same
+    // tasks, byte-identical profiles — only the frame encoding differs.
+    std::env::remove_var("BDB_WIRE_FORMAT");
+    let (merge_json_s, merged_json) = run_distributed(&defs, scale(), &machine, &node);
+    std::env::set_var("BDB_WIRE_FORMAT", "binary");
+    let (merge_binary_s, merged_binary) = run_distributed(&defs, scale(), &machine, &node);
+    std::env::remove_var("BDB_WIRE_FORMAT");
+    assert_eq!(
+        fingerprint(&serial),
+        fingerprint(&merged_json),
+        "JSON-wire merge must be bit-identical to serial"
+    );
+    assert_eq!(
+        fingerprint(&serial),
+        fingerprint(&merged_binary),
+        "binary-wire merge must be bit-identical to serial"
+    );
 
     let mut fields = vec![
         ("bench", Value::Str("engine".into())),
@@ -213,6 +352,66 @@ fn measure_and_report() {
         };
         fields.push((key, Value::Float(secs)));
     }
+    fields.push(("sweep_scaled_factor", Value::Float(scaled.factor())));
+    for &(t, secs) in &sweep_scaled_fields {
+        let key = match t {
+            1 => "sweep_fused_scaled_1t_seconds",
+            2 => "sweep_fused_scaled_2t_seconds",
+            _ => "sweep_fused_scaled_4t_seconds",
+        };
+        fields.push((key, Value::Float(secs)));
+    }
+    fields.extend([
+        ("trace_chunk_binary_bytes", Value::UInt(spill.len() as u64)),
+        (
+            "trace_chunk_json_bytes",
+            Value::UInt(trace_json_bytes as u64),
+        ),
+        (
+            "trace_event_json_bytes",
+            Value::UInt(trace_event_json_bytes as u64),
+        ),
+        (
+            "trace_chunk_binary_vs_json_array",
+            Value::Float(trace_array_ratio),
+        ),
+        (
+            "trace_chunk_binary_vs_json_events",
+            Value::Float(trace_ratio),
+        ),
+        (
+            "trace_spill_encode_mib_per_s",
+            Value::Float(spill_mib / spill_s),
+        ),
+        (
+            "trace_spill_decode_mib_per_s",
+            Value::Float(spill_mib / load_s),
+        ),
+        (
+            "cache_entry_json_bytes",
+            Value::UInt(cache_json_bytes as u64),
+        ),
+        (
+            "cache_entry_binary_bytes",
+            Value::UInt(cache_binary_bytes as u64),
+        ),
+        (
+            "wire_result_frame_json_bytes",
+            Value::UInt(wire_json_bytes as u64),
+        ),
+        (
+            "wire_result_frame_binary_bytes",
+            Value::UInt(wire_binary_bytes as u64),
+        ),
+        (
+            "cluster_merge_json_wire_seconds",
+            Value::Float(merge_json_s),
+        ),
+        (
+            "cluster_merge_binary_wire_seconds",
+            Value::Float(merge_binary_s),
+        ),
+    ]);
     let report = Value::object(fields);
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");
     let mut text = report.encode();
@@ -234,6 +433,14 @@ fn measure_and_report() {
             .map(|&(t, s)| format!("{t}t={s:.2}s"))
             .collect::<Vec<_>>()
             .join(" ")
+    );
+    println!(
+        "codec:  trace chunks {}B binary vs {trace_event_json_bytes}B JSON event frames \
+         ({trace_ratio:.1}x; {trace_array_ratio:.1}x vs the array form), \
+         cache entry {cache_binary_bytes}B vs {cache_json_bytes}B, \
+         result frame {wire_binary_bytes}B vs {wire_json_bytes}B, \
+         merge json-wire {merge_json_s:.2}s vs binary-wire {merge_binary_s:.2}s",
+        spill.len()
     );
 }
 

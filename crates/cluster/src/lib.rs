@@ -69,7 +69,7 @@ pub use fault::{FaultPlan, FaultyTransport};
 pub use proto::{Message, PROTOCOL_VERSION};
 pub use tcp::TcpTransport;
 pub use transport::{loopback_pair, LoopbackTransport, Transport, TransportError};
-pub use wire::{WireError, MAX_FRAME_BYTES};
+pub use wire::{WireError, WireFormat, MAX_FRAME_BYTES};
 pub use worker::{run_worker, WorkerConfig, WorkerError};
 
 use bdb_engine::Task;

@@ -1,0 +1,339 @@
+//! Binary encoding of the canonical JSON tree ([`crate::json::Value`]).
+//!
+//! A bval payload is a string table followed by a tag-prefixed value
+//! tree. Strings (object keys and string values) are interned in
+//! first-use order, so repeated keys — the dominant cost of JSON record
+//! streams — are written once and referenced by varint index.
+//!
+//! ```text
+//! payload := string-table value
+//! string-table := varint count, count × (varint len, len × utf8 byte)
+//! value := 0x00                          null
+//!        | 0x01 | 0x02                   false | true
+//!        | 0x03 varint                   unsigned integer
+//!        | 0x04 8×byte                   f64 (LE bit pattern, finite)
+//!        | 0x05 varint                   string (table index)
+//!        | 0x06 varint count, values     array
+//!        | 0x07 varint count,
+//!          count × (varint key, value)   object (insertion order)
+//! ```
+//!
+//! The encoding is bijective with the canonical JSON form: non-finite
+//! floats are normalized to the same sentinel strings (`"NaN"`, `"inf"`,
+//! `"-inf"`) the JSON writer emits, so `binary → JSON → binary` always
+//! reproduces the identical bytes.
+
+use crate::json::Value;
+use crate::varint::{read_varint, write_varint};
+use crate::CodecError;
+
+const TAG_NULL: u8 = 0x00;
+const TAG_FALSE: u8 = 0x01;
+const TAG_TRUE: u8 = 0x02;
+const TAG_UINT: u8 = 0x03;
+const TAG_FLOAT: u8 = 0x04;
+const TAG_STR: u8 = 0x05;
+const TAG_ARRAY: u8 = 0x06;
+const TAG_OBJECT: u8 = 0x07;
+
+/// Nesting bound: deep enough for any real record, shallow enough that
+/// hostile input cannot overflow the decoder's stack.
+const MAX_DEPTH: usize = 256;
+
+/// Non-finite floats encode as their JSON sentinel string, keeping the
+/// two forms bijective.
+fn float_sentinel(f: f64) -> Option<&'static str> {
+    if f.is_nan() {
+        Some("NaN")
+    } else if f == f64::INFINITY {
+        Some("inf")
+    } else if f == f64::NEG_INFINITY {
+        Some("-inf")
+    } else {
+        None
+    }
+}
+
+/// Encodes `value` as a bval payload (string table + tree).
+pub fn encode_value(value: &Value) -> Vec<u8> {
+    let mut strings: Vec<&str> = Vec::new();
+    collect_strings(value, &mut strings);
+    let mut out = Vec::new();
+    write_varint(strings.len() as u64, &mut out);
+    for s in &strings {
+        write_varint(s.len() as u64, &mut out);
+        out.extend_from_slice(s.as_bytes());
+    }
+    write_tree(value, &strings, &mut out);
+    out
+}
+
+fn intern<'a>(s: &'a str, strings: &mut Vec<&'a str>) {
+    if !strings.contains(&s) {
+        strings.push(s);
+    }
+}
+
+fn collect_strings<'a>(value: &'a Value, strings: &mut Vec<&'a str>) {
+    match value {
+        Value::Null | Value::Bool(_) | Value::UInt(_) => {}
+        Value::Float(f) => {
+            if let Some(sentinel) = float_sentinel(*f) {
+                intern(sentinel, strings);
+            }
+        }
+        Value::Str(s) => intern(s, strings),
+        Value::Array(items) => {
+            for item in items {
+                collect_strings(item, strings);
+            }
+        }
+        Value::Object(pairs) => {
+            for (k, v) in pairs {
+                intern(k, strings);
+                collect_strings(v, strings);
+            }
+        }
+    }
+}
+
+fn string_index(s: &str, strings: &[&str]) -> u64 {
+    // The collection pass interned every string, so the lookup always
+    // succeeds; 0 is unreachable fallback, not a sentinel.
+    strings.iter().position(|&t| t == s).unwrap_or(0) as u64
+}
+
+fn write_tree(value: &Value, strings: &[&str], out: &mut Vec<u8>) {
+    match value {
+        Value::Null => out.push(TAG_NULL),
+        Value::Bool(false) => out.push(TAG_FALSE),
+        Value::Bool(true) => out.push(TAG_TRUE),
+        Value::UInt(u) => {
+            out.push(TAG_UINT);
+            write_varint(*u, out);
+        }
+        Value::Float(f) => match float_sentinel(*f) {
+            Some(sentinel) => {
+                out.push(TAG_STR);
+                write_varint(string_index(sentinel, strings), out);
+            }
+            None => {
+                out.push(TAG_FLOAT);
+                out.extend_from_slice(&f.to_bits().to_le_bytes());
+            }
+        },
+        Value::Str(s) => {
+            out.push(TAG_STR);
+            write_varint(string_index(s, strings), out);
+        }
+        Value::Array(items) => {
+            out.push(TAG_ARRAY);
+            write_varint(items.len() as u64, out);
+            for item in items {
+                write_tree(item, strings, out);
+            }
+        }
+        Value::Object(pairs) => {
+            out.push(TAG_OBJECT);
+            write_varint(pairs.len() as u64, out);
+            for (k, v) in pairs {
+                write_varint(string_index(k, strings), out);
+                write_tree(v, strings, out);
+            }
+        }
+    }
+}
+
+/// Decodes a bval payload, requiring it to be consumed exactly.
+pub fn decode_value(bytes: &[u8]) -> Result<Value, CodecError> {
+    let mut pos = 0usize;
+    let count = read_varint(bytes, &mut pos)?;
+    let count = usize::try_from(count).map_err(|_| CodecError::Truncated { at: pos })?;
+    // Each table entry costs at least one length byte, so `count` can
+    // never legitimately exceed the remaining input.
+    if count > bytes.len().saturating_sub(pos) {
+        return Err(CodecError::Truncated { at: pos });
+    }
+    let mut strings = Vec::with_capacity(count);
+    for _ in 0..count {
+        let len = read_varint(bytes, &mut pos)?;
+        let len = usize::try_from(len).map_err(|_| CodecError::Truncated { at: pos })?;
+        let end = pos
+            .checked_add(len)
+            .filter(|&e| e <= bytes.len())
+            .ok_or(CodecError::Truncated { at: pos })?;
+        let s = std::str::from_utf8(&bytes[pos..end])
+            .map_err(|_| CodecError::Malformed(format!("non-UTF-8 string at byte {pos}")))?;
+        strings.push(s.to_owned());
+        pos = end;
+    }
+    let value = read_tree(bytes, &mut pos, &strings, 0)?;
+    if pos != bytes.len() {
+        return Err(CodecError::TrailingBytes { at: pos });
+    }
+    Ok(value)
+}
+
+fn read_tree(
+    bytes: &[u8],
+    pos: &mut usize,
+    strings: &[String],
+    depth: usize,
+) -> Result<Value, CodecError> {
+    if depth > MAX_DEPTH {
+        return Err(CodecError::Malformed(format!(
+            "nesting deeper than {MAX_DEPTH}"
+        )));
+    }
+    let &tag = bytes.get(*pos).ok_or(CodecError::Truncated { at: *pos })?;
+    *pos += 1;
+    match tag {
+        TAG_NULL => Ok(Value::Null),
+        TAG_FALSE => Ok(Value::Bool(false)),
+        TAG_TRUE => Ok(Value::Bool(true)),
+        TAG_UINT => Ok(Value::UInt(read_varint(bytes, pos)?)),
+        TAG_FLOAT => {
+            let end = pos
+                .checked_add(8)
+                .filter(|&e| e <= bytes.len())
+                .ok_or(CodecError::Truncated { at: *pos })?;
+            let mut raw = [0u8; 8];
+            raw.copy_from_slice(&bytes[*pos..end]);
+            *pos = end;
+            let f = f64::from_bits(u64::from_le_bytes(raw));
+            if !f.is_finite() {
+                return Err(CodecError::Malformed(
+                    "non-finite float must use its string sentinel".to_owned(),
+                ));
+            }
+            Ok(Value::Float(f))
+        }
+        TAG_STR => {
+            let idx = read_varint(bytes, pos)?;
+            let s = usize::try_from(idx)
+                .ok()
+                .and_then(|i| strings.get(i))
+                .ok_or_else(|| {
+                    CodecError::Malformed(format!("string index {idx} out of table range"))
+                })?;
+            Ok(Value::Str(s.clone()))
+        }
+        TAG_ARRAY => {
+            let count = read_varint(bytes, pos)?;
+            let count = usize::try_from(count).map_err(|_| CodecError::Truncated { at: *pos })?;
+            if count > bytes.len().saturating_sub(*pos) {
+                return Err(CodecError::Truncated { at: *pos });
+            }
+            let mut items = Vec::with_capacity(count);
+            for _ in 0..count {
+                items.push(read_tree(bytes, pos, strings, depth + 1)?);
+            }
+            Ok(Value::Array(items))
+        }
+        TAG_OBJECT => {
+            let count = read_varint(bytes, pos)?;
+            let count = usize::try_from(count).map_err(|_| CodecError::Truncated { at: *pos })?;
+            if count > bytes.len().saturating_sub(*pos) {
+                return Err(CodecError::Truncated { at: *pos });
+            }
+            let mut pairs = Vec::with_capacity(count);
+            for _ in 0..count {
+                let idx = read_varint(bytes, pos)?;
+                let key = usize::try_from(idx)
+                    .ok()
+                    .and_then(|i| strings.get(i))
+                    .ok_or_else(|| {
+                        CodecError::Malformed(format!("key index {idx} out of table range"))
+                    })?;
+                pairs.push((key.clone(), read_tree(bytes, pos, strings, depth + 1)?));
+            }
+            Ok(Value::Object(pairs))
+        }
+        other => Err(CodecError::Malformed(format!(
+            "unknown value tag 0x{other:02x} at byte {}",
+            *pos - 1
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    fn sample() -> Value {
+        Value::object(vec![
+            ("id", Value::Str("H-WordCount".into())),
+            ("count", Value::UInt(u64::MAX)),
+            ("pi", Value::Float(std::f64::consts::PI)),
+            ("neg_zero", Value::Float(-0.0)),
+            ("flag", Value::Bool(true)),
+            ("gap", Value::Null),
+            (
+                "nested",
+                Value::Array(vec![
+                    Value::object(vec![("id", Value::Str("H-WordCount".into()))]),
+                    Value::Float(f64::NAN),
+                    Value::UInt(0),
+                ]),
+            ),
+        ])
+    }
+
+    #[test]
+    fn binary_json_binary_is_lossless() {
+        let binary = encode_value(&sample());
+        let decoded = decode_value(&binary).unwrap();
+        let via_json = json::parse(&decoded.encode()).unwrap();
+        assert_eq!(
+            encode_value(&via_json),
+            binary,
+            "binary → JSON → binary must reproduce identical bytes"
+        );
+    }
+
+    #[test]
+    fn repeated_keys_are_interned_once() {
+        let wide = Value::Array(
+            (0..64)
+                .map(|i| Value::object(vec![("instructions", Value::UInt(i))]))
+                .collect(),
+        );
+        let binary = encode_value(&wide);
+        let json_len = wide.encode().len();
+        assert!(
+            binary.len() * 3 < json_len,
+            "interning should beat JSON by >3x on key-heavy streams \
+             ({} vs {json_len})",
+            binary.len()
+        );
+        assert_eq!(decode_value(&binary).unwrap(), wide);
+    }
+
+    #[test]
+    fn truncation_at_every_offset_is_a_clean_error() {
+        let binary = encode_value(&sample());
+        for cut in 0..binary.len() {
+            assert!(
+                decode_value(&binary[..cut]).is_err(),
+                "cut at {cut} must fail cleanly"
+            );
+        }
+    }
+
+    #[test]
+    fn hostile_payloads_fail_without_panicking() {
+        // Unknown tag, bad string index, huge declared counts, deep
+        // nesting, raw non-finite float — all clean errors.
+        assert!(decode_value(&[0x00, 0xff]).is_err());
+        assert!(decode_value(&[0x00, TAG_STR, 0x05]).is_err());
+        assert!(decode_value(&[0x00, TAG_ARRAY, 0xff, 0xff, 0x7f]).is_err());
+        let mut deep = vec![0x00];
+        deep.extend(std::iter::repeat_n([TAG_ARRAY, 0x01], 400).flatten());
+        deep.push(TAG_NULL);
+        assert!(decode_value(&deep).is_err());
+        let mut raw_nan = vec![0x00, TAG_FLOAT];
+        raw_nan.extend_from_slice(&f64::NAN.to_bits().to_le_bytes());
+        assert!(decode_value(&raw_nan).is_err());
+    }
+}

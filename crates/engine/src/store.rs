@@ -23,24 +23,10 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
-/// CRC-64/XZ (reflected ECMA polynomial) over `bytes`. This is the
-/// content checksum stamped into every cache entry and journal frame;
-/// the check value for `b"123456789"` is `0x995dc9bbdf1939fa`.
-pub fn crc64(bytes: &[u8]) -> u64 {
-    const POLY: u64 = 0xC96C_5795_D787_0F42;
-    let mut crc = !0u64;
-    for &b in bytes {
-        crc ^= u64::from(b);
-        for _ in 0..8 {
-            crc = if crc & 1 != 0 {
-                (crc >> 1) ^ POLY
-            } else {
-                crc >> 1
-            };
-        }
-    }
-    !crc
-}
+/// CRC-64/XZ over `bytes` — the content checksum stamped into every
+/// cache entry and journal frame. Re-exported from `bdb-codec`, the
+/// single reference implementation shared with the binary container.
+pub use bdb_codec::crc64;
 
 /// A storage operation failed. Callers treat this as "degrade and keep
 /// going" — the engine counts it and recomputes or stops persisting.
@@ -206,7 +192,7 @@ pub struct ChaosPlan {
     pub rename_error_period: Option<u64>,
     /// Read failures on existing files.
     pub read_error_period: Option<u64>,
-    /// Read-time single-bit corruption of `.json` payloads.
+    /// Read-time single-bit corruption of `.json` / `.bin` payloads.
     pub read_corruption_period: Option<u64>,
 }
 
@@ -254,7 +240,7 @@ pub struct ChaosCounters {
     pub rename_errors: u64,
     /// Reads of existing files failed.
     pub read_errors: u64,
-    /// `.json` reads returned payloads with one flipped bit.
+    /// `.json` / `.bin` reads returned payloads with one flipped bit.
     pub read_corruptions: u64,
 }
 
@@ -271,10 +257,10 @@ impl ChaosCounters {
 /// seeded [`ChaosPlan`]. Only the data path is fault-eligible (`read`,
 /// `write`, `append`, `rename`); `list`/`remove`/`touch`/`create_dir_all`
 /// pass through untouched so fault accounting stays exact. Bit
-/// corruption targets `.json` payloads (the checksummed artifact class),
-/// flips exactly one bit, and never touches the final byte (the entry
-/// terminator, which decoding tolerates) — so every injected corruption
-/// is guaranteed to be detectable.
+/// corruption targets `.json` and `.bin` payloads (the checksummed
+/// artifact classes), flips exactly one bit, and never touches the
+/// final byte (the JSON entry terminator, which decoding tolerates) —
+/// so every injected corruption is guaranteed to be detectable.
 pub struct ChaosFs {
     inner: RealFs,
     plan: ChaosPlan,
@@ -371,8 +357,8 @@ impl CacheStore for ChaosFs {
             self.read_errors.fetch_add(1, Ordering::Relaxed);
             return Err(Self::fail("read", path, "read error"));
         }
-        let is_json = path.extension().is_some_and(|e| e == "json");
-        if is_json && bytes.len() >= 2 && self.fire(self.plan.read_corruption_period) {
+        let checksummed = path.extension().is_some_and(|e| e == "json" || e == "bin");
+        if checksummed && bytes.len() >= 2 && self.fire(self.plan.read_corruption_period) {
             // Flip one bit anywhere except the final byte: decoding
             // tolerates a missing terminator, so a flip there could be
             // invisible, and accounting demands every injected
@@ -431,21 +417,9 @@ mod tests {
     }
 
     #[test]
-    fn crc64_matches_the_xz_check_value() {
+    fn crc64_reexport_matches_the_xz_check_value() {
+        // The checksum the store stamps is bdb-codec's CRC-64/XZ.
         assert_eq!(crc64(b"123456789"), 0x995d_c9bb_df19_39fa);
-        assert_eq!(crc64(b""), 0);
-        assert_ne!(crc64(b"a"), crc64(b"b"));
-    }
-
-    #[test]
-    fn crc64_detects_any_single_bit_flip() {
-        let data = b"the quick brown fox jumps over the lazy dog".to_vec();
-        let clean = crc64(&data);
-        for bit in 0..data.len() * 8 {
-            let mut flipped = data.clone();
-            flipped[bit / 8] ^= 1 << (bit % 8);
-            assert_ne!(crc64(&flipped), clean, "bit {bit} undetected");
-        }
     }
 
     #[test]
@@ -528,7 +502,11 @@ mod tests {
             );
         }
         assert_eq!(chaos.counters().read_corruptions, 32);
-        // Non-json reads are never corrupted.
+        // Binary cache entries are corruption-eligible too.
+        let bin = dir.join("c.bin");
+        RealFs.write(&bin, &clean).unwrap();
+        assert_ne!(chaos.read(&bin).unwrap().unwrap(), clean);
+        // Reads of other extensions are never corrupted.
         let wal = dir.join("c.wal");
         RealFs.write(&wal, &clean).unwrap();
         assert_eq!(chaos.read(&wal).unwrap().unwrap(), clean);

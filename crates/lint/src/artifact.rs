@@ -9,11 +9,17 @@
 //!   whose representative weights sum to 77 and whose ids exist in the
 //!   catalog spec.
 //! * `cache-format` — every `results/cache/*.json` entry parses, matches
-//!   the v2 cache schema (format version, CRC-64 content checksum,
+//!   the v3 cache schema (format version, CRC-64 content checksum,
 //!   fingerprint-in-filename, 45-metric vector), and survives canonical
-//!   re-encoding byte for byte.
+//!   re-encoding byte for byte; every `results/cache/*.bin` entry is a
+//!   valid BDBC cache record whose canonical re-encoding is
+//!   byte-identical.
 //! * `bench-format` — every `BENCH_*.json` record at the repo root is a
 //!   canonical single-line JSON object with a `bench` tag.
+//! * `binary-stability` — the golden fixtures under `contracts/fixtures/`
+//!   decode, re-encode byte-identically, and agree with their JSON
+//!   interchange sidecars (the `binary → JSON → binary` contract), so
+//!   accidental format drift fails the lint gate.
 //!
 //! The code contracts these artifacts mirror are enforced by the root
 //! test-suite (`tests/contracts_sync.rs`), which regenerates the files
@@ -21,6 +27,7 @@
 
 use crate::json::{self, Value};
 use crate::{Diagnostic, PAPER_CLUSTERS, PAPER_METRICS, PAPER_WORKLOADS};
+use bdb_codec::{columnar, crc64, RecordKind};
 use std::collections::BTreeSet;
 use std::path::Path;
 
@@ -35,6 +42,7 @@ pub fn run(root: &Path) -> Result<Vec<Diagnostic>, String> {
     check_reduction(root, &catalog_ids, &mut diags);
     check_cache_dir(root, &mut diags);
     check_bench_files(root, &mut diags);
+    check_fixtures(root, &mut diags);
     Ok(diags)
 }
 
@@ -272,16 +280,64 @@ fn check_cache_dir(root: &Path, diags: &mut Vec<Diagnostic>) {
     let mut files: Vec<_> = entries
         .flatten()
         .map(|e| e.path())
-        .filter(|p| p.extension().is_some_and(|e| e == "json"))
+        .filter(|p| p.extension().is_some_and(|e| e == "json" || e == "bin"))
         .collect();
     files.sort();
     for file in files {
+        if file.extension().is_some_and(|e| e == "bin") {
+            let Ok(bytes) = std::fs::read(&file) else {
+                diags.push(Diagnostic::new(&file, 0, RULE, "unreadable cache entry"));
+                continue;
+            };
+            check_cache_entry_binary(&file, &bytes, diags);
+            continue;
+        }
         let Ok(text) = std::fs::read_to_string(&file) else {
             diags.push(Diagnostic::new(&file, 0, RULE, "unreadable cache entry"));
             continue;
         };
         check_cache_entry(&file, &text, diags);
     }
+}
+
+/// Validates one binary (BDBC) cache entry: container integrity, a
+/// fingerprint that matches the filename, canonical byte-stability, and
+/// the same profile schema the JSON pass enforces.
+fn check_cache_entry_binary(file: &Path, bytes: &[u8], diags: &mut Vec<Diagnostic>) {
+    const RULE: &str = "cache-format";
+    let mut emit = |message: String| diags.push(Diagnostic::new(file, 0, RULE, message));
+    let payload = match bdb_codec::decode_record_of(RecordKind::CacheEntry, bytes) {
+        Ok(p) => p,
+        Err(e) => {
+            emit(format!("binary cache entry does not decode: {e}"));
+            return;
+        }
+    };
+    let (fingerprint, profile) = match bdb_codec::decode_cache_payload(payload) {
+        Ok(pair) => pair,
+        Err(e) => {
+            emit(format!("binary cache payload does not decode: {e}"));
+            return;
+        }
+    };
+    let reencoded = bdb_codec::encode_record(
+        RecordKind::CacheEntry,
+        &bdb_codec::encode_cache_payload(fingerprint, &profile),
+    );
+    if reencoded != bytes {
+        emit("binary cache entry is not byte-stable: canonical re-encoding differs".into());
+    }
+    let stem = file
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_default();
+    let hex = format!("{fingerprint:016x}");
+    if !stem.ends_with(&format!("-{hex}")) {
+        emit(format!(
+            "filename fingerprint does not match the embedded fingerprint `{hex}`"
+        ));
+    }
+    check_profile_shape(&profile, &hex, &stem, &mut emit);
 }
 
 fn check_cache_entry(file: &Path, text: &str, diags: &mut Vec<Diagnostic>) {
@@ -301,8 +357,8 @@ fn check_cache_entry(file: &Path, text: &str, diags: &mut Vec<Diagnostic>) {
     if value.encode() != body {
         emit("cache entry is not byte-stable: canonical re-encoding differs from the file".into());
     }
-    if value.get("format").and_then(Value::as_u64) != Some(2) {
-        emit("cache entry `format` must be the integer 2 (checksummed v2 schema)".into());
+    if value.get("format").and_then(Value::as_u64) != Some(3) {
+        emit("cache entry `format` must be the integer 3 (checksummed v3 schema)".into());
     }
     let crc = value
         .get("crc64")
@@ -341,6 +397,16 @@ fn check_cache_entry(file: &Path, text: &str, diags: &mut Vec<Diagnostic>) {
         emit("cache entry has no `profile` object".into());
         return;
     };
+    check_profile_shape(profile, &fingerprint, &stem, &mut emit);
+}
+
+/// Profile-schema checks shared by the JSON and binary cache passes.
+fn check_profile_shape(
+    profile: &Value,
+    fingerprint: &str,
+    stem: &str,
+    emit: &mut dyn FnMut(String),
+) {
     for key in ["spec", "report", "system", "metrics"] {
         if profile.get(key).is_none() {
             emit(format!("profile is missing the `{key}` field"));
@@ -363,7 +429,7 @@ fn check_cache_entry(file: &Path, text: &str, diags: &mut Vec<Diagnostic>) {
             .collect();
         if !fingerprint.is_empty() && stem != format!("{safe}-{fingerprint}") {
             emit(format!(
-                "filename does not encode the workload id `{id}` (expected `{safe}-{fingerprint}.json`)"
+                "filename does not encode the workload id `{id}` (expected `{safe}-{fingerprint}`)"
             ));
         }
     }
@@ -383,25 +449,116 @@ fn check_cache_entry(file: &Path, text: &str, diags: &mut Vec<Diagnostic>) {
     }
 }
 
-/// CRC-64/XZ, bit-identical to `bdb_engine::crc64`. Re-implemented here
-/// because the linter deliberately has no dependency on the crates it
-/// audits — a broken engine must not break the tool that reports it.
-/// The shared check value (`crc64(b"123456789") == 0x995dc9bbdf1939fa`)
-/// pins both implementations to the same polynomial.
-fn crc64(bytes: &[u8]) -> u64 {
-    const POLY: u64 = 0xC96C_5795_D787_0F42;
-    let mut crc = !0u64;
-    for &b in bytes {
-        crc ^= u64::from(b);
-        for _ in 0..8 {
-            crc = if crc & 1 != 0 {
-                (crc >> 1) ^ POLY
-            } else {
-                crc >> 1
-            };
-        }
+/// The `binary-stability` pass: every golden fixture under
+/// `contracts/fixtures/` must decode, re-encode to the identical bytes,
+/// and agree with its JSON interchange sidecar — the `binary → JSON →
+/// binary` contract, pinned in CI so format drift cannot land silently.
+fn check_fixtures(root: &Path, diags: &mut Vec<Diagnostic>) {
+    const RULE: &str = "binary-stability";
+    let dir = root.join("contracts/fixtures");
+    let Ok(entries) = std::fs::read_dir(&dir) else {
+        return; // fixtures are optional until the format ships entries
+    };
+    let mut files: Vec<_> = entries
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|e| e == "bin"))
+        .collect();
+    files.sort();
+    for file in files {
+        let Ok(bytes) = std::fs::read(&file) else {
+            diags.push(Diagnostic::new(&file, 0, RULE, "unreadable fixture"));
+            continue;
+        };
+        check_one_fixture(&file, &bytes, diags);
     }
-    !crc
+}
+
+fn check_one_fixture(file: &Path, bytes: &[u8], diags: &mut Vec<Diagnostic>) {
+    const RULE: &str = "binary-stability";
+    let mut emit = |message: String| diags.push(Diagnostic::new(file, 0, RULE, message));
+    let (kind, payload) = match bdb_codec::decode_record(bytes) {
+        Ok(pair) => pair,
+        Err(e) => {
+            emit(format!("fixture does not decode: {e}"));
+            return;
+        }
+    };
+    // Decode to the interchange Value (or columns), re-encode the binary
+    // record from it, and render the JSON sidecar form.
+    let (reencoded, interchange) = match kind {
+        RecordKind::TraceChunk => {
+            let columns = match columnar::TraceChunkView::parse(payload) {
+                Ok(view) => view.to_columns(),
+                Err(e) => {
+                    emit(format!("trace-chunk payload does not parse: {e}"));
+                    return;
+                }
+            };
+            let rebuilt = match columnar::encode_trace_chunk(
+                &columns.pc,
+                &columns.arg,
+                &columns.kind,
+                &columns.aux,
+            ) {
+                Ok(r) => r,
+                Err(e) => {
+                    emit(format!("trace-chunk re-encode failed: {e}"));
+                    return;
+                }
+            };
+            (rebuilt, columnar::trace_chunk_to_json(&columns))
+        }
+        RecordKind::CacheEntry => {
+            let (fingerprint, profile) = match bdb_codec::decode_cache_payload(payload) {
+                Ok(pair) => pair,
+                Err(e) => {
+                    emit(format!("cache payload does not decode: {e}"));
+                    return;
+                }
+            };
+            let rebuilt = bdb_codec::encode_record(
+                kind,
+                &bdb_codec::encode_cache_payload(fingerprint, &profile),
+            );
+            let interchange = Value::object(vec![
+                ("fingerprint", Value::Str(format!("{fingerprint:016x}"))),
+                ("profile", profile),
+            ]);
+            (rebuilt, interchange)
+        }
+        RecordKind::JournalRecord | RecordKind::WireMessage => {
+            let value = match bdb_codec::bval::decode_value(payload) {
+                Ok(v) => v,
+                Err(e) => {
+                    emit(format!("bval payload does not decode: {e}"));
+                    return;
+                }
+            };
+            let rebuilt = bdb_codec::encode_record(kind, &bdb_codec::bval::encode_value(&value));
+            (rebuilt, value)
+        }
+    };
+    if reencoded != bytes {
+        emit("fixture is not byte-stable: canonical re-encoding differs".into());
+    }
+    let sidecar = file.with_extension("json");
+    match std::fs::read_to_string(&sidecar) {
+        Ok(text) => {
+            let expected = format!("{}\n", interchange.encode());
+            if text != expected {
+                emit(
+                    "JSON sidecar disagrees with the decoded fixture — \
+                     the binary → JSON → binary contract is broken"
+                        .into(),
+                );
+            }
+        }
+        Err(_) => emit(format!(
+            "fixture has no JSON interchange sidecar `{}`",
+            sidecar.display()
+        )),
+    }
 }
 
 fn check_bench_files(root: &Path, diags: &mut Vec<Diagnostic>) {
@@ -537,15 +694,15 @@ mod tests {
     }
 
     #[test]
-    fn legacy_format_1_entry_is_rejected() {
+    fn legacy_format_2_entry_is_rejected() {
         let mut diags = Vec::new();
         check_cache_entry(
             Path::new("X-1234567890abcdef.json"),
-            "{\"format\":1,\"fingerprint\":\"1234567890abcdef\"}\n",
+            "{\"format\":2,\"fingerprint\":\"1234567890abcdef\"}\n",
             &mut diags,
         );
         assert!(
-            diags.iter().any(|d| d.message.contains("integer 2")),
+            diags.iter().any(|d| d.message.contains("integer 3")),
             "{diags:?}"
         );
     }
@@ -555,7 +712,7 @@ mod tests {
         let profile = "{\"x\":1}";
         let good = format!("{:016x}", crc64(profile.as_bytes()));
         let entry = |crc: &str| {
-            format!("{{\"format\":2,\"crc64\":\"{crc}\",\"fingerprint\":\"1234567890abcdef\",\"profile\":{profile}}}\n")
+            format!("{{\"format\":3,\"crc64\":\"{crc}\",\"fingerprint\":\"1234567890abcdef\",\"profile\":{profile}}}\n")
         };
         let mut diags = Vec::new();
         check_cache_entry(
@@ -577,5 +734,53 @@ mod tests {
             !diags.iter().any(|d| d.message.contains("altered")),
             "{diags:?}"
         );
+    }
+
+    #[test]
+    fn binary_cache_entry_is_validated_and_bit_flips_detected() {
+        let profile = Value::object(vec![
+            ("spec", Value::object(vec![("id", Value::Str("X".into()))])),
+            ("report", Value::object(vec![])),
+            ("system", Value::object(vec![])),
+            ("metrics", Value::Array(vec![Value::UInt(1); PAPER_METRICS])),
+        ]);
+        let fp = 0x1234_5678_90ab_cdefu64;
+        let bytes = bdb_codec::encode_record(
+            RecordKind::CacheEntry,
+            &bdb_codec::encode_cache_payload(fp, &profile),
+        );
+        let mut diags = Vec::new();
+        check_cache_entry_binary(Path::new("X-1234567890abcdef.bin"), &bytes, &mut diags);
+        assert!(diags.is_empty(), "{diags:?}");
+        let mut damaged = bytes.clone();
+        damaged[bytes.len() / 2] ^= 1;
+        let mut diags = Vec::new();
+        check_cache_entry_binary(Path::new("X-1234567890abcdef.bin"), &damaged, &mut diags);
+        assert!(!diags.is_empty(), "bit flip must surface a diagnostic");
+    }
+
+    #[test]
+    fn fixture_sidecar_mismatch_is_flagged() {
+        let root = scratch("fixtures");
+        std::fs::create_dir_all(root.join("contracts/fixtures")).unwrap();
+        let value = json::parse("{\"kind\":\"task\",\"n\":3}").unwrap();
+        let record = bdb_codec::encode_record(
+            RecordKind::JournalRecord,
+            &bdb_codec::bval::encode_value(&value),
+        );
+        let sidecar = root.join("contracts/fixtures/journal_record.json");
+        std::fs::write(root.join("contracts/fixtures/journal_record.bin"), &record).unwrap();
+        std::fs::write(&sidecar, format!("{}\n", value.encode())).unwrap();
+        let mut diags = Vec::new();
+        check_fixtures(&root, &mut diags);
+        assert!(diags.is_empty(), "{diags:?}");
+        std::fs::write(&sidecar, "{\"kind\":\"other\"}\n").unwrap();
+        let mut diags = Vec::new();
+        check_fixtures(&root, &mut diags);
+        assert!(
+            diags.iter().any(|d| d.rule == "binary-stability"),
+            "{diags:?}"
+        );
+        let _ = std::fs::remove_dir_all(&root);
     }
 }

@@ -1,5 +1,5 @@
 //! Source passes: `determinism`, `panic-hygiene`, `batched-dispatch`,
-//! and `raw-fs`.
+//! `raw-fs`, and `endianness`.
 
 use crate::lexer::{self, find_word, ScannedFile};
 use crate::Diagnostic;
@@ -40,6 +40,21 @@ const BATCHED_DISPATCH_SCOPE: &[&str] = &["crates/trace/src/buffer.rs", "crates/
 /// exercise and the counters cannot account for.
 const RAW_FS_BOUNDARY: &str = "store.rs";
 
+/// Crate directory whose sources define the binary columnar format — the
+/// scope of the `endianness` rule. The BDBC container is little-endian
+/// by contract (DESIGN.md §15): a `to_be_bytes` or `to_ne_bytes` call in
+/// the codec would silently produce records that decode on the writing
+/// host but not on another, defeating the portable-fixture guarantee.
+const ENDIANNESS_SCOPE: &str = "codec";
+
+/// Byte-order conversions the `endianness` rule rejects inside the codec.
+const ENDIANNESS_TOKENS: &[&str] = &[
+    "to_be_bytes",
+    "from_be_bytes",
+    "to_ne_bytes",
+    "from_ne_bytes",
+];
+
 /// Runs the source passes over the workspace's library sources.
 pub fn run(root: &Path) -> Result<Vec<Diagnostic>, String> {
     let mut diags = Vec::new();
@@ -66,6 +81,9 @@ pub fn run(root: &Path) -> Result<Vec<Diagnostic>, String> {
             }
             if crate_dir == "engine" && file.file_name().is_none_or(|n| n != RAW_FS_BOUNDARY) {
                 check_raw_fs(&file, &scanned, &mut diags);
+            }
+            if crate_dir == ENDIANNESS_SCOPE {
+                check_endianness(&file, &scanned, &mut diags);
             }
         }
     }
@@ -205,6 +223,32 @@ fn check_raw_fs(file: &Path, scanned: &ScannedFile, diags: &mut Vec<Diagnostic>)
                 "direct `std::fs` access in the engine outside store.rs — route disk I/O \
                  through `CacheStore` so chaos injection and the crash-safety counters see it",
             ));
+        }
+    }
+}
+
+fn check_endianness(file: &Path, scanned: &ScannedFile, diags: &mut Vec<Diagnostic>) {
+    const RULE: &str = "endianness";
+    for (idx, line) in scanned.lines.iter().enumerate() {
+        if line.in_test || line.code.is_empty() {
+            continue;
+        }
+        let code = &line.code;
+        if scanned.allowed(idx, RULE) {
+            continue;
+        }
+        for token in ENDIANNESS_TOKENS {
+            if lexer::contains_word(code, token) {
+                diags.push(Diagnostic::new(
+                    file,
+                    idx + 1,
+                    RULE,
+                    format!(
+                        "`{token}` in the codec — the binary format is little-endian by \
+                         contract; use to_le_bytes/from_le_bytes so records stay portable"
+                    ),
+                ));
+            }
         }
     }
 }
@@ -350,6 +394,30 @@ mod tests {
         );
         let allowed = "// bdb-lint: allow(raw-fs): bootstrap before the store exists\nstd::fs::create_dir_all(&dir)?;\n";
         assert!(raw_fs(allowed).is_empty());
+    }
+
+    fn endianness(src: &str) -> Vec<Diagnostic> {
+        let mut diags = Vec::new();
+        check_endianness(Path::new("x.rs"), &scan(src), &mut diags);
+        diags
+    }
+
+    #[test]
+    fn big_and_native_endian_conversions_flagged() {
+        assert_eq!(endianness("buf.extend(len.to_be_bytes());\n").len(), 1);
+        assert_eq!(endianness("let v = u64::from_ne_bytes(b);\n").len(), 1);
+    }
+
+    #[test]
+    fn little_endian_tests_and_allows_pass() {
+        assert!(endianness("buf.extend(len.to_le_bytes());\n").is_empty());
+        assert!(endianness("// to_be_bytes is banned here\n").is_empty());
+        assert!(
+            endianness("#[cfg(test)]\nmod t {\n fn f() { let _ = 1u32.to_be_bytes(); }\n}\n")
+                .is_empty()
+        );
+        let allowed = "// bdb-lint: allow(endianness): network byte order at the TCP boundary\nlen.to_be_bytes();\n";
+        assert!(endianness(allowed).is_empty());
     }
 
     #[test]

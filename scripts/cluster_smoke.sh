@@ -70,6 +70,18 @@ BDB_SWEEP_MODE=fused "$SMOKE" --workloads "$WORKLOADS" --cluster "$A,$C" >"$OUT/
 diff "$OUT/serial.jsonl" "$OUT/cluster_replay.jsonl"
 echo "replay smoke OK: fused sweep mode leaves the distributed merge byte-identical"
 
+# Binary-wire leg: the coordinator ships BDBC frames while worker A
+# still answers in JSON — a deliberately mixed fleet, since the
+# BDB_WIRE_FORMAT knob only selects what a sender writes and every
+# receiver sniffs per payload. The merged bytes must match both the
+# JSON-wire cluster run and the serial baseline exactly.
+echo "== binary-wire distributed run (BDB_WIRE_FORMAT=binary, mixed fleet) =="
+E=$(BDB_WIRE_FORMAT=binary start_worker "$OUT/w4.log")
+BDB_WIRE_FORMAT=binary "$SMOKE" --workloads "$WORKLOADS" --cluster "$A,$E" >"$OUT/cluster_binary.jsonl"
+diff "$OUT/cluster.jsonl" "$OUT/cluster_binary.jsonl"
+diff "$OUT/serial.jsonl" "$OUT/cluster_binary.jsonl"
+echo "binary wire smoke OK: BDBC frames over a mixed JSON/binary fleet merge byte-identically"
+
 # Crash-safety leg: a journaled coordinator is killed with SIGKILL
 # mid-run, then a --resume rerun must preload the journaled shards and
 # still merge byte-identically to the serial baseline. A delay-only
