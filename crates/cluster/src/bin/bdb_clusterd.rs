@@ -69,8 +69,8 @@ fn parse_args() -> Result<Args, String> {
             .cloned()
             .ok_or_else(|| format!("{flag} needs a value"))
     };
-    while i < argv.len() {
-        match argv[i].as_str() {
+    while let Some(arg) = argv.get(i) {
+        match arg.as_str() {
             "--listen" => args.listen = value(&mut i, "--listen")?,
             "--name" => args.name = Some(value(&mut i, "--name")?),
             "--fault-crash-task" => {

@@ -160,6 +160,7 @@ enum ReadOutcome {
 fn read_exact_or_eof(r: &mut impl Read, buf: &mut [u8]) -> Result<ReadOutcome, WireError> {
     let mut filled = 0;
     while filled < buf.len() {
+        // bdb-lint: allow(panic-reachability): the loop condition bounds `filled` below buf.len()
         match r.read(&mut buf[filled..]) {
             Ok(0) => {
                 return Ok(if filled == 0 {

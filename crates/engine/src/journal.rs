@@ -106,6 +106,7 @@ impl RunJournal {
                             stats.discarded_bytes = bytes.len() - loaded.valid_len;
                             // Truncate the damaged tail so appends extend
                             // the valid prefix, not the garbage.
+                            // bdb-lint: allow(panic-reachability): guarded above — valid_len < bytes.len()
                             if store.write(&path, &bytes[..loaded.valid_len]).is_err() {
                                 stats.io_errors += 1;
                                 broken = true;

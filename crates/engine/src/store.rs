@@ -336,6 +336,7 @@ impl ChaosFs {
         }
         if self.fire(self.plan.torn_write_period) && !bytes.is_empty() {
             let cut = (self.next() as usize) % bytes.len();
+            // bdb-lint: allow(panic-reachability): cut < bytes.len() by the modulo above
             let _ = put_prefix(&bytes[..cut]);
             self.torn_writes.fetch_add(1, Ordering::Relaxed);
             return Err(Self::fail(op, path, "torn write"));

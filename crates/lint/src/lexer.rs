@@ -21,11 +21,26 @@ pub struct Line {
     pub in_test: bool,
 }
 
+/// One `bdb-lint: allow(<rule>)` directive found in a comment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowDirective {
+    /// 0-indexed line the directive's comment is on.
+    pub line_idx: usize,
+    /// The rule id named inside `allow(..)`.
+    pub rule: String,
+}
+
 /// A scanned file: line records plus the suppression directives found.
 #[derive(Debug, Clone, Default)]
 pub struct ScannedFile {
     /// 0-indexed line records (`lines[0]` is source line 1).
     pub lines: Vec<Line>,
+    /// Every allow directive in the file, in line order.
+    pub directives: Vec<AllowDirective>,
+    /// Indexes into `directives` that suppressed at least one finding —
+    /// filled in by [`ScannedFile::suppressed`] as the passes run, and
+    /// read back by the `stale-allow` rule.
+    used: std::cell::RefCell<std::collections::BTreeSet<usize>>,
 }
 
 impl ScannedFile {
@@ -34,33 +49,76 @@ impl ScannedFile {
     /// on the line directly below it (so a standalone comment line can
     /// annotate the statement it precedes).
     pub fn allows(&self, idx: usize) -> Vec<String> {
-        let mut rules = Vec::new();
-        let mut collect = |line: Option<&Line>| {
-            if let Some(line) = line {
-                collect_allow_rules(&line.comment, &mut rules);
-            }
-        };
-        collect(self.lines.get(idx));
-        if idx > 0 {
-            collect(self.lines.get(idx - 1));
-        }
-        rules
+        self.directive_sites(idx)
+            .into_iter()
+            .map(|i| self.directives[i].rule.clone())
+            .collect()
     }
 
     /// Whether `rule` is suppressed on 0-indexed line `idx`.
     pub fn allowed(&self, idx: usize, rule: &str) -> bool {
-        self.allows(idx).iter().any(|r| r == rule)
+        self.directive_sites(idx)
+            .into_iter()
+            .any(|i| self.directives[i].rule == rule)
+    }
+
+    /// Like [`ScannedFile::allowed`], but additionally marks the matching
+    /// directive as *used*, so the `stale-allow` pass can report
+    /// directives that never suppress anything. Passes must call this
+    /// only when a finding would otherwise fire on line `idx`.
+    pub fn suppressed(&self, idx: usize, rule: &str) -> bool {
+        let mut hit = false;
+        for i in self.directive_sites(idx) {
+            if self.directives[i].rule == rule {
+                self.used.borrow_mut().insert(i);
+                hit = true;
+            }
+        }
+        hit
+    }
+
+    /// Directives that suppressed nothing across every pass that ran.
+    pub fn stale_directives(&self) -> Vec<&AllowDirective> {
+        let used = self.used.borrow();
+        self.directives
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !used.contains(i))
+            .map(|(_, d)| d)
+            .collect()
+    }
+
+    /// Directive indexes applying to 0-indexed line `idx` (own line or
+    /// the line directly above).
+    fn directive_sites(&self, idx: usize) -> Vec<usize> {
+        self.directives
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| d.line_idx == idx || idx > 0 && d.line_idx == idx - 1)
+            .map(|(i, _)| i)
+            .collect()
     }
 }
 
+/// Parses `bdb-lint: allow(rule)` / `allow(rule-a, rule-b)` directives
+/// out of one line's comment text. Doc comments never carry directives —
+/// their text *describes* the syntax (this crate's own docs would
+/// otherwise register as suppressions and trip the `stale-allow` audit).
 fn collect_allow_rules(comment: &str, out: &mut Vec<String>) {
+    // After `//` / `/*` are consumed, a doc comment's text starts with
+    // the third marker char: `/` (`///`), `!` (`//!`, `/*!`), `*` (`/**`).
+    if comment.starts_with(['/', '!', '*']) {
+        return;
+    }
     let mut rest = comment;
     while let Some(at) = rest.find("bdb-lint: allow(") {
         rest = &rest[at + "bdb-lint: allow(".len()..];
         if let Some(end) = rest.find(')') {
-            let rule = rest[..end].trim();
-            if !rule.is_empty() {
-                out.push(rule.to_owned());
+            for rule in rest[..end].split(',') {
+                let rule = rule.trim();
+                if !rule.is_empty() {
+                    out.push(rule.to_owned());
+                }
             }
             rest = &rest[end + 1..];
         } else {
@@ -85,7 +143,7 @@ enum State {
 pub fn scan(source: &str) -> ScannedFile {
     let stripped = strip(source);
     let test_lines = mark_test_regions(&stripped);
-    let lines = stripped
+    let lines: Vec<Line> = stripped
         .into_iter()
         .zip(test_lines)
         .map(|((code, comment), in_test)| Line {
@@ -94,7 +152,22 @@ pub fn scan(source: &str) -> ScannedFile {
             in_test,
         })
         .collect();
-    ScannedFile { lines }
+    let mut directives = Vec::new();
+    for (idx, line) in lines.iter().enumerate() {
+        let mut rules = Vec::new();
+        collect_allow_rules(&line.comment, &mut rules);
+        for rule in rules {
+            directives.push(AllowDirective {
+                line_idx: idx,
+                rule,
+            });
+        }
+    }
+    ScannedFile {
+        lines,
+        directives,
+        used: Default::default(),
+    }
 }
 
 /// Splits source into per-line `(code, comment)` strings with literals
@@ -223,8 +296,10 @@ fn closes_raw_string(bytes: &[u8], hashes: u32) -> bool {
 fn char_literal_len(bytes: &[u8]) -> Option<usize> {
     match bytes.get(1)? {
         b'\\' => {
-            // Escaped char: scan to the closing quote (handles \u{...}).
-            let mut j = 2;
+            // Escaped char: `bytes[2]` is the escaped character itself and
+            // never closes the literal (`'\''` is the quote char), so the
+            // scan for the closing quote starts after it (handles \u{...}).
+            let mut j = 3;
             while j < bytes.len() && j < 12 {
                 if bytes[j] == b'\'' {
                     return Some(j + 1);
@@ -428,5 +503,56 @@ mod tests {
     fn word_boundaries_respected() {
         assert!(contains_word("use std::collections::HashMap;", "HashMap"));
         assert!(!contains_word("MyHashMapLike", "HashMap"));
+    }
+
+    #[test]
+    fn escaped_quote_char_literal_does_not_open_a_string() {
+        // `'\''` used to be consumed short, leaving a stray `'` that could
+        // swallow the rest of the line as a bogus literal.
+        let f = scan("let q = '\\''; x.unwrap();\nlet n = '\\n'; y.unwrap();\n");
+        assert!(f.lines[0].code.contains("unwrap"), "{:?}", f.lines[0]);
+        assert!(f.lines[1].code.contains("unwrap"), "{:?}", f.lines[1]);
+    }
+
+    #[test]
+    fn multiline_raw_string_with_hashes_keeps_line_numbers() {
+        let src = "let s = r##\"first\nmid \"# not the end\nlast\"##; a.unwrap();\nb.unwrap();\n";
+        let f = scan(src);
+        assert_eq!(f.lines.len(), 5, "one record per source line + trailer");
+        assert!(!f.lines[1].code.contains("not"), "raw body is blanked");
+        assert!(
+            f.lines[2].code.contains("unwrap"),
+            "close detected in line 3"
+        );
+        assert!(f.lines[3].code.contains("unwrap"), "line 4 still aligned");
+    }
+
+    #[test]
+    fn multiline_nested_block_comment_keeps_line_numbers() {
+        let src = "/* outer\n/* inner */\nstill comment */ x.unwrap();\ny.unwrap();\n";
+        let f = scan(src);
+        assert!(!f.lines[2].code.contains("still"));
+        assert!(f.lines[2].code.contains("unwrap"));
+        assert!(f.lines[3].code.contains("unwrap"));
+    }
+
+    #[test]
+    fn allow_lists_multiple_rules() {
+        let src = "// bdb-lint: allow(panic-hygiene, panic-reachability): both fine\nx.unwrap();\n";
+        let f = scan(src);
+        assert!(f.allowed(1, "panic-hygiene"));
+        assert!(f.allowed(1, "panic-reachability"));
+        assert!(!f.allowed(1, "determinism"));
+    }
+
+    #[test]
+    fn suppression_usage_feeds_stale_directive_audit() {
+        let src = "// bdb-lint: allow(panic-hygiene): used\nx.unwrap();\n// bdb-lint: allow(determinism): never consulted\nlet y = 1;\n";
+        let f = scan(src);
+        assert!(f.suppressed(1, "panic-hygiene"));
+        let stale = f.stale_directives();
+        assert_eq!(stale.len(), 1);
+        assert_eq!(stale[0].rule, "determinism");
+        assert_eq!(stale[0].line_idx, 2);
     }
 }

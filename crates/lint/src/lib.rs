@@ -40,8 +40,13 @@
 //! `// bdb-lint: allow(<rule>): <justification>` on the offending line or
 //! the line above it.
 
+pub mod graph;
 pub mod json;
+pub mod knobs;
 pub mod lexer;
+pub mod parse;
+pub mod reach;
+pub mod report;
 
 mod artifact;
 mod manifest;
@@ -107,6 +112,26 @@ pub const RULES: &[(&str, &str)] = &[
         "endianness",
         "the binary format is little-endian only: no to_be/from_be/to_ne/from_ne byte conversions inside crates/codec",
     ),
+    (
+        "nondeterminism-reachability",
+        "no call path from a profile/trace/wire/cache serialization entry point to a nondeterminism source (unordered collections, wall clock, thread identity) anywhere in the workspace",
+    ),
+    (
+        "panic-reachability",
+        "no unwrap()/expect()/panic!/slice-indexing reachable from the cluster worker loop, bdb_clusterd main, journal replay, or store recovery",
+    ),
+    (
+        "hot-loop-allocation",
+        "no allocation, format!, env reads, or blocking fs calls reachable from the fused-sweep replay and exec_batch hot loops",
+    ),
+    (
+        "dead-knob",
+        "every BDB_* env read is listed in contracts/knobs.txt and documented; listed knobs are actually read",
+    ),
+    (
+        "stale-allow",
+        "every bdb-lint allow(...) comment suppresses at least one finding; stale suppressions must be removed",
+    ),
 ];
 
 /// One lint finding.
@@ -120,6 +145,9 @@ pub struct Diagnostic {
     pub rule: &'static str,
     /// Human-readable description of the violation.
     pub message: String,
+    /// For reachability rules: the source→sink call chain, one
+    /// `path (file:line)` entry per hop. Empty for per-line findings.
+    pub chain: Vec<String>,
 }
 
 impl fmt::Display for Diagnostic {
@@ -131,7 +159,7 @@ impl fmt::Display for Diagnostic {
                 self.file.display(),
                 self.rule,
                 self.message
-            )
+            )?;
         } else {
             write!(
                 f,
@@ -140,8 +168,16 @@ impl fmt::Display for Diagnostic {
                 self.line,
                 self.rule,
                 self.message
-            )
+            )?;
         }
+        for (i, hop) in self.chain.iter().enumerate() {
+            write!(
+                f,
+                "\n    {}{hop}",
+                if i == 0 { "chain: " } else { "    -> " }
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -152,7 +188,14 @@ impl Diagnostic {
             line,
             rule,
             message: message.into(),
+            chain: Vec::new(),
         }
+    }
+
+    /// Attaches a source→sink call chain to the finding.
+    fn with_chain(mut self, chain: Vec<String>) -> Self {
+        self.chain = chain;
+        self
     }
 }
 
@@ -160,10 +203,16 @@ impl Diagnostic {
 /// given rule ids (empty = all). Diagnostics come back sorted by
 /// (file, line, rule) so output is deterministic.
 pub fn run(root: &Path, rules: &[String]) -> Result<Vec<Diagnostic>, String> {
+    let ws = graph::Workspace::load(root)?;
+    let call_graph = graph::Graph::build(&ws);
     let mut diags = Vec::new();
-    diags.extend(source::run(root)?);
+    diags.extend(source::run(&ws));
+    diags.extend(reach::run(&ws, &call_graph));
+    diags.extend(knobs::run(&ws));
     diags.extend(manifest::run(root)?);
     diags.extend(artifact::run(root)?);
+    // Last, after every pass has had its chance to consume a directive.
+    diags.extend(reach::stale_allows(&ws));
     if !rules.is_empty() {
         diags.retain(|d| rules.iter().any(|r| r == d.rule));
     }

@@ -171,17 +171,17 @@ fn check_member_manifest(
 }
 
 /// One `name = …` entry in a manifest section.
-struct DepEntry {
-    name: String,
+pub(crate) struct DepEntry {
+    pub(crate) name: String,
     /// `true` if the entry resolves via `workspace = true`.
-    workspace: bool,
+    pub(crate) workspace: bool,
     /// The `path = "…"` component, if any.
-    path: Option<String>,
+    pub(crate) path: Option<String>,
     /// The value when it is a plain string (`name = "1.0"`).
-    value_string: Option<String>,
+    pub(crate) value_string: Option<String>,
 }
 
-fn section_entries(text: &str, section: &str) -> Vec<DepEntry> {
+pub(crate) fn section_entries(text: &str, section: &str) -> Vec<DepEntry> {
     numbered_section_entries(text, section)
         .into_iter()
         .map(|(_, e)| e)

@@ -1,0 +1,1009 @@
+//! An item-level Rust parser on top of the [`crate::lexer`] scanner.
+//!
+//! The interprocedural rules need more than token streams: they need to
+//! know *which function* a call or a panic site lives in, and what the
+//! call's target path is, so the graph layer can stitch files into a
+//! workspace call graph. This parser extracts exactly that — modules,
+//! `use` imports, `fn` items with body spans, call expressions, and the
+//! primitive sites the reachability rules treat as sources or sinks —
+//! while staying deliberately lightweight: it tracks brace depth over the
+//! lexer's stripped code stream and classifies each opened block from the
+//! statement prefix in front of it.
+//!
+//! Known limits (documented in DESIGN.md §16): trait-object and other
+//! method calls resolve by name only; turbofish paths (`f::<T>(..)`) and
+//! macro-generated items are not resolved; closures attribute their calls
+//! to the enclosing `fn`. All of these make the graph *miss* edges, never
+//! invent spurious ones beyond same-name method candidates — the
+//! conservative direction for a lint that must stay quiet when clean.
+
+use crate::lexer::{self, ScannedFile};
+use std::path::{Path, PathBuf};
+
+/// What kind of target a source file belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// Library code under `src/` (subject to every source rule).
+    Lib,
+    /// Binary code under `src/bin/` or `src/main.rs` (graph roots live
+    /// here, but the per-line library rules skip it).
+    Bin,
+    /// Integration tests and benches (scanned only for env-knob reads).
+    TestOrBench,
+}
+
+/// One call expression inside a function body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Callee {
+    /// `a::b::f(..)` or bare `f(..)` — the path segments as written.
+    Path(Vec<String>),
+    /// `.m(..)` — a method or trait-object call, name only.
+    Method(String),
+    /// `self.m(..)` — a method call on `self`, resolvable within the
+    /// enclosing `impl` type first.
+    SelfMethod(String),
+}
+
+/// A call site: where it is and what it names.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CallSite {
+    /// 1-indexed source line.
+    pub line: usize,
+    /// The named target.
+    pub callee: Callee,
+}
+
+/// Primitive operations the reachability rules recognise inside bodies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Prim {
+    /// `Instant` / `SystemTime` / `UNIX_EPOCH` wall-clock reads.
+    WallClock,
+    /// `ThreadId` / `thread::current` / `current_thread_index`.
+    ThreadIdentity,
+    /// `HashMap` / `HashSet` — iteration order varies run to run.
+    UnorderedCollection,
+    /// `.unwrap()` / `.expect(..)` / `panic!` / `unreachable!` / etc.
+    Panic,
+    /// Slice or collection indexing with a non-literal index.
+    Indexing,
+    /// `format!` / `vec!` / `.to_string()` / `Box::new` — heap traffic.
+    Alloc,
+    /// `std::env::var` / `var_os` reads.
+    EnvRead,
+    /// Direct `std::fs` filesystem calls.
+    BlockingFs,
+}
+
+/// One primitive site inside a function body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PrimSite {
+    /// 1-indexed source line.
+    pub line: usize,
+    /// Which primitive fired.
+    pub prim: Prim,
+    /// The token that matched, for diagnostics.
+    pub token: String,
+}
+
+/// One `fn` item with everything the graph layer needs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FnItem {
+    /// The function's name.
+    pub name: String,
+    /// Qualification inside the file: inline modules, then the `impl` /
+    /// `trait` type name if any. The file's own module path is *not*
+    /// included (the graph layer prepends it).
+    pub qual: Vec<String>,
+    /// 1-indexed line of the `fn` keyword.
+    pub line: usize,
+    /// 1-indexed inclusive body span (from the opening `{` line to the
+    /// closing `}` line).
+    pub body: (usize, usize),
+    /// Whether the item sits in `#[cfg(test)]` / `#[test]` code.
+    pub in_test: bool,
+    /// Call expressions in the body, in source order.
+    pub calls: Vec<CallSite>,
+    /// Primitive sites in the body, in source order.
+    pub prims: Vec<PrimSite>,
+}
+
+/// One env-var read site (`std::env::var*("BDB_…")`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KnobRead {
+    /// 1-indexed source line.
+    pub line: usize,
+    /// The knob name, e.g. `BDB_THREADS`.
+    pub knob: String,
+}
+
+/// A fully parsed source file.
+#[derive(Debug, Clone)]
+pub struct ParsedFile {
+    /// Path relative to the workspace root.
+    pub rel: PathBuf,
+    /// Owning crate's directory name (`engine`, `lint`, …) or the root
+    /// package name.
+    pub krate: String,
+    /// Module path of the file within its crate (`[]` for `lib.rs`).
+    pub module: Vec<String>,
+    /// Library, binary, or test/bench code.
+    pub kind: FileKind,
+    /// The underlying line scan (shared with the per-line passes).
+    pub scanned: ScannedFile,
+    /// Every `fn` item found.
+    pub fns: Vec<FnItem>,
+    /// `use` aliases: local name → full path segments.
+    pub imports: Vec<(String, Vec<String>)>,
+    /// `use a::b::*` glob imports — base path segments.
+    pub globs: Vec<Vec<String>>,
+    /// `BDB_*` env-var reads (collected from raw line text, since the
+    /// lexer blanks string literals in the code stream).
+    pub knob_reads: Vec<KnobRead>,
+}
+
+/// Parses one file. `module` is the file's module path within `krate`
+/// (derived from its location by the workspace loader).
+pub fn parse_file(
+    rel: &Path,
+    krate: &str,
+    module: &[String],
+    kind: FileKind,
+    text: &str,
+) -> ParsedFile {
+    let scanned = lexer::scan(text);
+    let mut p = Parser {
+        fns: Vec::new(),
+        imports: Vec::new(),
+        globs: Vec::new(),
+        stack: Vec::new(),
+        prefix: String::new(),
+        prefix_line: 0,
+        in_use: false,
+        use_depth: 0,
+        use_text: String::new(),
+    };
+    for (idx, line) in scanned.lines.iter().enumerate() {
+        p.line(&line.code, idx + 1);
+    }
+    // Close any unterminated bodies at EOF so spans stay well-formed on
+    // truncated or mid-edit sources.
+    let last = scanned.lines.len();
+    for frame in p.stack.drain(..).rev() {
+        if let Block::Fn(i) = frame {
+            if let Some(f) = p.fns.get_mut(i) {
+                f.body.1 = last;
+            }
+        }
+    }
+    let mut fns = p.fns;
+    for f in &mut fns {
+        f.in_test = scanned
+            .lines
+            .get(f.line.saturating_sub(1))
+            .is_some_and(|l| l.in_test);
+    }
+    // Assign each body line to its *innermost* owning fn (nested fns and
+    // test helpers must not leak their calls into the enclosing item),
+    // then collect calls and primitive sites per line.
+    let mut owner: Vec<Option<usize>> = vec![None; scanned.lines.len()];
+    for (i, f) in fns.iter().enumerate() {
+        for lineno in f.body.0..=f.body.1.min(scanned.lines.len()) {
+            let slot = &mut owner[lineno - 1];
+            let tighter = match *slot {
+                None => true,
+                Some(prev) => span_len(&fns[prev]) > span_len(f),
+            };
+            if tighter {
+                *slot = Some(i);
+            }
+        }
+    }
+    for (idx, line) in scanned.lines.iter().enumerate() {
+        if let Some(i) = owner[idx] {
+            collect_calls(&line.code, idx + 1, &mut fns[i].calls);
+            collect_prims(&line.code, idx + 1, &mut fns[i].prims);
+        }
+    }
+    let knob_reads = scan_knob_reads(&scanned, text);
+    ParsedFile {
+        rel: rel.to_path_buf(),
+        krate: krate.to_owned(),
+        module: module.to_vec(),
+        kind,
+        scanned,
+        fns,
+        imports: p.imports,
+        globs: p.globs,
+        knob_reads,
+    }
+}
+
+fn span_len(f: &FnItem) -> usize {
+    f.body.1.saturating_sub(f.body.0)
+}
+
+/// One entry on the block stack.
+#[derive(Debug, Clone)]
+enum Block {
+    Mod(String),
+    Impl(String),
+    Fn(usize),
+    Other,
+}
+
+struct Parser {
+    fns: Vec<FnItem>,
+    imports: Vec<(String, Vec<String>)>,
+    globs: Vec<Vec<String>>,
+    stack: Vec<Block>,
+    /// Statement text accumulated since the last `{`, `}`, or `;`.
+    prefix: String,
+    /// 1-indexed line the current prefix started on.
+    prefix_line: usize,
+    /// Inside a `use …;` item (whose `{…}` groups are not blocks).
+    in_use: bool,
+    use_depth: i32,
+    use_text: String,
+}
+
+impl Parser {
+    fn line(&mut self, code: &str, lineno: usize) {
+        for ch in code.chars() {
+            if self.in_use {
+                self.use_text.push(ch);
+                match ch {
+                    '{' => self.use_depth += 1,
+                    '}' => self.use_depth -= 1,
+                    ';' if self.use_depth <= 0 => self.finish_use(),
+                    _ => {}
+                }
+                continue;
+            }
+            match ch {
+                '{' => {
+                    if is_use_prefix(&self.prefix) {
+                        self.in_use = true;
+                        self.use_depth = 1;
+                        self.use_text = std::mem::take(&mut self.prefix);
+                        self.use_text.push('{');
+                        continue;
+                    }
+                    let block = self.classify_prefix(lineno);
+                    self.stack.push(block);
+                    self.prefix.clear();
+                }
+                '}' => {
+                    if let Some(Block::Fn(i)) = self.stack.pop() {
+                        if let Some(f) = self.fns.get_mut(i) {
+                            f.body.1 = lineno;
+                        }
+                    }
+                    self.prefix.clear();
+                }
+                ';' => {
+                    if is_use_prefix(&self.prefix) {
+                        let text = std::mem::take(&mut self.prefix);
+                        parse_use(&text, &mut self.imports, &mut self.globs);
+                    }
+                    self.prefix.clear();
+                }
+                _ => {
+                    if self.prefix.trim().is_empty() && !ch.is_whitespace() {
+                        self.prefix_line = lineno;
+                    }
+                    self.prefix.push(ch);
+                }
+            }
+        }
+        // A statement spanning lines keeps accumulating; add a separator
+        // so tokens on adjacent lines don't fuse.
+        if self.in_use {
+            self.use_text.push(' ');
+        } else if !self.prefix.is_empty() {
+            self.prefix.push(' ');
+        }
+    }
+
+    /// Classifies the block opened by a `{` from the statement prefix in
+    /// front of it, registering a new `FnItem` for `fn` headers.
+    fn classify_prefix(&mut self, lineno: usize) -> Block {
+        let prefix = strip_attrs(&self.prefix);
+        let mut tokens = keyword_tokens(&prefix);
+        while let Some(
+            "pub" | "const" | "unsafe" | "async" | "extern" | "default" | "crate" | "super" | "in"
+            | "\"\"",
+        ) = tokens.first().map(String::as_str)
+        {
+            tokens.remove(0);
+        }
+        match tokens.first().map(String::as_str) {
+            Some("mod") => Block::Mod(tokens.get(1).cloned().unwrap_or_default()),
+            Some("trait") => Block::Impl(tokens.get(1).cloned().unwrap_or_default()),
+            Some("impl") => Block::Impl(impl_type_name(&prefix)),
+            Some("fn") => {
+                let name = tokens.get(1).cloned().unwrap_or_default();
+                let qual: Vec<String> = self
+                    .stack
+                    .iter()
+                    .filter_map(|b| match b {
+                        Block::Mod(m) => Some(m.clone()),
+                        Block::Impl(t) => Some(t.clone()),
+                        _ => None,
+                    })
+                    .filter(|s| !s.is_empty())
+                    .collect();
+                let item = FnItem {
+                    name,
+                    qual,
+                    line: self.prefix_line.max(1),
+                    body: (lineno, lineno),
+                    in_test: false, // set from the scan in parse_file's caller pass
+                    calls: Vec::new(),
+                    prims: Vec::new(),
+                };
+                self.fns.push(item);
+                Block::Fn(self.fns.len() - 1)
+            }
+            _ => Block::Other,
+        }
+    }
+
+    fn finish_use(&mut self) {
+        let text = std::mem::take(&mut self.use_text);
+        self.in_use = false;
+        self.use_depth = 0;
+        self.prefix.clear();
+        parse_use(&text, &mut self.imports, &mut self.globs);
+    }
+}
+
+/// Whether the statement prefix begins a `use` item (`use …`,
+/// `pub use …`, `pub(crate) use …`).
+fn is_use_prefix(prefix: &str) -> bool {
+    let t = prefix.trim_start();
+    let rest = t.strip_prefix("pub").map(str::trim_start).unwrap_or(t);
+    let rest = if let Some(stripped) = rest.strip_prefix('(') {
+        match stripped.find(')') {
+            Some(end) => stripped[end + 1..].trim_start(),
+            None => return false,
+        }
+    } else {
+        rest
+    };
+    rest == "use" || rest.starts_with("use ")
+}
+
+/// Drops `#[…]` attributes from a statement prefix.
+fn strip_attrs(prefix: &str) -> String {
+    let mut out = String::with_capacity(prefix.len());
+    let mut chars = prefix.chars().peekable();
+    while let Some(c) = chars.next() {
+        if c == '#' && chars.peek() == Some(&'[') {
+            let mut depth = 0i32;
+            for c in chars.by_ref() {
+                match c {
+                    '[' => depth += 1,
+                    ']' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// Splits a prefix into coarse tokens (identifiers, `""` markers for
+/// blanked strings, everything else dropped) for header classification.
+fn keyword_tokens(prefix: &str) -> Vec<String> {
+    let mut tokens = Vec::new();
+    let mut current = String::new();
+    let mut chars = prefix.chars().peekable();
+    while let Some(c) = chars.next() {
+        if c.is_alphanumeric() || c == '_' {
+            current.push(c);
+        } else {
+            if !current.is_empty() {
+                tokens.push(std::mem::take(&mut current));
+            }
+            if c == '"' && chars.peek() == Some(&'"') {
+                chars.next();
+                tokens.push("\"\"".to_owned());
+            }
+            if c == '<' {
+                // Skip balanced generics so `impl<T: Ord> Foo<T>` tokenises
+                // as `impl Foo`.
+                let mut depth = 1i32;
+                for c in chars.by_ref() {
+                    match c {
+                        '<' => depth += 1,
+                        '>' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+    }
+    if !current.is_empty() {
+        tokens.push(current);
+    }
+    tokens
+}
+
+/// Extracts the implementing type name from an `impl` header: the last
+/// path segment after `for` when present, otherwise the first type after
+/// `impl`. Generics and references are stripped.
+fn impl_type_name(prefix: &str) -> String {
+    let tokens = keyword_tokens(prefix);
+    let impl_at = tokens.iter().position(|t| t == "impl");
+    let for_at = tokens.iter().rposition(|t| t == "for");
+    let where_at = tokens
+        .iter()
+        .position(|t| t == "where")
+        .unwrap_or(tokens.len());
+    let segs: Vec<&String> = match (impl_at, for_at) {
+        (Some(i), Some(f)) if f > i && f < where_at => tokens[f + 1..where_at].iter().collect(),
+        (Some(i), _) => tokens[i + 1..where_at].iter().collect(),
+        _ => Vec::new(),
+    };
+    // The type is a path — `fmt::Display` names the trait, `&'a Foo` has
+    // lifetime tokens first; the type name is the last identifier that
+    // starts uppercase, else the last identifier.
+    segs.iter()
+        .rev()
+        .find(|t| t.chars().next().is_some_and(char::is_uppercase))
+        .or_else(|| segs.last())
+        .map(|t| (*t).clone())
+        .unwrap_or_default()
+}
+
+/// Parses one `use …;` item into alias → path entries. Handles nested
+/// groups (`use a::{b, c::{d as e}};`) and drops glob imports.
+fn parse_use(text: &str, out: &mut Vec<(String, Vec<String>)>, globs: &mut Vec<Vec<String>>) {
+    let text = text.trim().trim_end_matches(';');
+    let Some(at) = lexer::find_word(text, "use", 0) else {
+        return;
+    };
+    let path = text[at + 3..].trim();
+    expand_use(path, &[], out, globs);
+}
+
+fn expand_use(
+    path: &str,
+    base: &[String],
+    out: &mut Vec<(String, Vec<String>)>,
+    globs: &mut Vec<Vec<String>>,
+) {
+    let path = path.trim();
+    // Split off a trailing group `prefix::{…}`.
+    if let Some(open) = path.find('{') {
+        let prefix = path[..open].trim().trim_end_matches("::");
+        let inner = path[open + 1..].trim_end().trim_end_matches('}');
+        let mut new_base = base.to_vec();
+        new_base.extend(segments(prefix));
+        for part in split_top_level(inner) {
+            expand_use(&part, &new_base, out, globs);
+        }
+        return;
+    }
+    let (path, alias) = match lexer::find_word(path, "as", 0) {
+        Some(at) => (path[..at].trim(), Some(path[at + 2..].trim().to_owned())),
+        None => (path, None),
+    };
+    if path.ends_with('*') {
+        let mut full = base.to_vec();
+        full.extend(segments(path));
+        if !full.is_empty() {
+            globs.push(full);
+        }
+        return;
+    }
+    let mut full = base.to_vec();
+    full.extend(segments(path));
+    if path == "self" {
+        full.retain(|s| s != "self");
+        if let (Some(name), true) = (full.last().cloned(), alias.is_none()) {
+            out.push((name, full));
+            return;
+        }
+    }
+    let name = alias.or_else(|| full.last().cloned());
+    if let Some(name) = name {
+        if !name.is_empty() && !full.is_empty() {
+            out.push((name, full));
+        }
+    }
+}
+
+/// Splits a use-group body on top-level commas (`a, b::{c, d}` → two).
+fn split_top_level(inner: &str) -> Vec<String> {
+    let mut parts = Vec::new();
+    let mut depth = 0i32;
+    let mut current = String::new();
+    for c in inner.chars() {
+        match c {
+            '{' => {
+                depth += 1;
+                current.push(c);
+            }
+            '}' => {
+                depth -= 1;
+                current.push(c);
+            }
+            ',' if depth == 0 => parts.push(std::mem::take(&mut current)),
+            _ => current.push(c),
+        }
+    }
+    if !current.trim().is_empty() {
+        parts.push(current);
+    }
+    parts
+}
+
+/// Path text → identifier segments, dropping empties and generics.
+fn segments(path: &str) -> Vec<String> {
+    path.split("::")
+        .map(|s| s.trim())
+        .filter(|s| !s.is_empty() && *s != "self" && !s.starts_with('<'))
+        .map(|s| s.trim_end_matches('*').trim().to_owned())
+        .filter(|s| !s.is_empty())
+        .collect()
+}
+
+/// Collects call sites on one stripped code line.
+fn collect_calls(code: &str, lineno: usize, out: &mut Vec<CallSite>) {
+    let bytes = code.as_bytes();
+    for (at, _) in code.char_indices().filter(|&(_, c)| c == '(') {
+        // Walk backward over the callee path: identifiers and `::`.
+        let mut end = at;
+        while end > 0 && bytes[end - 1] == b' ' {
+            end -= 1;
+        }
+        let mut start = end;
+        loop {
+            let mut s = start;
+            while s > 0 && is_ident_byte(bytes[s - 1]) {
+                s -= 1;
+            }
+            if s == start {
+                break;
+            }
+            start = s;
+            if start >= 2 && bytes[start - 1] == b':' && bytes[start - 2] == b':' {
+                start -= 2;
+            } else {
+                break;
+            }
+        }
+        if start == end {
+            continue;
+        }
+        let Some(path_text) = code.get(start..end) else {
+            continue;
+        };
+        if path_text.starts_with("::") {
+            continue;
+        }
+        let before = code[..start].trim_end();
+        // `fn name(` is a definition; `name!(` is a macro; digits are not
+        // callees.
+        if before.ends_with("fn") || code[end..at].contains('!') {
+            continue;
+        }
+        if path_text.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+            continue;
+        }
+        let segs = segments(path_text);
+        if segs.is_empty() {
+            continue;
+        }
+        // Keywords in call position are control flow, not calls.
+        if segs.len() == 1
+            && matches!(
+                segs[0].as_str(),
+                "if" | "while"
+                    | "for"
+                    | "match"
+                    | "return"
+                    | "loop"
+                    | "in"
+                    | "as"
+                    | "else"
+                    | "move"
+                    | "await"
+                    | "let"
+                    | "mut"
+                    | "ref"
+                    | "box"
+                    | "unsafe"
+            )
+        {
+            continue;
+        }
+        let callee = if before.ends_with('.') && segs.len() == 1 {
+            let recv = before[..before.len() - 1].trim_end();
+            if recv.ends_with("self")
+                && !recv
+                    .as_bytes()
+                    .get(recv.len().wrapping_sub(5))
+                    .is_some_and(|b| is_ident_byte(*b))
+            {
+                Callee::SelfMethod(segs[0].clone())
+            } else {
+                Callee::Method(segs[0].clone())
+            }
+        } else {
+            Callee::Path(segs)
+        };
+        out.push(CallSite {
+            line: lineno,
+            callee,
+        });
+    }
+}
+
+/// Tokens marking wall-clock reads.
+const WALL_CLOCK: &[&str] = &["Instant", "SystemTime", "UNIX_EPOCH"];
+/// Tokens marking thread-identity queries.
+const THREAD_IDENTITY: &[&str] = &["ThreadId", "current_thread_index"];
+/// Tokens marking unordered collections.
+const UNORDERED: &[&str] = &["HashMap", "HashSet"];
+/// Macros that abort.
+/// Macros that abort unconditionally when hit. `assert!` is deliberately
+/// absent: an assert is a documented invariant check (the same stance
+/// `panic-hygiene` takes), not an incidental abort path.
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+/// Allocation-bearing macros.
+const ALLOC_MACROS: &[&str] = &["format", "vec"];
+/// Allocation-bearing methods.
+const ALLOC_METHODS: &[&str] = &["to_string", "to_owned", "to_vec"];
+
+/// Collects primitive sites on one stripped code line.
+fn collect_prims(code: &str, lineno: usize, out: &mut Vec<PrimSite>) {
+    let mut push = |prim: Prim, token: &str| {
+        out.push(PrimSite {
+            line: lineno,
+            prim,
+            token: token.to_owned(),
+        })
+    };
+    for token in WALL_CLOCK {
+        if lexer::contains_word(code, token) {
+            push(Prim::WallClock, token);
+        }
+    }
+    for token in THREAD_IDENTITY {
+        if lexer::contains_word(code, token) {
+            push(Prim::ThreadIdentity, token);
+        }
+    }
+    if code.contains("thread::current") {
+        push(Prim::ThreadIdentity, "thread::current");
+    }
+    for token in UNORDERED {
+        if lexer::contains_word(code, token) {
+            push(Prim::UnorderedCollection, token);
+        }
+    }
+    for token in ["unwrap", "expect"] {
+        for at in word_sites(code, token) {
+            let after = at + token.len();
+            if preceded_by_dot(code, at)
+                && followed_by_paren(code, after)
+                && !(token == "expect" && receiver_is_self(code, at))
+            {
+                push(Prim::Panic, &format!(".{token}()"));
+            }
+        }
+    }
+    for mac in PANIC_MACROS {
+        for at in word_sites(code, mac) {
+            if code[at + mac.len()..].starts_with('!') {
+                push(Prim::Panic, &format!("{mac}!"));
+            }
+        }
+    }
+    for mac in ALLOC_MACROS {
+        for at in word_sites(code, mac) {
+            if code[at + mac.len()..].starts_with('!') {
+                push(Prim::Alloc, &format!("{mac}!"));
+            }
+        }
+    }
+    for m in ALLOC_METHODS {
+        for at in word_sites(code, m) {
+            if preceded_by_dot(code, at) && followed_by_paren(code, at + m.len()) {
+                push(Prim::Alloc, &format!(".{m}()"));
+            }
+        }
+    }
+    for path in ["String::from", "Box::new"] {
+        if code.contains(path) {
+            push(Prim::Alloc, path);
+        }
+    }
+    if code.contains("env::var") {
+        push(Prim::EnvRead, "env::var");
+    }
+    let raw_fs = word_sites(code, "fs")
+        .into_iter()
+        .any(|at| code[at + 2..].starts_with("::") || code[..at].ends_with("std::"));
+    if raw_fs {
+        push(Prim::BlockingFs, "std::fs");
+    }
+    collect_indexing(code, lineno, out);
+}
+
+/// Indexing sites `expr[i]` with a non-trivial index. Literal indexes
+/// (`x[0]`), full-range slices (`x[..]`), and attribute/array syntax are
+/// skipped — the rule targets data-dependent indexing that can panic on
+/// malformed input.
+fn collect_indexing(code: &str, lineno: usize, out: &mut Vec<PrimSite>) {
+    let bytes = code.as_bytes();
+    for (at, _) in code.char_indices().filter(|&(_, c)| c == '[') {
+        // Indexing is written with the bracket flush against the
+        // expression (`buf[i]`); a space before `[` means a slice type
+        // (`&mut [u8]`) or an array literal (`for f in [a, b]`).
+        let Some(&prev) = at.checked_sub(1).and_then(|i| bytes.get(i)) else {
+            continue;
+        };
+        let prev = prev as char;
+        if !(is_ident_byte(prev as u8) && prev != '_' || prev == ')' || prev == ']') {
+            continue;
+        }
+        // Find the matching `]` on the same line.
+        let mut depth = 0i32;
+        let mut close = None;
+        for (j, &byte) in bytes.iter().enumerate().skip(at) {
+            match byte {
+                b'[' => depth += 1,
+                b']' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        close = Some(j);
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        let Some(close) = close else {
+            continue;
+        };
+        let Some(index) = code.get(at + 1..close) else {
+            continue;
+        };
+        let trivial = index.trim().is_empty()
+            || index.trim() == ".."
+            || index.trim().chars().all(|c| c.is_ascii_digit() || c == '_');
+        if !trivial {
+            out.push(PrimSite {
+                line: lineno,
+                prim: Prim::Indexing,
+                token: format!("[{}]", index.trim()),
+            });
+        }
+    }
+}
+
+/// Finds `BDB_*` env-knob reads by pairing an `env::var` call on the
+/// stripped code line with the knob literal from the raw source line
+/// (the lexer blanks string contents).
+fn scan_knob_reads(scanned: &ScannedFile, text: &str) -> Vec<KnobRead> {
+    let mut reads = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let has_read = scanned
+            .lines
+            .get(idx)
+            .is_some_and(|l| l.code.contains("env::var"));
+        if !has_read {
+            continue;
+        }
+        for knob in knob_names(raw) {
+            reads.push(KnobRead {
+                line: idx + 1,
+                knob,
+            });
+        }
+    }
+    reads
+}
+
+/// Extracts `BDB_[A-Z0-9_]+` names from a text line.
+pub fn knob_names(text: &str) -> Vec<String> {
+    let bytes = text.as_bytes();
+    let mut names = Vec::new();
+    let mut from = 0;
+    while let Some(pos) = text.get(from..).and_then(|t| t.find("BDB_")) {
+        let at = from + pos;
+        let bounded = at == 0 || !is_ident_byte(bytes[at - 1]);
+        let mut end = at + 4;
+        while end < bytes.len()
+            && (bytes[end].is_ascii_uppercase()
+                || bytes[end].is_ascii_digit()
+                || bytes[end] == b'_')
+        {
+            end += 1;
+        }
+        if bounded && end > at + 4 {
+            if let Some(name) = text.get(at..end) {
+                names.push(name.trim_end_matches('_').to_owned());
+            }
+        }
+        from = end.max(at + 4);
+    }
+    names
+}
+
+/// All word-boundary occurrences of `word` in `code`.
+pub(crate) fn word_sites(code: &str, word: &str) -> Vec<usize> {
+    let mut sites = Vec::new();
+    let mut from = 0;
+    while let Some(at) = lexer::find_word(code, word, from) {
+        sites.push(at);
+        from = at + word.len();
+    }
+    sites
+}
+
+pub(crate) fn preceded_by_dot(code: &str, at: usize) -> bool {
+    code[..at].trim_end().ends_with('.')
+}
+
+pub(crate) fn followed_by_paren(code: &str, after: usize) -> bool {
+    code[after..].trim_start().starts_with('(')
+}
+
+/// Whether the method receiver before the `.` at `at` is literally
+/// `self` — a parser's own `self.expect(b'{')` is not `Result::expect`.
+pub(crate) fn receiver_is_self(code: &str, at: usize) -> bool {
+    let before = code[..at].trim_end();
+    let before = before.strip_suffix('.').map(str::trim_end).unwrap_or("");
+    before.ends_with("self")
+        && !before
+            .as_bytes()
+            .get(before.len().wrapping_sub(5))
+            .is_some_and(|b| b.is_ascii_alphanumeric() || *b == b'_')
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(src: &str) -> ParsedFile {
+        parse_file(
+            Path::new("crates/x/src/lib.rs"),
+            "x",
+            &[],
+            FileKind::Lib,
+            src,
+        )
+    }
+
+    #[test]
+    fn fn_items_and_spans() {
+        let src = "pub fn alpha() {\n    beta();\n}\n\nfn beta() {\n    let x = 1;\n}\n";
+        let f = parse(src);
+        assert_eq!(f.fns.len(), 2);
+        assert_eq!(f.fns[0].name, "alpha");
+        assert_eq!(f.fns[0].body, (1, 3));
+        assert_eq!(f.fns[1].name, "beta");
+        assert_eq!(f.fns[1].body, (5, 7));
+    }
+
+    #[test]
+    fn impl_and_mod_qualification() {
+        let src = "mod inner {\n    struct Engine;\n    impl Engine {\n        pub fn run(&self) { self.step(); }\n    }\n}\n";
+        let f = parse(src);
+        assert_eq!(f.fns.len(), 1);
+        assert_eq!(f.fns[0].name, "run");
+        assert_eq!(f.fns[0].qual, vec!["inner".to_owned(), "Engine".to_owned()]);
+    }
+
+    #[test]
+    fn trait_impl_uses_target_type() {
+        let src =
+            "impl<T: Ord> fmt::Display for Wrapper<T> {\n    fn fmt(&self) { helper(); }\n}\n";
+        let f = parse(src);
+        assert_eq!(f.fns[0].qual, vec!["Wrapper".to_owned()]);
+    }
+
+    #[test]
+    fn calls_are_classified() {
+        let src = "fn f() {\n    a::b::target(1);\n    local(2);\n    obj.method(3);\n    mac!(nope);\n}\n";
+        let f = parse(src);
+        let calls = &f.fns[0].calls;
+        assert!(calls.contains(&CallSite {
+            line: 2,
+            callee: Callee::Path(vec!["a".into(), "b".into(), "target".into()])
+        }));
+        assert!(calls.contains(&CallSite {
+            line: 3,
+            callee: Callee::Path(vec!["local".into()])
+        }));
+        assert!(calls.contains(&CallSite {
+            line: 4,
+            callee: Callee::Method("method".into())
+        }));
+        assert!(!calls
+            .iter()
+            .any(|c| matches!(&c.callee, Callee::Path(p) if p.last().is_some_and(|s| s == "mac"))));
+    }
+
+    #[test]
+    fn use_groups_and_aliases() {
+        let src = "use a::b::{c, d as e, f::g};\nuse h::i;\n";
+        let f = parse(src);
+        let get = |n: &str| {
+            f.imports
+                .iter()
+                .find(|(name, _)| name == n)
+                .map(|(_, p)| p.clone())
+        };
+        assert_eq!(get("c"), Some(vec!["a".into(), "b".into(), "c".into()]));
+        assert_eq!(get("e"), Some(vec!["a".into(), "b".into(), "d".into()]));
+        assert_eq!(
+            get("g"),
+            Some(vec!["a".into(), "b".into(), "f".into(), "g".into()])
+        );
+        assert_eq!(get("i"), Some(vec!["h".into(), "i".into()]));
+    }
+
+    #[test]
+    fn prims_detected() {
+        let src = "fn f(m: &HashMap<u32, u32>, xs: &[u32], i: usize) {\n    let t = Instant::now();\n    let v = xs[i];\n    let s = format!(\"x\");\n    let w = xs[0];\n    x.unwrap();\n}\n";
+        let f = parse(src);
+        let prims = &f.fns[0].prims;
+        assert!(prims.iter().any(|p| p.prim == Prim::WallClock));
+        assert!(prims
+            .iter()
+            .any(|p| p.prim == Prim::Indexing && p.line == 3));
+        assert!(
+            !prims
+                .iter()
+                .any(|p| p.prim == Prim::Indexing && p.line == 5),
+            "literal index is not flagged"
+        );
+        assert!(prims.iter().any(|p| p.prim == Prim::Alloc));
+        assert!(prims.iter().any(|p| p.prim == Prim::Panic));
+        assert!(prims
+            .iter()
+            .any(|p| p.prim == Prim::UnorderedCollection && p.line == 1));
+    }
+
+    #[test]
+    fn knob_reads_pair_env_var_with_literal() {
+        let src = "fn f() {\n    let v = std::env::var(\"BDB_THREADS\");\n    let w = other(\"BDB_NOT_A_READ\");\n}\n";
+        let f = parse(src);
+        assert_eq!(
+            f.knob_reads,
+            vec![KnobRead {
+                line: 2,
+                knob: "BDB_THREADS".into()
+            }]
+        );
+    }
+
+    #[test]
+    fn use_with_braces_does_not_derail_block_tracking() {
+        let src = "use a::{b, c};\nfn f() {\n    b();\n}\n";
+        let f = parse(src);
+        assert_eq!(f.fns.len(), 1);
+        assert_eq!(f.fns[0].body, (2, 4));
+    }
+}

@@ -1,0 +1,206 @@
+//! Machine-readable reports and the blessable baseline.
+//!
+//! The JSON report reuses the workspace's canonical encoder
+//! ([`bdb_codec::json::Value::encode`]) so output is byte-stable:
+//! findings are already sorted by `(file, line, rule)` when they reach
+//! this module, object keys are written in fixed insertion order, and no
+//! timestamps or absolute paths appear anywhere in the document.
+//!
+//! The baseline file (`contracts/lint_baseline.json`) records findings
+//! by `(file, rule, message)` — deliberately *without* line numbers, so
+//! unrelated edits that shift a blessed finding up or down the file do
+//! not resurrect it. CI fails only on findings not in the baseline;
+//! `scripts/lint_bless.sh` regenerates it.
+
+use crate::json::Value;
+use crate::Diagnostic;
+
+/// Schema version of both the report and the baseline document.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Encodes findings as the canonical JSON report.
+pub fn to_json(diags: &[Diagnostic]) -> String {
+    let rules = crate::RULES
+        .iter()
+        .map(|(id, desc)| {
+            Value::object(vec![
+                ("id", Value::Str((*id).to_owned())),
+                ("description", Value::Str((*desc).to_owned())),
+            ])
+        })
+        .collect();
+    let findings = diags.iter().map(finding_value).collect();
+    let mut by_rule: Vec<(String, Value)> = Vec::new();
+    for d in diags {
+        match by_rule.iter_mut().find(|(r, _)| r == d.rule) {
+            Some((_, Value::UInt(n))) => *n += 1,
+            Some(_) => {}
+            None => by_rule.push((d.rule.to_owned(), Value::UInt(1))),
+        }
+    }
+    by_rule.sort_by(|a, b| a.0.cmp(&b.0));
+    let doc = Value::object(vec![
+        ("version", Value::UInt(SCHEMA_VERSION)),
+        ("rules", Value::Array(rules)),
+        ("findings", Value::Array(findings)),
+        (
+            "summary",
+            Value::object(vec![
+                ("total", Value::UInt(diags.len() as u64)),
+                ("by_rule", Value::Object(by_rule)),
+            ]),
+        ),
+    ]);
+    let mut out = doc.encode();
+    out.push('\n');
+    out
+}
+
+fn finding_value(d: &Diagnostic) -> Value {
+    Value::object(vec![
+        ("file", Value::Str(d.file.display().to_string())),
+        ("line", Value::UInt(d.line as u64)),
+        ("rule", Value::Str(d.rule.to_owned())),
+        ("message", Value::Str(d.message.clone())),
+        (
+            "chain",
+            Value::Array(d.chain.iter().map(|h| Value::Str(h.clone())).collect()),
+        ),
+    ])
+}
+
+/// Encodes the baseline document for the given findings.
+pub fn baseline_json(diags: &[Diagnostic]) -> String {
+    let mut keys: Vec<(String, String, String)> = diags
+        .iter()
+        .map(|d| {
+            (
+                d.file.display().to_string(),
+                d.rule.to_owned(),
+                d.message.clone(),
+            )
+        })
+        .collect();
+    keys.sort();
+    keys.dedup();
+    let findings = keys
+        .into_iter()
+        .map(|(file, rule, message)| {
+            Value::object(vec![
+                ("file", Value::Str(file)),
+                ("rule", Value::Str(rule)),
+                ("message", Value::Str(message)),
+            ])
+        })
+        .collect();
+    let doc = Value::object(vec![
+        ("version", Value::UInt(SCHEMA_VERSION)),
+        ("findings", Value::Array(findings)),
+    ]);
+    let mut out = doc.encode();
+    out.push('\n');
+    out
+}
+
+/// Parses a baseline document into `(file, rule, message)` keys.
+pub fn parse_baseline(text: &str) -> Result<Vec<(String, String, String)>, String> {
+    let doc = crate::json::parse(text).map_err(|e| format!("baseline parse error: {e:?}"))?;
+    let version = doc.get("version").and_then(Value::as_u64);
+    if version != Some(SCHEMA_VERSION) {
+        return Err(format!(
+            "baseline schema version {version:?} (expected {SCHEMA_VERSION})"
+        ));
+    }
+    let mut keys = Vec::new();
+    for f in doc
+        .get("findings")
+        .and_then(Value::as_array)
+        .ok_or("baseline has no findings array")?
+    {
+        let field = |k: &str| -> Result<String, String> {
+            f.get(k)
+                .and_then(Value::as_str)
+                .map(str::to_owned)
+                .ok_or_else(|| format!("baseline finding missing `{k}`"))
+        };
+        keys.push((field("file")?, field("rule")?, field("message")?));
+    }
+    Ok(keys)
+}
+
+/// Drops findings present in the baseline, returning only new ones.
+pub fn filter_new(
+    diags: Vec<Diagnostic>,
+    baseline: &[(String, String, String)],
+) -> Vec<Diagnostic> {
+    diags
+        .into_iter()
+        .filter(|d| {
+            let key = (
+                d.file.display().to_string(),
+                d.rule.to_owned(),
+                d.message.clone(),
+            );
+            !baseline.contains(&key)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn diag(file: &str, line: usize, rule: &'static str, msg: &str) -> Diagnostic {
+        Diagnostic {
+            file: PathBuf::from(file),
+            line,
+            rule,
+            message: msg.to_owned(),
+            chain: vec!["a::b (x.rs:1)".to_owned(), "c::d (y.rs:9)".to_owned()],
+        }
+    }
+
+    #[test]
+    fn report_is_byte_stable_and_schema_shaped() {
+        let diags = vec![
+            diag("a.rs", 3, "determinism", "m1"),
+            diag("b.rs", 7, "panic-hygiene", "m2"),
+        ];
+        let one = to_json(&diags);
+        let two = to_json(&diags);
+        assert_eq!(one, two, "same findings must encode byte-identically");
+        let doc = crate::json::parse(&one).expect("report re-parses");
+        assert_eq!(doc.get("version").and_then(Value::as_u64), Some(1));
+        assert_eq!(
+            doc.get("summary")
+                .and_then(|s| s.get("total"))
+                .and_then(Value::as_u64),
+            Some(2)
+        );
+        let findings = doc.get("findings").and_then(Value::as_array).unwrap();
+        assert_eq!(findings.len(), 2);
+        for (key, f) in [("file", &findings[0]), ("chain", &findings[0])] {
+            assert!(f.get(key).is_some(), "finding carries `{key}`");
+        }
+        let chain = findings[0].get("chain").and_then(Value::as_array).unwrap();
+        assert_eq!(chain.len(), 2);
+    }
+
+    #[test]
+    fn baseline_round_trips_and_filters_without_lines() {
+        let blessed = vec![diag("a.rs", 3, "determinism", "m1")];
+        let text = baseline_json(&blessed);
+        let keys = parse_baseline(&text).expect("baseline parses");
+        // Same finding on a different line is still baselined.
+        let moved = diag("a.rs", 99, "determinism", "m1");
+        let fresh = diag("a.rs", 4, "determinism", "new message");
+        let new = filter_new(vec![moved, fresh.clone()], &keys);
+        assert_eq!(new, vec![fresh]);
+    }
+
+    #[test]
+    fn baseline_rejects_wrong_version() {
+        assert!(parse_baseline("{\"version\":2,\"findings\":[]}").is_err());
+    }
+}

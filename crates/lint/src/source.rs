@@ -1,9 +1,11 @@
 //! Source passes: `determinism`, `panic-hygiene`, `batched-dispatch`,
 //! `raw-fs`, and `endianness`.
 
+use crate::graph::Workspace;
 use crate::lexer::{self, find_word, ScannedFile};
+use crate::parse::FileKind;
 use crate::Diagnostic;
-use std::path::{Path, PathBuf};
+use std::path::Path;
 
 /// Crate directory names whose sources feed profile bytes — the scope of
 /// the `determinism` rule. Anything nondeterministic here (unordered
@@ -56,53 +58,39 @@ const ENDIANNESS_TOKENS: &[&str] = &[
 ];
 
 /// Runs the source passes over the workspace's library sources.
-pub fn run(root: &Path) -> Result<Vec<Diagnostic>, String> {
+/// Reading from the shared [`Workspace`] model means suppressions these
+/// passes consume are visible to the final `stale-allow` audit.
+/// Vendored shims are already absent from the model (they mirror
+/// external APIs — a test harness *should* panic on failure); binaries
+/// are in the model for graph purposes but skipped here, because they
+/// are driver code, not library code.
+pub fn run(ws: &Workspace) -> Vec<Diagnostic> {
     let mut diags = Vec::new();
-    for (crate_dir, src) in library_roots(root) {
-        let deterministic_scope = DETERMINISM_SCOPE.iter().any(|c| crate_dir == *c);
-        for file in crate::rust_files(&src) {
-            // Binaries are driver code, not library code: panic-hygiene
-            // and determinism both scope to the library surface.
-            if file.strip_prefix(&src).is_ok_and(|p| p.starts_with("bin")) {
-                continue;
-            }
-            let text = std::fs::read_to_string(&file)
-                .map_err(|e| format!("read {}: {e}", file.display()))?;
-            let scanned = lexer::scan(&text);
-            check_panic_hygiene(&file, &scanned, &mut diags);
-            if deterministic_scope {
-                check_determinism(&file, &scanned, &mut diags);
-            }
-            if BATCHED_DISPATCH_SCOPE
-                .iter()
-                .any(|s| file.strip_prefix(root).is_ok_and(|p| p == Path::new(s)))
-            {
-                check_batched_dispatch(&file, &scanned, &mut diags);
-            }
-            if crate_dir == "engine" && file.file_name().is_none_or(|n| n != RAW_FS_BOUNDARY) {
-                check_raw_fs(&file, &scanned, &mut diags);
-            }
-            if crate_dir == ENDIANNESS_SCOPE {
-                check_endianness(&file, &scanned, &mut diags);
-            }
+    for pf in &ws.files {
+        if pf.kind != FileKind::Lib {
+            continue;
+        }
+        let file = ws.root.join(&pf.rel);
+        let scanned = &pf.scanned;
+        let crate_dir = pf.krate.as_str();
+        check_panic_hygiene(&file, scanned, &mut diags);
+        if DETERMINISM_SCOPE.contains(&crate_dir) {
+            check_determinism(&file, scanned, &mut diags);
+        }
+        if BATCHED_DISPATCH_SCOPE
+            .iter()
+            .any(|s| pf.rel == Path::new(s))
+        {
+            check_batched_dispatch(&file, scanned, &mut diags);
+        }
+        if crate_dir == "engine" && file.file_name().is_none_or(|n| n != RAW_FS_BOUNDARY) {
+            check_raw_fs(&file, scanned, &mut diags);
+        }
+        if crate_dir == ENDIANNESS_SCOPE {
+            check_endianness(&file, scanned, &mut diags);
         }
     }
-    Ok(diags)
-}
-
-/// `(crate-dir-name, src-path)` pairs for the root package and every
-/// member under `crates/`. Vendored shims are exempt from source passes:
-/// they mirror external APIs (a test harness *should* panic on failure).
-fn library_roots(root: &Path) -> Vec<(String, PathBuf)> {
-    let mut roots = vec![("bigdatabench-repro".to_owned(), root.join("src"))];
-    for dir in crate::subdirs(&root.join("crates")) {
-        let name = dir
-            .file_name()
-            .map(|n| n.to_string_lossy().into_owned())
-            .unwrap_or_default();
-        roots.push((name, dir.join("src")));
-    }
-    roots
+    diags
 }
 
 fn check_panic_hygiene(file: &Path, scanned: &ScannedFile, diags: &mut Vec<Diagnostic>) {
@@ -114,7 +102,7 @@ fn check_panic_hygiene(file: &Path, scanned: &ScannedFile, diags: &mut Vec<Diagn
         let code = &line.code;
         let lineno = idx + 1;
         let mut emit = |message: String| {
-            if !scanned.allowed(idx, RULE) {
+            if !scanned.suppressed(idx, RULE) {
                 diags.push(Diagnostic::new(file, lineno, RULE, message));
             }
         };
@@ -150,11 +138,8 @@ fn check_determinism(file: &Path, scanned: &ScannedFile, diags: &mut Vec<Diagnos
         }
         let code = &line.code;
         let lineno = idx + 1;
-        if scanned.allowed(idx, RULE) {
-            continue;
-        }
         for (token, why) in DETERMINISM_TOKENS {
-            if lexer::contains_word(code, token) {
+            if lexer::contains_word(code, token) && !scanned.suppressed(idx, RULE) {
                 diags.push(Diagnostic::new(
                     file,
                     lineno,
@@ -163,7 +148,7 @@ fn check_determinism(file: &Path, scanned: &ScannedFile, diags: &mut Vec<Diagnos
                 ));
             }
         }
-        if code.contains("thread::current") {
+        if code.contains("thread::current") && !scanned.suppressed(idx, RULE) {
             diags.push(Diagnostic::new(
                 file,
                 lineno,
@@ -186,7 +171,7 @@ fn check_batched_dispatch(file: &Path, scanned: &ScannedFile, diags: &mut Vec<Di
         for at in word_sites(code, "exec") {
             if preceded_by_dot(code, at)
                 && followed_by_paren(code, at + "exec".len())
-                && !scanned.allowed(idx, RULE)
+                && !scanned.suppressed(idx, RULE)
             {
                 diags.push(Diagnostic::new(
                     file,
@@ -207,15 +192,12 @@ fn check_raw_fs(file: &Path, scanned: &ScannedFile, diags: &mut Vec<Diagnostic>)
             continue;
         }
         let code = &line.code;
-        if scanned.allowed(idx, RULE) {
-            continue;
-        }
         // `fs::...` paths and `use std::fs` imports; `_` is a word
         // character, so `raw_fs` or `chaos_fs` never trip this.
         let raw = word_sites(code, "fs")
             .into_iter()
             .any(|at| code[at + "fs".len()..].starts_with("::") || code[..at].ends_with("std::"));
-        if raw {
+        if raw && !scanned.suppressed(idx, RULE) {
             diags.push(Diagnostic::new(
                 file,
                 idx + 1,
@@ -234,11 +216,8 @@ fn check_endianness(file: &Path, scanned: &ScannedFile, diags: &mut Vec<Diagnost
             continue;
         }
         let code = &line.code;
-        if scanned.allowed(idx, RULE) {
-            continue;
-        }
         for token in ENDIANNESS_TOKENS {
-            if lexer::contains_word(code, token) {
+            if lexer::contains_word(code, token) && !scanned.suppressed(idx, RULE) {
                 diags.push(Diagnostic::new(
                     file,
                     idx + 1,

@@ -1,0 +1,5 @@
+pub fn knobs() -> (Option<String>, Option<String>) {
+    let a = std::env::var("BDB_ALPHA").ok();
+    let b = std::env::var("BDB_BETA").ok();
+    (a, b)
+}

@@ -1,0 +1,9 @@
+use util::stamp;
+
+pub struct Engine;
+
+impl Engine {
+    pub fn profile(&self) -> u64 {
+        stamp()
+    }
+}

@@ -1,0 +1,11 @@
+pub fn stamp() -> u64 {
+    let t = std::time::SystemTime::now();
+    // bdb-lint: allow(determinism): keyed scratch map, drained in sorted order
+    let m: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
+    let _ = (t, m);
+    0
+}
+
+pub fn unreached() -> std::time::Instant {
+    std::time::Instant::now()
+}

@@ -1,0 +1,9 @@
+// bdb-lint: allow(determinism): nothing here uses a map any more
+pub fn quiet() -> u32 {
+    7
+}
+
+// bdb-lint: allow(no-such-rule): the rule id has a typo
+pub fn also_quiet() -> u32 {
+    8
+}

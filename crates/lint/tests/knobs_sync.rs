@@ -1,0 +1,41 @@
+//! Pins `contracts/knobs.txt` to the code: the checked-in inventory of
+//! `BDB_*` environment knobs must byte-match what the workspace scan
+//! regenerates, mirroring the `tests/contracts_sync.rs` flow for the
+//! catalog/metric/reduction contracts. Refresh after adding or removing
+//! a knob with `scripts/lint_bless.sh` (or
+//! `BDB_BLESS_CONTRACTS=1 cargo test -p bdb-lint knobs_sync`).
+
+use std::path::PathBuf;
+
+fn workspace_root() -> PathBuf {
+    // crates/lint -> crates -> repo root
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("lint crate lives two levels under the workspace root")
+        .to_path_buf()
+}
+
+#[test]
+fn knobs_sync() {
+    let root = workspace_root();
+    let ws = bdb_lint::graph::Workspace::load(&root).expect("workspace loads");
+    let expected = bdb_lint::knobs::knobs_txt(&ws);
+    let path = root.join(bdb_lint::knobs::KNOBS_TXT);
+    if std::env::var_os("BDB_BLESS_CONTRACTS").is_some() {
+        std::fs::write(&path, expected).expect("write knobs.txt");
+        return;
+    }
+    let actual = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "{} unreadable ({e}); regenerate with scripts/lint_bless.sh",
+            bdb_lint::knobs::KNOBS_TXT
+        )
+    });
+    assert_eq!(
+        actual,
+        expected,
+        "{} is out of sync with the code; regenerate with scripts/lint_bless.sh",
+        bdb_lint::knobs::KNOBS_TXT
+    );
+}

@@ -620,6 +620,7 @@ impl Fenwick {
 /// stack depth `d < C` — one depth computation classifies every capacity.
 fn stack_sweep_data(streams: &SweepStreams, cap_lines: &[u64]) -> Vec<CacheStats> {
     let mut stack = LruStack::with_capacity(streams.daddr.len());
+    // bdb-lint: allow(hot-loop-allocation): one allocation per sweep, amortised over the whole replay
     let mut hits = vec![0u64; cap_lines.len()];
     let mut accesses = 0u64;
     for ((&addr, &kind), &n) in streams

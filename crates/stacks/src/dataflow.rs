@@ -349,6 +349,7 @@ impl<'s> Dataflow<'s> {
         // Map-side combine per partition.
         let mut combined: Vec<Vec<Record>> = Vec::with_capacity(ds.parts.len());
         for part in &ds.parts {
+            // bdb-lint: allow(nondeterminism-reachability): drained via into_values + explicit key sort below
             let mut table: HashMap<Vec<u8>, Record> = HashMap::new();
             for (rec, &addr) in part.records.iter().zip(&part.addrs) {
                 self.stack
@@ -376,6 +377,7 @@ impl<'s> Dataflow<'s> {
         // Reduce-side final merge.
         let mut parts = Vec::with_capacity(shuffled.len());
         for bucket in shuffled {
+            // bdb-lint: allow(nondeterminism-reachability): drained via into_values + explicit key sort below
             let mut table: HashMap<Vec<u8>, Record> = HashMap::new();
             for rec in bucket {
                 self.stack.hash_agg.run(ctx, &self.stack.mix, &self.scratch);
@@ -484,6 +486,7 @@ impl<'s> Dataflow<'s> {
         );
         let mut parts = Vec::with_capacity(l.len());
         for (lb, rb) in l.into_iter().zip(r) {
+            // bdb-lint: allow(nondeterminism-reachability): keyed probe only; output order follows the right side
             let mut table: HashMap<Vec<u8>, Vec<Record>> = HashMap::new();
             for rec in lb {
                 self.stack.hash_agg.run(ctx, &self.stack.mix, &self.scratch);

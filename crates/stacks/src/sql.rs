@@ -489,6 +489,7 @@ impl ImpalaExec<'_> {
                 let region = self.data_region(ctx);
                 let mut out_rows = Vec::new();
                 s.agg.enter(ctx, &s.mix, &self.scratch, |ctx| {
+                    // bdb-lint: allow(nondeterminism-reachability): drained below via sorted key list
                     let mut groups: HashMap<Vec<u8>, (Row, f64, u64)> = HashMap::new();
                     let top = ctx.loop_start();
                     for (i, row) in rows.iter().enumerate() {
@@ -534,6 +535,7 @@ impl ImpalaExec<'_> {
                 let region = self.data_region(ctx);
                 let mut out = Vec::new();
                 s.hash_join.enter(ctx, &s.mix, &self.scratch, |ctx| {
+                    // bdb-lint: allow(nondeterminism-reachability): keyed probe only; output order follows the probe side
                     let mut table: HashMap<Vec<u8>, Vec<&Row>> = HashMap::new();
                     let build = ctx.loop_start();
                     for (i, row) in lrows.iter().enumerate() {
@@ -568,6 +570,7 @@ impl ImpalaExec<'_> {
                 let region = self.data_region(ctx);
                 let mut out = Vec::new();
                 s.hash_join.enter(ctx, &s.mix, &self.scratch, |ctx| {
+                    // bdb-lint: allow(nondeterminism-reachability): membership checks only, never iterated
                     let mut seen: HashMap<Vec<u8>, ()> = HashMap::new();
                     let build = ctx.loop_start();
                     for (i, row) in rrows.iter().enumerate() {

@@ -45,6 +45,7 @@ fn offline_def(stack: StackKind, kernel: KernelKind, dataset: DataSetId) -> Work
         S::Hadoop => "H",
         S::Spark => "S",
         S::Mpi => "M",
+        // bdb-lint: allow(panic-reachability): exhaustive over the static catalog table; catalog-spec pins every entry
         _ => unreachable!("offline workloads run on Hadoop/Spark/MPI"),
     };
     let kernel_name = match kernel {
@@ -56,6 +57,7 @@ fn offline_def(stack: StackKind, kernel: KernelKind, dataset: DataSetId) -> Work
         K::NaiveBayes => "NaiveBayes",
         K::InvertedIndex => "Index",
         K::ConnectedComponents => "CC",
+        // bdb-lint: allow(panic-reachability): exhaustive over the static catalog table; catalog-spec pins every entry
         other => unreachable!("{other:?} is not an offline kernel"),
     };
     let suffix =
@@ -102,6 +104,7 @@ fn offline_def(stack: StackKind, kernel: KernelKind, dataset: DataSetId) -> Work
             Arc::new(move |s, sc| offline::mpi_pagerank(s, sc, dataset, ITERATIONS))
         }
         (S::Mpi, K::NaiveBayes) => Arc::new(|s, sc| offline::mpi_bayes(s, sc)),
+        // bdb-lint: allow(panic-reachability): exhaustive over the static catalog table; catalog-spec pins every entry
         (stack, kernel) => unreachable!("no offline runner for {kernel:?} on {stack}"),
     };
     def(id, stack, Category::DataAnalysis, dataset, kernel, runner)
@@ -113,6 +116,7 @@ fn query_def(engine: StackKind, kernel: KernelKind, data: QueryData) -> Workload
         StackKind::Hive => "H",
         StackKind::Shark => "S",
         StackKind::Impala => "I",
+        // bdb-lint: allow(panic-reachability): exhaustive over the static catalog table; catalog-spec pins every entry
         other => unreachable!("{other} is not a SQL engine"),
     };
     let op_name = match kernel {
@@ -127,6 +131,7 @@ fn query_def(engine: StackKind, kernel: KernelKind, data: QueryData) -> Workload
         K::TpcDsQ8 => "TPC-DS-query8",
         K::TpcDsQ10 => "TPC-DS-query10",
         K::TpcDsQ13 => "TPC-DS-query13",
+        // bdb-lint: allow(panic-reachability): exhaustive over the static catalog table; catalog-spec pins every entry
         other => unreachable!("{other:?} is not a query kernel"),
     };
     let (suffix, dataset) = match data {

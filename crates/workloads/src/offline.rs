@@ -994,7 +994,10 @@ pub fn mpi_wordcount(sink: &mut dyn TraceSink, scale: Scale, dataset: DataSetId)
         world.charge_input(ctx, input_bytes, ops0);
         // Superstep 1: count locally, route (word,count) to the owner rank.
         world.superstep(ctx, "local_count", |ctx, rank, docs, _inbox, out| {
-            let mut counts: std::collections::HashMap<Vec<u8>, u64> = Default::default();
+            // BTreeMap so the (word,count) routing loop below sends in
+            // sorted order — with a hash map the per-rank inbox order
+            // would vary run to run.
+            let mut counts: std::collections::BTreeMap<Vec<u8>, u64> = Default::default();
             ctx.frame(k.region, |ctx| {
                 for (d, doc) in docs.iter().enumerate() {
                     let addr = region.base() + (d as u64 * 1024) % region.len();
@@ -1012,7 +1015,7 @@ pub fn mpi_wordcount(sink: &mut dyn TraceSink, scale: Scale, dataset: DataSetId)
         // Superstep 2: owners merge.
         let mut output_bytes = 0u64;
         world.superstep(ctx, "merge", |ctx, _rank, _docs, inbox, _out| {
-            let mut merged: std::collections::HashMap<Vec<u8>, u64> = Default::default();
+            let mut merged: std::collections::BTreeMap<Vec<u8>, u64> = Default::default();
             ctx.frame(k.region, |ctx| {
                 let top = ctx.loop_start();
                 for (i, rec) in inbox.iter().enumerate() {

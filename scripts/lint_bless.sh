@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Regenerates the bdb-lint blessed artifacts from the current tree:
+#
+#   contracts/lint_baseline.json  — findings accepted as pre-existing
+#                                   (kept empty while the tree is clean;
+#                                   CI fails only on findings not listed)
+#   contracts/knobs.txt           — inventory of every BDB_* env knob the
+#                                   workspace reads, one sorted name per
+#                                   line (the dead-knob rule cross-checks
+#                                   it against code and docs)
+#
+# Mirrors the BDB_BLESS_CONTRACTS=1 flow used for the catalog/metric/
+# reduction contracts (tests/contracts_sync.rs); the knobs half of this
+# script is equivalent to:
+#
+#   BDB_BLESS_CONTRACTS=1 cargo test -p bdb-lint knobs_sync
+#
+# After blessing, the verification run below must come back clean —
+# a bless that leaves findings behind means the baseline now hides real
+# violations, so it fails loudly here instead of in CI.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo run -q -p bdb-lint -- --bless
+
+echo "verifying the blessed tree is clean..."
+cargo run -q -p bdb-lint -- --deny-warnings --baseline contracts/lint_baseline.json
