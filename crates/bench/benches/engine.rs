@@ -18,6 +18,7 @@ use bdb_cluster::{Message, Transport, WireFormat, WorkerConfig};
 use bdb_codec::{columnar, RecordKind};
 use bdb_engine::{json::Value, Engine, EngineConfig, SweepMode};
 use bdb_node::NodeConfig;
+use bdb_serve::{Mutation, ServeClient, ServeSpec, ServeState, Server, ServerConfig};
 use bdb_sim::{sweep_per_point, MachineConfig, SweepFamily, SweepResult, PAPER_SWEEP_KIB};
 use bdb_trace::TraceBuffer;
 use bdb_wcrt::WorkloadProfile;
@@ -25,7 +26,7 @@ use bdb_workloads::{catalog, Scale, WorkloadDef};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::path::PathBuf;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 fn workloads() -> Vec<WorkloadDef> {
     catalog::representatives()
@@ -321,6 +322,78 @@ fn measure_and_report() {
         "binary-wire merge must be bit-identical to serial"
     );
 
+    // Serve section: cold catalog materialization, warm query latency
+    // from the daemon's materialized map, the incremental recompute a
+    // one-knob edit triggers, and delta fan-out to a subscriber fleet.
+    let serve_spec = {
+        let mut spec = ServeSpec::empty(scale());
+        spec.configs
+            .insert("xeon-e5645".to_owned(), machine.clone());
+        spec.workloads = defs.iter().map(|d| d.spec.id.clone()).collect();
+        spec
+    };
+    let serve_keys = serve_spec.entries();
+    let serve_engine = Arc::new(Engine::in_memory());
+    let (serve_cold_s, serve_state) = time(|| {
+        ServeState::materialize(serve_engine.clone(), serve_spec.clone())
+            .expect("serve catalog materializes")
+    });
+    let serve_entries = serve_state.len() as u64;
+    let server = Server::new(serve_state, ServerConfig::named("bench-served"));
+    let session = |label: &str| {
+        let (client_end, server_end) = loopback_pair(label);
+        let srv = server.clone();
+        std::thread::spawn(move || srv.serve_session(Arc::new(server_end)));
+        let mut client = ServeClient::over(Arc::new(client_end), WireFormat::Json);
+        client.hello(label).expect("serve hello");
+        client
+    };
+    const FANOUT_SUBSCRIBERS: usize = 8;
+    let mut subscribers: Vec<ServeClient> = (0..FANOUT_SUBSCRIBERS)
+        .map(|i| {
+            let mut sub = session(&format!("bench-sub{i}"));
+            sub.subscribe().expect("serve subscribe");
+            sub
+        })
+        .collect();
+    let mut client = session("bench-client");
+    let (serve_query_s, _) = time(|| {
+        for key in &serve_keys {
+            client
+                .query(key)
+                .expect("serve query")
+                .expect("served key is present");
+        }
+    });
+    let serve_query_us = serve_query_s * 1e6 / serve_keys.len() as f64;
+    let serve_computed_before = serve_engine.counters().computed;
+    let (serve_mutate_s, mutated) = time(|| {
+        client
+            .mutate(Mutation::SetKnob {
+                config: "xeon-e5645".to_owned(),
+                knob: "l1d.size_bytes".to_owned(),
+                value: Value::UInt(16384),
+            })
+            .expect("serve mutate")
+    });
+    let serve_recomputed = serve_engine.counters().computed - serve_computed_before;
+    assert_eq!(
+        serve_recomputed, serve_entries,
+        "the knob edit must recompute exactly the served catalog"
+    );
+    let (serve_drain_s, _) = time(|| {
+        for sub in &mut subscribers {
+            let batch = sub
+                .next_delta(Duration::from_secs(60))
+                .expect("serve delta stream")
+                .expect("delta batch arrives");
+            assert_eq!(
+                batch.seq, mutated.seq,
+                "fan-out delivers the mutation batch"
+            );
+        }
+    });
+
     let mut fields = vec![
         ("bench", Value::Str("engine".into())),
         ("workloads", Value::UInt(defs.len() as u64)),
@@ -411,6 +484,22 @@ fn measure_and_report() {
             "cluster_merge_binary_wire_seconds",
             Value::Float(merge_binary_s),
         ),
+        ("serve_entries", Value::UInt(serve_entries)),
+        ("serve_cold_materialize_seconds", Value::Float(serve_cold_s)),
+        ("serve_warm_query_us", Value::Float(serve_query_us)),
+        (
+            "serve_delta_recompute_entries",
+            Value::UInt(serve_recomputed),
+        ),
+        ("serve_delta_mutate_seconds", Value::Float(serve_mutate_s)),
+        (
+            "serve_delta_fanout_subscribers",
+            Value::UInt(FANOUT_SUBSCRIBERS as u64),
+        ),
+        (
+            "serve_delta_fanout_drain_seconds",
+            Value::Float(serve_drain_s),
+        ),
     ]);
     let report = Value::object(fields);
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");
@@ -441,6 +530,11 @@ fn measure_and_report() {
          result frame {wire_binary_bytes}B vs {wire_json_bytes}B, \
          merge json-wire {merge_json_s:.2}s vs binary-wire {merge_binary_s:.2}s",
         spill.len()
+    );
+    println!(
+        "serve:  cold materialize({serve_entries}) {serve_cold_s:.2}s, \
+         warm query {serve_query_us:.0}us, knob delta recompute({serve_recomputed}) \
+         {serve_mutate_s:.2}s, fan-out to {FANOUT_SUBSCRIBERS} subscribers {serve_drain_s:.3}s"
     );
 }
 

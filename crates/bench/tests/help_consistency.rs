@@ -66,3 +66,60 @@ fn every_engine_backed_binary_wires_the_shared_help() {
         "expected at least 19 engine-backed binaries, found {checked}"
     );
 }
+
+/// The daemon binaries render help through the shared
+/// `daemon_help_text` (in `bdb-cluster`), not hand-rolled strings.
+const DAEMON_BINS: &[&str] = &[
+    "../cluster/src/bin/bdb_clusterd.rs",
+    "../serve/src/bin/bdb_served.rs",
+    "../serve/src/bin/serve_smoke.rs",
+];
+
+#[test]
+fn every_daemon_binary_wires_the_shared_help() {
+    let crate_dir = Path::new(env!("CARGO_MANIFEST_DIR"));
+    for rel in DAEMON_BINS {
+        let path = crate_dir.join(rel);
+        let source = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+        assert!(
+            source.contains("daemon_help_text("),
+            "{} hand-rolls its help instead of using daemon_help_text",
+            path.display()
+        );
+    }
+}
+
+#[test]
+fn shared_daemon_env_block_lists_every_engine_knob() {
+    let block: Vec<&str> = bdb_cluster::DAEMON_ENGINE_ENV
+        .iter()
+        .map(|(name, _)| *name)
+        .collect();
+    for knob in REQUIRED_KNOBS {
+        if !knob.starts_with("BDB_") || *knob == "BDB_CLUSTER" {
+            continue; // CLI flags and the coordinator-side fleet list
+        }
+        assert!(
+            block.contains(knob),
+            "DAEMON_ENGINE_ENV is missing the engine knob {knob}"
+        );
+    }
+}
+
+#[test]
+fn served_help_documents_its_own_knobs() {
+    let crate_dir = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let source = std::fs::read_to_string(crate_dir.join("../serve/src/bin/bdb_served.rs"))
+        .expect("read bdb_served source");
+    for knob in [
+        "BDB_SERVE_ADDR",
+        "BDB_SERVE_MAX_CLIENTS",
+        "BDB_SERVE_FORMAT",
+    ] {
+        assert!(
+            source.contains(knob),
+            "bdb_served help must document {knob}"
+        );
+    }
+}

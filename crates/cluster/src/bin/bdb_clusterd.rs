@@ -20,34 +20,45 @@
 //! recovery path is actually exercised); otherwise it serves forever.
 
 use bdb_cluster::{
-    run_worker, FaultPlan, FaultyTransport, TcpTransport, WorkerConfig, WorkerError,
+    daemon_help_text, run_worker, FaultPlan, FaultyTransport, TcpTransport, WorkerConfig,
+    WorkerError,
 };
 use bdb_engine::{Engine, EngineConfig};
 use std::net::TcpListener;
 use std::process::ExitCode;
 use std::time::Duration;
 
-const USAGE: &str = "\
-bdb-clusterd: profiling worker for distributed fleet runs
-
-USAGE:
-    bdb-clusterd [--listen <addr>] [--name <name>] [fault flags]
-
-OPTIONS:
-    --listen <addr>          Bind address (default 127.0.0.1:0)
-    --name <name>            Worker name sent in Hello (default: the bound address)
-    --fault-crash-task <k>   Injected fault: exit(3) when assigned task #k (0-based)
-    --fault-drop-frames <n>  Injected fault: drop the connection after n frames
-    --fault-delay-ms <ms>    Injected fault: delay every outbound reply by ms
-    --fault-dup-results      Injected fault: send every Result frame twice
-    -h, --help               Print this help
-
-ENVIRONMENT:
-    BDB_THREADS          Worker-pool width for the local engine (default: all cores)
-    BDB_CACHE_DIR        Profile-cache directory (default: results/cache/)
-    BDB_NO_CACHE         Set to disable the disk cache
-    BDB_CACHE_MAX_BYTES  Disk-cache size cap with LRU eviction (default: unbounded)
-";
+fn usage() -> String {
+    daemon_help_text(
+        "bdb-clusterd",
+        "profiling worker for distributed fleet runs",
+        "bdb-clusterd [--listen <addr>] [--name <name>] [fault flags]",
+        &[
+            ("--listen <addr>", "Bind address (default 127.0.0.1:0)"),
+            (
+                "--name <name>",
+                "Worker name sent in Hello (default: the bound address)",
+            ),
+            (
+                "--fault-crash-task <k>",
+                "Injected fault: exit(3) when assigned task #k (0-based)",
+            ),
+            (
+                "--fault-drop-frames <n>",
+                "Injected fault: drop the connection after n frames",
+            ),
+            (
+                "--fault-delay-ms <ms>",
+                "Injected fault: delay every outbound reply by ms",
+            ),
+            (
+                "--fault-dup-results",
+                "Injected fault: send every Result frame twice",
+            ),
+        ],
+        &[],
+    )
+}
 
 struct Args {
     listen: String,
@@ -91,7 +102,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--fault-dup-results" => args.faults.duplicate_results = true,
             "-h" | "--help" => {
-                print!("{USAGE}");
+                print!("{}", usage());
                 std::process::exit(0);
             }
             other => return Err(format!("unknown flag {other:?}")),
@@ -106,7 +117,7 @@ fn main() -> ExitCode {
         Ok(args) => args,
         Err(e) => {
             eprintln!("bdb-clusterd: {e}");
-            eprint!("{USAGE}");
+            eprint!("{}", usage());
             return ExitCode::from(2);
         }
     };

@@ -58,6 +58,7 @@
 
 pub mod coordinator;
 pub mod fault;
+pub mod help;
 pub mod proto;
 pub mod tcp;
 pub mod transport;
@@ -66,9 +67,11 @@ pub mod worker;
 
 pub use coordinator::{ClusterConfig, ClusterError, Coordinator};
 pub use fault::{FaultPlan, FaultyTransport};
+pub use help::help_text as daemon_help_text;
+pub use help::DAEMON_ENGINE_ENV;
 pub use proto::{Message, PROTOCOL_VERSION};
 pub use tcp::TcpTransport;
-pub use transport::{loopback_pair, LoopbackTransport, Transport, TransportError};
+pub use transport::{loopback_pair, FrameTransport, LoopbackTransport, Transport, TransportError};
 pub use wire::{WireError, WireFormat, MAX_FRAME_BYTES};
 pub use worker::{run_worker, WorkerConfig, WorkerError};
 

@@ -7,7 +7,7 @@
 //! request/response frames, the worst case for Nagle batching.
 
 use crate::proto::Message;
-use crate::transport::{lock, Transport, TransportError};
+use crate::transport::{lock, FrameTransport, Transport, TransportError};
 use crate::wire;
 use std::io::{BufReader, ErrorKind, Write};
 use std::net::{TcpStream, ToSocketAddrs};
@@ -58,12 +58,12 @@ impl TcpTransport {
             .set_read_timeout(timeout)
             .map_err(|e| TransportError::Io(e.to_string()))
     }
-}
 
-impl Transport for TcpTransport {
-    fn send(&self, msg: &Message) -> Result<(), TransportError> {
+    fn send_frame(&self, frame: &[u8]) -> Result<(), TransportError> {
         let mut writer = lock(&self.writer);
-        wire::write_frame(&mut *writer, msg).map_err(TransportError::from)?;
+        writer
+            .write_all(frame)
+            .map_err(|e| TransportError::Io(e.to_string()))?;
         writer.flush().map_err(|e| {
             if e.kind() == ErrorKind::BrokenPipe || e.kind() == ErrorKind::ConnectionReset {
                 TransportError::Closed
@@ -73,22 +73,25 @@ impl Transport for TcpTransport {
         })
     }
 
-    fn recv(&self) -> Result<Message, TransportError> {
+    fn recv_frame_payload(&self) -> Result<Vec<u8>, TransportError> {
         let mut reader = lock(&self.reader);
         Self::set_read_timeout(&reader, None)?;
-        match wire::read_frame(&mut *reader) {
-            Ok(Some(msg)) => Ok(msg),
+        match wire::read_frame_payload(&mut *reader) {
+            Ok(Some(payload)) => Ok(payload),
             Ok(None) => Err(TransportError::Closed),
             Err(wire::WireError::Io(e)) => Err(classify_io(&e)),
             Err(e) => Err(e.into()),
         }
     }
 
-    fn recv_timeout(&self, timeout: Duration) -> Result<Option<Message>, TransportError> {
+    /// Waits up to `timeout` for a frame to *start*; once the first
+    /// header byte arrives the rest is read blocking, so a slow sender
+    /// cannot leave a partial frame behind.
+    fn recv_frame_payload_timeout(
+        &self,
+        timeout: Duration,
+    ) -> Result<Option<Vec<u8>>, TransportError> {
         let mut reader = lock(&self.reader);
-        // Timeout applies only to waiting for the frame to *start*; once
-        // the first header byte arrives the rest is read blocking, so a
-        // slow sender cannot leave a partial frame behind.
         Self::set_read_timeout(&reader, Some(timeout))?;
         let mut first = [0u8; 1];
         let n = loop {
@@ -115,18 +118,48 @@ impl Transport for TcpTransport {
         let mut payload = vec![0u8; len as usize];
         std::io::Read::read_exact(&mut *reader, &mut payload)
             .map_err(|e| classify_io(&e.to_string()))?;
-        match wire::decode_frames(&{
-            let mut framed = len.to_be_bytes().to_vec();
-            framed.extend_from_slice(&payload);
-            framed
-        }) {
-            Ok(msgs) if msgs.len() == 1 => Ok(msgs.into_iter().next()),
-            Ok(_) => Err(TransportError::Protocol("empty frame".to_owned())),
-            Err((_, e)) => Err(e.into()),
+        Ok(Some(payload))
+    }
+}
+
+impl Transport for TcpTransport {
+    fn send(&self, msg: &Message) -> Result<(), TransportError> {
+        self.send_frame(&wire::encode_frame(msg))
+    }
+
+    fn recv(&self) -> Result<Message, TransportError> {
+        let payload = self.recv_frame_payload()?;
+        wire::decode_payload(&payload).map_err(TransportError::from)
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> Result<Option<Message>, TransportError> {
+        match self.recv_frame_payload_timeout(timeout)? {
+            Some(payload) => wire::decode_payload(&payload)
+                .map(Some)
+                .map_err(TransportError::from),
+            None => Ok(None),
         }
     }
 
     fn peer(&self) -> String {
+        self.peer.clone()
+    }
+}
+
+impl FrameTransport for TcpTransport {
+    fn send_payload(&self, payload: &[u8]) -> Result<(), TransportError> {
+        self.send_frame(&wire::encode_payload_frame(payload))
+    }
+
+    fn recv_payload(&self) -> Result<Vec<u8>, TransportError> {
+        self.recv_frame_payload()
+    }
+
+    fn recv_payload_timeout(&self, timeout: Duration) -> Result<Option<Vec<u8>>, TransportError> {
+        self.recv_frame_payload_timeout(timeout)
+    }
+
+    fn peer_label(&self) -> String {
         self.peer.clone()
     }
 }

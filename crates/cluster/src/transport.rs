@@ -65,6 +65,28 @@ pub trait Transport: Send + Sync {
     fn peer(&self) -> String;
 }
 
+/// The payload-level half of a transport: one bidirectional channel of
+/// length-prefixed raw frames, with the message codec left to the
+/// caller. `bdb-serve` runs its own protocol over this, so the loopback
+/// and TCP implementations (and their framing, size cap, and
+/// close/timeout semantics) are shared between the cluster and serve
+/// protocols instead of duplicated.
+pub trait FrameTransport: Send + Sync {
+    /// Sends one raw payload as a frame. `Err(Closed)` once the peer is
+    /// gone.
+    fn send_payload(&self, payload: &[u8]) -> Result<(), TransportError>;
+
+    /// Receives the next frame's payload, blocking until one arrives or
+    /// the peer closes (`Err(Closed)`).
+    fn recv_payload(&self) -> Result<Vec<u8>, TransportError>;
+
+    /// Receives with a timeout: `Ok(None)` if nothing arrived in time.
+    fn recv_payload_timeout(&self, timeout: Duration) -> Result<Option<Vec<u8>>, TransportError>;
+
+    /// Human-readable peer description for diagnostics.
+    fn peer_label(&self) -> String;
+}
+
 /// Locks with poison recovery: a panicked peer thread must not cascade
 /// into every later send/recv (the data under these mutexes is a plain
 /// frame queue, consistent at every await point).
@@ -104,6 +126,39 @@ impl LoopbackTransport {
             Ok(None) => Err(TransportError::Protocol("empty frame".to_owned())),
             Err(e) => Err(e.into()),
         }
+    }
+
+    fn unframe(frame: &[u8]) -> Result<Vec<u8>, TransportError> {
+        match wire::read_frame_payload(&mut &frame[..]) {
+            Ok(Some(payload)) => Ok(payload),
+            Ok(None) => Err(TransportError::Protocol("empty frame".to_owned())),
+            Err(e) => Err(e.into()),
+        }
+    }
+}
+
+impl FrameTransport for LoopbackTransport {
+    fn send_payload(&self, payload: &[u8]) -> Result<(), TransportError> {
+        self.tx
+            .send(wire::encode_payload_frame(payload))
+            .map_err(|_| TransportError::Closed)
+    }
+
+    fn recv_payload(&self) -> Result<Vec<u8>, TransportError> {
+        let frame = lock(&self.rx).recv().map_err(|_| TransportError::Closed)?;
+        Self::unframe(&frame)
+    }
+
+    fn recv_payload_timeout(&self, timeout: Duration) -> Result<Option<Vec<u8>>, TransportError> {
+        match lock(&self.rx).recv_timeout(timeout) {
+            Ok(frame) => Self::unframe(&frame).map(Some),
+            Err(RecvTimeoutError::Timeout) => Ok(None),
+            Err(RecvTimeoutError::Disconnected) => Err(TransportError::Closed),
+        }
+    }
+
+    fn peer_label(&self) -> String {
+        self.label.clone()
     }
 }
 

@@ -87,22 +87,24 @@ pub fn encode_frame_with(format: WireFormat, msg: &Message) -> Vec<u8> {
             &bdb_codec::bval::encode_value(&message_to_value(msg)),
         ),
     };
+    encode_payload_frame(&payload)
+}
+
+/// Wraps an already-encoded payload in the outer `[u32 BE len]` frame.
+/// This is the protocol-agnostic half of the framing: `bdb-serve` reuses
+/// it with its own payload codec, so both protocols share one frame
+/// layout (and one size cap) on the wire.
+pub fn encode_payload_frame(payload: &[u8]) -> Vec<u8> {
     let mut frame = Vec::with_capacity(payload.len() + 4);
     frame.extend_from_slice(&(payload.len() as u32).to_be_bytes());
-    frame.extend_from_slice(&payload);
+    frame.extend_from_slice(payload);
     frame
 }
 
-/// Writes one frame to `w` (no flush; the caller flushes per batch).
-pub fn write_frame(w: &mut impl Write, msg: &Message) -> Result<(), WireError> {
-    w.write_all(&encode_frame(msg))
-        .map_err(|e| WireError::Io(e.to_string()))
-}
-
-/// Reads one frame from `r`. `Ok(None)` is a clean end-of-stream at a
-/// frame boundary; an end-of-stream after at least one payload byte was
-/// promised is [`WireError::Truncated`].
-pub fn read_frame(r: &mut impl Read) -> Result<Option<Message>, WireError> {
+/// Reads one frame's raw payload from `r` without interpreting it.
+/// `Ok(None)` is a clean end-of-stream at a frame boundary; a stream
+/// that ends mid-frame is [`WireError::Truncated`].
+pub fn read_frame_payload(r: &mut impl Read) -> Result<Option<Vec<u8>>, WireError> {
     let mut len_buf = [0u8; 4];
     match read_exact_or_eof(r, &mut len_buf)? {
         ReadOutcome::CleanEof => return Ok(None),
@@ -118,7 +120,23 @@ pub fn read_frame(r: &mut impl Read) -> Result<Option<Message>, WireError> {
         ReadOutcome::Filled => {}
         ReadOutcome::CleanEof | ReadOutcome::Truncated => return Err(WireError::Truncated),
     }
-    decode_payload(&payload).map(Some)
+    Ok(Some(payload))
+}
+
+/// Writes one frame to `w` (no flush; the caller flushes per batch).
+pub fn write_frame(w: &mut impl Write, msg: &Message) -> Result<(), WireError> {
+    w.write_all(&encode_frame(msg))
+        .map_err(|e| WireError::Io(e.to_string()))
+}
+
+/// Reads one frame from `r`. `Ok(None)` is a clean end-of-stream at a
+/// frame boundary; an end-of-stream after at least one payload byte was
+/// promised is [`WireError::Truncated`].
+pub fn read_frame(r: &mut impl Read) -> Result<Option<Message>, WireError> {
+    match read_frame_payload(r)? {
+        Some(payload) => decode_payload(&payload).map(Some),
+        None => Ok(None),
+    }
 }
 
 /// Decodes every frame in `buf` (testing / offline inspection). Errors
@@ -135,7 +153,8 @@ pub fn decode_frames(buf: &[u8]) -> Result<Vec<Message>, (usize, WireError)> {
     }
 }
 
-fn decode_payload(payload: &[u8]) -> Result<Message, WireError> {
+/// Decodes one frame payload (format-sniffed) into a [`Message`].
+pub fn decode_payload(payload: &[u8]) -> Result<Message, WireError> {
     let value = if bdb_codec::is_binary(payload) {
         let inner = bdb_codec::decode_record_of(bdb_codec::RecordKind::WireMessage, payload)
             .map_err(|e| WireError::Decode(e.to_string()))?;

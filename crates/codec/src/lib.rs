@@ -76,6 +76,11 @@ pub enum RecordKind {
     JournalRecord,
     /// A cluster wire message ([`bval`] of the message object).
     WireMessage,
+    /// A `bdb-serve` client request ([`bval`] of the request object).
+    ServeRequest,
+    /// A `bdb-serve` reply or subscription delta ([`bval`] of the
+    /// reply object).
+    ServeDelta,
 }
 
 impl RecordKind {
@@ -86,6 +91,8 @@ impl RecordKind {
             RecordKind::CacheEntry => 2,
             RecordKind::JournalRecord => 3,
             RecordKind::WireMessage => 4,
+            RecordKind::ServeRequest => 5,
+            RecordKind::ServeDelta => 6,
         }
     }
 
@@ -96,6 +103,8 @@ impl RecordKind {
             2 => Some(RecordKind::CacheEntry),
             3 => Some(RecordKind::JournalRecord),
             4 => Some(RecordKind::WireMessage),
+            5 => Some(RecordKind::ServeRequest),
+            6 => Some(RecordKind::ServeDelta),
             _ => None,
         }
     }
@@ -304,14 +313,31 @@ mod tests {
 
     #[test]
     fn any_single_bit_flip_is_detected() {
+        // A flip in the kind byte may land on another *valid* kind tag;
+        // that is detected by the typed read path (`decode_record_of`
+        // returns `WrongKind`), not by the container decode itself.
+        // Every other flip must fail the untyped decode outright.
         let record = encode_record(RecordKind::WireMessage, b"flip me");
         for bit in 0..record.len() * 8 {
             let mut damaged = record.clone();
             damaged[bit / 8] ^= 1 << (bit % 8);
-            assert!(
-                decode_record(&damaged).is_err(),
-                "bit {bit} flip went undetected"
-            );
+            match decode_record(&damaged) {
+                Err(_) => {}
+                Ok((kind, _)) => {
+                    assert_ne!(
+                        kind,
+                        RecordKind::WireMessage,
+                        "bit {bit} flip went undetected"
+                    );
+                    assert!(
+                        matches!(
+                            decode_record_of(RecordKind::WireMessage, &damaged),
+                            Err(CodecError::WrongKind { .. })
+                        ),
+                        "bit {bit} flip must surface as WrongKind on the typed path"
+                    );
+                }
+            }
         }
     }
 

@@ -61,6 +61,20 @@ fn genuine_records() -> Vec<(RecordKind, Vec<u8>)> {
                 &bval::encode_value(&sample_value("wire")),
             ),
         ),
+        (
+            RecordKind::ServeRequest,
+            encode_record(
+                RecordKind::ServeRequest,
+                &bval::encode_value(&sample_value("serve_request")),
+            ),
+        ),
+        (
+            RecordKind::ServeDelta,
+            encode_record(
+                RecordKind::ServeDelta,
+                &bval::encode_value(&sample_value("serve_delta")),
+            ),
+        ),
     ]
 }
 
@@ -81,7 +95,10 @@ fn deep_decode(bytes: &[u8]) -> Result<Vec<u8>, CodecError> {
                 &encode_cache_payload(fingerprint, &profile),
             ))
         }
-        RecordKind::JournalRecord | RecordKind::WireMessage => {
+        RecordKind::JournalRecord
+        | RecordKind::WireMessage
+        | RecordKind::ServeRequest
+        | RecordKind::ServeDelta => {
             let value = bval::decode_value(payload)?;
             Ok(encode_record(kind, &bval::encode_value(&value)))
         }

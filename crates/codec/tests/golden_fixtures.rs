@@ -3,7 +3,7 @@
 //!
 //! Each fixture is one BDBC record built from fixed sample data, with a
 //! JSON interchange sidecar in exactly the shape `bdb-lint`'s
-//! `binary-stability` pass validates. This test re-derives all eight
+//! `binary-stability` pass validates. This test re-derives all twelve
 //! files and diffs them byte-for-byte against the checkout, so *any*
 //! encoding change — field order, varint width, float formatting, CRC
 //! polynomial — fails CI until the change is deliberate and blessed:
@@ -35,7 +35,7 @@ fn sample_object(tag: &str) -> Value {
     bdb_codec::json::parse(&text).expect("sample JSON parses")
 }
 
-/// The four golden records and their JSON interchange sidecars, built
+/// The six golden records and their JSON interchange sidecars, built
 /// from data fixed forever — never regenerate from live engine output.
 fn golden() -> Vec<(&'static str, Vec<u8>, Value)> {
     let pc: Vec<u64> = (0..64).map(|i| 0x40_1000 + i * 4).collect();
@@ -65,11 +65,34 @@ fn golden() -> Vec<(&'static str, Vec<u8>, Value)> {
     let wire_value = sample_object("wire_message");
     let wire = encode_record(RecordKind::WireMessage, &bval::encode_value(&wire_value));
 
+    // Serve-protocol fixtures, shaped like real `bdb-serve` frames: a
+    // knob mutation request and the delta batch it fans out. The shapes
+    // are frozen sample data, not live protocol output.
+    let request_value = bdb_codec::json::parse(concat!(
+        "{\"id\":7,\"mutation\":{\"config\":\"xeon\",\"knob\":\"l1d.size_bytes\",",
+        "\"op\":\"set_knob\",\"value\":65536},\"type\":\"mutate\"}"
+    ))
+    .expect("serve request JSON parses");
+    let request = encode_record(
+        RecordKind::ServeRequest,
+        &bval::encode_value(&request_value),
+    );
+    let delta_value = bdb_codec::json::parse(concat!(
+        "{\"deltas\":[{\"key\":\"xeon/H-WordCount\",\"kind\":\"updated\",",
+        "\"profile\":{\"ipc\":1.3229,\"l1_mpki\":27.5}},",
+        "{\"key\":\"xeon/M-Sort\",\"kind\":\"deleted\"}],",
+        "\"seq\":42,\"type\":\"delta\"}"
+    ))
+    .expect("serve delta JSON parses");
+    let delta = encode_record(RecordKind::ServeDelta, &bval::encode_value(&delta_value));
+
     vec![
         ("trace_chunk", chunk, chunk_json),
         ("cache_entry", cache, cache_json),
         ("journal_record", journal, journal_value),
         ("wire_message", wire, wire_value),
+        ("serve_request", request, request_value),
+        ("serve_delta", delta, delta_value),
     ]
 }
 

@@ -374,6 +374,9 @@ pub struct CacheCounters {
     pub corrupt_quarantined: u64,
     /// Stale `.tmp` files from crashed writers reclaimed at startup.
     pub tmp_reclaimed: u64,
+    /// Memoized profiles dropped via [`Engine::invalidate`] (incremental
+    /// recomputation marking entries stale).
+    pub invalidated: u64,
 }
 
 /// How the engine dispatches independent simulations.
@@ -413,6 +416,7 @@ pub struct Engine {
     disk_errors: AtomicU64,
     corrupt_quarantined: AtomicU64,
     tmp_reclaimed: AtomicU64,
+    invalidated: AtomicU64,
 }
 
 impl Engine {
@@ -467,6 +471,7 @@ impl Engine {
             disk_errors: AtomicU64::new(disk_errors),
             corrupt_quarantined: AtomicU64::new(0),
             tmp_reclaimed: AtomicU64::new(tmp_reclaimed),
+            invalidated: AtomicU64::new(0),
         }
     }
 
@@ -509,7 +514,33 @@ impl Engine {
             disk_errors: self.disk_errors.load(Ordering::Relaxed),
             corrupt_quarantined: self.corrupt_quarantined.load(Ordering::Relaxed),
             tmp_reclaimed: self.tmp_reclaimed.load(Ordering::Relaxed),
+            invalidated: self.invalidated.load(Ordering::Relaxed),
         }
+    }
+
+    /// Drops one memoized profile by fingerprint, returning whether an
+    /// entry was present. This is the invalidation hook incremental
+    /// consumers (`bdb-serve`) use when a spec or knob change supersedes
+    /// an entry: the stale profile stops occupying memo space, and a
+    /// later request for the *same* fingerprint recomputes (or re-reads
+    /// disk) instead of trusting a value the caller declared stale. The
+    /// disk cache is content-keyed by the same fingerprint, so entries
+    /// there stay valid by construction and are left in place.
+    pub fn invalidate(&self, fingerprint: u64) -> bool {
+        let Some(memory) = &self.memory else {
+            return false;
+        };
+        let dropped = lock(memory).remove(&fingerprint).is_some();
+        if dropped {
+            self.invalidated.fetch_add(1, Ordering::Relaxed);
+        }
+        dropped
+    }
+
+    /// [`Engine::invalidate`] for a [`Task`]: drops the memo entry the
+    /// task's fingerprint keys.
+    pub fn invalidate_task(&self, task: &Task) -> bool {
+        self.invalidate(task.fingerprint())
     }
 
     /// The cache file a profile persists to, if a disk cache is
@@ -1088,6 +1119,26 @@ mod tests {
             assert_eq!(p.spec.id, s.spec.id, "order must be catalog order");
             assert_eq!(profile_bits(p), profile_bits(s), "{}", p.spec.id);
         }
+    }
+
+    #[test]
+    fn invalidate_drops_the_memo_entry_and_counts() {
+        let workloads = reps(1);
+        let engine = Engine::in_memory();
+        let machine = MachineConfig::xeon_e5645();
+        let node = NodeConfig::default();
+        let w = &workloads[0];
+        let key = profile_fingerprint(&w.spec.id, Scale::tiny(), &machine, &node);
+        engine.profile(w, Scale::tiny(), &machine, &node);
+        assert_eq!(engine.counters().computed, 1);
+        assert!(engine.invalidate(key), "entry was memoized");
+        assert!(!engine.invalidate(key), "second drop is a no-op");
+        assert_eq!(engine.counters().invalidated, 1);
+        // The next request recomputes instead of hitting the memo.
+        engine.profile(w, Scale::tiny(), &machine, &node);
+        let counters = engine.counters();
+        assert_eq!(counters.computed, 2);
+        assert_eq!(counters.memory_hits, 0);
     }
 
     #[test]

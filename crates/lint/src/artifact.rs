@@ -527,7 +527,10 @@ fn check_one_fixture(file: &Path, bytes: &[u8], diags: &mut Vec<Diagnostic>) {
             ]);
             (rebuilt, interchange)
         }
-        RecordKind::JournalRecord | RecordKind::WireMessage => {
+        RecordKind::JournalRecord
+        | RecordKind::WireMessage
+        | RecordKind::ServeRequest
+        | RecordKind::ServeDelta => {
             let value = match bdb_codec::bval::decode_value(payload) {
                 Ok(v) => v,
                 Err(e) => {

@@ -108,6 +108,10 @@ const PANIC: ReachRule = ReachRule {
             suffix: &["bdb_clusterd", "main"],
         },
         RootSpec {
+            krate: "serve",
+            suffix: &["bdb_served", "main"],
+        },
+        RootSpec {
             krate: "engine",
             suffix: &["RunJournal", "open"],
         },
@@ -125,7 +129,7 @@ const PANIC: ReachRule = ReachRule {
         (Prim::Panic, "can panic"),
         (Prim::Indexing, "slice/array indexing can panic"),
     ],
-    indexing_crates: &["cluster", "engine"],
+    indexing_crates: &["cluster", "engine", "serve"],
     exempt_fns: &[],
 };
 

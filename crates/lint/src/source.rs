@@ -13,7 +13,10 @@ use std::path::Path;
 /// runs or thread counts. `cluster` is in scope because its merge must be
 /// byte-identical to a serial engine run: its scheduler counts time in
 /// poll ticks precisely so that no wall-clock read can reach the output.
-const DETERMINISM_SCOPE: &[&str] = &["engine", "sim", "wcrt", "trace", "cluster"];
+/// `serve` is in scope because its materialized catalog must stay
+/// byte-identical to a cold recompute across any mutation interleaving —
+/// snapshot bytes must not depend on time, thread identity, or map order.
+const DETERMINISM_SCOPE: &[&str] = &["engine", "sim", "wcrt", "trace", "cluster", "serve"];
 
 /// Tokens the `determinism` rule rejects, with the reason.
 const DETERMINISM_TOKENS: &[(&str, &str)] = &[

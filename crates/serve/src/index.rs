@@ -1,0 +1,161 @@
+//! The dependency index: entry → content fingerprint.
+//!
+//! Every catalog entry's profile is a pure function of
+//! `(workload id, scale, machine config, node config)`, and
+//! [`bdb_engine::profile_fingerprint`] hashes exactly those inputs — the
+//! same key the engine's caches use. So an index built from a spec *is*
+//! the dependency closure: diffing the index before and after a mutation
+//! yields precisely the entries whose inputs changed, and nothing else.
+//! Whatever a mutation touches — one knob on one config, a workload
+//! add, a scale change — the recomputation set falls out of the same
+//! diff, with no per-mutation invalidation rules to get wrong.
+
+use crate::spec::{EntryKey, ServeSpec};
+use bdb_engine::profile_fingerprint;
+use std::collections::BTreeMap;
+
+/// The entry → fingerprint map for one spec.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct DepIndex {
+    entries: BTreeMap<EntryKey, u64>,
+}
+
+impl DepIndex {
+    /// Builds the index for `spec` — no profiling, just hashing.
+    pub fn build(spec: &ServeSpec) -> DepIndex {
+        let mut entries = BTreeMap::new();
+        for (config, machine) in &spec.configs {
+            for workload in &spec.workloads {
+                let fingerprint = profile_fingerprint(workload, spec.scale, machine, &spec.node);
+                entries.insert(EntryKey::new(config, workload), fingerprint);
+            }
+        }
+        DepIndex { entries }
+    }
+
+    /// Number of indexed entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The fingerprint of one entry, if indexed.
+    pub fn get(&self, key: &EntryKey) -> Option<u64> {
+        self.entries.get(key).copied()
+    }
+
+    /// Iterates entries in deterministic key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&EntryKey, u64)> {
+        self.entries.iter().map(|(k, fp)| (k, *fp))
+    }
+
+    /// Diffs this index against its successor: which entries a mutation
+    /// created, removed, or changed (same key, different fingerprint).
+    /// Entries in neither set are untouched and must not be recomputed.
+    pub fn diff(&self, next: &DepIndex) -> IndexDiff {
+        let mut diff = IndexDiff::default();
+        for (key, fingerprint) in &next.entries {
+            match self.entries.get(key) {
+                None => diff.created.push(key.clone()),
+                Some(old) if old != fingerprint => diff.changed.push(key.clone()),
+                Some(_) => {}
+            }
+        }
+        for key in self.entries.keys() {
+            if !next.entries.contains_key(key) {
+                diff.removed.push(key.clone());
+            }
+        }
+        diff
+    }
+}
+
+/// The entry sets one mutation affects, each in deterministic key order.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct IndexDiff {
+    /// Keys present only in the successor index.
+    pub created: Vec<EntryKey>,
+    /// Keys present only in the predecessor index.
+    pub removed: Vec<EntryKey>,
+    /// Keys in both whose fingerprint changed.
+    pub changed: Vec<EntryKey>,
+}
+
+impl IndexDiff {
+    /// Total entries needing recomputation (created + changed).
+    pub fn recompute_count(&self) -> usize {
+        self.created.len() + self.changed.len()
+    }
+
+    /// Whether the mutation touched nothing.
+    pub fn is_empty(&self) -> bool {
+        self.created.is_empty() && self.removed.is_empty() && self.changed.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::Mutation;
+    use bdb_engine::json::Value;
+    use bdb_sim::MachineConfig;
+    use bdb_workloads::Scale;
+
+    fn two_config_spec() -> ServeSpec {
+        let mut spec = ServeSpec::representatives(Scale::tiny());
+        spec.configs
+            .insert("atom-d510".to_owned(), MachineConfig::atom_d510());
+        spec
+    }
+
+    #[test]
+    fn knob_edit_changes_only_that_configs_entries() {
+        let spec = two_config_spec();
+        let index = DepIndex::build(&spec);
+        let next = spec
+            .apply(&Mutation::SetKnob {
+                config: "xeon-e5645".to_owned(),
+                knob: "l1d.size_bytes".to_owned(),
+                value: Value::UInt(65536),
+            })
+            .unwrap();
+        let diff = index.diff(&DepIndex::build(&next));
+        assert!(diff.created.is_empty() && diff.removed.is_empty());
+        assert_eq!(diff.changed.len(), spec.workloads.len());
+        assert!(diff.changed.iter().all(|k| k.config == "xeon-e5645"));
+    }
+
+    #[test]
+    fn workload_add_creates_one_entry_per_config() {
+        let spec = two_config_spec();
+        let without = spec
+            .apply(&Mutation::RemoveWorkload {
+                id: "H-WordCount".to_owned(),
+            })
+            .unwrap();
+        let diff = DepIndex::build(&without).diff(&DepIndex::build(&spec));
+        assert!(diff.changed.is_empty() && diff.removed.is_empty());
+        assert_eq!(diff.created.len(), 2);
+        assert!(diff.created.iter().all(|k| k.workload == "H-WordCount"));
+    }
+
+    #[test]
+    fn scale_change_invalidates_everything() {
+        let spec = two_config_spec();
+        let rescaled = spec.apply(&Mutation::SetScale { factor: 0.05 }).unwrap();
+        let diff = DepIndex::build(&spec).diff(&DepIndex::build(&rescaled));
+        assert_eq!(diff.changed.len(), spec.entries().len());
+        assert!(diff.created.is_empty() && diff.removed.is_empty());
+    }
+
+    #[test]
+    fn identical_specs_diff_empty() {
+        let spec = two_config_spec();
+        let diff = DepIndex::build(&spec).diff(&DepIndex::build(&spec.clone()));
+        assert!(diff.is_empty());
+    }
+}

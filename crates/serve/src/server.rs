@@ -1,0 +1,372 @@
+//! The blocking serve daemon: sessions, subscriptions, delta fan-out.
+//!
+//! One thread per accepted connection, a single mutex around the
+//! [`ServeState`] (mutations serialize; the rayon fan-out happens
+//! *inside* `apply`, so one mutation still uses every core), and a
+//! subscriber registry of [`FrameTransport`]s. Delta broadcast happens
+//! **under the state lock**, so subscribers observe batches in strict
+//! `seq` order; per-frame sends are atomic (the transport's writer is
+//! its own mutex), so a broadcast never interleaves with a session
+//! reply on the same connection.
+//!
+//! Warm restart is free: the server owns no persistence of its own.
+//! Rebuilding [`ServeState`] over an engine whose `BDB_CACHE_DIR` /
+//! `BDB_JOURNAL` point at the previous run's artifacts re-materializes
+//! the whole catalog from disk without a single simulation — the
+//! engine's `computed` counter (exposed via `Stats`) proves it.
+
+use crate::proto::{
+    decode_request, encode_reply, ServeReply, ServeRequest, ServeStats, SnapshotEntry,
+    SERVE_PROTOCOL_VERSION,
+};
+use crate::state::{DeltaBatch, ServeState};
+use crate::{Delta, ServeError};
+use bdb_cluster::{FrameTransport, TcpTransport, TransportError, WireFormat};
+use std::collections::BTreeMap;
+use std::net::TcpListener;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Daemon tunables, normally from [`ServerConfig::from_env`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// The name sent in `Hello` replies.
+    pub name: String,
+    /// Concurrent-session cap; a session past the cap is refused with
+    /// an `Error` reply before any request is read.
+    pub max_clients: u64,
+    /// Payload format for replies and delta pushes.
+    pub format: WireFormat,
+}
+
+impl ServerConfig {
+    /// A named config with library defaults (64 clients, JSON frames).
+    pub fn named(name: &str) -> Self {
+        ServerConfig {
+            name: name.to_owned(),
+            max_clients: 64,
+            format: WireFormat::Json,
+        }
+    }
+
+    /// Reads `BDB_SERVE_MAX_CLIENTS` (default 64) and
+    /// `BDB_SERVE_FORMAT` (via
+    /// [`crate::proto::serve_format_from_env`]).
+    pub fn from_env() -> Self {
+        let max_clients = std::env::var("BDB_SERVE_MAX_CLIENTS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64);
+        ServerConfig {
+            name: "bdb-served".to_owned(),
+            max_clients,
+            format: crate::proto::serve_format_from_env(),
+        }
+    }
+}
+
+struct Shared {
+    state: Mutex<ServeState>,
+    subscribers: Mutex<BTreeMap<u64, Arc<dyn FrameTransport>>>,
+    config: ServerConfig,
+    sessions_active: AtomicU64,
+    sessions_total: AtomicU64,
+    delta_batches: AtomicU64,
+    deltas_streamed: AtomicU64,
+    shutdown: AtomicBool,
+    wake_addr: Mutex<Option<String>>,
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    // A poisoned lock means another session panicked mid-request; the
+    // shared state itself is only ever mutated through `ServeState::apply`,
+    // which is transactional, so continuing is safe.
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// The daemon. Cheap to clone; clones share one state and registry.
+#[derive(Clone)]
+pub struct Server {
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Wraps a materialized catalog in a server.
+    pub fn new(state: ServeState, config: ServerConfig) -> Server {
+        Server {
+            shared: Arc::new(Shared {
+                state: Mutex::new(state),
+                subscribers: Mutex::new(BTreeMap::new()),
+                config,
+                sessions_active: AtomicU64::new(0),
+                sessions_total: AtomicU64::new(0),
+                delta_batches: AtomicU64::new(0),
+                deltas_streamed: AtomicU64::new(0),
+                shutdown: AtomicBool::new(false),
+                wake_addr: Mutex::new(None),
+            }),
+        }
+    }
+
+    /// Whether a `Shutdown` request has been accepted.
+    pub fn is_shutdown(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// The counter snapshot served by `Stats`.
+    pub fn stats(&self) -> ServeStats {
+        let (entries, seq, counters) = {
+            let state = lock(&self.shared.state);
+            (state.len() as u64, state.seq(), state.engine().counters())
+        };
+        ServeStats {
+            computed: counters.computed,
+            delta_batches: self.shared.delta_batches.load(Ordering::SeqCst),
+            deltas_streamed: self.shared.deltas_streamed.load(Ordering::SeqCst),
+            disk_hits: counters.disk_hits,
+            entries,
+            invalidated: counters.invalidated,
+            journal_hits: counters.journal_hits,
+            memory_hits: counters.memory_hits,
+            seq,
+            sessions_active: self.shared.sessions_active.load(Ordering::SeqCst),
+            sessions_total: self.shared.sessions_total.load(Ordering::SeqCst),
+            subscribers: lock(&self.shared.subscribers).len() as u64,
+        }
+    }
+
+    /// Accepts sessions until a `Shutdown` request arrives, spawning
+    /// one thread per connection. Accept errors are skipped (the
+    /// listener survives transient failures).
+    pub fn serve_listener(&self, listener: &TcpListener) -> Result<(), ServeError> {
+        let addr = listener
+            .local_addr()
+            .map_err(|e| ServeError::Io(e.to_string()))?;
+        *lock(&self.shared.wake_addr) = Some(addr.to_string());
+        for stream in listener.incoming() {
+            if self.is_shutdown() {
+                break;
+            }
+            let Ok(stream) = stream else { continue };
+            let peer = stream
+                .peer_addr()
+                .map(|a| a.to_string())
+                .unwrap_or_else(|_| "?".to_owned());
+            let Ok(transport) = TcpTransport::from_stream(stream, &peer) else {
+                continue;
+            };
+            let server = self.clone();
+            std::thread::spawn(move || {
+                let _ = server.serve_session(Arc::new(transport));
+            });
+        }
+        Ok(())
+    }
+
+    /// Runs one session to completion on the calling thread. Public so
+    /// tests and benches can serve loopback transports without sockets.
+    pub fn serve_session(&self, transport: Arc<dyn FrameTransport>) -> Result<(), ServeError> {
+        let session_id = self.shared.sessions_total.fetch_add(1, Ordering::SeqCst) + 1;
+        let active = self.shared.sessions_active.fetch_add(1, Ordering::SeqCst) + 1;
+        let result = if active > self.shared.config.max_clients {
+            let refusal = ServeError::ServerFull {
+                max_clients: self.shared.config.max_clients,
+            };
+            let _ = self.send(
+                &transport,
+                &ServeReply::Error {
+                    id: 0,
+                    message: refusal.to_string(),
+                },
+            );
+            Err(refusal)
+        } else {
+            self.session_loop(session_id, &transport)
+        };
+        lock(&self.shared.subscribers).remove(&session_id);
+        self.shared.sessions_active.fetch_sub(1, Ordering::SeqCst);
+        result
+    }
+
+    fn session_loop(
+        &self,
+        session_id: u64,
+        transport: &Arc<dyn FrameTransport>,
+    ) -> Result<(), ServeError> {
+        loop {
+            let payload = match transport.recv_payload() {
+                Ok(p) => p,
+                Err(TransportError::Closed) => return Ok(()),
+                Err(e) => return Err(e.into()),
+            };
+            let request = match decode_request(&payload) {
+                Ok(r) => r,
+                Err(e) => {
+                    self.send(
+                        transport,
+                        &ServeReply::Error {
+                            id: 0,
+                            message: e.to_string(),
+                        },
+                    )?;
+                    continue;
+                }
+            };
+            match request {
+                ServeRequest::Hello { protocol, .. } => {
+                    if protocol != SERVE_PROTOCOL_VERSION {
+                        self.send(
+                            transport,
+                            &ServeReply::Error {
+                                id: 0,
+                                message: format!(
+                                    "protocol {protocol} unsupported (server speaks {SERVE_PROTOCOL_VERSION})"
+                                ),
+                            },
+                        )?;
+                        return Ok(());
+                    }
+                    let (entries, seq) = {
+                        let state = lock(&self.shared.state);
+                        (state.len() as u64, state.seq())
+                    };
+                    self.send(
+                        transport,
+                        &ServeReply::Hello {
+                            entries,
+                            protocol: SERVE_PROTOCOL_VERSION,
+                            seq,
+                            server: self.shared.config.name.clone(),
+                        },
+                    )?;
+                }
+                ServeRequest::Query { id, key } => {
+                    // The warm path: a lookup in the materialized map,
+                    // never a simulation. The engine's `computed`
+                    // counter staying flat across queries is the
+                    // warm-serving proof the contract test checks.
+                    let reply = {
+                        let state = lock(&self.shared.state);
+                        match state.get(&key) {
+                            Some((fingerprint, profile)) => ServeReply::Profile {
+                                fingerprint,
+                                id,
+                                key,
+                                profile: Box::new(profile.clone()),
+                            },
+                            None => ServeReply::NotFound { id, key },
+                        }
+                    };
+                    self.send(transport, &reply)?;
+                }
+                ServeRequest::Snapshot { id } => {
+                    let reply = {
+                        let state = lock(&self.shared.state);
+                        let entries = state
+                            .keys()
+                            .into_iter()
+                            .filter_map(|key| {
+                                state.get(&key).map(|(fingerprint, profile)| SnapshotEntry {
+                                    fingerprint,
+                                    key: key.clone(),
+                                    profile: Box::new(profile.clone()),
+                                })
+                            })
+                            .collect();
+                        ServeReply::Snapshot {
+                            entries,
+                            id,
+                            seq: state.seq(),
+                        }
+                    };
+                    self.send(transport, &reply)?;
+                }
+                ServeRequest::Mutate { id, mutation } => {
+                    // Apply and broadcast under one lock acquisition:
+                    // subscribers see batches in strict seq order.
+                    let reply = {
+                        let mut state = lock(&self.shared.state);
+                        match state.apply(&mutation) {
+                            Ok(batch) => {
+                                self.broadcast(&batch);
+                                let count = |f: fn(&Delta) -> bool| {
+                                    batch.deltas.iter().filter(|d| f(d)).count() as u64
+                                };
+                                ServeReply::Mutated {
+                                    created: count(|d| matches!(d, Delta::Created { .. })),
+                                    deleted: count(|d| matches!(d, Delta::Deleted { .. })),
+                                    id,
+                                    seq: batch.seq,
+                                    updated: count(|d| matches!(d, Delta::Updated { .. })),
+                                }
+                            }
+                            Err(e) => ServeReply::Error {
+                                id,
+                                message: e.to_string(),
+                            },
+                        }
+                    };
+                    self.send(transport, &reply)?;
+                }
+                ServeRequest::Subscribe { id } => {
+                    let seq = lock(&self.shared.state).seq();
+                    lock(&self.shared.subscribers).insert(session_id, Arc::clone(transport));
+                    self.send(transport, &ServeReply::Subscribed { id, seq })?;
+                }
+                ServeRequest::Stats { id } => {
+                    let stats = self.stats();
+                    self.send(transport, &ServeReply::Stats { id, stats })?;
+                }
+                ServeRequest::Shutdown { id } => {
+                    self.shared.shutdown.store(true, Ordering::SeqCst);
+                    self.send(transport, &ServeReply::ShuttingDown { id })?;
+                    self.wake_listener();
+                    return Ok(());
+                }
+                ServeRequest::Bye => return Ok(()),
+            }
+        }
+    }
+
+    fn send(
+        &self,
+        transport: &Arc<dyn FrameTransport>,
+        reply: &ServeReply,
+    ) -> Result<(), ServeError> {
+        let payload = encode_reply(self.shared.config.format, reply);
+        transport.send_payload(&payload).map_err(ServeError::from)
+    }
+
+    /// Pushes one batch to every subscriber; dead subscribers are
+    /// dropped. Called with the state lock held (see `Mutate`).
+    fn broadcast(&self, batch: &DeltaBatch) {
+        if batch.deltas.is_empty() {
+            return;
+        }
+        self.shared.delta_batches.fetch_add(1, Ordering::SeqCst);
+        let payload = encode_reply(self.shared.config.format, &ServeReply::Delta(batch.clone()));
+        let mut subscribers = lock(&self.shared.subscribers);
+        let mut dead = Vec::new();
+        for (&session_id, subscriber) in subscribers.iter() {
+            match subscriber.send_payload(&payload) {
+                Ok(()) => {
+                    self.shared
+                        .deltas_streamed
+                        .fetch_add(batch.deltas.len() as u64, Ordering::SeqCst);
+                }
+                Err(_) => dead.push(session_id),
+            }
+        }
+        for session_id in dead {
+            subscribers.remove(&session_id);
+        }
+    }
+
+    /// Unblocks `serve_listener`'s accept call after shutdown by
+    /// connecting (and immediately dropping) a throwaway stream.
+    fn wake_listener(&self) {
+        if let Some(addr) = lock(&self.shared.wake_addr).clone() {
+            let _ = std::net::TcpStream::connect(addr);
+        }
+    }
+}

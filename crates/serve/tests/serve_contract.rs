@@ -1,0 +1,267 @@
+//! The serve contract: applying mutations incrementally must leave the
+//! materialized catalog **byte-identical** to a cold full recompute of
+//! the final spec, while touching only the entries each mutation
+//! invalidates. The loopback tests drive the same guarantees through a
+//! real server session — warm queries never hit the engine, and a
+//! subscriber patching its snapshot with streamed deltas converges to
+//! the server's own catalog bytes.
+
+use bdb_cluster::{loopback_pair, WireFormat};
+use bdb_engine::codec::profile_to_value;
+use bdb_engine::json::Value;
+use bdb_engine::{Engine, EngineConfig};
+use bdb_serve::{
+    apply_delta_batch, Mutation, ServeClient, ServeSpec, ServeState, Server, ServerConfig,
+    SnapshotEntry,
+};
+use bdb_sim::MachineConfig;
+use bdb_workloads::Scale;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn small_spec() -> ServeSpec {
+    ServeSpec::representatives(Scale::tiny())
+        .with_workloads(&[
+            "H-WordCount".to_owned(),
+            "H-Grep".to_owned(),
+            "S-Project".to_owned(),
+        ])
+        .expect("catalog ids resolve")
+}
+
+/// Spawns a loopback session thread against `server` and returns a
+/// connected client. The session thread exits when the client says
+/// `Bye` (or drops its transport).
+fn session(server: &Server) -> ServeClient {
+    let (client_end, server_end) = loopback_pair("test-session");
+    let server = server.clone();
+    std::thread::spawn(move || server.serve_session(Arc::new(server_end)));
+    ServeClient::over(Arc::new(client_end), WireFormat::Json)
+}
+
+fn snapshot_lines(entries: &[SnapshotEntry]) -> Vec<String> {
+    entries
+        .iter()
+        .map(|e| {
+            format!(
+                "{} {:016x} {}",
+                e.key.render(),
+                e.fingerprint,
+                profile_to_value(&e.profile).encode()
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn mutation_sequence_matches_cold_full_recompute_byte_for_byte() {
+    let engine = Arc::new(Engine::in_memory());
+    let mut state = ServeState::materialize(engine.clone(), small_spec()).expect("materialize");
+    // Exercise every mutation kind: knob edit, workload add/remove,
+    // config add/remove (add two so the remove leaves a mixed catalog),
+    // and a scale change that invalidates everything.
+    let mutations = [
+        Mutation::SetKnob {
+            config: "xeon-e5645".to_owned(),
+            knob: "l1d.size_bytes".to_owned(),
+            value: Value::UInt(16384),
+        },
+        Mutation::AddConfig {
+            name: "atom-d510".to_owned(),
+            machine: Box::new(MachineConfig::atom_d510()),
+        },
+        Mutation::AddWorkload {
+            id: "M-Sort".to_owned(),
+        },
+        Mutation::AddConfig {
+            name: "xeon-e5-2697".to_owned(),
+            machine: Box::new(MachineConfig::xeon_e5_2697()),
+        },
+        Mutation::RemoveWorkload {
+            id: "H-Grep".to_owned(),
+        },
+        Mutation::RemoveConfig {
+            name: "xeon-e5-2697".to_owned(),
+        },
+        Mutation::SetScale { factor: 0.0625 },
+    ];
+    for (i, mutation) in mutations.iter().enumerate() {
+        let batch = state.apply(mutation).expect("mutation applies");
+        assert_eq!(batch.seq, (i + 1) as u64, "seq advances once per mutation");
+    }
+    assert_eq!(state.len(), 6, "2 configs x 3 workloads survive");
+
+    let cold = ServeState::materialize(Arc::new(Engine::in_memory()), state.spec().clone())
+        .expect("cold materialize");
+    assert_eq!(
+        state.snapshot_bytes(),
+        cold.snapshot_bytes(),
+        "incremental catalog must be byte-identical to a cold recompute"
+    );
+}
+
+#[test]
+fn warm_restart_re_materializes_without_recomputing() {
+    let dir = std::env::temp_dir().join(format!("bdb-serve-warm-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let cold_engine = Arc::new(Engine::new(EngineConfig::default().cache_dir(&dir)));
+    let cold = ServeState::materialize(cold_engine.clone(), small_spec()).expect("cold");
+    assert_eq!(cold_engine.counters().computed, 3, "cold run simulates");
+    let cold_bytes = cold.snapshot_bytes();
+    drop(cold);
+
+    // A restarted daemon pointing at the same cache dir comes back warm:
+    // every profile loads from disk, nothing is simulated.
+    let warm_engine = Arc::new(Engine::new(EngineConfig::default().cache_dir(&dir)));
+    let warm = ServeState::materialize(warm_engine.clone(), small_spec()).expect("warm");
+    assert_eq!(
+        warm_engine.counters().computed,
+        0,
+        "restart must not simulate"
+    );
+    assert_eq!(warm_engine.counters().disk_hits, 3);
+    assert_eq!(
+        warm.snapshot_bytes(),
+        cold_bytes,
+        "warm catalog is byte-identical"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn loopback_queries_and_snapshots_are_served_from_the_materialized_map() {
+    let engine = Arc::new(Engine::in_memory());
+    let state = ServeState::materialize(engine.clone(), small_spec()).expect("materialize");
+    let keys = state.keys();
+    let server = Server::new(state, ServerConfig::named("warm-test"));
+
+    let mut client = session(&server);
+    let info = client.hello("reader").expect("hello");
+    assert_eq!(info.entries, 3);
+    assert_eq!(info.seq, 0);
+
+    let computed_before = engine.counters().computed;
+    for key in &keys {
+        let (fingerprint, profile) = client
+            .query(key)
+            .expect("query")
+            .expect("served key is present");
+        assert_ne!(fingerprint, 0);
+        assert_eq!(profile.spec.id, key.workload);
+    }
+    let (seq, entries) = client.snapshot().expect("snapshot");
+    assert_eq!(seq, 0);
+    assert_eq!(entries.len(), 3);
+    assert!(
+        client
+            .query(&bdb_serve::EntryKey::new("xeon-e5645", "NoSuchWorkload"))
+            .expect("query")
+            .is_none(),
+        "unknown keys are NotFound, not errors"
+    );
+    assert_eq!(
+        engine.counters().computed,
+        computed_before,
+        "warm queries and snapshots must never reach the engine"
+    );
+
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.entries, 3);
+    assert_eq!(
+        stats.computed, 3,
+        "only the initial materialization simulated"
+    );
+    assert_eq!(stats.sessions_active, 1);
+    client.bye().expect("bye");
+}
+
+#[test]
+fn subscriber_patches_snapshot_to_byte_identical_catalog() {
+    let engine = Arc::new(Engine::in_memory());
+    let state = ServeState::materialize(engine.clone(), small_spec()).expect("materialize");
+    let server = Server::new(state, ServerConfig::named("delta-test"));
+
+    let mut subscriber = session(&server);
+    subscriber.hello("subscriber").expect("hello");
+    let covered = subscriber.subscribe().expect("subscribe");
+    let (snap_seq, entries) = subscriber.snapshot().expect("snapshot");
+    assert_eq!(covered, snap_seq);
+    let mut catalog: BTreeMap<String, SnapshotEntry> =
+        entries.into_iter().map(|e| (e.key.render(), e)).collect();
+
+    let mut mutator = session(&server);
+    mutator.hello("mutator").expect("hello");
+    let computed_before = engine.counters().computed;
+    let outcome = mutator
+        .mutate(Mutation::SetKnob {
+            config: "xeon-e5645".to_owned(),
+            knob: "l1d.size_bytes".to_owned(),
+            value: Value::UInt(16384),
+        })
+        .expect("knob mutate");
+    assert_eq!(outcome.seq, snap_seq + 1);
+    assert_eq!(outcome.created, 0);
+    assert_eq!(outcome.deleted, 0);
+    assert!(outcome.updated >= 1, "shrinking L1d must move some profile");
+    assert_eq!(
+        engine.counters().computed,
+        computed_before + 3,
+        "the delta recompute touches exactly the affected entries"
+    );
+    let removed = mutator
+        .mutate(Mutation::RemoveWorkload {
+            id: "H-Grep".to_owned(),
+        })
+        .expect("remove mutate");
+    assert_eq!(removed.deleted, 1);
+
+    // The subscriber replays both pushed batches onto its snapshot…
+    for expect_seq in [snap_seq + 1, snap_seq + 2] {
+        let batch = subscriber
+            .next_delta(Duration::from_secs(30))
+            .expect("delta stream")
+            .expect("batch arrives before timeout");
+        assert_eq!(batch.seq, expect_seq, "batches arrive in strict seq order");
+        apply_delta_batch(&mut catalog, &batch);
+    }
+
+    // …and must land on the server's own catalog, byte for byte.
+    let (final_seq, fresh) = mutator.snapshot().expect("fresh snapshot");
+    assert_eq!(final_seq, snap_seq + 2);
+    let patched: Vec<SnapshotEntry> = catalog.into_values().collect();
+    assert_eq!(snapshot_lines(&patched), snapshot_lines(&fresh));
+
+    let stats = mutator.stats().expect("stats");
+    assert_eq!(stats.subscribers, 1);
+    assert_eq!(stats.delta_batches, 2);
+    assert_eq!(
+        stats.deltas_streamed,
+        outcome.updated + removed.deleted,
+        "every delta fanned out to the one subscriber"
+    );
+    subscriber.bye().expect("bye");
+    mutator.bye().expect("bye");
+}
+
+#[test]
+fn session_cap_refuses_with_a_remote_error() {
+    let state =
+        ServeState::materialize(Arc::new(Engine::in_memory()), small_spec()).expect("materialize");
+    let server = Server::new(
+        state,
+        ServerConfig {
+            max_clients: 0,
+            ..ServerConfig::named("full")
+        },
+    );
+    let mut client = session(&server);
+    match client.hello("late") {
+        Err(bdb_serve::ServeError::Remote(message)) => {
+            assert!(message.contains("full"), "refusal names the cap: {message}");
+        }
+        other => panic!("expected a remote refusal, got {other:?}"),
+    }
+}

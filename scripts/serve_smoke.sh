@@ -1,0 +1,135 @@
+#!/usr/bin/env bash
+# Serve smoke: a bdb-served daemon over TCP, three concurrent clients,
+# a knob mutation whose deltas are streamed and patched client-side,
+# and a kill -9 warm restart — every printed catalog byte-diffed
+# against the serve-smoke --baseline cold-recompute oracle.
+#
+# This is the multi-process twin of crates/serve/tests/serve_contract.rs:
+# same contracts (warm serving, incremental recompute, delta-patched
+# snapshots, warm restart), but with a real daemon process, real TCP
+# sessions, and real SIGKILL process death.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+WORKLOADS="${WORKLOADS:-H-WordCount,H-Grep,S-Project}"
+KNOB="knob:xeon-e5645:l1d.size_bytes=16384"
+QUERY_KEY="xeon-e5645/H-WordCount"
+OUT="$(mktemp -d)"
+PIDS=()
+cleanup() {
+    for pid in "${PIDS[@]:-}"; do
+        kill "$pid" 2>/dev/null || true
+    done
+    rm -rf "$OUT"
+}
+trap cleanup EXIT
+
+echo "== build =="
+cargo build -q --release -p bdb-serve --bins
+
+SERVED=target/release/bdb_served
+SMOKE=target/release/serve_smoke
+
+# The daemon persists profiles here; the warm-restart leg depends on it.
+export BDB_CACHE_DIR="$OUT/cache"
+
+start_daemon() { # args: logfile — sets DAEMON_PID and DAEMON_ADDR
+    local log="$1"
+    "$SERVED" --listen 127.0.0.1:0 --workloads "$WORKLOADS" --scale tiny \
+        >"$log" 2>"$log.err" &
+    DAEMON_PID=$!
+    PIDS+=("$DAEMON_PID")
+    # Wait for both startup lines: the bind address prints immediately,
+    # the materialized line only once the catalog is built.
+    for _ in $(seq 1 100); do
+        if grep -q '^materialized ' "$log" \
+            && DAEMON_ADDR=$(grep -m1 '^listening on ' "$log" | cut -d' ' -f3) \
+            && [ -n "$DAEMON_ADDR" ]; then
+            return 0
+        fi
+        sleep 0.1
+    done
+    echo "daemon did not finish starting ($log)" >&2
+    cat "$log" "$log.err" >&2 || true
+    return 1
+}
+
+echo "== cold-recompute oracles (local, no daemon) =="
+"$SMOKE" --baseline --workloads "$WORKLOADS" --scale tiny \
+    >"$OUT/base0.txt" 2>/dev/null
+"$SMOKE" --baseline --workloads "$WORKLOADS" --scale tiny --mutate "$KNOB" \
+    >"$OUT/base1.txt" 2>"$OUT/base1.err"
+
+echo "== start daemon (cold) =="
+start_daemon "$OUT/d1.log"
+echo "daemon at $DAEMON_ADDR (pid $DAEMON_PID)"
+grep -q 'materialized 3 entries (3 computed' "$OUT/d1.log" || {
+    echo "cold daemon did not simulate its catalog:" >&2
+    cat "$OUT/d1.log" >&2
+    exit 1
+}
+
+echo "== three concurrent clients (snapshot, query, stats) =="
+"$SMOKE" --connect "$DAEMON_ADDR" --snapshot >"$OUT/snap_cold.txt" 2>/dev/null &
+SNAP=$!
+"$SMOKE" --connect "$DAEMON_ADDR" --query "$QUERY_KEY" >"$OUT/query.txt" 2>/dev/null &
+QUERY=$!
+"$SMOKE" --connect "$DAEMON_ADDR" --stats >"$OUT/stats_cold.txt" 2>/dev/null &
+STATS=$!
+wait "$SNAP" "$QUERY" "$STATS"
+diff "$OUT/base0.txt" "$OUT/snap_cold.txt"
+grep -qxF "$(cat "$OUT/query.txt")" "$OUT/base0.txt" || {
+    echo "queried entry does not match the baseline oracle:" >&2
+    cat "$OUT/query.txt" >&2
+    exit 1
+}
+echo "concurrent clients OK: snapshot byte-identical to the cold oracle"
+
+echo "== kill -9, then warm restart from the cache =="
+kill -9 "$DAEMON_PID" 2>/dev/null || true
+wait "$DAEMON_PID" 2>/dev/null || true
+start_daemon "$OUT/d2.log"
+echo "restarted daemon at $DAEMON_ADDR (pid $DAEMON_PID)"
+grep -q 'materialized 3 entries (0 computed' "$OUT/d2.log" || {
+    echo "restarted daemon recomputed instead of loading the cache:" >&2
+    cat "$OUT/d2.log" >&2
+    exit 1
+}
+"$SMOKE" --connect "$DAEMON_ADDR" --snapshot >"$OUT/snap_warm.txt" 2>/dev/null
+diff "$OUT/base0.txt" "$OUT/snap_warm.txt"
+echo "warm restart OK: catalog reloaded byte-identically without simulating"
+
+echo "== subscriber + knob mutation (incremental recompute, delta patch) =="
+"$SMOKE" --connect "$DAEMON_ADDR" --subscribe --expect-batches 1 \
+    >"$OUT/patched.txt" 2>"$OUT/subscriber.err" &
+SUBSCRIBER=$!
+for _ in $(seq 1 100); do
+    grep -q 'subscribed at seq' "$OUT/subscriber.err" && break
+    sleep 0.1
+done
+grep -q 'subscribed at seq' "$OUT/subscriber.err" || {
+    echo "subscriber never registered:" >&2
+    cat "$OUT/subscriber.err" >&2
+    exit 1
+}
+"$SMOKE" --connect "$DAEMON_ADDR" --mutate "$KNOB" 2>"$OUT/mutate.err"
+wait "$SUBSCRIBER"
+"$SMOKE" --connect "$DAEMON_ADDR" --snapshot >"$OUT/snap_mutated.txt" 2>/dev/null
+diff "$OUT/snap_mutated.txt" "$OUT/patched.txt"
+diff "$OUT/base1.txt" "$OUT/snap_mutated.txt"
+echo "delta smoke OK: patched subscriber catalog byte-identical to the mutated oracle"
+
+echo "== counters prove the recompute was incremental =="
+"$SMOKE" --connect "$DAEMON_ADDR" --stats >"$OUT/stats_final.txt" 2>/dev/null
+grep -qx 'computed=3' "$OUT/stats_final.txt" || {
+    echo "expected exactly the 3 knob-affected recomputes on the warm daemon:" >&2
+    cat "$OUT/stats_final.txt" >&2
+    exit 1
+}
+grep -qx 'delta_batches=1' "$OUT/stats_final.txt"
+grep -qx 'deltas_streamed=3' "$OUT/stats_final.txt"
+
+echo "== clean shutdown =="
+"$SMOKE" --connect "$DAEMON_ADDR" --shutdown 2>"$OUT/shutdown.err"
+wait "$DAEMON_PID"
+echo "serve smoke OK: warm serving, kill -9 restart, and incremental deltas all byte-identical"
