@@ -15,6 +15,7 @@ const REQUIRED_KNOBS: &[&str] = &[
     "--scale",
     "--cluster",
     "BDB_THREADS",
+    "BDB_POINT_THREADS",
     "BDB_CACHE_DIR",
     "BDB_NO_CACHE",
     "BDB_CACHE_MAX_BYTES",

@@ -24,6 +24,10 @@ pub const DAEMON_ENGINE_ENV: &[HelpEntry<'static>] = &[
         "Worker-pool width for the local engine (default: all cores)",
     ),
     (
+        "BDB_POINT_THREADS",
+        "Capacity-point fan-out width within one sweep (default: auto)",
+    ),
+    (
         "BDB_CACHE_DIR",
         "Profile-cache directory (default: results/cache/)",
     ),

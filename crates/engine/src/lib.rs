@@ -69,8 +69,8 @@ pub use task::{resolve_workload, Task, TaskError, TaskResult};
 
 use bdb_node::NodeConfig;
 use bdb_sim::{
-    assemble_sweep, fused_point, sweep_point_replay, MachineConfig, SweepFamily, SweepResult,
-    SweepStreams,
+    assemble_sweep, fused_points_parallel, sweep_point_replay, MachineConfig, StreamArena,
+    SweepFamily, SweepResult,
 };
 use bdb_trace::{TraceBufferPool, TraceSink};
 use bdb_wcrt::{profile_workload, WorkloadProfile};
@@ -132,6 +132,15 @@ impl CacheFormat {
 /// recomputed-over in place).
 pub const QUARANTINE_DIR: &str = "quarantine";
 
+/// Minimum sweep work — trace events times capacity points — before the
+/// auto point width fans one sweep's replay across threads. Below this,
+/// pool setup and per-point stream sharing cost more than the replay
+/// itself (the old "1 thread beats 4 at tiny scale" inversion), so the
+/// engine replays serially. An explicit `BDB_POINT_THREADS` overrides
+/// the threshold. The value is roughly where the parallel path breaks
+/// even on commodity cores: a few million replayed events.
+pub const POINT_PARALLEL_MIN_WORK: u64 = 8 * 1024 * 1024;
+
 /// How [`Engine::sweep`] computes its points.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub enum SweepMode {
@@ -150,6 +159,12 @@ pub struct EngineConfig {
     /// Worker threads for `profile_all` / `sweep`. `None` uses the
     /// machine's available parallelism; `Some(1)` is fully serial.
     pub threads: Option<usize>,
+    /// Threads one sweep fans its capacity points across (intra-workload
+    /// parallelism). `None` derives a width from the worker pool and
+    /// falls back to serial replay below the
+    /// [`POINT_PARALLEL_MIN_WORK`] threshold; an explicit value always
+    /// wins, threshold included.
+    pub point_threads: Option<usize>,
     /// Directory for the on-disk profile cache (one JSON file per
     /// profile). `None` disables the disk cache.
     pub cache_dir: Option<PathBuf>,
@@ -185,6 +200,7 @@ impl std::fmt::Debug for EngineConfig {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("EngineConfig")
             .field("threads", &self.threads)
+            .field("point_threads", &self.point_threads)
             .field("cache_dir", &self.cache_dir)
             .field("no_memory_cache", &self.no_memory_cache)
             .field("cache_max_bytes", &self.cache_max_bytes)
@@ -203,6 +219,15 @@ impl EngineConfig {
     #[must_use]
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = Some(threads);
+        self
+    }
+
+    /// Fans each sweep's capacity points across `threads` workers,
+    /// bypassing the [`POINT_PARALLEL_MIN_WORK`] threshold (an explicit
+    /// width is an instruction, not a hint).
+    #[must_use]
+    pub fn point_threads(mut self, threads: usize) -> Self {
+        self.point_threads = Some(threads);
         self
     }
 
@@ -279,6 +304,10 @@ impl EngineConfig {
     ///   `results/cache/` at the workspace root).
     /// * `BDB_NO_CACHE=1` — disable the disk cache for this run.
     /// * `BDB_THREADS=<n>` — cap the worker pool (default: all cores).
+    /// * `BDB_POINT_THREADS=<n>` — fan each sweep's capacity points
+    ///   across `n` threads, even below the auto threshold (default:
+    ///   auto — width follows the worker pool, and small sweeps stay
+    ///   serial; see [`POINT_PARALLEL_MIN_WORK`]).
     /// * `BDB_CACHE_MAX_BYTES=<n>` — cap the disk cache; LRU entries are
     ///   evicted past the cap (default: unbounded).
     /// * `BDB_CACHE_FORMAT=binary` — persist new cache entries and
@@ -308,6 +337,12 @@ impl EngineConfig {
             .and_then(|t| t.parse().ok())
         {
             config = config.threads(threads);
+        }
+        if let Some(threads) = std::env::var("BDB_POINT_THREADS")
+            .ok()
+            .and_then(|t| t.parse().ok())
+        {
+            config = config.point_threads(threads);
         }
         if let Some(bytes) = std::env::var("BDB_CACHE_MAX_BYTES")
             .ok()
@@ -402,10 +437,16 @@ pub struct Engine {
     cache_max_bytes: Option<u64>,
     cache_format: CacheFormat,
     sweep_mode: SweepMode,
+    /// Threads one sweep fans its capacity points across (`None` =
+    /// derive from the pool, threshold-gated).
+    point_threads: Option<usize>,
     /// Recycled trace buffers for per-point sweeps (which record once and
     /// replay a full machine per capacity): consecutive sweeps and
     /// concurrent sweep callers reuse recorded-trace chunk allocations.
     buffers: TraceBufferPool,
+    /// Recycled RLE stream buffers for fused sweeps — repeated sweeps
+    /// reuse the extracted-stream vectors instead of reallocating them.
+    streams: StreamArena,
     // bdb-lint: allow(determinism): keyed-lookup-only memo, never iterated.
     memory: Option<Mutex<HashMap<u64, WorkloadProfile>>>,
     journal: Option<Mutex<RunJournal>>,
@@ -460,7 +501,9 @@ impl Engine {
             cache_max_bytes: config.cache_max_bytes,
             cache_format: config.cache_format,
             sweep_mode: config.sweep_mode,
+            point_threads: config.point_threads,
             buffers: TraceBufferPool::new(),
+            streams: StreamArena::new(),
             // bdb-lint: allow(determinism): keyed-lookup-only memo.
             memory: (!config.no_memory_cache).then(|| Mutex::new(HashMap::new())),
             journal,
@@ -502,6 +545,34 @@ impl Engine {
             Dispatch::Ambient => rayon::current_num_threads(),
             Dispatch::Serial => 1,
         }
+    }
+
+    /// Threads one sweep fans its capacity points across when the work
+    /// clears the [`POINT_PARALLEL_MIN_WORK`] threshold: the configured
+    /// `BDB_POINT_THREADS` width, or the worker-pool width when unset.
+    pub fn point_threads(&self) -> usize {
+        self.point_threads.unwrap_or_else(|| self.worker_threads())
+    }
+
+    /// Width one sweep's capacity-point replay actually fans out to, for
+    /// a sweep of `events` trace events replayed at `points` capacities.
+    ///
+    /// Below [`POINT_PARALLEL_MIN_WORK`] (events × points) the auto
+    /// width demotes to serial: forking a pool costs more than replaying
+    /// a small trace, which is how 1 thread used to beat 4 at tiny
+    /// scale. An explicit `BDB_POINT_THREADS` is an instruction, not a
+    /// hint, and skips the threshold.
+    pub fn point_fanout(&self, events: u64, points: usize) -> usize {
+        let width = self.point_threads();
+        if width <= 1 {
+            return 1;
+        }
+        if self.point_threads.is_none()
+            && events.saturating_mul(points as u64) < POINT_PARALLEL_MIN_WORK
+        {
+            return 1;
+        }
+        width
     }
 
     /// Cache-traffic counters so far.
@@ -618,10 +689,13 @@ impl Engine {
         })
     }
 
-    /// Runs a capacity sweep (paper §5.4), fanned out across the worker
-    /// pool per swept capacity. Equivalent to [`bdb_sim::sweep`]; the
-    /// curves are assembled in `capacities_kib` order, so output is
-    /// identical at any thread count and in either [`SweepMode`].
+    /// Runs a capacity sweep (paper §5.4), fanning the independent
+    /// capacity points across [`Engine::point_fanout`] threads when the
+    /// sweep is big enough to pay for them (serial below
+    /// [`POINT_PARALLEL_MIN_WORK`]; `BDB_POINT_THREADS` overrides).
+    /// Equivalent to [`bdb_sim::sweep`]; the curves are assembled in
+    /// `capacities_kib` order, so output is identical at any thread
+    /// count and in either [`SweepMode`].
     ///
     /// Either mode runs the workload generator exactly **once**. In the
     /// default fused mode its events stream straight into the extracted
@@ -637,6 +711,57 @@ impl Engine {
     ///
     /// Panics if `capacities_kib` is empty.
     pub fn sweep<F>(&self, label: &str, capacities_kib: &[u64], workload: F) -> SweepResult
+    where
+        F: Fn(&mut dyn TraceSink) + Sync,
+    {
+        self.sweep_with_fanout(label, capacities_kib, &workload, None)
+    }
+
+    /// Runs every labelled sweep job at the same capacities, fanning
+    /// *workloads* across the worker pool and splitting the leftover
+    /// width across each sweep's capacity points. With `J` jobs on a
+    /// `W`-wide pool each sweep replays its points `max(W / J, 1)` wide,
+    /// so workloads × points fill the pool without oversubscribing it —
+    /// the shape that scales past the per-workload Amdahl ceiling (one
+    /// sweep's serial trace extraction bounds its own speedup, but not
+    /// the batch's). Results are in `jobs` order and byte-identical to
+    /// calling [`Engine::sweep`] in a serial loop.
+    pub fn sweep_all<F>(&self, jobs: &[(String, F)], capacities_kib: &[u64]) -> Vec<SweepResult>
+    where
+        F: Fn(&mut dyn TraceSink) + Sync,
+    {
+        let width = self.worker_threads();
+        if matches!(self.dispatch, Dispatch::Serial) || jobs.len() <= 1 || width <= 1 {
+            return jobs
+                .iter()
+                .map(|(label, workload)| {
+                    self.sweep_with_fanout(label, capacities_kib, workload, None)
+                })
+                .collect();
+        }
+        // Explicit inner width: the shim's pool-local width is not
+        // inherited by its workers, so each sweep must be told its
+        // share of the pool rather than asking the ambient context.
+        let inner = (width / jobs.len().min(width)).max(1);
+        self.install(|| {
+            jobs.par_iter()
+                .map(|(label, workload)| {
+                    self.sweep_with_fanout(label, capacities_kib, workload, Some(inner))
+                })
+                .collect()
+        })
+    }
+
+    /// [`Engine::sweep`] with an optional cap on the capacity-point
+    /// fan-out width — [`Engine::sweep_all`] passes each job its share
+    /// of the pool so nested parallelism cannot oversubscribe.
+    fn sweep_with_fanout<F>(
+        &self,
+        label: &str,
+        capacities_kib: &[u64],
+        workload: &F,
+        fanout_cap: Option<usize>,
+    ) -> SweepResult
     where
         F: Fn(&mut dyn TraceSink) + Sync,
     {
@@ -656,39 +781,44 @@ impl Engine {
                 return result;
             }
         }
+        let cap_width = |fanout: usize| match fanout_cap {
+            Some(cap) => fanout.min(cap.max(1)),
+            None => fanout,
+        };
         let points = match self.sweep_mode {
             SweepMode::Fused => {
-                let streams = SweepStreams::record(|sink| workload(sink));
+                let mut streams = self.streams.checkout();
+                streams.record_into(|sink| workload(sink));
                 let family = SweepFamily::atom();
-                if matches!(self.dispatch, Dispatch::Serial) {
-                    capacities_kib
-                        .iter()
-                        .map(|&kib| fused_point(&family, kib, &streams))
-                        .collect()
-                } else {
-                    self.install(|| {
-                        capacities_kib
-                            .par_iter()
-                            .map(|&kib| fused_point(&family, kib, &streams))
-                            .collect()
-                    })
-                }
+                let fanout =
+                    cap_width(self.point_fanout(streams.event_count(), capacities_kib.len()));
+                let points = fused_points_parallel(&family, capacities_kib, &streams, fanout);
+                self.streams.checkin(streams);
+                points
             }
             SweepMode::PerPoint => {
                 let mut buffer = self.buffers.checkout();
                 workload(&mut buffer);
-                let points = if matches!(self.dispatch, Dispatch::Serial) {
+                let fanout = cap_width(self.point_fanout(buffer.len(), capacities_kib.len()));
+                let points = if fanout <= 1 {
                     capacities_kib
                         .iter()
                         .map(|&kib| sweep_point_replay(kib, &buffer))
                         .collect()
                 } else {
-                    self.install(|| {
-                        capacities_kib
-                            .par_iter()
+                    match rayon::ThreadPoolBuilder::new().num_threads(fanout).build() {
+                        Ok(pool) => pool.install(|| {
+                            capacities_kib
+                                .par_iter()
+                                .map(|&kib| sweep_point_replay(kib, &buffer))
+                                .collect()
+                        }),
+                        // Degradation is safe: same bytes, serially.
+                        Err(_) => capacities_kib
+                            .iter()
                             .map(|&kib| sweep_point_replay(kib, &buffer))
-                            .collect()
-                    })
+                            .collect(),
+                    }
                 };
                 self.buffers.checkin(buffer);
                 points
@@ -1631,5 +1761,83 @@ mod tests {
         assert_eq!(fused.sweep_mode, SweepMode::Fused);
         let per_point = EngineConfig::default().sweep_mode(SweepMode::PerPoint);
         assert_eq!(per_point.sweep_mode, SweepMode::PerPoint);
+    }
+
+    #[test]
+    fn point_fanout_demotes_small_sweeps_to_serial() {
+        // Auto width: big sweeps fan out, small ones stay serial — the
+        // fix for the tiny-scale "1 thread beats 4" inversion.
+        let engine = Engine::new(EngineConfig::default().threads(4));
+        assert_eq!(engine.point_threads(), 4);
+        let points = 10usize;
+        let below = POINT_PARALLEL_MIN_WORK / points as u64 - 1;
+        let above = POINT_PARALLEL_MIN_WORK / points as u64 + 1;
+        assert_eq!(engine.point_fanout(below, points), 1, "below threshold");
+        assert_eq!(engine.point_fanout(above, points), 4, "above threshold");
+        // An explicit width is an instruction: no threshold, any size.
+        let pinned = Engine::new(EngineConfig::default().threads(4).point_threads(2));
+        assert_eq!(pinned.point_threads(), 2);
+        assert_eq!(pinned.point_fanout(1, 1), 2);
+        // Width 1 (explicit or serial dispatch) never fans out.
+        let serial = Engine::serial();
+        assert_eq!(serial.point_fanout(u64::MAX, points), 1);
+    }
+
+    #[test]
+    fn point_parallel_sweep_is_byte_identical_on_both_threshold_sides() {
+        let caps = [16u64, 64, 256];
+        let reference = bdb_sim::sweep("probe", &caps, sweep_probe_workload);
+        // The tiny probe sits below the work threshold (auto → serial);
+        // explicit point widths force the parallel replay on the same
+        // trace, covering both sides of the threshold.
+        for point_threads in [1usize, 2, 4] {
+            for mode in [SweepMode::Fused, SweepMode::PerPoint] {
+                let engine = Engine::new(
+                    EngineConfig::default()
+                        .threads(2)
+                        .point_threads(point_threads)
+                        .sweep_mode(mode),
+                );
+                let result = engine.sweep("probe", &caps, sweep_probe_workload);
+                assert_eq!(
+                    result, reference,
+                    "{mode:?} at {point_threads} point threads"
+                );
+            }
+            let auto = Engine::new(EngineConfig::default().threads(point_threads));
+            assert_eq!(auto.sweep("probe", &caps, sweep_probe_workload), reference);
+        }
+    }
+
+    #[test]
+    fn sweep_all_matches_serial_sweep_loop() {
+        let caps = [16u64, 64, 256];
+        type Job = fn(&mut dyn TraceSink);
+        let jobs: Vec<(String, Job)> = vec![
+            ("alpha".to_owned(), sweep_probe_workload),
+            ("beta".to_owned(), sweep_probe_workload),
+            ("gamma".to_owned(), sweep_probe_workload),
+        ];
+        let serial: Vec<SweepResult> = jobs
+            .iter()
+            .map(|(label, w)| Engine::serial().sweep(label, &caps, w))
+            .collect();
+        for threads in [1usize, 4] {
+            let engine = Engine::new(EngineConfig::default().threads(threads));
+            let batch = engine.sweep_all(&jobs, &caps);
+            assert_eq!(batch, serial, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn repeated_engine_sweeps_reuse_the_stream_arena() {
+        // Same engine, back-to-back sweeps: the second record reuses the
+        // first sweep's stream buffers (behavioural check: results stay
+        // identical; the capacity reuse itself is pinned in bdb-sim).
+        let engine = Engine::new(EngineConfig::default().threads(2));
+        let caps = [16u64, 64];
+        let first = engine.sweep("probe", &caps, sweep_probe_workload);
+        let second = engine.sweep("probe", &caps, sweep_probe_workload);
+        assert_eq!(first, second);
     }
 }

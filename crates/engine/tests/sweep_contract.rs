@@ -67,6 +67,75 @@ fn fused_sweep_matches_per_point_on_full_paper_axis() {
 }
 
 #[test]
+fn point_parallel_sweep_is_byte_identical_across_full_catalog() {
+    // The ISSUE's acceptance contract: sweep bytes stay identical to
+    // serial across `BDB_POINT_THREADS` ∈ {1, 2, 4} for all 77
+    // workloads. Widths are pinned via the builder (the same code path
+    // the env knob feeds) so the test never mutates the process env.
+    let workloads = CatalogSet::Full.workloads();
+    assert_eq!(workloads.len(), 77);
+    let scale = Scale::tiny();
+    let caps = [16u64, 128, 2048];
+    let serial = Engine::serial();
+    let engines: Vec<Engine> = [1usize, 2, 4]
+        .iter()
+        .map(|&t| Engine::new(EngineConfig::default().threads(2).point_threads(t)))
+        .collect();
+    for def in &workloads {
+        let reference = serial.sweep(&def.spec.id, &caps, |sink| {
+            let _ = def.run(sink, scale);
+        });
+        for (engine, threads) in engines.iter().zip([1usize, 2, 4]) {
+            let result = engine.sweep(&def.spec.id, &caps, |sink| {
+                let _ = def.run(sink, scale);
+            });
+            assert_bit_identical(
+                &result,
+                &reference,
+                &format!("{} @ {threads} point threads", def.spec.id),
+            );
+        }
+    }
+}
+
+#[test]
+fn sweep_all_is_byte_identical_to_serial_loop() {
+    // Workload-level fan-out composed with point-level fan-out must not
+    // change a single bit relative to sweeping each job serially.
+    let scale = Scale::tiny();
+    let caps = [16u64, 128, 2048];
+    let defs: Vec<_> = catalog::representatives().into_iter().take(6).collect();
+    let serial = Engine::serial();
+    let reference: Vec<SweepResult> = defs
+        .iter()
+        .map(|def| {
+            serial.sweep(&def.spec.id, &caps, |sink| {
+                let _ = def.run(sink, scale);
+            })
+        })
+        .collect();
+    let jobs: Vec<(String, _)> = defs
+        .iter()
+        .map(|def| {
+            (
+                def.spec.id.clone(),
+                move |sink: &mut dyn bdb_trace::TraceSink| {
+                    let _ = def.run(sink, scale);
+                },
+            )
+        })
+        .collect();
+    for threads in [2usize, 4] {
+        let engine = Engine::new(EngineConfig::default().threads(threads));
+        let batch = engine.sweep_all(&jobs, &caps);
+        assert_eq!(batch.len(), reference.len());
+        for ((got, want), def) in batch.iter().zip(&reference).zip(&defs) {
+            assert_bit_identical(got, want, &format!("{} via sweep_all", def.spec.id));
+        }
+    }
+}
+
+#[test]
 fn engine_modes_agree_with_reference_across_thread_counts() {
     let scale = Scale::tiny();
     let caps = [16u64, 256];

@@ -147,6 +147,18 @@ const HOT_LOOP: ReachRule = ReachRule {
         },
         RootSpec {
             krate: "sim",
+            suffix: &["fused_points_parallel"],
+        },
+        RootSpec {
+            krate: "sim",
+            suffix: &["ReplayLru", "replay_ifetch"],
+        },
+        RootSpec {
+            krate: "sim",
+            suffix: &["ReplayLru", "replay_data"],
+        },
+        RootSpec {
+            krate: "sim",
             suffix: &["exec_batch"],
         },
         RootSpec {

@@ -39,15 +39,33 @@
 //! bigger cache miss where a smaller one hit), so `sweep` routes it to
 //! the exact per-capacity replay. Either way the workload generator runs
 //! exactly once per sweep instead of once per point.
+//!
+//! Replay is built to run at hardware limits:
+//!
+//! * **Intra-workload parallelism** ([`fused_points_parallel`]): once
+//!   the streams are extracted, capacity points are independent
+//!   read-only replays, so one workload's sweep fans out across cores
+//!   with deterministic index-ordered assembly — byte-identical to
+//!   serial at any width.
+//! * **Batched probes**: `ReplayLru` probes whole runs of RLE entries
+//!   per call, and the 8-way order-list line is matched with a
+//!   branch-free bitwise way mask; the Olken/Fenwick stack engine
+//!   advances a warm touch with two merged tree traversals
+//!   ([`Fenwick::range`] / [`Fenwick::move_mark`]) instead of four.
+//! * **Arena-backed extraction** ([`StreamArena`]): long-lived callers
+//!   recycle stream vectors across sweeps, so extraction stops paying
+//!   the allocator once warm.
 
 use crate::cache::{Cache, CacheConfig, CacheStats, Replacement};
 use crate::machine::MachineConfig;
 use crate::sweep::point_ratios;
 use bdb_trace::{MicroOp, TraceBuffer, TraceEvent, TraceSink};
+use rayon::prelude::*;
 // Keyed-lookup only (entry by line address, never iterated), so hash
 // order cannot affect any count.
 // bdb-lint: allow(determinism): keyed-lookup-only map, never iterated.
 use std::collections::HashMap;
+use std::sync::Mutex;
 
 /// Data-side event kinds within [`SweepStreams`].
 const D_LOAD: u8 = 0;
@@ -136,6 +154,11 @@ pub struct SweepStreams {
     /// Repeat count per `daddr` entry (installs never collapse: a
     /// three-line fill targets three distinct lines).
     drepeat: Vec<u32>,
+    /// Running total of `irepeat` (pre-compression L1I event count),
+    /// kept incrementally so the replay-work estimate is O(1).
+    ievents: u64,
+    /// Running total of `drepeat` (pre-compression L1D event count).
+    devents: u64,
 }
 
 impl SweepStreams {
@@ -164,15 +187,47 @@ impl SweepStreams {
         extractor.streams
     }
 
+    /// [`SweepStreams::record`] into `self`, reusing whatever capacity
+    /// the five stream vectors already hold — the [`StreamArena`] path,
+    /// so repeated sweeps stop paying the allocator for stream growth.
+    pub fn record_into(&mut self, workload: impl FnOnce(&mut dyn TraceSink)) {
+        self.clear();
+        let mut extractor = SweepExtractor {
+            streams: std::mem::take(self),
+            last_fetch_line: u64::MAX,
+            prefetch: StreamDetector::new(),
+        };
+        workload(&mut extractor);
+        *self = extractor.streams;
+    }
+
+    /// Empties the streams without releasing their buffers.
+    pub fn clear(&mut self) {
+        self.ifetch.clear();
+        self.irepeat.clear();
+        self.daddr.clear();
+        self.dkind.clear();
+        self.drepeat.clear();
+        self.ievents = 0;
+        self.devents = 0;
+    }
+
     /// Number of L1I fetch events (before run-length compression).
     pub fn ifetch_len(&self) -> usize {
-        self.irepeat.iter().map(|&n| n as usize).sum()
+        self.ievents as usize
     }
 
     /// Number of L1D events, demand plus prefetch installs (before
     /// run-length compression).
     pub fn data_len(&self) -> usize {
-        self.drepeat.iter().map(|&n| n as usize).sum()
+        self.devents as usize
+    }
+
+    /// Total L1 events (both sides, before run-length compression) —
+    /// the `trace events` factor in the engine's point-parallel work
+    /// threshold.
+    pub fn event_count(&self) -> u64 {
+        self.ievents + self.devents
     }
 
     /// Number of run-length-compressed entries across both streams — the
@@ -183,6 +238,7 @@ impl SweepStreams {
 
     /// Appends an L1I fetch, collapsing same-line runs.
     fn push_ifetch(&mut self, pc: u64) {
+        self.ievents += 1;
         if let (Some(&last_pc), Some(last_n)) = (self.ifetch.last(), self.irepeat.last_mut()) {
             if last_pc >> 6 == pc >> 6 && *last_n < u32::MAX {
                 *last_n += 1;
@@ -195,6 +251,7 @@ impl SweepStreams {
 
     /// Appends an L1D event, collapsing same-line same-kind demand runs.
     fn push_data(&mut self, addr: u64, kind: u8) {
+        self.devents += 1;
         if let (Some(&last_addr), Some(&last_kind), Some(last_n)) = (
             self.daddr.last(),
             self.dkind.last(),
@@ -212,6 +269,47 @@ impl SweepStreams {
         self.daddr.push(addr);
         self.dkind.push(kind);
         self.drepeat.push(1);
+    }
+}
+
+/// Reusable pool of [`SweepStreams`] buffers: checked-in streams keep
+/// their five vectors' capacity, so a long-lived caller (the engine,
+/// the daemons) extracts thousands of sweeps into the same handful of
+/// allocations instead of growing fresh vectors from zero every time.
+/// bdb-lint's hot-loop-allocation rule is the enforcement backstop: the
+/// extraction path itself must stay allocation-free.
+///
+/// Concurrent checkouts each get their own streams (the pool refills on
+/// first use per concurrent caller); check-in order does not matter.
+#[derive(Debug, Default)]
+pub struct StreamArena {
+    pool: Mutex<Vec<SweepStreams>>,
+}
+
+impl StreamArena {
+    /// An empty arena.
+    pub fn new() -> Self {
+        StreamArena::default()
+    }
+
+    /// Takes a cleared streams buffer out of the arena (an empty one if
+    /// the pool is dry — or poisoned, which only an unwinding recorder
+    /// can cause; the replacement buffer keeps the arena functional).
+    pub fn checkout(&self) -> SweepStreams {
+        self.pool
+            .lock()
+            .ok()
+            .and_then(|mut pool| pool.pop())
+            .unwrap_or_default()
+    }
+
+    /// Returns a streams buffer to the arena for reuse (contents are
+    /// cleared, capacity is kept).
+    pub fn checkin(&self, mut streams: SweepStreams) {
+        streams.clear();
+        if let Ok(mut pool) = self.pool.lock() {
+            pool.push(streams);
+        }
     }
 }
 
@@ -395,6 +493,38 @@ impl ReplayLru {
     fn touch(&mut self, line: u64) -> bool {
         let base = (line & self.set_mask) as usize * self.assoc;
         let set = &mut self.tags[base..base + self.assoc];
+        match <&mut [u64; 8]>::try_from(&mut *set) {
+            Ok(set8) => Self::probe8(set8, line),
+            Err(_) => Self::probe_scan(set, line),
+        }
+    }
+
+    /// Branch-free probe of one 8-way order-list line (the paper sweep's
+    /// only geometry, one 64-byte host cache line): all eight tag
+    /// comparisons fold into a way mask in one pass — auto-vectorizable,
+    /// no early exit — and the hit/update is a single `copy_within`
+    /// whose length comes straight off the mask. A hit at depth `d`
+    /// rotates `set[..=d]` right; a miss "rotates" the whole set,
+    /// dropping the LRU tail and inserting the new line at the front —
+    /// the same update either way, so no divergent control flow.
+    #[inline]
+    fn probe8(set: &mut [u64; 8], line: u64) -> bool {
+        let mut mask = 0u32;
+        for (w, &tag) in set.iter().enumerate() {
+            mask |= u32::from(tag == line) << w;
+        }
+        // Depth of the matched way; bit 7 makes an empty mask (a miss)
+        // select depth 7 — the evicted LRU slot.
+        let depth = (mask | 0x80).trailing_zeros() as usize;
+        set.copy_within(..depth, 1);
+        set[0] = line;
+        mask != 0
+    }
+
+    /// Scalar probe for the general geometry (any associativity) — also
+    /// the drift oracle the batched 8-way path is proptested against.
+    #[inline]
+    fn probe_scan(set: &mut [u64], line: u64) -> bool {
         if set[0] == line {
             return true;
         }
@@ -422,6 +552,35 @@ impl ReplayLru {
         hit
     }
 
+    /// Replays a run of RLE instruction-stream entries in one call: the
+    /// whole batch walks the order lists without leaving the cache's
+    /// working set, and each entry costs one probe (plus the next-line
+    /// install probe on a miss) regardless of its repeat count.
+    fn replay_ifetch(&mut self, pcs: &[u64], repeats: &[u32]) {
+        for (&pc, &n) in pcs.iter().zip(repeats) {
+            let line = pc >> 6;
+            if !self.access_run(line, u64::from(n)) {
+                // Machine::fetch's next-line instruction prefetch.
+                self.touch(line + 1);
+            }
+        }
+    }
+
+    /// Replays a run of RLE data-stream entries in one call; installs
+    /// refresh recency without counting as demand accesses.
+    fn replay_data(&mut self, addrs: &[u64], kinds: &[u8], repeats: &[u32]) {
+        for ((&addr, &kind), &n) in addrs.iter().zip(kinds).zip(repeats) {
+            if kind == D_INSTALL {
+                self.touch(addr >> 6);
+            } else {
+                // Loads and stores count the same here: dirtiness only
+                // feeds the writeback counter, which this model does not
+                // track.
+                self.access_run(addr >> 6, u64::from(n));
+            }
+        }
+    }
+
     fn stats(&self) -> CacheStats {
         CacheStats {
             accesses: self.accesses,
@@ -439,28 +598,9 @@ impl ReplayLru {
 /// within-set recency order — the same argument the stamp path makes.
 fn lru_replay_point(sets: usize, assoc: usize, streams: &SweepStreams) -> (CacheStats, CacheStats) {
     let mut l1i = ReplayLru::new(sets, assoc);
-    for (&pc, &n) in streams.ifetch.iter().zip(&streams.irepeat) {
-        let line = pc >> 6;
-        if !l1i.access_run(line, u64::from(n)) {
-            // Machine::fetch's next-line instruction prefetch.
-            l1i.touch(line + 1);
-        }
-    }
+    l1i.replay_ifetch(&streams.ifetch, &streams.irepeat);
     let mut l1d = ReplayLru::new(sets, assoc);
-    for ((&addr, &kind), &n) in streams
-        .daddr
-        .iter()
-        .zip(&streams.dkind)
-        .zip(&streams.drepeat)
-    {
-        if kind == D_INSTALL {
-            l1d.touch(addr >> 6);
-        } else {
-            // Loads and stores count the same here: dirtiness only feeds
-            // the writeback counter, which this model does not track.
-            l1d.access_run(addr >> 6, u64::from(n));
-        }
-    }
+    l1d.replay_data(&streams.daddr, &streams.dkind, &streams.drepeat);
     (l1i.stats(), l1d.stats())
 }
 
@@ -536,6 +676,38 @@ pub fn fused_points(
         .collect()
 }
 
+/// [`fused_points`] with the per-capacity replays fanned out across
+/// `threads` workers — *intra-workload* parallelism: once the streams
+/// are extracted, every capacity point is an independent read-only
+/// replay, so they fan out freely and the results are assembled in
+/// `capacities_kib` index order. Output is byte-identical to the serial
+/// [`fused_points`] at any width.
+///
+/// A single-pass-sound family stays serial regardless of `threads`: its
+/// data side already computes every capacity in one stack-distance
+/// traversal, so there are no independent per-capacity replays to fan
+/// out (splitting them would *add* work).
+pub fn fused_points_parallel(
+    family: &SweepFamily,
+    capacities_kib: &[u64],
+    streams: &SweepStreams,
+    threads: usize,
+) -> Vec<(f64, f64, f64)> {
+    if threads <= 1 || capacities_kib.len() <= 1 || family.single_pass_sound() {
+        return fused_points(family, capacities_kib, streams);
+    }
+    match rayon::ThreadPoolBuilder::new().num_threads(threads).build() {
+        Ok(pool) => pool.install(|| {
+            capacities_kib
+                .par_iter()
+                .map(|&kib| fused_point(family, kib, streams))
+                .collect()
+        }),
+        // Degradation is safe: serial replay produces the same bytes.
+        Err(_) => fused_points(family, capacities_kib, streams),
+    }
+}
+
 /// Olken's exact LRU stack: a last-touch map plus a Fenwick tree over
 /// touch timestamps, answering "how many distinct lines since this line's
 /// previous touch" in O(log N) — the same tree-counter technique as
@@ -562,19 +734,30 @@ impl LruStack {
     /// Touches `line`; returns its stack depth before the touch —
     /// `Some(d)` means `d` distinct lines were touched since its previous
     /// touch (so it sits at LRU stack position `d`), `None` means cold.
+    ///
+    /// A warm touch is two merged Fenwick traversals (the bulk-advance:
+    /// [`Fenwick::range`] for the depth, [`Fenwick::move_mark`] to slide
+    /// the mark from `prev` to `now`) instead of the four root walks the
+    /// naive prefix/add decomposition costs — and both stop early where
+    /// their up/down chains meet, so the short reuse intervals that
+    /// dominate real traces touch only a few tree nodes.
     fn touch(&mut self, line: u64) -> Option<u64> {
         let now = self.time;
         self.time += 1;
-        let depth = self.last_touch.insert(line, now).map(|prev| {
-            // Marked positions are last-touch times of distinct lines, so
-            // the marks strictly between prev and now count exactly the
-            // distinct lines touched since.
-            let d = self.marked.prefix(now) - self.marked.prefix(prev + 1);
-            self.marked.add(prev, -1);
-            d
-        });
-        self.marked.add(now, 1);
-        depth
+        match self.last_touch.insert(line, now) {
+            Some(prev) => {
+                // Marked positions are last-touch times of distinct
+                // lines, so the marks strictly between prev and now
+                // count exactly the distinct lines touched since.
+                let d = self.marked.range(prev + 1, now);
+                self.marked.move_mark(prev, now);
+                Some(d)
+            }
+            None => {
+                self.marked.add(now, 1);
+                None
+            }
+        }
     }
 }
 
@@ -599,7 +782,9 @@ impl Fenwick {
         }
     }
 
-    /// Sum of marks at positions `< i`.
+    /// Sum of marks at positions `< i` — the scalar walk the merged
+    /// [`Fenwick::range`] is drift-tested against.
+    #[cfg(test)]
     fn prefix(&self, mut i: usize) -> u64 {
         let mut sum = 0u64;
         i = i.min(self.tree.len() - 1);
@@ -608,6 +793,55 @@ impl Fenwick {
             i -= i & i.wrapping_neg();
         }
         sum
+    }
+
+    /// Sum of marks at positions in `[l, r)` — `prefix(r) - prefix(l)`
+    /// as **one** merged traversal: the two downward chains are walked
+    /// in lockstep and stop the moment they meet, where the remaining
+    /// (identical) nodes would cancel. A short span — the temporally
+    /// local reuse that dominates real traces — therefore costs a few
+    /// nodes near the leaves instead of two full walks to the root.
+    fn range(&self, mut l: usize, mut r: usize) -> u64 {
+        let cap = self.tree.len() - 1;
+        l = l.min(cap);
+        r = r.min(cap);
+        let mut sum = 0i64;
+        while l != r {
+            if r > l {
+                sum += i64::from(self.tree[r]);
+                r -= r & r.wrapping_neg();
+            } else {
+                sum -= i64::from(self.tree[l]);
+                l -= l & l.wrapping_neg();
+            }
+        }
+        sum as u64
+    }
+
+    /// Moves one mark from position `from` to position `to` — the
+    /// `add(from, -1); add(to, +1)` pair as **one** merged traversal:
+    /// the two upward chains advance in lockstep and stop the moment
+    /// they meet, where every remaining node would receive both the -1
+    /// and the +1. Together with [`Fenwick::range`] this is the
+    /// stack-distance engine's bulk-advance: a warm touch costs two
+    /// short merged walks instead of four root-length ones.
+    fn move_mark(&mut self, from: usize, to: usize) {
+        let len = self.tree.len();
+        let mut i = from + 1;
+        let mut j = to + 1;
+        while i != j && (i < len || j < len) {
+            if i < j {
+                if i < len {
+                    self.tree[i] -= 1;
+                }
+                i += i & i.wrapping_neg();
+            } else {
+                if j < len {
+                    self.tree[j] += 1;
+                }
+                j += j & j.wrapping_neg();
+            }
+        }
     }
 }
 
@@ -893,6 +1127,285 @@ mod tests {
         let fused = sweep_replay(&family, "rnd", &caps, &TraceBuffer::capture(mixed_workload));
         let per_point = sweep_per_point(&family, "rnd", &caps, mixed_workload);
         assert_eq!(fused, per_point);
+    }
+
+    #[test]
+    fn record_into_arena_matches_fresh_record() {
+        // The arena path (recycled stream vectors) must produce exactly
+        // the streams a fresh record produces, and check-in must keep
+        // the buffers' capacity for the next checkout.
+        let fresh = SweepStreams::record(mixed_workload);
+        let arena = StreamArena::new();
+        let mut pooled = arena.checkout();
+        pooled.record_into(mixed_workload);
+        assert_eq!(pooled.ifetch, fresh.ifetch);
+        assert_eq!(pooled.irepeat, fresh.irepeat);
+        assert_eq!(pooled.daddr, fresh.daddr);
+        assert_eq!(pooled.dkind, fresh.dkind);
+        assert_eq!(pooled.drepeat, fresh.drepeat);
+        assert_eq!(pooled.event_count(), fresh.event_count());
+        let daddr_capacity = pooled.daddr.capacity();
+        assert!(daddr_capacity >= fresh.daddr.len());
+        arena.checkin(pooled);
+        let recycled = arena.checkout();
+        assert_eq!(recycled.compressed_entries(), 0, "check-in clears");
+        assert_eq!(recycled.event_count(), 0);
+        assert!(
+            recycled.daddr.capacity() >= daddr_capacity,
+            "check-in must keep the grown buffers"
+        );
+        // A second record into the recycled buffer is still identical.
+        let mut recycled = recycled;
+        recycled.record_into(mixed_workload);
+        assert_eq!(recycled.daddr, fresh.daddr);
+        assert_eq!(recycled.irepeat, fresh.irepeat);
+    }
+
+    #[test]
+    fn event_counts_match_repeat_sums() {
+        // The O(1) counters must agree with the repeat-vector sums they
+        // replaced.
+        let streams = SweepStreams::record(mixed_workload);
+        assert_eq!(
+            streams.ifetch_len(),
+            streams.irepeat.iter().map(|&n| n as usize).sum::<usize>()
+        );
+        assert_eq!(
+            streams.data_len(),
+            streams.drepeat.iter().map(|&n| n as usize).sum::<usize>()
+        );
+        assert_eq!(
+            streams.event_count(),
+            (streams.ifetch_len() + streams.data_len()) as u64
+        );
+    }
+
+    #[test]
+    fn point_parallel_replay_is_byte_identical_to_serial() {
+        let streams = SweepStreams::record(mixed_workload);
+        let caps = [16u64, 32, 64, 128, 256, 512, 1024];
+        for family in [SweepFamily::atom(), SweepFamily::fully_associative()] {
+            let serial = fused_points(&family, &caps, &streams);
+            for threads in [1usize, 2, 4, 7] {
+                let parallel = fused_points_parallel(&family, &caps, &streams, threads);
+                for ((kib, s), p) in caps.iter().zip(&serial).zip(&parallel) {
+                    assert_eq!(
+                        (s.0.to_bits(), s.1.to_bits(), s.2.to_bits()),
+                        (p.0.to_bits(), p.1.to_bits(), p.2.to_bits()),
+                        "ratio bits differ at {kib} KiB with {threads} threads"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Replays one op stream through a [`ReplayLru`] (optionally split
+    /// at the given boundaries) and through two oracles: the stamp-LRU
+    /// [`Cache`] using the same bulk calls, and a second stamp cache
+    /// replaying every run access by access (scalar expansion).
+    fn replay_three_ways(
+        sets: usize,
+        assoc: usize,
+        ops: &[(u64, u8, u32)],
+        splits: &[usize],
+    ) -> [(u64, u64); 3] {
+        let config = CacheConfig {
+            size_bytes: (sets * assoc * 64) as u64,
+            assoc,
+            line_bytes: 64,
+            replacement: Replacement::Lru,
+        };
+        let addrs: Vec<u64> = ops.iter().map(|&(line, _, _)| line << 6).collect();
+        let kinds: Vec<u8> = ops.iter().map(|&(_, kind, _)| kind).collect();
+        let repeats: Vec<u32> = ops.iter().map(|&(_, _, n)| n).collect();
+        let mut fast = ReplayLru::new(sets, assoc);
+        let mut start = 0usize;
+        for &end in splits.iter().chain([ops.len()].iter()) {
+            let end = end.clamp(start, ops.len());
+            fast.replay_data(&addrs[start..end], &kinds[start..end], &repeats[start..end]);
+            start = end;
+        }
+        let mut bulk = Cache::new(config);
+        let mut scalar = Cache::new(config);
+        for &(line, kind, n) in ops {
+            let addr = line << 6;
+            if kind == D_INSTALL {
+                bulk.install(addr);
+                scalar.install(addr);
+            } else {
+                let is_store = kind == D_STORE;
+                bulk.access_run(addr, is_store, u64::from(n));
+                for _ in 0..n {
+                    scalar.access(addr, is_store);
+                }
+            }
+        }
+        let fast = fast.stats();
+        let bulk = bulk.stats();
+        let scalar = scalar.stats();
+        [
+            (fast.accesses, fast.misses),
+            (bulk.accesses, bulk.misses),
+            (scalar.accesses, scalar.misses),
+        ]
+    }
+
+    mod batch_props {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// One RLE data-stream entry over a small line universe: the
+        /// low line numbers collide heavily within sets, exercising
+        /// every probe depth including the eviction tail.
+        fn data_op() -> impl Strategy<Value = (u64, u8, u32)> {
+            (
+                0u64..96,
+                prop_oneof![Just(D_LOAD), Just(D_STORE), Just(D_INSTALL)],
+                1u32..20,
+            )
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            /// Batched `ReplayLru::replay_data` (over arbitrary chunk
+            /// boundaries) vs the stamp-LRU [`Cache`] bulk path vs the
+            /// access-by-access scalar expansion: all three agree on
+            /// accesses and misses at every geometry, including non-8
+            /// associativities that route through `probe_scan` and the
+            /// 8-way geometry that routes through `probe8`.
+            #[test]
+            fn batched_data_replay_matches_stamp_and_scalar(
+                set_bits in 0u32..6,
+                assoc in 1usize..=12,
+                ops in proptest::collection::vec(data_op(), 1..200),
+                raw_splits in proptest::collection::vec(0usize..200, 0..4),
+            ) {
+                let sets = 1usize << set_bits;
+                let mut splits = raw_splits;
+                splits.sort_unstable();
+                let [fast, bulk, scalar] = replay_three_ways(sets, assoc, &ops, &splits);
+                prop_assert_eq!(fast, bulk, "order-list vs stamp bulk");
+                prop_assert_eq!(fast, scalar, "order-list vs scalar expansion");
+            }
+
+            /// Batched `ReplayLru::replay_ifetch` vs the machine-order
+            /// scalar expansion (access, then next-line install *between*
+            /// the first access and the repeats, exactly as
+            /// `Machine::fetch` would emit it). With at least two sets
+            /// the install lands in a different set, so the batched
+            /// run-at-once order is exact — the same argument
+            /// `cache_replay_point` makes.
+            #[test]
+            fn batched_ifetch_replay_matches_machine_order(
+                set_bits in 1u32..6,
+                assoc in 1usize..=12,
+                entries in proptest::collection::vec((0u64..96, 1u32..20), 1..200),
+            ) {
+                let sets = 1usize << set_bits;
+                let pcs: Vec<u64> = entries.iter().map(|&(line, _)| line << 6).collect();
+                let repeats: Vec<u32> = entries.iter().map(|&(_, n)| n).collect();
+                let mut fast = ReplayLru::new(sets, assoc);
+                fast.replay_ifetch(&pcs, &repeats);
+                let mut oracle = Cache::new(CacheConfig {
+                    size_bytes: (sets * assoc * 64) as u64,
+                    assoc,
+                    line_bytes: 64,
+                    replacement: Replacement::Lru,
+                });
+                for (&pc, &n) in pcs.iter().zip(&repeats) {
+                    for _ in 0..n {
+                        if !oracle.access(pc, false) {
+                            oracle.install(pc + 64);
+                        }
+                    }
+                }
+                let fast = fast.stats();
+                let oracle = oracle.stats();
+                prop_assert_eq!(fast.accesses, oracle.accesses);
+                prop_assert_eq!(fast.misses, oracle.misses);
+            }
+
+            /// The merged Fenwick traversals (`range`, `move_mark`) vs
+            /// the scalar `prefix`/`add` decomposition they replace: a
+            /// random mark layout, random span queries, and random mark
+            /// moves applied to a twin tree must agree node for node.
+            #[test]
+            fn fenwick_merged_walks_match_scalar_decomposition(
+                n in 1usize..160,
+                seeds in proptest::collection::vec((0usize..160, 0usize..160), 1..60),
+            ) {
+                let mut merged = Fenwick::new(n);
+                let mut oracle = Fenwick::new(n);
+                // Place an initial mark so moves always have a source.
+                let mut marks = vec![0usize % n];
+                merged.add(marks[0], 1);
+                oracle.add(marks[0], 1);
+                for &(a, b) in &seeds {
+                    let (a, b) = (a % n, b % n);
+                    let (l, r) = if a <= b { (a, b) } else { (b, a) };
+                    // Span query: merged downward walk vs two prefix walks.
+                    prop_assert_eq!(
+                        merged.range(l, r),
+                        oracle.prefix(r) - oracle.prefix(l),
+                        "range({}, {})", l, r
+                    );
+                    // Mark move: merged upward walk vs -1/+1 root walks
+                    // (LruStack only ever moves marks forward in time).
+                    let from = marks[a % marks.len()];
+                    if b > from && !marks.contains(&b) {
+                        merged.move_mark(from, b);
+                        oracle.add(from, -1);
+                        oracle.add(b, 1);
+                        let i = marks.iter().position(|&m| m == from).unwrap();
+                        marks[i] = b;
+                    } else if !marks.contains(&(a.min(n - 1))) {
+                        merged.add(a, 1);
+                        oracle.add(a, 1);
+                        marks.push(a);
+                    }
+                    prop_assert_eq!(&merged.tree, &oracle.tree);
+                }
+            }
+
+            /// The batched sweep point end to end: random RLE streams
+            /// replayed through `lru_replay_point` (order lists, probe8)
+            /// vs `cache_replay_point` (stamp LRU) at a non-pow2-sets
+            /// geometry note — the pow2 check routes non-pow2 sets to
+            /// the stamp path in production, so here we pin the pow2
+            /// geometries the fast path actually owns.
+            #[test]
+            fn lru_replay_point_matches_cache_replay_point_random_streams(
+                entries in proptest::collection::vec((0u64..96, 1u32..12), 1..120),
+                data in proptest::collection::vec(data_op(), 1..120),
+            ) {
+                let mut streams = SweepStreams::default();
+                for &(line, n) in &entries {
+                    for _ in 0..n {
+                        streams.push_ifetch(line << 6);
+                    }
+                }
+                for &(line, kind, n) in &data {
+                    for _ in 0..n {
+                        streams.push_data(line << 6, kind);
+                    }
+                }
+                let family = SweepFamily::atom();
+                for kib in [4u64, 16, 64] {
+                    let config = family.l1_config(kib);
+                    let sets = config.sets();
+                    if !sets.is_power_of_two() || sets < 2 {
+                        continue;
+                    }
+                    let (fast_i, fast_d) = lru_replay_point(sets, config.assoc, &streams);
+                    let (ref_i, ref_d) = cache_replay_point(&family, kib, &streams);
+                    prop_assert_eq!(
+                        (fast_i.accesses, fast_i.misses, fast_d.accesses, fast_d.misses),
+                        (ref_i.accesses, ref_i.misses, ref_d.accesses, ref_d.misses)
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -48,7 +48,9 @@ pub mod tlb;
 
 pub use branch::{BranchStats, BranchUnit, DirectionScheme};
 pub use cache::{Cache, CacheConfig, CacheStats, Replacement};
-pub use fused::{fused_point, fused_points, SweepFamily, SweepStreams};
+pub use fused::{
+    fused_point, fused_points, fused_points_parallel, StreamArena, SweepFamily, SweepStreams,
+};
 pub use machine::{Machine, MachineConfig, PerfReport};
 pub use pipeline::{Pipeline, PipelineConfig, PipelineKind, ServiceLevel};
 pub use sweep::{
