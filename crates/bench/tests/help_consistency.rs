@@ -116,6 +116,7 @@ fn served_help_documents_its_own_knobs() {
     for knob in [
         "BDB_SERVE_ADDR",
         "BDB_SERVE_MAX_CLIENTS",
+        "BDB_SERVE_SUB_QUEUE",
         "BDB_SERVE_FORMAT",
     ] {
         assert!(

@@ -8,16 +8,31 @@
 //! environment knobs, so a worker with a warm `results/cache/` answers
 //! repeat tasks without re-simulating.
 //!
+//! With `--connect <addr>` the daemon inverts direction and *joins* a
+//! running coordinator's elastic join listener instead of binding: it
+//! dials out, serves that one session to completion, and exits. This is
+//! how a worker enters a run already in progress (`cluster-smoke
+//! --join-listen` on the coordinator side).
+//!
 //! Fault-injection flags (for smoke tests; omit them in real runs):
 //!
 //! * `--fault-crash-task <k>` — exit(3) when assigned the k-th task.
 //! * `--fault-drop-frames <n>` — drop the connection after n frames.
 //! * `--fault-delay-ms <ms>` — delay every outbound reply.
 //! * `--fault-dup-results` — send every Result frame twice.
+//! * `--fault-bye-task <k>` — leave cleanly (Bye) instead of running
+//!   the k-th assigned task.
+//! * `--fault-stall-task <k>` — hang forever on the k-th assigned task
+//!   (exercises the coordinator's deadline recovery).
 //!
-//! With any crash/drop fault the daemon serves exactly one session and
-//! then exits (a crashed worker must stay dead so the coordinator's
-//! recovery path is actually exercised); otherwise it serves forever.
+//! With any crash/drop/bye/stall fault the daemon serves exactly one
+//! session and then exits (a dead or departed worker must stay gone so
+//! the coordinator's recovery path is actually exercised); otherwise it
+//! serves forever.
+//!
+//! Session logs report `(N tasks, M computed)` — M is the engine's
+//! cold-simulation delta for the session, so a warm-restart harness can
+//! assert zero recomputation after a replicated-cache restart.
 
 use bdb_cluster::{
     daemon_help_text, run_worker, FaultPlan, FaultyTransport, TcpTransport, WorkerConfig,
@@ -32,9 +47,13 @@ fn usage() -> String {
     daemon_help_text(
         "bdb-clusterd",
         "profiling worker for distributed fleet runs",
-        "bdb-clusterd [--listen <addr>] [--name <name>] [fault flags]",
+        "bdb-clusterd [--listen <addr> | --connect <addr>] [--name <name>] [fault flags]",
         &[
             ("--listen <addr>", "Bind address (default 127.0.0.1:0)"),
+            (
+                "--connect <addr>",
+                "Join a running coordinator's elastic join listener, serve one session, exit",
+            ),
             (
                 "--name <name>",
                 "Worker name sent in Hello (default: the bound address)",
@@ -55,6 +74,14 @@ fn usage() -> String {
                 "--fault-dup-results",
                 "Injected fault: send every Result frame twice",
             ),
+            (
+                "--fault-bye-task <k>",
+                "Injected fault: leave cleanly (Bye) instead of running assigned task #k",
+            ),
+            (
+                "--fault-stall-task <k>",
+                "Injected fault: hang forever on assigned task #k (deadline recovery)",
+            ),
         ],
         &[],
     )
@@ -62,6 +89,7 @@ fn usage() -> String {
 
 struct Args {
     listen: String,
+    connect: Option<String>,
     name: Option<String>,
     faults: FaultPlan,
 }
@@ -69,6 +97,7 @@ struct Args {
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         listen: "127.0.0.1:0".to_owned(),
+        connect: None,
         name: None,
         faults: FaultPlan::default(),
     };
@@ -83,6 +112,7 @@ fn parse_args() -> Result<Args, String> {
     while let Some(arg) = argv.get(i) {
         match arg.as_str() {
             "--listen" => args.listen = value(&mut i, "--listen")?,
+            "--connect" => args.connect = Some(value(&mut i, "--connect")?),
             "--name" => args.name = Some(value(&mut i, "--name")?),
             "--fault-crash-task" => {
                 let v = value(&mut i, "--fault-crash-task")?;
@@ -101,6 +131,16 @@ fn parse_args() -> Result<Args, String> {
                 ));
             }
             "--fault-dup-results" => args.faults.duplicate_results = true,
+            "--fault-bye-task" => {
+                let v = value(&mut i, "--fault-bye-task")?;
+                args.faults.bye_on_task =
+                    Some(v.parse().map_err(|_| format!("bad task number {v:?}"))?);
+            }
+            "--fault-stall-task" => {
+                let v = value(&mut i, "--fault-stall-task")?;
+                args.faults.stall_on_task =
+                    Some(v.parse().map_err(|_| format!("bad task number {v:?}"))?);
+            }
             "-h" | "--help" => {
                 print!("{}", usage());
                 std::process::exit(0);
@@ -112,6 +152,36 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
+/// One worker session on `transport`: runs the serve loop, logs the
+/// tasks-served and cold-compute counts (the latter is what the
+/// warm-restart harness scrapes), and maps the outcome to an exit code
+/// (`None` = keep serving).
+fn serve_one(
+    transport: &FaultyTransport<TcpTransport>,
+    engine: &Engine,
+    config: &WorkerConfig,
+    peer: &str,
+) -> Option<ExitCode> {
+    let computed_before = engine.counters().computed;
+    match run_worker(transport, engine, config) {
+        Ok(served) => {
+            let computed = engine.counters().computed - computed_before;
+            eprintln!(
+                "bdb-clusterd: session with {peer} done ({served} tasks, {computed} computed)"
+            );
+            None
+        }
+        Err(WorkerError::InjectedCrash { task_number }) => {
+            eprintln!("bdb-clusterd: injected crash on task #{task_number}");
+            Some(ExitCode::from(3))
+        }
+        Err(e) => {
+            eprintln!("bdb-clusterd: session with {peer} failed: {e}");
+            None
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(args) => args,
@@ -121,6 +191,24 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    if let Some(addr) = &args.connect {
+        // Join mode: dial the coordinator's elastic join listener,
+        // serve that one session, exit.
+        let engine = Engine::new(EngineConfig::from_env());
+        let transport = match TcpTransport::connect(addr, Duration::from_secs(10)) {
+            Ok(t) => FaultyTransport::new(t, args.faults.clone()),
+            Err(e) => {
+                eprintln!("bdb-clusterd: connect {addr}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let config = WorkerConfig {
+            name: args.name.clone().unwrap_or_else(|| format!("join:{addr}")),
+            faults: args.faults.clone(),
+        };
+        println!("joined {addr}");
+        return serve_one(&transport, &engine, &config, addr).unwrap_or(ExitCode::SUCCESS);
+    }
     let listener = match TcpListener::bind(&args.listen) {
         Ok(l) => l,
         Err(e) => {
@@ -135,9 +223,13 @@ fn main() -> ExitCode {
     println!("listening on {bound}");
     let name = args.name.clone().unwrap_or_else(|| bound.clone());
     let engine = Engine::new(EngineConfig::from_env());
-    // A crash/drop plan is one-shot by design: the dead worker must stay
-    // dead for the coordinator's recovery to be exercised end to end.
-    let one_shot = args.faults.crash_on_task.is_some() || args.faults.drop_after_frames.is_some();
+    // A crash/drop/bye/stall plan is one-shot by design: the dead or
+    // departed worker must stay gone for the coordinator's recovery to
+    // be exercised end to end.
+    let one_shot = args.faults.crash_on_task.is_some()
+        || args.faults.drop_after_frames.is_some()
+        || args.faults.bye_on_task.is_some()
+        || args.faults.stall_on_task.is_some();
     for stream in listener.incoming() {
         let stream = match stream {
             Ok(s) => s,
@@ -161,13 +253,8 @@ fn main() -> ExitCode {
             name: name.clone(),
             faults: args.faults.clone(),
         };
-        match run_worker(&transport, &engine, &config) {
-            Ok(served) => eprintln!("bdb-clusterd: session with {peer} done ({served} tasks)"),
-            Err(WorkerError::InjectedCrash { task_number }) => {
-                eprintln!("bdb-clusterd: injected crash on task #{task_number}");
-                return ExitCode::from(3);
-            }
-            Err(e) => eprintln!("bdb-clusterd: session with {peer} failed: {e}"),
+        if let Some(code) = serve_one(&transport, &engine, &config, &peer) {
+            return code;
         }
         if one_shot {
             return ExitCode::SUCCESS;

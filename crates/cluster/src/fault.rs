@@ -25,6 +25,16 @@ pub struct FaultPlan {
     /// Crash the worker process when it is assigned its k-th task
     /// (0-based count of Assign messages it has accepted).
     pub crash_on_task: Option<u64>,
+    /// Leave cleanly (send `Bye`, end the session) instead of running
+    /// the k-th assigned task — the voluntary-departure schedule. The
+    /// coordinator re-queues the orphaned task without charging an
+    /// attempt.
+    pub bye_on_task: Option<u64>,
+    /// Stall forever (hang without `Bye` or a reply) instead of running
+    /// the k-th assigned task — exercises the coordinator's per-task
+    /// deadline, which is the only recovery for a hung-but-connected
+    /// worker.
+    pub stall_on_task: Option<u64>,
     /// Send every Result frame twice, exercising coordinator dedup.
     pub duplicate_results: bool,
 }

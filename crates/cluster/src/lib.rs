@@ -11,8 +11,9 @@
 //!
 //! Layers, bottom up:
 //!
-//! * [`proto`] — the five-message protocol (`Hello`/`Assign`/`Result`/
-//!   `Heartbeat`/`Bye`) encoded as `bdb-engine` canonical JSON.
+//! * [`proto`] — the six-message protocol (`Hello`/`Assign`/`Result`/
+//!   `Replicate`/`Heartbeat`/`Bye`) encoded as `bdb-engine` canonical
+//!   JSON.
 //! * [`wire`] — 4-byte length-prefixed framing with a size cap and a
 //!   strict truncated-stream error.
 //! * [`transport`] — the [`Transport`] trait plus the in-process
@@ -21,10 +22,15 @@
 //! * [`fault`] — [`FaultPlan`] injection (connection drops, delays,
 //!   worker crashes, duplicated results) for exercising recovery paths.
 //! * [`worker`] — the blocking serve loop around a local cache-aware
-//!   engine.
-//! * [`coordinator`] — static chunking + work stealing, tick-based
-//!   deadlines and heartbeats, capped-exponential-backoff retry, and
-//!   fingerprint-verified deduplicating merge.
+//!   engine; advertises its warm cache in `Hello` and admits
+//!   `Replicate` pushes into it.
+//! * [`fleet`] — the pure membership + scheduling state machine: live
+//!   join/leave, admission control (in-flight depth, suspect deferral),
+//!   replica affinity, capped-exponential-backoff retry.
+//! * [`coordinator`] — the transport glue around [`fleet`]: static
+//!   chunking + work stealing, tick-based deadlines and heartbeats,
+//!   fingerprint-verified deduplicating merge, elastic membership via
+//!   [`Coordinator::run_elastic`], and replica pushes.
 //!
 //! # Example (three in-process workers)
 //!
@@ -58,6 +64,7 @@
 
 pub mod coordinator;
 pub mod fault;
+pub mod fleet;
 pub mod help;
 pub mod proto;
 pub mod tcp;
@@ -67,6 +74,7 @@ pub mod worker;
 
 pub use coordinator::{ClusterConfig, ClusterError, Coordinator};
 pub use fault::{FaultPlan, FaultyTransport};
+pub use fleet::{Fleet, FleetError};
 pub use help::help_text as daemon_help_text;
 pub use help::DAEMON_ENGINE_ENV;
 pub use proto::{Message, PROTOCOL_VERSION};

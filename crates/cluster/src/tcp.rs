@@ -195,6 +195,7 @@ mod tests {
         t.send(&Message::Hello {
             worker: "w".to_owned(),
             protocol: PROTOCOL_VERSION,
+            cached: Vec::new(),
         })
         .unwrap();
         assert!(matches!(t.recv(), Ok(Message::Hello { .. })));

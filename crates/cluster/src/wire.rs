@@ -205,6 +205,7 @@ mod tests {
         Message::Hello {
             worker: "w".to_owned(),
             protocol: PROTOCOL_VERSION,
+            cached: Vec::new(),
         }
     }
 

@@ -7,6 +7,12 @@
 //! worker's own `results/cache/` exactly as local runs do. While a task
 //! is computing the worker cannot echo heartbeats — the coordinator
 //! covers that window with per-task deadlines instead.
+//!
+//! `Hello` advertises the content fingerprints already in the engine's
+//! disk cache, so an elastic coordinator can route matching tasks here
+//! (warm restarts recompute nothing). `Replicate` pushes are admitted
+//! into the local cache exactly like computed results — same CRC-64
+//! envelope, same tmp+rename write, same quarantine on a corrupt read.
 
 use crate::fault::FaultPlan;
 use crate::proto::{Message, PROTOCOL_VERSION};
@@ -75,6 +81,7 @@ pub fn run_worker(
     transport.send(&Message::Hello {
         worker: config.name.clone(),
         protocol: PROTOCOL_VERSION,
+        cached: engine.cached_fingerprints(),
     })?;
     let mut accepted: u64 = 0;
     let mut served: u64 = 0;
@@ -91,6 +98,19 @@ pub fn run_worker(
                     return Err(WorkerError::InjectedCrash {
                         task_number: accepted,
                     });
+                }
+                if config.faults.bye_on_task == Some(accepted) {
+                    // Voluntary departure: the orphaned Assign re-queues
+                    // on the coordinator without a charged attempt.
+                    transport.send(&Message::Bye)?;
+                    return Ok(served);
+                }
+                if config.faults.stall_on_task == Some(accepted) {
+                    // Hang without Bye or a reply; only the
+                    // coordinator's per-task deadline recovers the task.
+                    loop {
+                        std::thread::park();
+                    }
                 }
                 accepted += 1;
                 let outcome = match engine.run_task(&task) {
@@ -109,6 +129,16 @@ pub fn run_worker(
                     }),
                 };
                 outcome?;
+            }
+            Message::Replicate {
+                workload_id,
+                fingerprint,
+                profile,
+            } => {
+                // Replica push: admit into the local cache exactly like
+                // a computed result. No reply — the coordinator treats
+                // a failed send, not a missing ack, as target death.
+                engine.admit(&workload_id, fingerprint, &profile);
             }
             Message::Heartbeat { seq } => transport.send(&Message::Heartbeat { seq })?,
             Message::Bye => return Ok(served),

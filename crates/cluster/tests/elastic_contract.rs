@@ -1,0 +1,354 @@
+//! The elastic-fleet contract: under any topology-churn schedule —
+//! workers joining mid-run, leaving cleanly with `Bye`, stalling
+//! forever, crashing, or dropping their connections — the merged
+//! profile bytes stay **identical** to a serial engine run, and a fleet
+//! restarted after losing any single machine answers entirely from the
+//! replicated result tier (zero recomputes).
+
+use bdb_cluster::{
+    fleet_tasks, loopback_pair, run_worker, ClusterConfig, Coordinator, FaultPlan, FaultyTransport,
+    Message, Transport, TransportError, WorkerConfig,
+};
+use bdb_engine::codec::profile_to_value;
+use bdb_engine::{Engine, EngineConfig};
+use bdb_node::NodeConfig;
+use bdb_sim::MachineConfig;
+use bdb_wcrt::WorkloadProfile;
+use bdb_workloads::{catalog, Scale, WorkloadDef};
+use std::sync::mpsc::channel;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Fast ticks and extra attempts, so churn-heavy schedules converge
+/// quickly but never exhaust a task. The task deadline stays at its
+/// default: it must comfortably exceed real compute time, or healthy
+/// workers get declared dead mid-task.
+fn elastic_config() -> ClusterConfig {
+    ClusterConfig {
+        tick: Duration::from_millis(5),
+        max_attempts: 8,
+        ..ClusterConfig::default()
+    }
+}
+
+fn machine() -> MachineConfig {
+    MachineConfig::xeon_e5645()
+}
+
+fn spawn_worker(name: &str, faults: FaultPlan) -> Arc<dyn Transport> {
+    let (coord_end, worker_end) = loopback_pair(name);
+    let config = WorkerConfig {
+        name: name.to_owned(),
+        faults: faults.clone(),
+    };
+    std::thread::spawn(move || {
+        let engine = Engine::in_memory();
+        let transport = FaultyTransport::new(worker_end, config.faults.clone());
+        run_worker(&transport, &engine, &config)
+    });
+    Arc::new(coord_end)
+}
+
+/// Like [`spawn_worker`], but serving a caller-owned engine (so the
+/// test can point it at a persistent cache dir and read its counters),
+/// and returning the worker thread's handle for clean joining.
+fn spawn_worker_with_engine(
+    name: &str,
+    engine: Arc<Engine>,
+    faults: FaultPlan,
+) -> (Arc<dyn Transport>, std::thread::JoinHandle<()>) {
+    let (coord_end, worker_end) = loopback_pair(name);
+    let config = WorkerConfig {
+        name: name.to_owned(),
+        faults: faults.clone(),
+    };
+    let handle = std::thread::spawn(move || {
+        let transport = FaultyTransport::new(worker_end, config.faults.clone());
+        let _ = run_worker(&transport, &engine, &config);
+    });
+    (Arc::new(coord_end), handle)
+}
+
+fn canonical_bytes(profiles: &[WorkloadProfile]) -> Vec<String> {
+    profiles
+        .iter()
+        .map(|p| profile_to_value(p).encode())
+        .collect()
+}
+
+fn serial_baseline(workloads: &[WorkloadDef], scale: Scale) -> Vec<String> {
+    let profiles =
+        Engine::serial().profile_all(workloads, scale, &machine(), &NodeConfig::default());
+    canonical_bytes(&profiles)
+}
+
+/// The chaos soak: every churn schedule × every join timing must merge
+/// byte-identically to serial. Each run starts with one clean worker
+/// and one worker following the schedule's fault plan; a third clean
+/// worker joins through the elastic channel after `join_delay`.
+#[test]
+fn topology_churn_schedules_merge_byte_identically_to_serial() {
+    let workloads: Vec<WorkloadDef> = catalog::full_catalog().into_iter().take(12).collect();
+    let scale = Scale::tiny();
+    let serial = serial_baseline(&workloads, scale);
+    let tasks = fleet_tasks(&workloads, scale, &machine(), &NodeConfig::default());
+    let schedules: Vec<(&str, FaultPlan)> = vec![
+        ("clean", FaultPlan::default()),
+        (
+            "bye",
+            FaultPlan {
+                bye_on_task: Some(2),
+                ..FaultPlan::default()
+            },
+        ),
+        (
+            "stall",
+            FaultPlan {
+                stall_on_task: Some(1),
+                ..FaultPlan::default()
+            },
+        ),
+        (
+            "crash",
+            FaultPlan {
+                crash_on_task: Some(2),
+                ..FaultPlan::default()
+            },
+        ),
+        (
+            "drop",
+            FaultPlan {
+                drop_after_frames: Some(6),
+                ..FaultPlan::default()
+            },
+        ),
+    ];
+    for (label, fault) in &schedules {
+        for join_delay_ms in [0u64, 120] {
+            let workers = vec![
+                spawn_worker(
+                    &format!("{label}-base-{join_delay_ms}"),
+                    FaultPlan::default(),
+                ),
+                spawn_worker(&format!("{label}-faulty-{join_delay_ms}"), fault.clone()),
+            ];
+            let (join_tx, join_rx) = channel();
+            let joiner_name = format!("{label}-joiner-{join_delay_ms}");
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(join_delay_ms));
+                let _ = join_tx.send(spawn_worker(&joiner_name, FaultPlan::default()));
+                // Sender drops here: membership is final once the
+                // joiner is delivered, so total fleet death stays a
+                // clean error rather than an infinite wait.
+            });
+            let profiles = Coordinator::new(elastic_config())
+                .run_elastic(workers, join_rx, &tasks, None)
+                .unwrap_or_else(|e| panic!("schedule {label}/join@{join_delay_ms}ms: {e}"));
+            assert_eq!(
+                canonical_bytes(&profiles),
+                serial,
+                "schedule {label}/join@{join_delay_ms}ms must merge byte-identically"
+            );
+        }
+    }
+}
+
+/// Coordinator-side transport wrapper that logs every `Assign` it
+/// sends, so tests can count dispatches per task.
+struct CountingTransport {
+    inner: Arc<dyn Transport>,
+    worker: usize,
+    assigns: Arc<Mutex<Vec<(usize, u64)>>>,
+}
+
+impl Transport for CountingTransport {
+    fn send(&self, msg: &Message) -> Result<(), TransportError> {
+        if let Message::Assign { task_id, .. } = msg {
+            self.assigns
+                .lock()
+                .expect("assign log lock")
+                .push((self.worker, *task_id));
+        }
+        self.inner.send(msg)
+    }
+
+    fn recv(&self) -> Result<Message, TransportError> {
+        self.inner.recv()
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> Result<Option<Message>, TransportError> {
+        self.inner.recv_timeout(timeout)
+    }
+
+    fn peer(&self) -> String {
+        format!("counted({})", self.inner.peer())
+    }
+}
+
+/// Regression: a worker whose connection EOFs while it holds an
+/// assigned task must cause exactly one re-dispatch of that task — the
+/// `Closed` event and the later deadline/heartbeat machinery must not
+/// each re-queue it.
+#[test]
+fn worker_eof_holding_a_task_requeues_exactly_once() {
+    let workloads: Vec<WorkloadDef> = catalog::full_catalog().into_iter().take(6).collect();
+    let scale = Scale::tiny();
+    let serial = serial_baseline(&workloads, scale);
+    let tasks = fleet_tasks(&workloads, scale, &machine(), &NodeConfig::default());
+    let assigns: Arc<Mutex<Vec<(usize, u64)>>> = Arc::new(Mutex::new(Vec::new()));
+    // Frame budget 2 = Hello out + Assign in: the connection dies the
+    // moment the worker tries to send its first Result, so the
+    // coordinator sees EOF with the task still in flight.
+    let workers: Vec<Arc<dyn Transport>> = vec![
+        Arc::new(CountingTransport {
+            inner: spawn_worker(
+                "eof-mid-task",
+                FaultPlan {
+                    drop_after_frames: Some(2),
+                    ..FaultPlan::default()
+                },
+            ),
+            worker: 0,
+            assigns: Arc::clone(&assigns),
+        }),
+        Arc::new(CountingTransport {
+            inner: spawn_worker("survivor", FaultPlan::default()),
+            worker: 1,
+            assigns: Arc::clone(&assigns),
+        }),
+    ];
+    let profiles = Coordinator::new(elastic_config())
+        .run(workers, &tasks)
+        .expect("run must converge past the EOF");
+    assert_eq!(canonical_bytes(&profiles), serial);
+
+    let log = assigns.lock().expect("assign log lock");
+    let to_dead: Vec<u64> = log
+        .iter()
+        .filter(|(worker, _)| *worker == 0)
+        .map(|&(_, task)| task)
+        .collect();
+    assert_eq!(
+        to_dead.len(),
+        1,
+        "the dying worker accepts exactly one assignment: {log:?}"
+    );
+    let orphan = to_dead[0];
+    let dispatches = log.iter().filter(|&&(_, task)| task == orphan).count();
+    assert_eq!(
+        dispatches, 2,
+        "orphaned task {orphan} must be re-dispatched exactly once: {log:?}"
+    );
+}
+
+/// The replicated result tier: after a 3-worker run with
+/// `replication = 1`, killing ANY single worker and restarting the
+/// survivors with fresh engines over the surviving cache dirs must
+/// reproduce the serial bytes with **zero** recomputation — every entry
+/// had a replica on a machine that survived.
+#[test]
+fn replicated_caches_restart_warm_after_killing_any_worker() {
+    let base = std::env::temp_dir().join(format!("bdb-elastic-repl-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    let workloads: Vec<WorkloadDef> = catalog::full_catalog().into_iter().take(9).collect();
+    let scale = Scale::tiny();
+    let serial = serial_baseline(&workloads, scale);
+    let tasks = fleet_tasks(&workloads, scale, &machine(), &NodeConfig::default());
+    let cache_dirs: Vec<std::path::PathBuf> = (0..3).map(|i| base.join(format!("w{i}"))).collect();
+    let replicated = ClusterConfig {
+        replication: 1,
+        ..elastic_config()
+    };
+
+    // Run 1: three cold workers, each result replicated to one ring
+    // successor, so every entry ends up on two distinct machines.
+    {
+        let mut handles = Vec::new();
+        let mut workers: Vec<Arc<dyn Transport>> = Vec::new();
+        for (i, dir) in cache_dirs.iter().enumerate() {
+            let engine = Arc::new(Engine::new(EngineConfig::default().cache_dir(dir)));
+            let (transport, handle) =
+                spawn_worker_with_engine(&format!("r1-w{i}"), engine, FaultPlan::default());
+            workers.push(transport);
+            handles.push(handle);
+        }
+        let profiles = Coordinator::new(replicated.clone())
+            .run(workers, &tasks)
+            .expect("replicated run converges");
+        assert_eq!(canonical_bytes(&profiles), serial);
+        // Join the worker threads so every Replicate admission has hit
+        // disk before the warm restarts read the cache dirs.
+        for handle in handles {
+            handle.join().expect("worker thread exits cleanly");
+        }
+    }
+
+    // Run 2 (three times over): kill worker k, restart the survivors
+    // with FRESH engines on the surviving cache dirs.
+    for killed in 0..3 {
+        let mut handles = Vec::new();
+        let mut workers: Vec<Arc<dyn Transport>> = Vec::new();
+        let mut engines = Vec::new();
+        for (i, dir) in cache_dirs.iter().enumerate() {
+            if i == killed {
+                continue;
+            }
+            let engine = Arc::new(Engine::new(EngineConfig::default().cache_dir(dir)));
+            let (transport, handle) = spawn_worker_with_engine(
+                &format!("r2-kill{killed}-w{i}"),
+                Arc::clone(&engine),
+                FaultPlan::default(),
+            );
+            engines.push(engine);
+            workers.push(transport);
+            handles.push(handle);
+        }
+        let profiles = Coordinator::new(replicated.clone())
+            .run(workers, &tasks)
+            .expect("warm restart converges");
+        assert_eq!(
+            canonical_bytes(&profiles),
+            serial,
+            "killed worker {killed}: warm bytes must still match serial"
+        );
+        let computed: u64 = engines.iter().map(|e| e.counters().computed).sum();
+        assert_eq!(
+            computed, 0,
+            "killed worker {killed}: survivors must answer entirely from replicas"
+        );
+        for handle in handles {
+            handle.join().expect("worker thread exits cleanly");
+        }
+    }
+    let _ = std::fs::remove_dir_all(&base);
+}
+
+/// `Replicate` frames carry a full profile and must round-trip
+/// byte-stably through the wire codec like every other message.
+#[test]
+fn replicate_frames_roundtrip_byte_stably() {
+    use bdb_cluster::wire::{decode_frames, encode_frame};
+
+    let workloads: Vec<WorkloadDef> = catalog::full_catalog().into_iter().take(1).collect();
+    let profile = Engine::serial()
+        .profile_all(
+            &workloads,
+            Scale::tiny(),
+            &machine(),
+            &NodeConfig::default(),
+        )
+        .remove(0);
+    let msg = Message::Replicate {
+        workload_id: workloads[0].spec.id.clone(),
+        fingerprint: 0x00ab_cdef_0123_4567,
+        profile: Box::new(profile),
+    };
+    let frame = encode_frame(&msg);
+    let decoded = decode_frames(&frame).expect("replicate frame decodes");
+    assert_eq!(decoded.len(), 1);
+    assert_eq!(
+        encode_frame(&decoded[0]),
+        frame,
+        "re-encoding is the identity on replicate frames"
+    );
+}

@@ -44,9 +44,12 @@ fn task() -> impl Strategy<Value = Task> {
 
 fn message() -> impl Strategy<Value = Message> {
     prop_oneof![
-        ident().prop_map(|worker| Message::Hello {
-            worker,
-            protocol: PROTOCOL_VERSION,
+        (ident(), proptest::collection::vec(any::<u64>(), 0..8)).prop_map(|(worker, cached)| {
+            Message::Hello {
+                worker,
+                protocol: PROTOCOL_VERSION,
+                cached,
+            }
         }),
         (any::<u64>(), task()).prop_map(|(task_id, task)| Message::Assign {
             task_id,

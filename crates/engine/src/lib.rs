@@ -412,6 +412,9 @@ pub struct CacheCounters {
     /// Memoized profiles dropped via [`Engine::invalidate`] (incremental
     /// recomputation marking entries stale).
     pub invalidated: u64,
+    /// Profiles computed elsewhere and admitted via [`Engine::admit`]
+    /// (the cluster's replicated result tier pushing entries here).
+    pub replicas_admitted: u64,
 }
 
 /// How the engine dispatches independent simulations.
@@ -458,6 +461,7 @@ pub struct Engine {
     corrupt_quarantined: AtomicU64,
     tmp_reclaimed: AtomicU64,
     invalidated: AtomicU64,
+    replicas_admitted: AtomicU64,
 }
 
 impl Engine {
@@ -515,6 +519,7 @@ impl Engine {
             corrupt_quarantined: AtomicU64::new(0),
             tmp_reclaimed: AtomicU64::new(tmp_reclaimed),
             invalidated: AtomicU64::new(0),
+            replicas_admitted: AtomicU64::new(0),
         }
     }
 
@@ -586,7 +591,52 @@ impl Engine {
             corrupt_quarantined: self.corrupt_quarantined.load(Ordering::Relaxed),
             tmp_reclaimed: self.tmp_reclaimed.load(Ordering::Relaxed),
             invalidated: self.invalidated.load(Ordering::Relaxed),
+            replicas_admitted: self.replicas_admitted.load(Ordering::Relaxed),
         }
+    }
+
+    /// Admits a profile computed *elsewhere* (a replica pushed by the
+    /// cluster coordinator) into this engine's caches: persisted exactly
+    /// like a locally computed entry — same CRC-64 envelope, same
+    /// tmp+rename write, same LRU cap — and memoized. Read-side
+    /// verification is unchanged, so a replica that corrupts on disk
+    /// quarantines independently of every other copy.
+    pub fn admit(&self, workload_id: &str, fingerprint: u64, profile: &WorkloadProfile) {
+        self.write_cache_file(workload_id, fingerprint, profile);
+        self.remember(fingerprint, profile);
+        self.replicas_admitted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The content fingerprints of every entry in the disk cache, sorted
+    /// and deduplicated — what a cluster worker advertises in `Hello` so
+    /// the coordinator can route matching tasks to warm machines. Keys
+    /// are parsed from file names only; no entry bytes are read or
+    /// verified here (a corrupt entry is still quarantined at read time,
+    /// and the task then recomputes).
+    pub fn cached_fingerprints(&self) -> Vec<u64> {
+        let Some(dir) = &self.cache_dir else {
+            return Vec::new();
+        };
+        let Ok(files) = self.store.list(dir) else {
+            return Vec::new();
+        };
+        let mut keys: Vec<u64> = files
+            .iter()
+            .filter_map(|meta| {
+                let name = meta.path.file_name()?.to_str()?;
+                let stem = name
+                    .strip_suffix(".json")
+                    .or_else(|| name.strip_suffix(".bin"))?;
+                let (_, hex) = stem.rsplit_once('-')?;
+                if hex.len() != 16 {
+                    return None;
+                }
+                u64::from_str_radix(hex, 16).ok()
+            })
+            .collect();
+        keys.sort_unstable();
+        keys.dedup();
+        keys
     }
 
     /// Drops one memoized profile by fingerprint, returning whether an

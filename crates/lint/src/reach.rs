@@ -77,6 +77,10 @@ const NONDET: ReachRule = ReachRule {
             suffix: &["profile_all_distributed_journaled"],
         },
         RootSpec {
+            krate: "cluster",
+            suffix: &["Coordinator", "run_elastic"],
+        },
+        RootSpec {
             krate: "wcrt",
             suffix: &["characterize"],
         },
@@ -114,6 +118,10 @@ const PANIC: ReachRule = ReachRule {
         RootSpec {
             krate: "engine",
             suffix: &["RunJournal", "open"],
+        },
+        RootSpec {
+            krate: "engine",
+            suffix: &["Engine", "admit"],
         },
         RootSpec {
             krate: "engine",

@@ -45,7 +45,11 @@ fn usage() -> String {
             ),
             (
                 "BDB_SERVE_MAX_CLIENTS",
-                "Concurrent session cap (default 64)",
+                "Concurrent session cap (default 64); excess sessions get a busy reply with a retry hint",
+            ),
+            (
+                "BDB_SERVE_SUB_QUEUE",
+                "Per-subscriber delta queue bound in frames (default 64); slower subscribers are evicted",
             ),
             (
                 "BDB_SERVE_FORMAT",

@@ -83,14 +83,27 @@ impl ServeClient {
             .send_payload(&encode_request(self.format, &request))
         {
             // A refused session hangs up before reading anything, but
-            // its parting `Error` frame may already be queued; surface
-            // the refusal instead of the bare transport failure.
+            // its parting `Busy`/`Error` frame may already be queued;
+            // surface the refusal instead of the bare transport failure.
             if let Ok(Some(payload)) = self
                 .transport
                 .recv_payload_timeout(Duration::from_millis(50))
             {
-                if let Ok(ServeReply::Error { message, .. }) = decode_reply(&payload) {
-                    return Err(ServeError::Remote(message));
+                match decode_reply(&payload) {
+                    Ok(ServeReply::Error { message, .. }) => {
+                        return Err(ServeError::Remote(message));
+                    }
+                    Ok(ServeReply::Busy {
+                        max_clients,
+                        retry_after_ticks,
+                        ..
+                    }) => {
+                        return Err(ServeError::ServerFull {
+                            max_clients,
+                            retry_after_ticks,
+                        });
+                    }
+                    _ => {}
                 }
             }
             return Err(e.into());
@@ -110,6 +123,14 @@ impl ServeClient {
                 Ok(SessionInfo { entries, seq })
             }
             ServeReply::Error { message, .. } => Err(ServeError::Remote(message)),
+            ServeReply::Busy {
+                max_clients,
+                retry_after_ticks,
+                ..
+            } => Err(ServeError::ServerFull {
+                max_clients,
+                retry_after_ticks,
+            }),
             other => Err(ServeError::Protocol(format!(
                 "expected hello reply, got {other:?}"
             ))),
@@ -231,6 +252,16 @@ impl ServeClient {
                 ServeReply::Error { id: got, message } if got == id || got == 0 => {
                     return Err(ServeError::Remote(message));
                 }
+                ServeReply::Busy {
+                    max_clients,
+                    retry_after_ticks,
+                    ..
+                } => {
+                    return Err(ServeError::ServerFull {
+                        max_clients,
+                        retry_after_ticks,
+                    });
+                }
                 reply => {
                     let got = reply_id(&reply);
                     if got != Some(id) {
@@ -259,7 +290,7 @@ fn reply_id(reply: &ServeReply) -> Option<u64> {
         | ServeReply::Stats { id, .. }
         | ServeReply::ShuttingDown { id }
         | ServeReply::Error { id, .. } => Some(*id),
-        ServeReply::Hello { .. } | ServeReply::Delta(_) => None,
+        ServeReply::Hello { .. } | ServeReply::Delta(_) | ServeReply::Busy { .. } => None,
     }
 }
 

@@ -73,7 +73,7 @@ pub use proto::{
     decode_reply, decode_request, encode_reply, encode_request, serve_format_from_env, ServeReply,
     ServeRequest, ServeStats, SnapshotEntry, SERVE_PROTOCOL_VERSION,
 };
-pub use server::{Server, ServerConfig};
+pub use server::{Server, ServerConfig, RETRY_QUANTUM_TICKS};
 pub use spec::{EntryKey, Mutation, ServeSpec};
 pub use state::{Delta, DeltaBatch, ServeState};
 
@@ -110,10 +110,15 @@ pub enum ServeError {
     Transport(TransportError),
     /// A socket-level failure outside any transport.
     Io(String),
-    /// The server refused the session: too many concurrent clients.
+    /// The server shed the session: too many concurrent clients. The
+    /// refusal carries a deterministic, tick-denominated retry hint —
+    /// graceful degradation, not a hard failure.
     ServerFull {
         /// The server's `BDB_SERVE_MAX_CLIENTS` cap.
         max_clients: u64,
+        /// The server's suggested retry delay, in server ticks
+        /// (proportional to how far over the cap it is).
+        retry_after_ticks: u64,
     },
     /// An error reply relayed from the server.
     Remote(String),
@@ -137,8 +142,14 @@ impl std::fmt::Display for ServeError {
             ServeError::Protocol(e) => write!(f, "protocol violation: {e}"),
             ServeError::Transport(e) => write!(f, "transport failure: {e}"),
             ServeError::Io(e) => write!(f, "socket failure: {e}"),
-            ServeError::ServerFull { max_clients } => {
-                write!(f, "server full ({max_clients} clients)")
+            ServeError::ServerFull {
+                max_clients,
+                retry_after_ticks,
+            } => {
+                write!(
+                    f,
+                    "server full ({max_clients} clients); retry after {retry_after_ticks} ticks"
+                )
             }
             ServeError::Remote(e) => write!(f, "server replied with error: {e}"),
         }

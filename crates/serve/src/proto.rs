@@ -161,6 +161,21 @@ pub enum ServeReply {
         /// What went wrong.
         message: String,
     },
+    /// The server is over its session cap and sheds this session
+    /// instead of serving it. Unlike `Error`, this is a *scheduling*
+    /// refusal: the catalog is healthy and the client should simply
+    /// retry later. The hint is tick-denominated (the server has no
+    /// wall-clock promise to make) and deterministic in the overload
+    /// depth, so identical load states produce identical hints.
+    Busy {
+        /// Echo id (0 — refusal happens before any request decodes).
+        id: u64,
+        /// The server's session cap (`BDB_SERVE_MAX_CLIENTS`).
+        max_clients: u64,
+        /// Suggested retry delay, in server ticks: proportional to how
+        /// far over the cap the server currently is.
+        retry_after_ticks: u64,
+    },
 }
 
 /// One catalog entry inside a `Snapshot` reply.
@@ -202,6 +217,9 @@ pub struct ServeStats {
     pub sessions_total: u64,
     /// Sessions currently subscribed to deltas.
     pub subscribers: u64,
+    /// Subscribers evicted for falling more than `BDB_SERVE_SUB_QUEUE`
+    /// delta batches behind (slow-consumer shedding).
+    pub subscribers_evicted: u64,
 }
 
 fn get<'a>(v: &'a Value, key: &str) -> Result<&'a Value, ServeError> {
@@ -364,6 +382,7 @@ fn stats_to_value(s: &ServeStats) -> Value {
         ("sessions_active", Value::UInt(s.sessions_active)),
         ("sessions_total", Value::UInt(s.sessions_total)),
         ("subscribers", Value::UInt(s.subscribers)),
+        ("subscribers_evicted", Value::UInt(s.subscribers_evicted)),
     ])
 }
 
@@ -381,6 +400,7 @@ fn stats_from_value(v: &Value) -> Result<ServeStats, ServeError> {
         sessions_active: get_u64(v, "sessions_active")?,
         sessions_total: get_u64(v, "sessions_total")?,
         subscribers: get_u64(v, "subscribers")?,
+        subscribers_evicted: get_u64(v, "subscribers_evicted")?,
     })
 }
 
@@ -477,6 +497,16 @@ pub fn reply_to_value(reply: &ServeReply) -> Value {
             ("message", Value::Str(message.clone())),
             ("type", Value::Str("error".to_owned())),
         ]),
+        ServeReply::Busy {
+            id,
+            max_clients,
+            retry_after_ticks,
+        } => Value::object(vec![
+            ("id", Value::UInt(*id)),
+            ("max_clients", Value::UInt(*max_clients)),
+            ("retry_after_ticks", Value::UInt(*retry_after_ticks)),
+            ("type", Value::Str("busy".to_owned())),
+        ]),
     }
 }
 
@@ -556,6 +586,11 @@ pub fn reply_from_value(v: &Value) -> Result<ServeReply, ServeError> {
         "error" => Ok(ServeReply::Error {
             id: get_u64(v, "id")?,
             message: get_str(v, "message")?.to_owned(),
+        }),
+        "busy" => Ok(ServeReply::Busy {
+            id: get_u64(v, "id")?,
+            max_clients: get_u64(v, "max_clients")?,
+            retry_after_ticks: get_u64(v, "retry_after_ticks")?,
         }),
         other => Err(ServeError::Decode(format!("unknown reply type {other:?}"))),
     }
@@ -731,6 +766,11 @@ mod tests {
             ServeReply::Error {
                 id: 9,
                 message: "unknown machine config \"no-such\"".to_owned(),
+            },
+            ServeReply::Busy {
+                id: 0,
+                max_clients: 64,
+                retry_after_ticks: 32,
             },
         ]
     }

@@ -3,11 +3,19 @@
 //! One thread per accepted connection, a single mutex around the
 //! [`ServeState`] (mutations serialize; the rayon fan-out happens
 //! *inside* `apply`, so one mutation still uses every core), and a
-//! subscriber registry of [`FrameTransport`]s. Delta broadcast happens
-//! **under the state lock**, so subscribers observe batches in strict
-//! `seq` order; per-frame sends are atomic (the transport's writer is
-//! its own mutex), so a broadcast never interleaves with a session
-//! reply on the same connection.
+//! subscriber registry of bounded delta queues. Delta *enqueue* happens
+//! **under the state lock**, so every subscriber's queue holds batches
+//! in strict `seq` order; a dedicated flusher thread per subscriber
+//! drains its queue onto the wire, so one stalled client never blocks a
+//! mutation or the other subscribers. A subscriber that falls more than
+//! `BDB_SERVE_SUB_QUEUE` batches behind is evicted (its queue is closed
+//! and it stops receiving pushes) instead of growing without bound —
+//! the `subscribers_evicted` counter records every shed.
+//!
+//! Overload is graceful, not fatal: a session past
+//! `BDB_SERVE_MAX_CLIENTS` is refused with a [`ServeReply::Busy`]
+//! carrying a deterministic, tick-denominated retry hint (proportional
+//! to the overload depth), never a bare error.
 //!
 //! Warm restart is free: the server owns no persistence of its own.
 //! Rebuilding [`ServeState`] over an engine whose `BDB_CACHE_DIR` /
@@ -22,34 +30,47 @@ use crate::proto::{
 use crate::state::{DeltaBatch, ServeState};
 use crate::{Delta, ServeError};
 use bdb_cluster::{FrameTransport, TcpTransport, TransportError, WireFormat};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::net::TcpListener;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+
+/// One tick of the `Busy` retry hint per session over the cap. The
+/// hint is `overload_depth × RETRY_QUANTUM_TICKS`: deterministic in the
+/// load state (identical overload → identical hint) and linear, so
+/// refused clients back off in proportion to the queue ahead of them.
+pub const RETRY_QUANTUM_TICKS: u64 = 16;
 
 /// Daemon tunables, normally from [`ServerConfig::from_env`].
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// The name sent in `Hello` replies.
     pub name: String,
-    /// Concurrent-session cap; a session past the cap is refused with
-    /// an `Error` reply before any request is read.
+    /// Concurrent-session cap; a session past the cap is shed with a
+    /// `Busy` reply (retry hint included) before any request is read.
     pub max_clients: u64,
+    /// Per-subscriber delta queue depth; a subscriber whose queue is
+    /// full when a batch arrives is evicted rather than buffered
+    /// without bound.
+    pub sub_queue: u64,
     /// Payload format for replies and delta pushes.
     pub format: WireFormat,
 }
 
 impl ServerConfig {
-    /// A named config with library defaults (64 clients, JSON frames).
+    /// A named config with library defaults (64 clients, 64-deep
+    /// subscriber queues, JSON frames).
     pub fn named(name: &str) -> Self {
         ServerConfig {
             name: name.to_owned(),
             max_clients: 64,
+            sub_queue: 64,
             format: WireFormat::Json,
         }
     }
 
-    /// Reads `BDB_SERVE_MAX_CLIENTS` (default 64) and
+    /// Reads `BDB_SERVE_MAX_CLIENTS` (default 64),
+    /// `BDB_SERVE_SUB_QUEUE` (default 64, floored at 1), and
     /// `BDB_SERVE_FORMAT` (via
     /// [`crate::proto::serve_format_from_env`]).
     pub fn from_env() -> Self {
@@ -57,22 +78,80 @@ impl ServerConfig {
             .ok()
             .and_then(|v| v.parse().ok())
             .unwrap_or(64);
+        let sub_queue = std::env::var("BDB_SERVE_SUB_QUEUE")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64u64)
+            .max(1);
         ServerConfig {
             name: "bdb-served".to_owned(),
             max_clients,
+            sub_queue,
             format: crate::proto::serve_format_from_env(),
+        }
+    }
+}
+
+/// The frames queued for one subscriber, plus its lifecycle flag.
+/// `closed` is terminal: set by eviction, by session teardown, or by
+/// the flusher itself on a send failure; once set, the flusher drains
+/// out and no further frames are accepted.
+#[derive(Default)]
+struct SubQueue {
+    frames: VecDeque<Vec<u8>>,
+    closed: bool,
+}
+
+/// One subscriber: its transport plus the bounded queue its dedicated
+/// flusher thread drains. Broadcast enqueues (cheap, under the state
+/// lock); the flusher owns the potentially-slow socket writes.
+struct Subscriber {
+    transport: Arc<dyn FrameTransport>,
+    queue: Mutex<SubQueue>,
+    cv: Condvar,
+}
+
+impl Subscriber {
+    /// Closes the queue and wakes the flusher so it can exit. Idempotent.
+    fn close(&self) {
+        lock(&self.queue).closed = true;
+        self.cv.notify_all();
+    }
+}
+
+/// The flusher loop: pop-or-wait, send, repeat. Exits when the queue is
+/// closed and drained, or immediately on a send failure (the peer is
+/// gone; `close` marks the queue so broadcast unregisters it).
+fn flush_subscriber(sub: &Subscriber) {
+    loop {
+        let frame = {
+            let mut queue = lock(&sub.queue);
+            loop {
+                if let Some(frame) = queue.frames.pop_front() {
+                    break frame;
+                }
+                if queue.closed {
+                    return;
+                }
+                queue = sub.cv.wait(queue).unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+        if sub.transport.send_payload(&frame).is_err() {
+            sub.close();
+            return;
         }
     }
 }
 
 struct Shared {
     state: Mutex<ServeState>,
-    subscribers: Mutex<BTreeMap<u64, Arc<dyn FrameTransport>>>,
+    subscribers: Mutex<BTreeMap<u64, Arc<Subscriber>>>,
     config: ServerConfig,
     sessions_active: AtomicU64,
     sessions_total: AtomicU64,
     delta_batches: AtomicU64,
     deltas_streamed: AtomicU64,
+    subscribers_evicted: AtomicU64,
     shutdown: AtomicBool,
     wake_addr: Mutex<Option<String>>,
 }
@@ -102,6 +181,7 @@ impl Server {
                 sessions_total: AtomicU64::new(0),
                 delta_batches: AtomicU64::new(0),
                 deltas_streamed: AtomicU64::new(0),
+                subscribers_evicted: AtomicU64::new(0),
                 shutdown: AtomicBool::new(false),
                 wake_addr: Mutex::new(None),
             }),
@@ -132,6 +212,7 @@ impl Server {
             sessions_active: self.shared.sessions_active.load(Ordering::SeqCst),
             sessions_total: self.shared.sessions_total.load(Ordering::SeqCst),
             subscribers: lock(&self.shared.subscribers).len() as u64,
+            subscribers_evicted: self.shared.subscribers_evicted.load(Ordering::SeqCst),
         }
     }
 
@@ -168,22 +249,32 @@ impl Server {
     pub fn serve_session(&self, transport: Arc<dyn FrameTransport>) -> Result<(), ServeError> {
         let session_id = self.shared.sessions_total.fetch_add(1, Ordering::SeqCst) + 1;
         let active = self.shared.sessions_active.fetch_add(1, Ordering::SeqCst) + 1;
-        let result = if active > self.shared.config.max_clients {
-            let refusal = ServeError::ServerFull {
-                max_clients: self.shared.config.max_clients,
-            };
+        let max_clients = self.shared.config.max_clients;
+        let result = if active > max_clients {
+            // Shed, don't fail hard: the hint is deterministic in the
+            // overload depth, so identical load states refuse
+            // identically (and deeper overload backs clients off
+            // further).
+            let retry_after_ticks = (active - max_clients) * RETRY_QUANTUM_TICKS;
             let _ = self.send(
                 &transport,
-                &ServeReply::Error {
+                &ServeReply::Busy {
                     id: 0,
-                    message: refusal.to_string(),
+                    max_clients,
+                    retry_after_ticks,
                 },
             );
-            Err(refusal)
+            Err(ServeError::ServerFull {
+                max_clients,
+                retry_after_ticks,
+            })
         } else {
             self.session_loop(session_id, &transport)
         };
-        lock(&self.shared.subscribers).remove(&session_id);
+        if let Some(sub) = lock(&self.shared.subscribers).remove(&session_id) {
+            // Close the queue so the flusher thread drains and exits.
+            sub.close();
+        }
         self.shared.sessions_active.fetch_sub(1, Ordering::SeqCst);
         result
     }
@@ -309,8 +400,24 @@ impl Server {
                     self.send(transport, &reply)?;
                 }
                 ServeRequest::Subscribe { id } => {
-                    let seq = lock(&self.shared.state).seq();
-                    lock(&self.shared.subscribers).insert(session_id, Arc::clone(transport));
+                    let sub = Arc::new(Subscriber {
+                        transport: Arc::clone(transport),
+                        queue: Mutex::new(SubQueue::default()),
+                        cv: Condvar::new(),
+                    });
+                    // Register under the state lock (lock order: state
+                    // → subscribers, same as Mutate/broadcast), so no
+                    // batch with seq greater than the returned seq can
+                    // be broadcast before this subscriber is visible.
+                    let seq = {
+                        let state = lock(&self.shared.state);
+                        let mut subscribers = lock(&self.shared.subscribers);
+                        if let Some(old) = subscribers.insert(session_id, Arc::clone(&sub)) {
+                            old.close();
+                        }
+                        state.seq()
+                    };
+                    std::thread::spawn(move || flush_subscriber(&sub));
                     self.send(transport, &ServeReply::Subscribed { id, seq })?;
                 }
                 ServeRequest::Stats { id } => {
@@ -337,8 +444,13 @@ impl Server {
         transport.send_payload(&payload).map_err(ServeError::from)
     }
 
-    /// Pushes one batch to every subscriber; dead subscribers are
-    /// dropped. Called with the state lock held (see `Mutate`).
+    /// Enqueues one batch onto every subscriber's bounded queue; the
+    /// per-subscriber flusher threads do the socket writes. Called with
+    /// the state lock held (see `Mutate`), which is what gives every
+    /// queue strict `seq` order — and is why this must never block on a
+    /// slow peer. A subscriber whose queue is already full is evicted
+    /// (closed + unregistered) instead of buffered without bound; one
+    /// whose flusher died of a send failure is silently dropped.
     fn broadcast(&self, batch: &DeltaBatch) {
         if batch.deltas.is_empty() {
             return;
@@ -346,18 +458,33 @@ impl Server {
         self.shared.delta_batches.fetch_add(1, Ordering::SeqCst);
         let payload = encode_reply(self.shared.config.format, &ServeReply::Delta(batch.clone()));
         let mut subscribers = lock(&self.shared.subscribers);
-        let mut dead = Vec::new();
+        let mut gone = Vec::new();
         for (&session_id, subscriber) in subscribers.iter() {
-            match subscriber.send_payload(&payload) {
-                Ok(()) => {
-                    self.shared
-                        .deltas_streamed
-                        .fetch_add(batch.deltas.len() as u64, Ordering::SeqCst);
-                }
-                Err(_) => dead.push(session_id),
+            let mut queue = lock(&subscriber.queue);
+            if queue.closed {
+                // The flusher hit a send failure; the peer is gone.
+                gone.push(session_id);
+                continue;
             }
+            if queue.frames.len() as u64 >= self.shared.config.sub_queue {
+                // Slow consumer: shed it rather than grow its queue.
+                queue.closed = true;
+                drop(queue);
+                subscriber.cv.notify_all();
+                gone.push(session_id);
+                self.shared
+                    .subscribers_evicted
+                    .fetch_add(1, Ordering::SeqCst);
+                continue;
+            }
+            queue.frames.push_back(payload.clone());
+            drop(queue);
+            subscriber.cv.notify_all();
+            self.shared
+                .deltas_streamed
+                .fetch_add(batch.deltas.len() as u64, Ordering::SeqCst);
         }
-        for session_id in dead {
+        for session_id in gone {
             subscribers.remove(&session_id);
         }
     }

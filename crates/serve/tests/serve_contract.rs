@@ -247,7 +247,7 @@ fn subscriber_patches_snapshot_to_byte_identical_catalog() {
 }
 
 #[test]
-fn session_cap_refuses_with_a_remote_error() {
+fn session_cap_sheds_with_a_deterministic_retry_hint() {
     let state =
         ServeState::materialize(Arc::new(Engine::in_memory()), small_spec()).expect("materialize");
     let server = Server::new(
@@ -259,9 +259,129 @@ fn session_cap_refuses_with_a_remote_error() {
     );
     let mut client = session(&server);
     match client.hello("late") {
-        Err(bdb_serve::ServeError::Remote(message)) => {
-            assert!(message.contains("full"), "refusal names the cap: {message}");
+        Err(bdb_serve::ServeError::ServerFull {
+            max_clients,
+            retry_after_ticks,
+        }) => {
+            assert_eq!(max_clients, 0);
+            // One session over a cap of zero: exactly one retry quantum.
+            assert_eq!(retry_after_ticks, bdb_serve::RETRY_QUANTUM_TICKS);
         }
-        other => panic!("expected a remote refusal, got {other:?}"),
+        other => panic!("expected a busy refusal, got {other:?}"),
     }
+}
+
+/// A server-side transport driven by a script: requests come from a
+/// channel that stays open (so the session blocks instead of closing),
+/// and the peer stops reading after `free_sends` replies — every later
+/// send parks forever, wedging the subscriber's flusher thread mid-send
+/// the way a stalled TCP peer would.
+struct StuckSubscriber {
+    requests: std::sync::Mutex<std::sync::mpsc::Receiver<Vec<u8>>>,
+    _keep_open: std::sync::mpsc::Sender<Vec<u8>>,
+    sends: std::sync::atomic::AtomicU64,
+    free_sends: u64,
+}
+
+impl bdb_cluster::FrameTransport for StuckSubscriber {
+    fn send_payload(&self, _payload: &[u8]) -> Result<(), bdb_cluster::TransportError> {
+        let n = self.sends.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+        if n >= self.free_sends {
+            loop {
+                std::thread::park();
+            }
+        }
+        Ok(())
+    }
+
+    fn recv_payload(&self) -> Result<Vec<u8>, bdb_cluster::TransportError> {
+        self.requests
+            .lock()
+            .expect("script lock")
+            .recv()
+            .map_err(|_| bdb_cluster::TransportError::Closed)
+    }
+
+    fn recv_payload_timeout(
+        &self,
+        timeout: Duration,
+    ) -> Result<Option<Vec<u8>>, bdb_cluster::TransportError> {
+        match self
+            .requests
+            .lock()
+            .expect("script lock")
+            .recv_timeout(timeout)
+        {
+            Ok(p) => Ok(Some(p)),
+            Err(std::sync::mpsc::RecvTimeoutError::Timeout) => Ok(None),
+            Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => {
+                Err(bdb_cluster::TransportError::Closed)
+            }
+        }
+    }
+
+    fn peer_label(&self) -> String {
+        "stuck-subscriber".to_owned()
+    }
+}
+
+#[test]
+fn slow_subscriber_is_evicted_not_buffered_without_bound() {
+    let state =
+        ServeState::materialize(Arc::new(Engine::in_memory()), small_spec()).expect("materialize");
+    let server = Server::new(
+        state,
+        ServerConfig {
+            sub_queue: 1,
+            ..ServerConfig::named("evict")
+        },
+    );
+
+    // A subscriber that registers and then never reads another frame:
+    // its one allowed send is the `Subscribed` reply, so the flusher
+    // wedges on the first delta frame.
+    let (tx, rx) = std::sync::mpsc::channel();
+    tx.send(bdb_serve::encode_request(
+        WireFormat::Json,
+        &bdb_serve::ServeRequest::Subscribe { id: 1 },
+    ))
+    .expect("script send");
+    let stuck = Arc::new(StuckSubscriber {
+        requests: std::sync::Mutex::new(rx),
+        _keep_open: tx,
+        sends: std::sync::atomic::AtomicU64::new(0),
+        free_sends: 1,
+    });
+    {
+        let server = server.clone();
+        let stuck: Arc<dyn bdb_cluster::FrameTransport> = stuck;
+        std::thread::spawn(move || server.serve_session(stuck));
+    }
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while server.stats().subscribers < 1 {
+        assert!(std::time::Instant::now() < deadline, "subscriber registers");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // Three effective mutations: the first delta wedges the flusher,
+    // the queue (depth 1) fills, and the subscriber is shed instead of
+    // buffered without bound.
+    let mut mutator = session(&server);
+    mutator.hello("mutator").expect("hello");
+    for size in [16384u64, 32768, 8192] {
+        mutator
+            .mutate(Mutation::SetKnob {
+                config: "xeon-e5645".to_owned(),
+                knob: "l1d.size_bytes".to_owned(),
+                value: Value::UInt(size),
+            })
+            .expect("mutation applies");
+    }
+    let stats = mutator.stats().expect("stats");
+    assert_eq!(
+        stats.subscribers_evicted, 1,
+        "slow consumer shed exactly once"
+    );
+    assert_eq!(stats.subscribers, 0, "evicted subscriber unregistered");
+    mutator.bye().expect("bye");
 }

@@ -1,0 +1,124 @@
+#!/usr/bin/env bash
+# Elastic smoke: the multi-process twin of
+# crates/cluster/tests/elastic_contract.rs.
+#
+# Leg A (churn): a coordinator with an open --join-listen port starts
+# over two paced bdb-clusterd workers (each with its own cache dir and
+# replication 1), a third worker *joins mid-run* via --connect, one of
+# the original workers is killed with SIGKILL mid-run, and the merged
+# bytes must still diff clean against the serial engine.
+#
+# Leg B (warm restart): the killed worker's cache dir is discarded —
+# that machine is gone. Fresh daemons are started over the two
+# SURVIVING cache dirs and the same catalog is re-run. Because every
+# result was replicated to a ring-successor peer, the rerun must (a)
+# diff clean against serial and (b) recompute NOTHING: the workers'
+# "(N tasks, M computed)" session logs must sum to zero computed.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+WORKLOADS="${WORKLOADS:-12}"
+OUT="$(mktemp -d)"
+cleanup() {
+    for pidfile in "$OUT"/*.pid; do
+        [ -f "$pidfile" ] && kill "$(cat "$pidfile")" 2>/dev/null || true
+    done
+    rm -rf "$OUT"
+}
+trap cleanup EXIT
+
+echo "== build =="
+cargo build -q --release -p bdb-cluster --bins
+
+CLUSTERD=target/release/bdb_clusterd
+SMOKE=target/release/cluster_smoke
+
+start_worker() { # args: logfile, extra flags... (BDB_* env passes through)
+    local log="$1"; shift
+    "$CLUSTERD" --listen 127.0.0.1:0 "$@" >"$log" 2>"$log.err" &
+    echo $! >"$log.pid"
+    for _ in $(seq 1 100); do
+        if addr=$(grep -m1 '^listening on ' "$log" | cut -d' ' -f3) && [ -n "$addr" ]; then
+            echo "$addr"
+            return 0
+        fi
+        sleep 0.1
+    done
+    echo "worker did not report its address ($log)" >&2
+    return 1
+}
+
+echo "== serial baseline =="
+BDB_NO_CACHE=1 "$SMOKE" --workloads "$WORKLOADS" >"$OUT/serial.jsonl"
+
+echo "== leg A: join mid-run, kill -9 mid-run, replication 1 =="
+# Each worker owns a cache dir: that directory *is* the machine's disk,
+# and replication is what must carry entries across a machine loss. The
+# reply delay paces the run so the join and the kill land mid-flight.
+A=$(BDB_CACHE_DIR="$OUT/c0" start_worker "$OUT/w0.log" --fault-delay-ms 200)
+B=$(BDB_CACHE_DIR="$OUT/c1" start_worker "$OUT/w1.log" --fault-delay-ms 200)
+echo "workers: $A $B (to be killed)"
+
+"$SMOKE" --workloads "$WORKLOADS" --cluster "$A,$B" \
+    --join-listen 127.0.0.1:0 --replication 1 \
+    >"$OUT/elastic.jsonl" 2>"$OUT/coord.err" &
+COORD=$!
+
+JOIN=""
+for _ in $(seq 1 100); do
+    if JOIN=$(grep -m1 'join listening on ' "$OUT/coord.err" | sed 's/.*join listening on //') \
+        && [ -n "$JOIN" ]; then
+        break
+    fi
+    sleep 0.1
+done
+[ -n "$JOIN" ] || { echo "coordinator never opened its join listener" >&2; exit 1; }
+
+# Third worker joins the run already in progress...
+BDB_CACHE_DIR="$OUT/c2" "$CLUSTERD" --connect "$JOIN" --fault-delay-ms 200 --name joiner \
+    >"$OUT/w2.log" 2>"$OUT/w2.log.err" &
+echo $! >"$OUT/w2.log.pid"
+
+# ...and one founding worker dies hard, mid-run.
+sleep 1
+kill -9 "$(cat "$OUT/w1.log.pid")" 2>/dev/null || true
+echo "joined third worker at $JOIN; killed -9 worker $B"
+
+wait "$COORD" || {
+    echo "elastic coordinator run failed:" >&2
+    cat "$OUT/coord.err" >&2
+    exit 1
+}
+diff "$OUT/serial.jsonl" "$OUT/elastic.jsonl"
+echo "leg A OK: $(wc -l <"$OUT/serial.jsonl") profiles byte-identical through a mid-run join and a mid-run SIGKILL"
+
+echo "== leg B: warm restart on the surviving cache dirs =="
+# The killed worker's machine is gone: its cache dir stays untouched.
+# Kill the surviving daemons and start FRESH ones over the surviving
+# dirs c0 and c2 — every entry must already be on one of them.
+kill "$(cat "$OUT/w0.log.pid")" 2>/dev/null || true
+F0=$(BDB_CACHE_DIR="$OUT/c0" start_worker "$OUT/f0.log")
+F2=$(BDB_CACHE_DIR="$OUT/c2" start_worker "$OUT/f2.log")
+
+"$SMOKE" --workloads "$WORKLOADS" --cluster "$F0,$F2" --replication 1 \
+    >"$OUT/warm.jsonl" 2>"$OUT/warm.err"
+diff "$OUT/serial.jsonl" "$OUT/warm.jsonl"
+
+# The daemons log "(N tasks, M computed)" when the session closes;
+# give them a moment, then insist the fleet recomputed nothing.
+COMPUTED=""
+for _ in $(seq 1 100); do
+    if grep -q 'computed)' "$OUT/f0.log.err" && grep -q 'computed)' "$OUT/f2.log.err"; then
+        COMPUTED=$(sed -n 's/.*tasks, \([0-9][0-9]*\) computed).*/\1/p' \
+            "$OUT/f0.log.err" "$OUT/f2.log.err" | awk '{s += $1} END {print s + 0}')
+        break
+    fi
+    sleep 0.1
+done
+[ -n "$COMPUTED" ] || { echo "warm workers never logged their session summary" >&2; exit 1; }
+[ "$COMPUTED" -eq 0 ] || {
+    echo "warm restart recomputed $COMPUTED tasks; replication should have kept every entry" >&2
+    cat "$OUT/f0.log.err" "$OUT/f2.log.err" >&2
+    exit 1
+}
+echo "leg B OK: warm restart after losing a machine served everything from replicas (0 recomputes)"
