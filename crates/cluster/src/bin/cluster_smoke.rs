@@ -38,7 +38,12 @@ OPTIONS:
     --scale <s>         Input scale (default tiny)
     --cluster <list>    Comma-separated worker addresses; omit for a serial local run
     --join-listen <a>   Accept workers joining mid-run on this address (elastic fleet);
-                        the bound address is printed to stderr as 'join listening on <addr>'
+                        the bound address is printed to stderr as 'join listening on <addr>'.
+                        While the join channel is open a fully-dead fleet WAITS for new
+                        joiners instead of failing — bound that wait with --join-idle-secs
+    --join-idle-secs <s> Close the join channel after s seconds without a new joiner
+                        (default 0 = never close); once closed, total fleet death
+                        aborts the run with an error instead of waiting forever
     --replication <r>   Replicate each verified result to r peer workers (default from
                         BDB_REPLICATION, else 0)
     --journal <path>    Checkpoint completed tasks into a write-ahead run journal
@@ -56,6 +61,7 @@ fn main() -> ExitCode {
     let mut scale = Scale::tiny();
     let mut cluster: Option<String> = None;
     let mut join_listen: Option<String> = None;
+    let mut join_idle_secs: u64 = 0;
     let mut replication: Option<usize> = None;
     let mut journal_path: Option<PathBuf> = None;
     let resume = argv.iter().any(|a| a == "--resume");
@@ -84,6 +90,13 @@ fn main() -> ExitCode {
             }
             "--cluster" => cluster = Some(pair[1].clone()),
             "--join-listen" => join_listen = Some(pair[1].clone()),
+            "--join-idle-secs" => match pair[1].parse() {
+                Ok(s) => join_idle_secs = s,
+                Err(_) => {
+                    eprintln!("cluster-smoke: bad join idle seconds {:?}", pair[1]);
+                    return ExitCode::from(2);
+                }
+            },
             "--replication" => match pair[1].parse() {
                 Ok(r) => replication = Some(r),
                 Err(_) => {
@@ -149,21 +162,48 @@ fn main() -> ExitCode {
                 .unwrap_or_else(|_| addr.clone());
             // To stderr: stdout is reserved for the profile bytes.
             eprintln!("cluster-smoke: join listening on {bound}");
+            // With no idle limit the accept thread holds the join
+            // sender forever, so the coordinator WAITS for new joiners
+            // whenever the whole fleet dies — an idle limit turns that
+            // indefinite wait into a diagnosable AllWorkersDead error
+            // by dropping the sender (delivering JoinsClosed) once no
+            // joiner has arrived for the given stretch.
             std::thread::spawn(move || {
-                for stream in listener.incoming() {
-                    let Ok(stream) = stream else { continue };
-                    let peer = stream
-                        .peer_addr()
-                        .map(|a| a.to_string())
-                        .unwrap_or_else(|_| "?".to_owned());
-                    let Ok(transport) = TcpTransport::from_stream(stream, &peer) else {
-                        continue;
-                    };
-                    if join_tx
-                        .send(Arc::new(transport) as Arc<dyn Transport>)
-                        .is_err()
-                    {
-                        return; // run finished; stop accepting
+                let poll = Duration::from_millis(100);
+                if join_idle_secs > 0 && listener.set_nonblocking(true).is_err() {
+                    return;
+                }
+                let mut idle = Duration::ZERO;
+                loop {
+                    match listener.accept() {
+                        Ok((stream, peer_addr)) => {
+                            idle = Duration::ZERO;
+                            let _ = stream.set_nonblocking(false);
+                            let peer = peer_addr.to_string();
+                            let Ok(transport) = TcpTransport::from_stream(stream, &peer) else {
+                                continue;
+                            };
+                            if join_tx
+                                .send(Arc::new(transport) as Arc<dyn Transport>)
+                                .is_err()
+                            {
+                                return; // run finished; stop accepting
+                            }
+                        }
+                        Err(_) => {
+                            // WouldBlock under the nonblocking poll, or
+                            // a transient accept failure: back off and
+                            // charge the idle clock either way.
+                            std::thread::sleep(poll);
+                            idle += poll;
+                            if join_idle_secs > 0 && idle >= Duration::from_secs(join_idle_secs) {
+                                eprintln!(
+                                    "cluster-smoke: no joiner for {join_idle_secs}s; \
+                                     closing the join channel"
+                                );
+                                return; // drops join_tx -> JoinsClosed
+                            }
+                        }
                     }
                 }
             });

@@ -361,6 +361,11 @@ impl Run<'_> {
     /// Sends one assignment; `Ok(true)` if the worker may receive more.
     fn assign(&mut self, idx: usize, task: usize) -> Result<bool, ClusterError> {
         let Some(def) = self.tasks.get(task) else {
+            // Unreachable while the fleet is built from these tasks'
+            // fingerprints, but if that invariant ever drifts the task
+            // must not be stranded in the slot's in-flight set.
+            debug_assert!(false, "fleet assigned out-of-range task {task}");
+            self.fleet.unassign(idx, task);
             return Ok(false);
         };
         let msg = Message::Assign {

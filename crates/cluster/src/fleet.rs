@@ -143,7 +143,11 @@ impl Fleet {
     /// A fleet of `workers` initial slots over the task batch described
     /// by `fingerprints` (one per task, in task order). Tasks are split
     /// into contiguous static chunks, one per initial worker — good
-    /// locality for per-worker disk caches.
+    /// locality for per-worker disk caches. With zero initial workers
+    /// (an elastic run built entirely from joins) there are no plans to
+    /// hold the tasks, so every task is seeded into the retry queue,
+    /// eligible immediately — conservation demands each incomplete task
+    /// live somewhere, and joiners start with empty plans.
     pub fn new(workers: usize, fingerprints: Vec<u64>, config: ClusterConfig) -> Fleet {
         let tasks = fingerprints.len();
         let slots: Vec<Slot> = (0..workers)
@@ -156,6 +160,14 @@ impl Fleet {
                 }
             })
             .collect();
+        let mut retry = VecDeque::new();
+        if workers == 0 {
+            retry.extend((0..tasks).map(|task| Retry {
+                task,
+                not_before: 0,
+                queued_at: 0,
+            }));
+        }
         Fleet {
             config,
             slots,
@@ -163,7 +175,7 @@ impl Fleet {
             attempts: vec![0; tasks],
             last_error: vec![String::new(); tasks],
             fingerprints,
-            retry: VecDeque::new(),
+            retry,
             done: 0,
             now: 0,
             next_probe_seq: 0,
@@ -685,6 +697,26 @@ mod tests {
                 fleet.check_conservation().unwrap();
             }
         }
+    }
+
+    #[test]
+    fn empty_fleet_seeds_tasks_into_the_retry_queue() {
+        // Regression: with 0 initial workers the tasks used to live in
+        // no plan, no in-flight set, and no queue — unreachable by any
+        // joiner, so a join-only elastic run hung forever.
+        let mut fleet = Fleet::new(0, (0..4).collect(), config());
+        fleet.check_conservation().unwrap();
+        let joiner = fleet.join();
+        fleet.hello(joiner, &[]);
+        let mut drained = Vec::new();
+        while let Some(task) = fleet.next_assignment(joiner) {
+            drained.push(task);
+            fleet.clear_inflight(joiner, task);
+            fleet.complete(task);
+        }
+        drained.sort_unstable();
+        assert_eq!(drained, vec![0, 1, 2, 3], "joiner drains the whole batch");
+        fleet.check_conservation().unwrap();
     }
 
     #[test]

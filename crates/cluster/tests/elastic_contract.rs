@@ -153,6 +153,33 @@ fn topology_churn_schedules_merge_byte_identically_to_serial() {
     }
 }
 
+/// Regression: a run may start with an EMPTY worker list (the
+/// `--join-listen`-only mode of cluster-smoke) and be populated entirely
+/// through the elastic join channel. The tasks must be reachable by the
+/// joiners — they used to live in no plan and no queue, so the run hung
+/// forever — and the merged bytes must still match serial.
+#[test]
+fn run_elastic_from_an_empty_fleet_converges_once_workers_join() {
+    let workloads: Vec<WorkloadDef> = catalog::full_catalog().into_iter().take(6).collect();
+    let scale = Scale::tiny();
+    let serial = serial_baseline(&workloads, scale);
+    let tasks = fleet_tasks(&workloads, scale, &machine(), &NodeConfig::default());
+    let (join_tx, join_rx) = channel();
+    std::thread::spawn(move || {
+        for (i, delay_ms) in [0u64, 80].into_iter().enumerate() {
+            std::thread::sleep(Duration::from_millis(delay_ms));
+            let _ = join_tx.send(spawn_worker(
+                &format!("empty-start-{i}"),
+                FaultPlan::default(),
+            ));
+        }
+    });
+    let profiles = Coordinator::new(elastic_config())
+        .run_elastic(Vec::new(), join_rx, &tasks, None)
+        .expect("join-only fleet converges");
+    assert_eq!(canonical_bytes(&profiles), serial);
+}
+
 /// Coordinator-side transport wrapper that logs every `Assign` it
 /// sends, so tests can count dispatches per task.
 struct CountingTransport {

@@ -85,6 +85,12 @@ fn run_ops(fleet: &mut Fleet, ops: &[Op]) -> Option<Vec<(usize, usize)>> {
     let mut outstanding: Vec<(usize, usize)> = Vec::new();
     let mut probes: Vec<(usize, u64)> = Vec::new();
     for (step, op) in ops.iter().enumerate() {
+        // A join-only start has no slot to address until the first Join.
+        if fleet.slot_count() == 0
+            && matches!(op, Op::Hello(_) | Op::Bye(_) | Op::Death(_) | Op::Assign(_))
+        {
+            continue;
+        }
         match op {
             Op::Join => {
                 fleet.join();
@@ -208,9 +214,11 @@ proptest! {
 
     /// The conservation invariant holds after EVERY membership and
     /// scheduling event, and any surviving fleet drains to completion.
+    /// `workers` starts at 0: a join-only fleet must still conserve
+    /// (its tasks are seeded into the retry queue) and drain.
     #[test]
     fn task_set_is_conserved_under_arbitrary_membership_churn(
-        workers in 1usize..4,
+        workers in 0usize..4,
         tasks in 1usize..12,
         hellos in proptest::collection::vec(any::<usize>(), 0..4),
         ops in proptest::collection::vec(op(), 0..60),
@@ -221,7 +229,9 @@ proptest! {
         let mut fleet = Fleet::new(workers, fingerprints, config());
         conserve(&fleet, "on the fresh fleet");
         for seed in hellos {
-            fleet.hello(seed % fleet.slot_count(), &[]);
+            if fleet.slot_count() > 0 {
+                fleet.hello(seed % fleet.slot_count(), &[]);
+            }
         }
         conserve(&fleet, "after the initial hellos");
         if let Some(outstanding) = run_ops(&mut fleet, &ops) {

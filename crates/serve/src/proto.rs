@@ -24,7 +24,14 @@ use bdb_engine::json::{self, Value};
 use bdb_wcrt::WorkloadProfile;
 
 /// Version tag exchanged in `Hello`; bumped on incompatible changes.
-pub const SERVE_PROTOCOL_VERSION: u64 = 1;
+///
+/// History: v1 was the original request/reply set; v2 added the `busy`
+/// overload refusal (sent *before* the `Hello` handshake, so the
+/// version exchange cannot negotiate it away) and the
+/// `subscribers_evicted` stats counter. The counter is decoded
+/// leniently (absent → 0) so a v2 client still reads a v1 server's
+/// `stats` replies.
+pub const SERVE_PROTOCOL_VERSION: u64 = 2;
 
 /// A client-to-server message. Every request except `Hello`/`Bye`
 /// carries a client-chosen `id`, echoed verbatim in the reply so a
@@ -233,6 +240,19 @@ fn get_u64(v: &Value, key: &str) -> Result<u64, ServeError> {
         .ok_or_else(|| ServeError::Decode(format!("field {key:?} is not a u64")))
 }
 
+/// Like [`get_u64`], but an *absent* field decodes as `default` — for
+/// counters added after v1, so mixed-version stats decoding degrades
+/// gracefully instead of erroring. A present-but-mistyped field still
+/// fails loudly.
+fn get_u64_or(v: &Value, key: &str, default: u64) -> Result<u64, ServeError> {
+    match v.get(key) {
+        None => Ok(default),
+        Some(field) => field
+            .as_u64()
+            .ok_or_else(|| ServeError::Decode(format!("field {key:?} is not a u64"))),
+    }
+}
+
 fn get_str<'a>(v: &'a Value, key: &str) -> Result<&'a str, ServeError> {
     get(v, key)?
         .as_str()
@@ -400,7 +420,7 @@ fn stats_from_value(v: &Value) -> Result<ServeStats, ServeError> {
         sessions_active: get_u64(v, "sessions_active")?,
         sessions_total: get_u64(v, "sessions_total")?,
         subscribers: get_u64(v, "subscribers")?,
-        subscribers_evicted: get_u64(v, "subscribers_evicted")?,
+        subscribers_evicted: get_u64_or(v, "subscribers_evicted", 0)?,
     })
 }
 
@@ -827,6 +847,30 @@ mod tests {
         // loudly, not decode into garbage.
         let err = decode_reply(&payload).expect_err("kind mismatch");
         assert!(matches!(err, ServeError::Decode(_)), "{err:?}");
+    }
+
+    #[test]
+    fn v1_stats_without_subscribers_evicted_decode_leniently() {
+        // A v1 server's stats reply predates the counter; a v2 client
+        // must read it as 0 rather than refuse the whole reply.
+        let v1 = json::parse(concat!(
+            "{\"id\":6,\"stats\":{\"computed\":17,\"delta_batches\":0,",
+            "\"deltas_streamed\":0,\"disk_hits\":0,\"entries\":17,",
+            "\"invalidated\":0,\"journal_hits\":0,\"memory_hits\":0,",
+            "\"seq\":2,\"sessions_active\":1,\"sessions_total\":1,",
+            "\"subscribers\":0},\"type\":\"stats\"}"
+        ))
+        .expect("v1 stats reply parses");
+        match reply_from_value(&v1).expect("v1 stats reply decodes") {
+            ServeReply::Stats { stats, .. } => {
+                assert_eq!(stats.subscribers_evicted, 0);
+                assert_eq!(stats.computed, 17);
+            }
+            other => panic!("expected stats, got {other:?}"),
+        }
+        // A mistyped present field still fails loudly.
+        let bad = json::parse("{\"subscribers_evicted\":\"nope\"}").expect("parses");
+        assert!(super::get_u64_or(&bad, "subscribers_evicted", 0).is_err());
     }
 
     #[test]

@@ -92,13 +92,22 @@ impl ServerConfig {
     }
 }
 
+/// One queued wire frame plus the delta count it carries (0 for the
+/// eviction-notice `Error` frame) — the flusher credits
+/// `deltas_streamed` only once the frame actually reaches the socket.
+struct Frame {
+    payload: Vec<u8>,
+    deltas: u64,
+}
+
 /// The frames queued for one subscriber, plus its lifecycle flag.
 /// `closed` is terminal: set by eviction, by session teardown, or by
-/// the flusher itself on a send failure; once set, the flusher drains
-/// out and no further frames are accepted.
+/// the flusher itself on a send failure; once set, no further frames
+/// are accepted, but the flusher still drains what is already queued —
+/// that is what delivers the eviction notice.
 #[derive(Default)]
 struct SubQueue {
-    frames: VecDeque<Vec<u8>>,
+    frames: VecDeque<Frame>,
     closed: bool,
 }
 
@@ -109,6 +118,10 @@ struct Subscriber {
     transport: Arc<dyn FrameTransport>,
     queue: Mutex<SubQueue>,
     cv: Condvar,
+    /// The server's shared `deltas_streamed` counter; bumped per frame
+    /// *after* a successful send, so the stat measures delivery, not
+    /// enqueueing frames that eviction may later discard.
+    streamed: Arc<AtomicU64>,
 }
 
 impl Subscriber {
@@ -136,10 +149,11 @@ fn flush_subscriber(sub: &Subscriber) {
                 queue = sub.cv.wait(queue).unwrap_or_else(PoisonError::into_inner);
             }
         };
-        if sub.transport.send_payload(&frame).is_err() {
+        if sub.transport.send_payload(&frame.payload).is_err() {
             sub.close();
             return;
         }
+        sub.streamed.fetch_add(frame.deltas, Ordering::SeqCst);
     }
 }
 
@@ -150,7 +164,8 @@ struct Shared {
     sessions_active: AtomicU64,
     sessions_total: AtomicU64,
     delta_batches: AtomicU64,
-    deltas_streamed: AtomicU64,
+    /// `Arc`ed so each subscriber's flusher can credit deliveries.
+    deltas_streamed: Arc<AtomicU64>,
     subscribers_evicted: AtomicU64,
     shutdown: AtomicBool,
     wake_addr: Mutex<Option<String>>,
@@ -180,7 +195,7 @@ impl Server {
                 sessions_active: AtomicU64::new(0),
                 sessions_total: AtomicU64::new(0),
                 delta_batches: AtomicU64::new(0),
-                deltas_streamed: AtomicU64::new(0),
+                deltas_streamed: Arc::new(AtomicU64::new(0)),
                 subscribers_evicted: AtomicU64::new(0),
                 shutdown: AtomicBool::new(false),
                 wake_addr: Mutex::new(None),
@@ -404,6 +419,7 @@ impl Server {
                         transport: Arc::clone(transport),
                         queue: Mutex::new(SubQueue::default()),
                         cv: Condvar::new(),
+                        streamed: Arc::clone(&self.shared.deltas_streamed),
                     });
                     // Register under the state lock (lock order: state
                     // → subscribers, same as Mutate/broadcast), so no
@@ -445,12 +461,16 @@ impl Server {
     }
 
     /// Enqueues one batch onto every subscriber's bounded queue; the
-    /// per-subscriber flusher threads do the socket writes. Called with
-    /// the state lock held (see `Mutate`), which is what gives every
-    /// queue strict `seq` order — and is why this must never block on a
-    /// slow peer. A subscriber whose queue is already full is evicted
-    /// (closed + unregistered) instead of buffered without bound; one
-    /// whose flusher died of a send failure is silently dropped.
+    /// per-subscriber flusher threads do the socket writes (and credit
+    /// `deltas_streamed` per delivered frame). Called with the state
+    /// lock held (see `Mutate`), which is what gives every queue strict
+    /// `seq` order — and is why this must never block on a slow peer. A
+    /// subscriber whose queue is already full is evicted instead of
+    /// buffered without bound: a final `Error` notice is queued (the
+    /// flusher drains a closed queue, so the client learns it was shed
+    /// rather than silently losing the stream), then the queue is
+    /// closed and the subscriber unregistered. One whose flusher died
+    /// of a send failure is silently dropped — the peer is gone.
     fn broadcast(&self, batch: &DeltaBatch) {
         if batch.deltas.is_empty() {
             return;
@@ -467,7 +487,24 @@ impl Server {
                 continue;
             }
             if queue.frames.len() as u64 >= self.shared.config.sub_queue {
-                // Slow consumer: shed it rather than grow its queue.
+                // Slow consumer: shed it rather than grow its queue,
+                // with a best-effort farewell frame.
+                let notice = encode_reply(
+                    self.shared.config.format,
+                    &ServeReply::Error {
+                        id: 0,
+                        message: format!(
+                            "subscription evicted: {} undelivered delta batches exceeded \
+                             the BDB_SERVE_SUB_QUEUE bound of {}",
+                            queue.frames.len(),
+                            self.shared.config.sub_queue
+                        ),
+                    },
+                );
+                queue.frames.push_back(Frame {
+                    payload: notice,
+                    deltas: 0,
+                });
                 queue.closed = true;
                 drop(queue);
                 subscriber.cv.notify_all();
@@ -477,12 +514,12 @@ impl Server {
                     .fetch_add(1, Ordering::SeqCst);
                 continue;
             }
-            queue.frames.push_back(payload.clone());
+            queue.frames.push_back(Frame {
+                payload: payload.clone(),
+                deltas: batch.deltas.len() as u64,
+            });
             drop(queue);
             subscriber.cv.notify_all();
-            self.shared
-                .deltas_streamed
-                .fetch_add(batch.deltas.len() as u64, Ordering::SeqCst);
         }
         for session_id in gone {
             subscribers.remove(&session_id);

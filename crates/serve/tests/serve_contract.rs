@@ -237,11 +237,26 @@ fn subscriber_patches_snapshot_to_byte_identical_catalog() {
     let stats = mutator.stats().expect("stats");
     assert_eq!(stats.subscribers, 1);
     assert_eq!(stats.delta_batches, 2);
-    assert_eq!(
-        stats.deltas_streamed,
-        outcome.updated + removed.deleted,
-        "every delta fanned out to the one subscriber"
-    );
+    // The flusher credits `deltas_streamed` *after* each successful
+    // send, so the counter can trail the subscriber's receipt by an
+    // instruction or two — poll it to the full fan-out.
+    let expected = outcome.updated + removed.deleted;
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        let streamed = mutator.stats().expect("stats").deltas_streamed;
+        if streamed == expected {
+            break;
+        }
+        assert!(
+            streamed < expected,
+            "deltas_streamed {streamed} overshot the fan-out {expected}"
+        );
+        assert!(
+            std::time::Instant::now() < deadline,
+            "deltas_streamed {streamed} never reached {expected}"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
     subscriber.bye().expect("bye");
     mutator.bye().expect("bye");
 }
@@ -383,5 +398,174 @@ fn slow_subscriber_is_evicted_not_buffered_without_bound() {
         "slow consumer shed exactly once"
     );
     assert_eq!(stats.subscribers, 0, "evicted subscriber unregistered");
+    mutator.bye().expect("bye");
+}
+
+/// A server-side transport whose sends park on a gate after
+/// `free_sends` frames, recording every delivered payload — a slow (but
+/// not dead) peer. Opening the gate lets the flusher drain.
+struct GatedSubscriber {
+    requests: std::sync::Mutex<std::sync::mpsc::Receiver<Vec<u8>>>,
+    _keep_open: std::sync::mpsc::Sender<Vec<u8>>,
+    sent: std::sync::Mutex<Vec<Vec<u8>>>,
+    gate_open: std::sync::Mutex<bool>,
+    gate_cv: std::sync::Condvar,
+    sends: std::sync::atomic::AtomicU64,
+    free_sends: u64,
+}
+
+impl bdb_cluster::FrameTransport for GatedSubscriber {
+    fn send_payload(&self, payload: &[u8]) -> Result<(), bdb_cluster::TransportError> {
+        let n = self.sends.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+        if n >= self.free_sends {
+            let mut open = self.gate_open.lock().expect("gate lock");
+            while !*open {
+                open = self.gate_cv.wait(open).expect("gate wait");
+            }
+        }
+        self.sent.lock().expect("sent lock").push(payload.to_vec());
+        Ok(())
+    }
+
+    fn recv_payload(&self) -> Result<Vec<u8>, bdb_cluster::TransportError> {
+        self.requests
+            .lock()
+            .expect("script lock")
+            .recv()
+            .map_err(|_| bdb_cluster::TransportError::Closed)
+    }
+
+    fn recv_payload_timeout(
+        &self,
+        timeout: Duration,
+    ) -> Result<Option<Vec<u8>>, bdb_cluster::TransportError> {
+        match self
+            .requests
+            .lock()
+            .expect("script lock")
+            .recv_timeout(timeout)
+        {
+            Ok(p) => Ok(Some(p)),
+            Err(std::sync::mpsc::RecvTimeoutError::Timeout) => Ok(None),
+            Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => {
+                Err(bdb_cluster::TransportError::Closed)
+            }
+        }
+    }
+
+    fn peer_label(&self) -> String {
+        "gated-subscriber".to_owned()
+    }
+}
+
+/// An evicted subscriber must receive a final `Error` notice (the shed
+/// is announced, not silent), and `deltas_streamed` must count only the
+/// frames that actually reached the peer — not frames discarded by the
+/// eviction.
+#[test]
+fn evicted_subscriber_gets_a_farewell_error_frame() {
+    let state =
+        ServeState::materialize(Arc::new(Engine::in_memory()), small_spec()).expect("materialize");
+    let server = Server::new(
+        state,
+        ServerConfig {
+            sub_queue: 1,
+            ..ServerConfig::named("evict-notice")
+        },
+    );
+
+    let (tx, rx) = std::sync::mpsc::channel();
+    tx.send(bdb_serve::encode_request(
+        WireFormat::Json,
+        &bdb_serve::ServeRequest::Subscribe { id: 1 },
+    ))
+    .expect("script send");
+    // One free send for the `Subscribed` reply; the first delta frame
+    // parks the flusher on the gate.
+    let gated = Arc::new(GatedSubscriber {
+        requests: std::sync::Mutex::new(rx),
+        _keep_open: tx,
+        sent: std::sync::Mutex::new(Vec::new()),
+        gate_open: std::sync::Mutex::new(false),
+        gate_cv: std::sync::Condvar::new(),
+        sends: std::sync::atomic::AtomicU64::new(0),
+        free_sends: 1,
+    });
+    {
+        let server = server.clone();
+        let clone: Arc<GatedSubscriber> = Arc::clone(&gated);
+        let transport: Arc<dyn bdb_cluster::FrameTransport> = clone;
+        std::thread::spawn(move || server.serve_session(transport));
+    }
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while server.stats().subscribers < 1 {
+        assert!(std::time::Instant::now() < deadline, "subscriber registers");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    let mut mutator = session(&server);
+    mutator.hello("mutator").expect("hello");
+    let knob = |size: u64| Mutation::SetKnob {
+        config: "xeon-e5645".to_owned(),
+        knob: "l1d.size_bytes".to_owned(),
+        value: Value::UInt(size),
+    };
+    // Mutation 1's frame is popped by the flusher, which parks on the
+    // gate mid-send; wait for that pickup (send #2 = Subscribed + this
+    // frame) so the queue is deterministically empty again.
+    mutator.mutate(knob(16384)).expect("mutation 1");
+    while gated.sends.load(std::sync::atomic::Ordering::SeqCst) < 2 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "flusher picks up the first delta frame"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    // Mutation 2 fills the depth-1 queue; mutation 3 finds it full and
+    // evicts, queueing the farewell notice behind the undelivered frame.
+    mutator.mutate(knob(32768)).expect("mutation 2");
+    mutator.mutate(knob(8192)).expect("mutation 3");
+    let stats = mutator.stats().expect("stats");
+    assert_eq!(stats.subscribers_evicted, 1, "shed exactly once");
+    assert_eq!(stats.subscribers, 0, "evicted subscriber unregistered");
+
+    // Open the gate: the flusher drains the closed queue — delta 1,
+    // delta 2, then the farewell — and exits.
+    *gated.gate_open.lock().expect("gate lock") = true;
+    gated.gate_cv.notify_all();
+    while gated.sent.lock().expect("sent lock").len() < 4 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "flusher drains the closed queue"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    let sent = gated.sent.lock().expect("sent lock").clone();
+    assert_eq!(sent.len(), 4, "subscribed + 2 deltas + farewell");
+    let mut delivered_deltas = 0u64;
+    for frame in &sent[1..3] {
+        match bdb_serve::decode_reply(frame).expect("delta frame decodes") {
+            bdb_serve::ServeReply::Delta(batch) => delivered_deltas += batch.deltas.len() as u64,
+            other => panic!("expected delta frame, got {other:?}"),
+        }
+    }
+    match bdb_serve::decode_reply(&sent[3]).expect("farewell decodes") {
+        bdb_serve::ServeReply::Error { id, message } => {
+            assert_eq!(id, 0);
+            assert!(
+                message.contains("evicted"),
+                "farewell names the eviction: {message}"
+            );
+        }
+        other => panic!("expected the farewell error frame, got {other:?}"),
+    }
+    // Only the delivered frames are counted: the discarded third batch
+    // and the farewell itself never touch `deltas_streamed`.
+    assert_eq!(
+        server.stats().deltas_streamed,
+        delivered_deltas,
+        "deltas_streamed counts delivery, not enqueueing"
+    );
     mutator.bye().expect("bye");
 }

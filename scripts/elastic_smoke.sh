@@ -59,8 +59,11 @@ A=$(BDB_CACHE_DIR="$OUT/c0" start_worker "$OUT/w0.log" --fault-delay-ms 200)
 B=$(BDB_CACHE_DIR="$OUT/c1" start_worker "$OUT/w1.log" --fault-delay-ms 200)
 echo "workers: $A $B (to be killed)"
 
+# --join-idle-secs bounds the open join channel: if the whole fleet
+# ever dies, the run fails with AllWorkersDead instead of waiting
+# forever for a joiner that will never come (a silent CI hang).
 "$SMOKE" --workloads "$WORKLOADS" --cluster "$A,$B" \
-    --join-listen 127.0.0.1:0 --replication 1 \
+    --join-listen 127.0.0.1:0 --join-idle-secs 60 --replication 1 \
     >"$OUT/elastic.jsonl" 2>"$OUT/coord.err" &
 COORD=$!
 
